@@ -1,0 +1,306 @@
+package dspaddr
+
+// One benchmark per experiment artifact (DESIGN.md per-experiment
+// index), plus micro-benchmarks of the allocator phases. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The Benchmark*/shape checks are deliberately light; the full-size
+// sweeps live behind `rcabench`.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dspaddr/internal/codegen"
+	"dspaddr/internal/core"
+	"dspaddr/internal/distgraph"
+	"dspaddr/internal/dspsim"
+	"dspaddr/internal/experiments"
+	"dspaddr/internal/indexreg"
+	"dspaddr/internal/merge"
+	"dspaddr/internal/model"
+	"dspaddr/internal/offsetassign"
+	"dspaddr/internal/pathcover"
+	"dspaddr/internal/workload"
+)
+
+// BenchmarkFig1GraphModel regenerates Figure 1 (E1): distance graph
+// construction plus the minimal path cover of the example loop.
+func BenchmarkFig1GraphModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.KTilde != 2 {
+			b.Fatalf("K~ = %d", r.KTilde)
+		}
+	}
+}
+
+// BenchmarkE2RandomSweep regenerates the Results ¶1 statistical
+// analysis (E2) at a benchmark-friendly trial count.
+func BenchmarkE2RandomSweep(b *testing.B) {
+	p := experiments.DefaultE2Params()
+	p.Trials = 10
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunE2(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.GrandReduction < 15 {
+			b.Fatalf("reduction collapsed: %.1f%%", r.GrandReduction)
+		}
+	}
+}
+
+// BenchmarkE2Cell benchmarks single sweep cells across the paper's
+// parameter axes.
+func BenchmarkE2Cell(b *testing.B) {
+	for _, n := range []int{10, 30, 50} {
+		for _, k := range []int{2, 4} {
+			b.Run(fmt.Sprintf("N=%d/M=1/K=%d", n, k), func(b *testing.B) {
+				p := experiments.E2Params{
+					Ns: []int{n}, Ms: []int{1}, Ks: []int{k},
+					Trials: 5, Seed: 1, OffsetRange: 8,
+				}
+				for i := 0; i < b.N; i++ {
+					if _, err := experiments.RunE2(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE3Kernels regenerates the Results ¶2 kernel study (E3),
+// one sub-benchmark per library kernel: allocate, generate optimized
+// and naive code, verify both on the simulator and execute them.
+func BenchmarkE3Kernels(b *testing.B) {
+	for _, name := range workload.KernelNames() {
+		b.Run(name, func(b *testing.B) {
+			p := experiments.DefaultE3Params()
+			p.Kernels = []string{name}
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.RunE3(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Rows[0].OptCycles >= r.Rows[0].NaiveCycles {
+					b.Fatal("optimized code not faster")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkA1Bounds regenerates the phase-1 bound-quality ablation.
+func BenchmarkA1Bounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunA1([]int{8, 12}, []int{1}, 10, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA2MergeStrategies regenerates the merge-strategy ablation.
+func BenchmarkA2MergeStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunA2([]int{10, 16}, 2, 1, 5, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA3WrapObjective regenerates the inter-iteration modelling
+// ablation.
+func BenchmarkA3WrapObjective(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunA3(4, 1, 5, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA4SOA regenerates the scalar offset-assignment ablation.
+func BenchmarkA4SOA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunA4([]int{12, 24}, 6, 5, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the allocator phases ---
+
+func randomPatternB(rng *rand.Rand, n int) model.Pattern {
+	offs := make([]int, n)
+	for i := range offs {
+		offs[i] = rng.Intn(17) - 8
+	}
+	return model.Pattern{Array: "A", Stride: 1, Offsets: offs}
+}
+
+// BenchmarkPhase1MatchingCover measures the polynomial minimum path
+// cover (intra-iteration objective).
+func BenchmarkPhase1MatchingCover(b *testing.B) {
+	for _, n := range []int{10, 50, 200} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			pat := randomPatternB(rand.New(rand.NewSource(int64(n))), n)
+			dg, err := distgraph.Build(pat, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pathcover.MinCoverDAG(dg)
+			}
+		})
+	}
+}
+
+// BenchmarkPhase1BranchAndBound measures the wrap-aware exact search.
+func BenchmarkPhase1BranchAndBound(b *testing.B) {
+	for _, n := range []int{10, 20, 30} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			pat := randomPatternB(rand.New(rand.NewSource(int64(n))), n)
+			dg, err := distgraph.Build(pat, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pathcover.MinCover(dg, true, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkPhase2GreedyMerge measures the paper's merge heuristic.
+func BenchmarkPhase2GreedyMerge(b *testing.B) {
+	for _, n := range []int{20, 50} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			pat := randomPatternB(rand.New(rand.NewSource(int64(n))), n)
+			dg, err := distgraph.Build(pat, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cover := pathcover.MinCover(dg, false, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := merge.Reduce(merge.Greedy{}, cover.Paths, pat, 1, false, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAllocateEndToEnd measures the whole allocator.
+func BenchmarkAllocateEndToEnd(b *testing.B) {
+	pat := randomPatternB(rand.New(rand.NewSource(7)), 30)
+	cfg := core.Config{AGU: model.AGUSpec{Registers: 4, ModifyRange: 1}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Allocate(pat, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures simulated instructions per
+// second on the FIR kernel.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	k, err := workload.KernelByName("fir8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc, err := core.AllocateLoop(k.Loop, core.Config{
+		AGU: model.AGUSpec{Registers: 3, ModifyRange: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bases, words := codegen.AutoBases(k.Loop)
+	prog, err := codegen.GenerateOptimized(alloc, bases, dspsim.ADD)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Run(words); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSOAHeuristics measures the scalar offset-assignment
+// heuristics.
+func BenchmarkSOAHeuristics(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	letters := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	seq := make([]string, 200)
+	for i := range seq {
+		seq[i] = letters[rng.Intn(len(letters))]
+	}
+	b.Run("liao", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			offsetassign.LiaoSOA(seq)
+		}
+	})
+	b.Run("tie-break", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			offsetassign.TieBreakSOA(seq)
+		}
+	})
+	b.Run("goa-k4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := offsetassign.GOA(seq, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkA5IndexRegisters regenerates the index-register extension
+// ablation.
+func BenchmarkA5IndexRegisters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunA5([]int{10, 20}, 2, 1, 5, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexedOptimize measures the alternating allocate/re-pick
+// loop of the indexed allocator.
+func BenchmarkIndexedOptimize(b *testing.B) {
+	for _, n := range []int{10, 30} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			pat := randomPatternB(rand.New(rand.NewSource(int64(n))), n)
+			spec := model.AGUSpec{Registers: 2, ModifyRange: 1}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := indexreg.Optimize(pat, spec, indexreg.Options{IndexRegisters: 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkA6ModuloAddressing regenerates the circular-buffer
+// extension ablation: build, verify and execute both FIR
+// implementations.
+func BenchmarkA6ModuloAddressing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunA6([]int{4, 16}, 32, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

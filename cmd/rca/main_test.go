@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runToString(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var b strings.Builder
+	err := run(args, &b)
+	return b.String(), err
+}
+
+func TestRunExample(t *testing.T) {
+	out, err := runToString(t, "-example", "-k", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"K~ = 2", "merged down to 1", "total: 4 unit-cost"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExampleAsmAndSim(t *testing.T) {
+	out, err := runToString(t, "-example", "-k", "2", "-asm", "-run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"optimized assembly", "naive assembly", "DBNZ", "simulated:", "faster"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "loop.c")
+	src := `for (i = 0; i <= N; i++) { y[i] = x[i] + x[i-1]; }`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runToString(t, "-k", "3", "-bind", "N=31", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "32 iterations") {
+		t.Errorf("binding not applied:\n%s", out)
+	}
+	if !strings.Contains(out, "arrays [x y]") {
+		t.Errorf("arrays missing:\n%s", out)
+	}
+}
+
+func TestRunStrategies(t *testing.T) {
+	for _, s := range []string{"greedy", "naive", "smallest", "optimal"} {
+		if _, err := runToString(t, "-example", "-k", "1", "-strategy", s); err != nil {
+			t.Errorf("strategy %s: %v", s, err)
+		}
+	}
+	if _, err := runToString(t, "-example", "-strategy", "bogus"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestRunWrapObjective(t *testing.T) {
+	out, err := runToString(t, "-example", "-k", "4", "-wrap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrap included") {
+		t.Errorf("wrap objective not reported:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := runToString(t); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := runToString(t, "/nonexistent/loop.c"); err == nil {
+		t.Error("unreadable file accepted")
+	}
+	if _, err := runToString(t, "-example", "-bind", "garbage"); err == nil {
+		t.Error("bad binding accepted")
+	}
+	if _, err := runToString(t, "-example", "-bind", "N=xyz"); err == nil {
+		t.Error("bad binding value accepted")
+	}
+	if _, err := runToString(t, "-example", "-k", "0"); err == nil {
+		t.Error("K=0 accepted")
+	}
+}
+
+func TestParseBindings(t *testing.T) {
+	got, err := parseBindings("N=5, M=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["N"] != 5 || got["M"] != 7 {
+		t.Fatalf("bindings = %v", got)
+	}
+	if empty, err := parseBindings("  "); err != nil || len(empty) != 0 {
+		t.Fatalf("blank bindings = %v, %v", empty, err)
+	}
+}
+
+func TestRunReportsScalarLayout(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "loop.c")
+	src := `for (i = 0; i <= 9; i++) { y[i] = c0*x[i] + c1*x[i-1] + c0*x[i-2]; }`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runToString(t, "-k", "3", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "scalars: layout") || !strings.Contains(out, "SOA cost") {
+		t.Errorf("scalar SOA report missing:\n%s", out)
+	}
+}

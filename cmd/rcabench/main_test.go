@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runToString(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var b strings.Builder
+	err := run(args, &b)
+	return b.String(), err
+}
+
+func TestEachExperimentRuns(t *testing.T) {
+	wants := map[string]string{
+		"e1": "Figure 1",
+		"e2": "grand average reduction",
+		"e3": "DSP kernels",
+		"a1": "bound quality",
+		"a2": "merge strategies",
+		"a3": "inter-iteration modelling",
+		"a4": "scalar offset assignment",
+		"a5": "index-register extension",
+		"a6": "modulo addressing",
+	}
+	for exp, want := range wants {
+		out, err := runToString(t, "-exp", exp, "-trials", "3")
+		if err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("%s output missing %q:\n%s", exp, want, out)
+		}
+	}
+}
+
+func TestAllRunsEverything(t *testing.T) {
+	out, err := runToString(t, "-exp", "all", "-trials", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 1", "grand average", "DSP kernels", "A1", "A2", "A3", "A4", "A5", "A6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("all output missing %q", want)
+		}
+	}
+}
+
+func TestMarkdownMode(t *testing.T) {
+	out, err := runToString(t, "-exp", "e3", "-md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "| kernel |") {
+		t.Errorf("markdown table missing:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := runToString(t, "-exp", "e9"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestE2DistributionFlag(t *testing.T) {
+	for _, dist := range []string{"uniform", "clustered", "walk"} {
+		if _, err := runToString(t, "-exp", "e2", "-trials", "2", "-dist", dist); err != nil {
+			t.Errorf("dist %s: %v", dist, err)
+		}
+	}
+	if _, err := runToString(t, "-exp", "e2", "-dist", "bogus"); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+}

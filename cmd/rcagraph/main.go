@@ -1,0 +1,88 @@
+// Command rcagraph emits the distance-graph model of a loop's access
+// pattern in Graphviz DOT syntax. With -example it reproduces the
+// paper's Figure 1.
+//
+// Usage:
+//
+//	rcagraph -example                 # Figure 1
+//	rcagraph -m 2 loop.c              # custom loop, M=2
+//	rcagraph -example | dot -Tpng -o fig1.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"dspaddr/internal/distgraph"
+	"dspaddr/internal/frontend"
+	"dspaddr/internal/model"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rcagraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rcagraph", flag.ContinueOnError)
+	m := fs.Int("m", 1, "AGU modify range M")
+	example := fs.Bool("example", false, "use the paper's example pattern (Figure 1)")
+	bind := fs.String("bind", "N=100", "bindings for symbolic bounds")
+	array := fs.String("array", "", "emit the graph of this array only (default: first)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var pat model.Pattern
+	if *example {
+		pat = model.PaperExample()
+	} else {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("expected one loop file (or -example)")
+		}
+		data, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		bindings := map[string]int{}
+		for _, kv := range strings.Split(*bind, ",") {
+			parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+			if len(parts) == 2 {
+				if v, err := strconv.Atoi(parts[1]); err == nil {
+					bindings[parts[0]] = v
+				}
+			}
+		}
+		prog, err := frontend.Parse(string(data), bindings)
+		if err != nil {
+			return err
+		}
+		pats, _ := prog.Loop.Patterns()
+		pat = pats[0]
+		if *array != "" {
+			found := false
+			for _, p := range pats {
+				if p.Array == *array {
+					pat, found = p, true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("array %q not referenced by the loop", *array)
+			}
+		}
+	}
+
+	dg, err := distgraph.Build(pat, *m)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, dg.DOT("G"))
+	return nil
+}

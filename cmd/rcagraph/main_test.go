@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runToString(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var b strings.Builder
+	err := run(args, &b)
+	return b.String(), err
+}
+
+func TestExampleEmitsFigure1(t *testing.T) {
+	out, err := runToString(t, "-example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"digraph G", "a1: A[i+1]", "a7: A[i-2]", "n0 -> n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Figure 1 has 11 edges.
+	if got := strings.Count(out, "->"); got != 11 {
+		t.Errorf("edge count = %d, want 11", got)
+	}
+}
+
+func TestGraphFromFileAndArraySelection(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "loop.c")
+	src := `for (i = 0; i <= N; i++) { y[i] = x[i] + x[i-1]; }`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runToString(t, "-bind", "N=9", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "x[i]") {
+		t.Errorf("default array should be x:\n%s", out)
+	}
+	out, err = runToString(t, "-bind", "N=9", "-array", "y", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "y[i]") {
+		t.Errorf("array selection failed:\n%s", out)
+	}
+	if _, err := runToString(t, "-bind", "N=9", "-array", "z", path); err == nil {
+		t.Error("unknown array accepted")
+	}
+}
+
+func TestGraphErrors(t *testing.T) {
+	if _, err := runToString(t); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := runToString(t, "/nonexistent.c"); err == nil {
+		t.Error("unreadable file accepted")
+	}
+	if _, err := runToString(t, "-example", "-m", "-1"); err == nil {
+		t.Error("negative M accepted")
+	}
+}

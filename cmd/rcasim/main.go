@@ -1,0 +1,87 @@
+// Command rcasim assembles a DSP assembly file (the dialect the code
+// generator emits and Disassemble prints) and executes it on the
+// bundled simulator, reporting cycles and, on request, the memory
+// access trace. It turns the simulator into a standalone tool for
+// experimenting with hand-written addressing code.
+//
+// Usage:
+//
+//	rcasim [-ar 4] [-ir 2] [-m 1] [-mem 256] [-cycles 100000] [-trace] prog.asm
+//
+// Example program:
+//
+//	LDAR AR0, #0
+//	LDMOD AR0, #0, #4   ; circular buffer of 4 words
+//	LDCTR #8
+//	ADD *(AR0)+1        ; body
+//	DBNZ 3
+//	HALT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dspaddr/internal/dspsim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rcasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rcasim", flag.ContinueOnError)
+	ar := fs.Int("ar", 4, "address register file size")
+	ir := fs.Int("ir", 2, "index register file size")
+	m := fs.Int("m", 1, "modify range M")
+	mem := fs.Int("mem", 256, "data memory words")
+	cycles := fs.Int("cycles", 100000, "cycle budget")
+	trace := fs.Bool("trace", false, "print the memory access trace")
+	list := fs.Bool("list", false, "print the assembled listing before running")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected one assembly file")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := dspsim.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprint(out, dspsim.Disassemble(prog))
+	}
+	machine, err := dspsim.New(dspsim.Config{
+		AddressRegisters: *ar,
+		IndexRegisters:   *ir,
+		ModifyRange:      *m,
+		MemWords:         *mem,
+	})
+	if err != nil {
+		return err
+	}
+	if err := machine.Run(prog, *cycles); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "halted after %d cycles, %d memory accesses, ACC=%d\n",
+		machine.Cycles, len(machine.Trace), machine.Acc)
+	if *trace {
+		for i, e := range machine.Trace {
+			dir := "R"
+			if e.Write {
+				dir = "W"
+			}
+			fmt.Fprintf(out, "%4d  %s %d\n", i, dir, e.Addr)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runToString(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var b strings.Builder
+	err := run(args, &b)
+	return b.String(), err
+}
+
+func writeProg(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.asm")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSimpleProgram(t *testing.T) {
+	path := writeProg(t, `
+LDAR AR0, #0
+LDCTR #4
+ADD *(AR0)+1
+DBNZ 2
+HALT
+`)
+	out, err := runToString(t, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "4 memory accesses") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunModuloAndTrace(t *testing.T) {
+	path := writeProg(t, `
+LDAR AR0, #0
+LDMOD AR0, #0, #2
+LDCTR #3
+ADD *(AR0)+1
+DBNZ 3
+HALT
+`)
+	out, err := runToString(t, "-trace", "-list", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Addresses wrap: 0, 1, 0.
+	for _, want := range []string{"LDMOD AR0, #0, #2", "0  R 0", "1  R 1", "2  R 0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := runToString(t); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := runToString(t, "/nonexistent.asm"); err == nil {
+		t.Error("unreadable file accepted")
+	}
+	bad := writeProg(t, "BOGUS OPCODE")
+	if _, err := runToString(t, bad); err == nil {
+		t.Error("unassemblable program accepted")
+	}
+	runaway := writeProg(t, "LDCTR #100000\nNOP\nDBNZ 1\nHALT")
+	if _, err := runToString(t, "-cycles", "50", runaway); err == nil {
+		t.Error("runaway program not caught by the budget")
+	}
+	tooBig := writeProg(t, "LDAR AR9, #0\nHALT")
+	if _, err := runToString(t, tooBig); err == nil {
+		t.Error("register outside the configured file accepted")
+	}
+}

@@ -1,0 +1,177 @@
+// Package dspaddr is the public facade of the register-constrained
+// address computation library, a reproduction of Basu, Leupers,
+// Marwedel: "Register-Constrained Address Computation in DSP Programs"
+// (DATE 1998).
+//
+// The library allocates the array accesses of a DSP program loop to a
+// fixed number K of AGU address registers so that as many address
+// updates as possible ride along as free post-modify operations
+// (|distance| <= M); every remaining update costs one extra
+// instruction. Allocation follows the paper's two phases: a minimum
+// zero-cost path cover of the access pattern's distance graph, then
+// cost-minimal pairwise path merging down to the register constraint.
+//
+// Quick start:
+//
+//	pat := dspaddr.PaperExample()
+//	res, err := dspaddr.Allocate(pat, dspaddr.Config{
+//	    AGU: dspaddr.AGUSpec{Registers: 1, ModifyRange: 1},
+//	})
+//	if err != nil { ... }
+//	fmt.Print(res.Report())
+//
+// Loops with several arrays, written in the mini-C loop language, go
+// through ParseLoop and AllocateLoop; GenerateOptimized and
+// GenerateNaive lower allocations to runnable programs for the bundled
+// DSP simulator.
+package dspaddr
+
+import (
+	"dspaddr/internal/codegen"
+	"dspaddr/internal/core"
+	"dspaddr/internal/distgraph"
+	"dspaddr/internal/dspsim"
+	"dspaddr/internal/frontend"
+	"dspaddr/internal/indexreg"
+	"dspaddr/internal/model"
+	"dspaddr/internal/offsetassign"
+	"dspaddr/internal/workload"
+)
+
+// Core data types, re-exported from the model package.
+type (
+	// Pattern is one array's ordered access offsets within a loop
+	// iteration.
+	Pattern = model.Pattern
+	// Access is one array reference of a loop body.
+	Access = model.Access
+	// LoopSpec is a counted loop with its body's array accesses.
+	LoopSpec = model.LoopSpec
+	// AGUSpec describes the address generation unit (K registers,
+	// modify range M).
+	AGUSpec = model.AGUSpec
+	// Path is the access subsequence served by one address register.
+	Path = model.Path
+	// Assignment maps every access to an address register.
+	Assignment = model.Assignment
+)
+
+// Allocator types, re-exported from the core package.
+type (
+	// Config controls an allocation (AGU, objective, merge strategy).
+	Config = core.Config
+	// Result is a single-pattern allocation outcome.
+	Result = core.Result
+	// LoopResult is a whole-loop (multi-array) allocation outcome.
+	LoopResult = core.LoopResult
+)
+
+// Codegen types.
+type (
+	// Program is generated DSP code with verification metadata.
+	Program = codegen.Program
+	// Machine is the bundled DSP simulator.
+	Machine = dspsim.Machine
+	// Kernel is a library DSP kernel.
+	Kernel = workload.Kernel
+	// ParsedProgram is the frontend's parse result.
+	ParsedProgram = frontend.Program
+)
+
+// NewPattern builds a stride-1 pattern over the given offsets.
+func NewPattern(offsets ...int) Pattern { return model.NewPattern(offsets...) }
+
+// PaperExample returns the seven-access example of the paper's
+// Section 2.
+func PaperExample() Pattern { return model.PaperExample() }
+
+// Allocate runs the two-phase allocator on one access pattern.
+func Allocate(pat Pattern, cfg Config) (*Result, error) { return core.Allocate(pat, cfg) }
+
+// AllocateLoop allocates every array of a loop, distributing the K
+// registers over the arrays by marginal cost.
+func AllocateLoop(loop LoopSpec, cfg Config) (*LoopResult, error) {
+	return core.AllocateLoop(loop, cfg)
+}
+
+// ParseLoop parses a mini-C loop (see package frontend for the
+// grammar); bindings resolve symbolic bounds such as N.
+func ParseLoop(src string, bindings map[string]int) (*ParsedProgram, error) {
+	return frontend.Parse(src, bindings)
+}
+
+// DistanceGraphDOT renders the pattern's distance graph (the paper's
+// Figure 1 for the example pattern with M=1) in Graphviz DOT syntax.
+func DistanceGraphDOT(pat Pattern, modifyRange int, name string) (string, error) {
+	dg, err := distgraph.Build(pat, modifyRange)
+	if err != nil {
+		return "", err
+	}
+	return dg.DOT(name), nil
+}
+
+// AutoBases lays a loop's arrays out in simulator data memory and
+// returns the base map plus the memory size needed.
+func AutoBases(loop LoopSpec) (map[string]int, int) { return codegen.AutoBases(loop) }
+
+// GenerateOptimized lowers a loop allocation to simulator code using
+// free post-modify addressing wherever the allocation permits.
+func GenerateOptimized(alloc *LoopResult, bases map[string]int) (*Program, error) {
+	return codegen.GenerateOptimized(alloc, bases, dspsim.ADD)
+}
+
+// GenerateNaive emits the "regular C compiler" baseline: explicit
+// pointer arithmetic before every access, no free post-modify.
+func GenerateNaive(loop LoopSpec, bases map[string]int, modifyRange int) (*Program, error) {
+	return codegen.GenerateNaive(loop, bases, modifyRange, dspsim.ADD)
+}
+
+// Kernels lists the bundled DSP kernel library (FIR, IIR, convolution,
+// correlation, LMS, FFT butterfly, DCT, stencil, dot product, moving
+// average).
+func Kernels() []*Kernel { return workload.AllKernels() }
+
+// KernelByName fetches one bundled kernel.
+func KernelByName(name string) (*Kernel, error) { return workload.KernelByName(name) }
+
+// Index-register extension (beyond the paper's base AGU model).
+type (
+	// IndexedOptions tunes the indexed allocator.
+	IndexedOptions = indexreg.Options
+	// IndexedResult is an allocation plus chosen index-register
+	// values.
+	IndexedResult = indexreg.Result
+)
+
+// AllocateIndexed allocates a pattern on an AGU extended with index
+// (modify) registers: updates matching ±(a chosen value) are free in
+// addition to the immediate modify range. With zero index registers it
+// degenerates to the paper's model; the result never costs more than
+// the base allocation.
+func AllocateIndexed(pat Pattern, spec AGUSpec, opts IndexedOptions) (*IndexedResult, error) {
+	return indexreg.Optimize(pat, spec, opts)
+}
+
+// GenerateIndexedCode lowers an indexed allocation of a single-array
+// loop to simulator code using index-register post-modifies.
+func GenerateIndexedCode(loop LoopSpec, res *IndexedResult, modifyRange int) (*Program, error) {
+	return codegen.GenerateIndexed(loop, res, modifyRange, dspsim.ADD)
+}
+
+// ScalarLayout is a memory order of scalar variables produced by the
+// complementary offset-assignment optimizer ([4,5] of the paper).
+type ScalarLayout = offsetassign.Layout
+
+// AssignScalarOffsets lays out the scalar variables of a body's access
+// sequence (e.g. ParsedProgram.Scalars) so that as many consecutive
+// accesses as possible become free ±1 post-modifies, using the
+// Leupers/Marwedel tie-break SOA heuristic. It returns the layout and
+// its cost in unit-cost address computations per pass.
+func AssignScalarOffsets(scalars []frontend.ScalarAccess) (ScalarLayout, int) {
+	seq := make([]string, len(scalars))
+	for i, s := range scalars {
+		seq[i] = s.Name
+	}
+	l := offsetassign.TieBreakSOA(seq)
+	return l, l.Cost(seq)
+}

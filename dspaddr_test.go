@@ -1,0 +1,105 @@
+package dspaddr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	res, err := Allocate(PaperExample(), Config{AGU: AGUSpec{Registers: 2, ModifyRange: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VirtualRegisters != 2 || res.Cost != 0 {
+		t.Fatalf("paper example: K~=%d cost=%d", res.VirtualRegisters, res.Cost)
+	}
+	if !strings.Contains(res.Report(), "K~ = 2") {
+		t.Error("report malformed")
+	}
+}
+
+func TestFacadeParseAndAllocateLoop(t *testing.T) {
+	prog, err := ParseLoop(`
+for (i = 2; i <= N; i++) {
+    A[i+1]; A[i]; A[i+2]; A[i-1]; A[i+1]; A[i]; A[i-2];
+}`, map[string]int{"N": 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := AllocateLoop(prog.Loop, Config{AGU: AGUSpec{Registers: 2, ModifyRange: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.TotalCost != 0 {
+		t.Fatalf("total cost = %d, want 0", alloc.TotalCost)
+	}
+}
+
+func TestFacadeEndToEndCodegen(t *testing.T) {
+	k, err := KernelByName("fir8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := AllocateLoop(k.Loop, Config{AGU: AGUSpec{Registers: 3, ModifyRange: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases, words := AutoBases(k.Loop)
+	opt, err := GenerateOptimized(alloc, bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Verify(words); err != nil {
+		t.Fatal(err)
+	}
+	naive, err := GenerateNaive(k.Loop, bases, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := naive.Verify(words); err != nil {
+		t.Fatal(err)
+	}
+	if opt.CodeWords() >= naive.CodeWords() {
+		t.Fatalf("optimized %d words, naive %d", opt.CodeWords(), naive.CodeWords())
+	}
+}
+
+func TestFacadeDOT(t *testing.T) {
+	dot, err := DistanceGraphDOT(PaperExample(), 1, "fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot, "a1: A[i+1]") {
+		t.Fatalf("DOT malformed:\n%s", dot)
+	}
+	if _, err := DistanceGraphDOT(Pattern{}, 1, "x"); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+}
+
+func TestFacadeKernels(t *testing.T) {
+	ks := Kernels()
+	if len(ks) < 8 {
+		t.Fatalf("kernel library too small: %d", len(ks))
+	}
+	if _, err := KernelByName("definitely-not-a-kernel"); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestAssignScalarOffsets(t *testing.T) {
+	prog, err := ParseLoop(`for (i = 0; i <= 3; i++) { s = s + c0*A[i] + c1*A[i-1]; }`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, cost := AssignScalarOffsets(prog.Scalars)
+	if len(layout.Order) != 3 { // s, c0, c1
+		t.Fatalf("layout = %v", layout.Order)
+	}
+	if cost < 0 {
+		t.Fatalf("cost = %d", cost)
+	}
+	if _, zero := AssignScalarOffsets(nil); zero != 0 {
+		t.Fatal("empty scalar sequence should cost 0")
+	}
+}

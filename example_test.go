@@ -1,0 +1,77 @@
+package dspaddr_test
+
+import (
+	"fmt"
+
+	"dspaddr"
+)
+
+// ExampleAllocate reproduces the paper's Section 2/3 walkthrough: the
+// example pattern needs K~ = 2 virtual registers for zero cost; with
+// both available the allocation is free.
+func ExampleAllocate() {
+	res, err := dspaddr.Allocate(dspaddr.PaperExample(), dspaddr.Config{
+		AGU: dspaddr.AGUSpec{Registers: 2, ModifyRange: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("K~ =", res.VirtualRegisters)
+	fmt.Println("cost =", res.Cost)
+	// Output:
+	// K~ = 2
+	// cost = 0
+}
+
+// ExampleAllocate_constrained tightens the register constraint to one:
+// phase 2 merges the two paths and unit costs appear.
+func ExampleAllocate_constrained() {
+	res, err := dspaddr.Allocate(dspaddr.PaperExample(), dspaddr.Config{
+		AGU: dspaddr.AGUSpec{Registers: 1, ModifyRange: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("merged =", res.Merged)
+	fmt.Println("registers =", res.Assignment.Registers())
+	fmt.Println("cost =", res.Cost)
+	// Output:
+	// merged = true
+	// registers = 1
+	// cost = 4
+}
+
+// ExampleParseLoop lowers a mini-C loop and inspects its access
+// pattern.
+func ExampleParseLoop() {
+	prog, err := dspaddr.ParseLoop(`
+for (i = 2; i <= N; i++) {
+    A[i+1]; A[i]; A[i-2];
+}`, map[string]int{"N": 10})
+	if err != nil {
+		panic(err)
+	}
+	pats, _ := prog.Loop.Patterns()
+	fmt.Println(pats[0])
+	fmt.Println("iterations:", prog.Loop.Iterations())
+	// Output:
+	// A: [+1 0 -2] stride 1
+	// iterations: 9
+}
+
+// ExampleAllocateIndexed shows the index-register extension removing
+// the cost of recurring large jumps.
+func ExampleAllocateIndexed() {
+	pat := dspaddr.NewPattern(0, 5, 0, 5, 0, 5)
+	res, err := dspaddr.AllocateIndexed(pat,
+		dspaddr.AGUSpec{Registers: 1, ModifyRange: 1},
+		dspaddr.IndexedOptions{IndexRegisters: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("base cost =", res.BaseCost)
+	fmt.Println("indexed cost =", res.Cost, "values", res.Values)
+	// Output:
+	// base cost = 5
+	// indexed cost = 0 values [5]
+}

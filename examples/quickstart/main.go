@@ -1,0 +1,42 @@
+// Quickstart: allocate address registers for the paper's example loop
+// and print the allocation report plus the Figure 1 distance graph.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dspaddr"
+)
+
+func main() {
+	pat := dspaddr.PaperExample()
+
+	// A two-register AGU with modify range 1 admits the zero-cost
+	// allocation of the paper's Section 2.
+	res, err := dspaddr.Allocate(pat, dspaddr.Config{
+		AGU: dspaddr.AGUSpec{Registers: 2, ModifyRange: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Report())
+
+	// Tighten the constraint to one register: phase 2 merges the two
+	// zero-cost paths and unit costs appear.
+	res1, err := dspaddr.Allocate(pat, dspaddr.Config{
+		AGU: dspaddr.AGUSpec{Registers: 1, ModifyRange: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(res1.Report())
+
+	dot, err := dspaddr.DistanceGraphDOT(pat, 1, "figure1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nFigure 1 (pipe into `dot -Tpng`):")
+	fmt.Print(dot)
+}

@@ -1,0 +1,199 @@
+// Package agu models the address generation unit of a DSP: a file of
+// address registers supporting free post-modify by a bounded distance
+// (|d| <= M, executed in parallel with the data path) and explicit
+// pointer-arithmetic instructions for larger updates (one instruction,
+// i.e. the paper's unit cost).
+//
+// Given an allocation produced by the core allocator, the package
+// builds the per-iteration address schedule: which register serves each
+// access, which updates ride along as free post-modifies, and which
+// need explicit instructions. The schedule is the intermediate form the
+// code generator lowers to assembly and the simulator executes; it also
+// self-verifies by symbolic execution (Verify).
+package agu
+
+import (
+	"fmt"
+
+	"dspaddr/internal/model"
+)
+
+// OpKind enumerates explicit AGU instructions.
+type OpKind int
+
+const (
+	// OpLoad is LDAR Rk, #imm — load an address register with an
+	// absolute address (used in the loop preamble).
+	OpLoad OpKind = iota
+	// OpAdd is ADAR Rk, #imm — add a signed immediate to an address
+	// register; the paper's unit-cost address computation.
+	OpAdd
+)
+
+// String returns the mnemonic.
+func (k OpKind) String() string {
+	switch k {
+	case OpLoad:
+		return "LDAR"
+	case OpAdd:
+		return "ADAR"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Instr is one explicit AGU instruction.
+type Instr struct {
+	Kind  OpKind
+	Reg   int
+	Value int
+}
+
+// String renders e.g. "ADAR AR2, #-3".
+func (in Instr) String() string {
+	return fmt.Sprintf("%s AR%d, #%d", in.Kind, in.Reg, in.Value)
+}
+
+// Step is the addressing behaviour of one access within an iteration.
+type Step struct {
+	// Access is the pattern position served by this step.
+	Access int
+	// Reg is the address register holding the access's address.
+	Reg int
+	// PostModify is the free post-modify distance applied in parallel
+	// with the access (zero when no free update is attached).
+	PostModify int
+	// Extra lists unit-cost instructions issued after the access to
+	// perform an out-of-range update.
+	Extra []Instr
+}
+
+// Schedule is the complete addressing plan of one loop iteration.
+type Schedule struct {
+	// Pattern is the access pattern being addressed.
+	Pattern model.Pattern
+	// Spec is the AGU description the schedule was built for.
+	Spec model.AGUSpec
+	// Base is the array's base address used by the preamble.
+	Base int
+	// First is the loop variable's initial value.
+	First int
+	// Preamble initializes each used register to its first address.
+	Preamble []Instr
+	// Steps lists the per-access behaviour in program order.
+	Steps []Step
+}
+
+// Build lowers an assignment to an address schedule. base is the
+// array's base address and first the initial loop-variable value, so
+// register r starts at base+first+offset(head_r). Every register
+// receives its inter-iteration (wrap) update — as a free post-modify
+// when within range, as an explicit instruction otherwise — regardless
+// of whether the allocator's objective counted wrap costs: the
+// generated code must be correct for every iteration.
+func Build(pat model.Pattern, a model.Assignment, spec model.AGUSpec, base, first int) (*Schedule, error) {
+	if err := pat.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := a.Validate(pat); err != nil {
+		return nil, err
+	}
+	if a.Registers() > spec.Registers {
+		return nil, fmt.Errorf("agu: assignment uses %d registers, AGU has %d", a.Registers(), spec.Registers)
+	}
+
+	s := &Schedule{Pattern: pat, Spec: spec, Base: base, First: first}
+	steps := make([]Step, pat.N())
+
+	for r, path := range a.Paths {
+		head := path[0]
+		s.Preamble = append(s.Preamble, Instr{Kind: OpLoad, Reg: r, Value: base + first + pat.Offsets[head]})
+		for k, acc := range path {
+			st := Step{Access: acc, Reg: r}
+			var dist int
+			if k+1 < len(path) {
+				dist = pat.Distance(acc, path[k+1])
+			} else {
+				dist = pat.WrapDistance(acc, head)
+			}
+			if model.TransitionCost(dist, spec.ModifyRange) == 0 {
+				st.PostModify = dist
+			} else {
+				st.Extra = []Instr{{Kind: OpAdd, Reg: r, Value: dist}}
+			}
+			steps[acc] = st
+		}
+	}
+	s.Steps = steps
+	return s, nil
+}
+
+// UnitCostPerIteration counts the explicit (unit-cost) address
+// instructions executed per loop iteration, including wrap updates.
+func (s *Schedule) UnitCostPerIteration() int {
+	total := 0
+	for _, st := range s.Steps {
+		total += len(st.Extra)
+	}
+	return total
+}
+
+// RegistersUsed returns the number of distinct registers the schedule
+// touches.
+func (s *Schedule) RegistersUsed() int {
+	seen := map[int]bool{}
+	for _, in := range s.Preamble {
+		seen[in.Reg] = true
+	}
+	return len(seen)
+}
+
+// Trace symbolically executes the schedule for the given number of
+// iterations and returns the memory address of every access in
+// execution order (iteration-major, program order within an
+// iteration).
+func (s *Schedule) Trace(iterations int) []int {
+	regs := map[int]int{}
+	for _, in := range s.Preamble {
+		regs[in.Reg] = in.Value
+	}
+	var trace []int
+	for it := 0; it < iterations; it++ {
+		for _, st := range s.Steps {
+			trace = append(trace, regs[st.Reg])
+			regs[st.Reg] += st.PostModify
+			for _, in := range st.Extra {
+				switch in.Kind {
+				case OpAdd:
+					regs[in.Reg] += in.Value
+				case OpLoad:
+					regs[in.Reg] = in.Value
+				}
+			}
+		}
+	}
+	return trace
+}
+
+// Verify checks that the schedule's trace matches the addresses the
+// source loop dictates: access i of iteration t must read
+// base + first + t*stride + offset(i). It returns the first mismatch
+// as an error, or nil.
+func (s *Schedule) Verify(iterations int) error {
+	trace := s.Trace(iterations)
+	n := s.Pattern.N()
+	for it := 0; it < iterations; it++ {
+		v := s.First + it*s.Pattern.Stride
+		for i := 0; i < n; i++ {
+			want := s.Base + v + s.Pattern.Offsets[i]
+			got := trace[it*n+i]
+			if got != want {
+				return fmt.Errorf("agu: iteration %d access a%d: address %d, want %d", it, i+1, got, want)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package agu
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dspaddr/internal/core"
+	"dspaddr/internal/model"
+)
+
+func paperAllocation(t *testing.T, k int) (*core.Result, model.AGUSpec) {
+	t.Helper()
+	spec := model.AGUSpec{Registers: k, ModifyRange: 1}
+	res, err := core.Allocate(model.PaperExample(), core.Config{AGU: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, spec
+}
+
+func TestBuildAndVerifyPaperExample(t *testing.T) {
+	for _, k := range []int{1, 2, 4} {
+		res, spec := paperAllocation(t, k)
+		sched, err := Build(res.Pattern, res.Assignment, spec, 1000, 2)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if err := sched.Verify(25); err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+	}
+}
+
+func TestUnitCostMatchesWrapObjective(t *testing.T) {
+	res, spec := paperAllocation(t, 2)
+	sched, err := Build(res.Pattern, res.Assignment, spec, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The schedule always performs wrap updates, so its unit cost per
+	// iteration equals the assignment's wrap-inclusive cost.
+	want := res.Assignment.Cost(res.Pattern, spec.ModifyRange, true)
+	if got := sched.UnitCostPerIteration(); got != want {
+		t.Fatalf("UnitCostPerIteration = %d, want %d", got, want)
+	}
+}
+
+func TestBuildRejectsBadInputs(t *testing.T) {
+	pat := model.PaperExample()
+	spec := model.AGUSpec{Registers: 1, ModifyRange: 1}
+	good := model.Assignment{Paths: []model.Path{{0, 1, 2, 3, 4, 5, 6}}}
+	if _, err := Build(model.Pattern{}, good, spec, 0, 0); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+	if _, err := Build(pat, good, model.AGUSpec{}, 0, 0); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if _, err := Build(pat, model.Assignment{Paths: []model.Path{{0}}}, spec, 0, 0); err == nil {
+		t.Fatal("partial assignment accepted")
+	}
+	two := model.Assignment{Paths: []model.Path{{0, 2, 4, 5}, {1, 3, 6}}}
+	if _, err := Build(pat, two, spec, 0, 0); err == nil {
+		t.Fatal("assignment over register budget accepted")
+	}
+}
+
+func TestPreambleLoadsFirstAddresses(t *testing.T) {
+	res, spec := paperAllocation(t, 2)
+	base, first := 500, 2
+	sched, err := Build(res.Pattern, res.Assignment, spec, base, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Preamble) != res.Assignment.Registers() {
+		t.Fatalf("preamble length %d, want %d", len(sched.Preamble), res.Assignment.Registers())
+	}
+	for r, in := range sched.Preamble {
+		if in.Kind != OpLoad || in.Reg != r {
+			t.Fatalf("preamble[%d] = %v", r, in)
+		}
+		head := res.Assignment.Paths[r][0]
+		if want := base + first + res.Pattern.Offsets[head]; in.Value != want {
+			t.Fatalf("preamble[%d] loads %d, want %d", r, in.Value, want)
+		}
+	}
+	if sched.RegistersUsed() != res.Assignment.Registers() {
+		t.Fatalf("RegistersUsed = %d", sched.RegistersUsed())
+	}
+}
+
+func TestPostModifyWithinRange(t *testing.T) {
+	res, spec := paperAllocation(t, 2)
+	sched, err := Build(res.Pattern, res.Assignment, spec, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range sched.Steps {
+		if st.PostModify != 0 && len(st.Extra) != 0 {
+			t.Fatalf("step a%d has both free and explicit updates", st.Access+1)
+		}
+		if st.PostModify < -spec.ModifyRange || st.PostModify > spec.ModifyRange {
+			t.Fatalf("post-modify %d out of range M=%d", st.PostModify, spec.ModifyRange)
+		}
+		for _, in := range st.Extra {
+			if in.Kind != OpAdd {
+				t.Fatalf("extra instruction %v is not ADAR", in)
+			}
+			if v := in.Value; v >= -spec.ModifyRange && v <= spec.ModifyRange && v != 0 {
+				t.Fatalf("explicit update %d would fit a free post-modify", v)
+			}
+		}
+	}
+}
+
+func TestVerifyDetectsCorruptSchedule(t *testing.T) {
+	res, spec := paperAllocation(t, 2)
+	sched, err := Build(res.Pattern, res.Assignment, spec, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Preamble[0].Value += 7 // corrupt a register's start address
+	if err := sched.Verify(3); err == nil {
+		t.Fatal("Verify accepted a corrupted schedule")
+	} else if !strings.Contains(err.Error(), "iteration 0") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestTraceLengthAndDeterminism(t *testing.T) {
+	res, spec := paperAllocation(t, 2)
+	sched, err := Build(res.Pattern, res.Assignment, spec, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr1 := sched.Trace(4)
+	tr2 := sched.Trace(4)
+	if len(tr1) != 4*res.Pattern.N() {
+		t.Fatalf("trace length = %d", len(tr1))
+	}
+	for i := range tr1 {
+		if tr1[i] != tr2[i] {
+			t.Fatal("trace not deterministic")
+		}
+	}
+}
+
+// Property: any valid allocation over random patterns yields a
+// schedule whose trace matches the source loop exactly — the
+// end-to-end correctness statement of the whole allocator.
+func TestRandomAllocationsVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(16)
+		offs := make([]int, n)
+		for i := range offs {
+			offs[i] = rng.Intn(19) - 9
+		}
+		pat := model.Pattern{Array: "A", Stride: 1 + rng.Intn(3), Offsets: offs}
+		spec := model.AGUSpec{Registers: 1 + rng.Intn(4), ModifyRange: rng.Intn(3)}
+		res, err := core.Allocate(pat, core.Config{AGU: spec, InterIteration: rng.Intn(2) == 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := Build(pat, res.Assignment, spec, rng.Intn(1000), rng.Intn(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.Verify(12); err != nil {
+			t.Fatalf("trial %d: %v (pattern %v, %v)", trial, err, pat, spec)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	if got := (Instr{Kind: OpLoad, Reg: 0, Value: 42}).String(); got != "LDAR AR0, #42" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Instr{Kind: OpAdd, Reg: 2, Value: -3}).String(); got != "ADAR AR2, #-3" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := OpKind(9).String(); got != "OpKind(9)" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,190 @@
+// Package circular demonstrates the AGU's modulo (circular-buffer)
+// addressing on the classic delay-line FIR filter. Two functionally
+// identical programs are generated:
+//
+//   - BuildCircularFIR keeps the last T samples in a circular delay
+//     buffer addressed by a modulo register — inserting a sample is one
+//     store and the tap walk wraps for free.
+//   - BuildShiftFIR is what code without modulo addressing must do:
+//     physically shift the window by one slot (2(T-1) memory moves)
+//     before every sample.
+//
+// Both are executed on the dspsim machine and verified sample-by-sample
+// against a pure-Go reference, so the speedup numbers of experiment A6
+// come from provably equivalent programs.
+package circular
+
+import (
+	"fmt"
+
+	"dspaddr/internal/dspsim"
+)
+
+// Plan is a generated FIR program plus its memory map.
+type Plan struct {
+	// Code is the program.
+	Code []dspsim.Instruction
+	// Taps are the filter coefficients (c0 applies to the newest
+	// sample).
+	Taps []int
+	// NSamples is the number of processed input samples.
+	NSamples int
+	// XBase, YBase, DBase, Scratch locate the input, output, delay
+	// buffer and scratch accumulator in data memory.
+	XBase, YBase, DBase, Scratch int
+	// MemWords is the data memory size required.
+	MemWords int
+	// Registers is the AR-file size required.
+	Registers int
+}
+
+// validate checks the common constructor arguments.
+func validate(taps []int, nSamples int) error {
+	if len(taps) < 1 {
+		return fmt.Errorf("circular: need at least one tap")
+	}
+	if nSamples < 1 {
+		return fmt.Errorf("circular: need at least one sample")
+	}
+	return nil
+}
+
+// BuildCircularFIR generates the modulo-addressed implementation.
+// AR0 walks the input, AR1 the output, AR2 the delay buffer under
+// modulo [DBase, DBase+T).
+func BuildCircularFIR(taps []int, nSamples int) (*Plan, error) {
+	if err := validate(taps, nSamples); err != nil {
+		return nil, err
+	}
+	t := len(taps)
+	p := &Plan{
+		Taps: append([]int(nil), taps...), NSamples: nSamples,
+		XBase: 0, YBase: nSamples, DBase: 2 * nSamples,
+		Scratch: 2*nSamples + t, MemWords: 2*nSamples + t + 1,
+		Registers: 3,
+	}
+	emit := func(in dspsim.Instruction) { p.Code = append(p.Code, in) }
+
+	emit(dspsim.Instruction{Op: dspsim.LDAR, Reg: 0, Imm: p.XBase})
+	emit(dspsim.Instruction{Op: dspsim.LDAR, Reg: 1, Imm: p.YBase})
+	emit(dspsim.Instruction{Op: dspsim.LDAR, Reg: 2, Imm: p.DBase})
+	emit(dspsim.Instruction{Op: dspsim.LDMOD, Reg: 2, Imm: p.DBase, Mod: t})
+	emit(dspsim.Instruction{Op: dspsim.LDCTR, Imm: nSamples})
+	body := len(p.Code)
+
+	// Insert the newest sample; the modulo post-increment leaves AR2
+	// at the oldest entry, which is exactly where the tap walk starts.
+	emit(dspsim.Instruction{Op: dspsim.LD, Reg: 0, Mod: 1})  // ACC = x[i]
+	emit(dspsim.Instruction{Op: dspsim.ST, Reg: 2, Mod: 1})  // D[head] = x[i]
+	emit(dspsim.Instruction{Op: dspsim.LDACC, Imm: 0})       // ACC = 0
+	emit(dspsim.Instruction{Op: dspsim.STD, Imm: p.Scratch}) // scratch = 0
+	// Walk the T entries oldest -> newest; entry j from the end gets
+	// tap c_j (c_0 is the newest).
+	for j := 0; j < t; j++ {
+		emit(dspsim.Instruction{Op: dspsim.LD, Reg: 2, Mod: 1})
+		emit(dspsim.Instruction{Op: dspsim.MULI, Imm: taps[t-1-j]})
+		emit(dspsim.Instruction{Op: dspsim.ADDD, Imm: p.Scratch})
+		emit(dspsim.Instruction{Op: dspsim.STD, Imm: p.Scratch})
+	}
+	emit(dspsim.Instruction{Op: dspsim.LDD, Imm: p.Scratch})
+	emit(dspsim.Instruction{Op: dspsim.ST, Reg: 1, Mod: 1}) // y[i] = ACC
+	emit(dspsim.Instruction{Op: dspsim.DBNZ, Imm: body})
+	emit(dspsim.Instruction{Op: dspsim.HALT})
+	return p, nil
+}
+
+// BuildShiftFIR generates the window-shifting implementation used when
+// modulo addressing is unavailable: before each sample, D[j] = D[j-1]
+// for j = T-1 .. 1, then D[0] = x[i]. AR2 reads the shift source, AR3
+// writes the destination.
+func BuildShiftFIR(taps []int, nSamples int) (*Plan, error) {
+	if err := validate(taps, nSamples); err != nil {
+		return nil, err
+	}
+	t := len(taps)
+	p := &Plan{
+		Taps: append([]int(nil), taps...), NSamples: nSamples,
+		XBase: 0, YBase: nSamples, DBase: 2 * nSamples,
+		Scratch: 2*nSamples + t, MemWords: 2*nSamples + t + 1,
+		Registers: 4,
+	}
+	emit := func(in dspsim.Instruction) { p.Code = append(p.Code, in) }
+
+	emit(dspsim.Instruction{Op: dspsim.LDAR, Reg: 0, Imm: p.XBase})
+	emit(dspsim.Instruction{Op: dspsim.LDAR, Reg: 1, Imm: p.YBase})
+	emit(dspsim.Instruction{Op: dspsim.LDAR, Reg: 2, Imm: p.DBase + t - 2}) // shift source D[T-2]
+	emit(dspsim.Instruction{Op: dspsim.LDAR, Reg: 3, Imm: p.DBase + t - 1}) // shift dest D[T-1]
+	emit(dspsim.Instruction{Op: dspsim.LDCTR, Imm: nSamples})
+	body := len(p.Code)
+
+	// Shift the window: D[j] = D[j-1], j = T-1 .. 1 (skipped for T=1).
+	for j := t - 1; j >= 1; j-- {
+		emit(dspsim.Instruction{Op: dspsim.LD, Reg: 2, Mod: -1})
+		emit(dspsim.Instruction{Op: dspsim.ST, Reg: 3, Mod: -1})
+	}
+	// D[0] = x[i]; AR3 sits at D[0] after the shifts (or at its
+	// preamble position for T=1).
+	emit(dspsim.Instruction{Op: dspsim.LD, Reg: 0, Mod: 1})
+	emit(dspsim.Instruction{Op: dspsim.ST, Reg: 3})
+	emit(dspsim.Instruction{Op: dspsim.LDACC, Imm: 0})
+	emit(dspsim.Instruction{Op: dspsim.STD, Imm: p.Scratch})
+	// Tap walk newest -> oldest: D[j] carries x[i-j], tap c_j.
+	for j := 0; j < t; j++ {
+		emit(dspsim.Instruction{Op: dspsim.LD, Reg: 3, Mod: 1})
+		emit(dspsim.Instruction{Op: dspsim.MULI, Imm: taps[j]})
+		emit(dspsim.Instruction{Op: dspsim.ADDD, Imm: p.Scratch})
+		emit(dspsim.Instruction{Op: dspsim.STD, Imm: p.Scratch})
+	}
+	emit(dspsim.Instruction{Op: dspsim.LDD, Imm: p.Scratch})
+	emit(dspsim.Instruction{Op: dspsim.ST, Reg: 1, Mod: 1}) // y[i] = ACC
+	// Reposition the shift registers for the next sample: AR2 walked
+	// from D[T-2] down to D[-1], AR3 from D[T-1] down to D[0] and then
+	// up to D[T].
+	emit(dspsim.Instruction{Op: dspsim.ADAR, Reg: 2, Imm: t - 1})
+	emit(dspsim.Instruction{Op: dspsim.ADAR, Reg: 3, Imm: -1})
+	emit(dspsim.Instruction{Op: dspsim.DBNZ, Imm: body})
+	emit(dspsim.Instruction{Op: dspsim.HALT})
+	return p, nil
+}
+
+// Run loads the input samples, executes the plan and returns the
+// machine (for cycle counts) plus the produced output samples.
+func (p *Plan) Run(input []int) (*dspsim.Machine, []int, error) {
+	if len(input) != p.NSamples {
+		return nil, nil, fmt.Errorf("circular: plan expects %d samples, got %d", p.NSamples, len(input))
+	}
+	// The shift walk uses immediate post-modifies of +-1 only; modulo
+	// wraps are free regardless of M.
+	m, err := dspsim.New(dspsim.Config{
+		AddressRegisters: p.Registers,
+		ModifyRange:      1,
+		MemWords:         p.MemWords,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	copy(m.Mem[p.XBase:], input)
+	budget := 64 + len(p.Code)*p.NSamples*4
+	if err := m.Run(p.Code, budget); err != nil {
+		return nil, nil, err
+	}
+	out := make([]int, p.NSamples)
+	copy(out, m.Mem[p.YBase:p.YBase+p.NSamples])
+	return m, out, nil
+}
+
+// Reference computes the FIR output in plain Go:
+// y[i] = sum_j taps[j] * x[i-j], with x[<0] = 0.
+func Reference(taps, input []int) []int {
+	out := make([]int, len(input))
+	for i := range input {
+		acc := 0
+		for j, c := range taps {
+			if i-j >= 0 {
+				acc += c * input[i-j]
+			}
+		}
+		out[i] = acc
+	}
+	return out
+}

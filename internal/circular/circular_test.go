@@ -1,0 +1,134 @@
+package circular
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randomInput(rng *rand.Rand, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(21) - 10
+	}
+	return out
+}
+
+func TestReferenceKnownValues(t *testing.T) {
+	// Moving sum of width 2: y[i] = x[i] + x[i-1].
+	got := Reference([]int{1, 1}, []int{1, 2, 3, 4})
+	want := []int{1, 3, 5, 7}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Reference = %v, want %v", got, want)
+	}
+	// Weighted: y[i] = 2*x[i] - x[i-1].
+	got = Reference([]int{2, -1}, []int{5, 0, 7})
+	want = []int{10, -5, 14}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Reference = %v, want %v", got, want)
+	}
+}
+
+func TestCircularMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 30; trial++ {
+		taps := randomInput(rng, 1+rng.Intn(8))
+		input := randomInput(rng, 4+rng.Intn(24))
+		plan, err := BuildCircularFIR(taps, len(input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := plan.Run(input)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if want := Reference(taps, input); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: circular output %v, want %v (taps %v input %v)", trial, got, want, taps, input)
+		}
+	}
+}
+
+func TestShiftMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	for trial := 0; trial < 30; trial++ {
+		taps := randomInput(rng, 1+rng.Intn(8))
+		input := randomInput(rng, 4+rng.Intn(24))
+		plan, err := BuildShiftFIR(taps, len(input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := plan.Run(input)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if want := Reference(taps, input); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: shift output %v, want %v (taps %v input %v)", trial, got, want, taps, input)
+		}
+	}
+}
+
+func TestCircularFasterAndSmallerThanShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(153))
+	for _, tapsN := range []int{4, 8, 16} {
+		taps := randomInput(rng, tapsN)
+		input := randomInput(rng, 32)
+		circ, err := BuildCircularFIR(taps, len(input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shift, err := BuildShiftFIR(taps, len(input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, yc, err := circ.Run(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, ys, err := shift.Run(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(yc, ys) {
+			t.Fatalf("T=%d: implementations disagree", tapsN)
+		}
+		if mc.Cycles >= ms.Cycles {
+			t.Fatalf("T=%d: circular %d cycles not faster than shift %d", tapsN, mc.Cycles, ms.Cycles)
+		}
+		if len(circ.Code) >= len(shift.Code) {
+			t.Fatalf("T=%d: circular code %d words not smaller than shift %d", tapsN, len(circ.Code), len(shift.Code))
+		}
+	}
+}
+
+func TestSingleTapDegenerates(t *testing.T) {
+	input := []int{3, -1, 4}
+	for _, build := range []func([]int, int) (*Plan, error){BuildCircularFIR, BuildShiftFIR} {
+		plan, err := build([]int{5}, len(input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := plan.Run(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := []int{15, -5, 20}; !reflect.DeepEqual(got, want) {
+			t.Fatalf("output = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := BuildCircularFIR(nil, 4); err == nil {
+		t.Fatal("no taps accepted")
+	}
+	if _, err := BuildShiftFIR([]int{1}, 0); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	plan, err := BuildCircularFIR([]int{1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := plan.Run([]int{1, 2}); err == nil {
+		t.Fatal("wrong input length accepted")
+	}
+}

@@ -1,0 +1,324 @@
+// Package codegen lowers address-register allocations to programs for
+// the dspsim machine. Two generators matter for the paper's
+// experiments:
+//
+//   - GenerateOptimized emits the loop with the allocator's register
+//     assignment: in-range address updates ride along as free
+//     post-modifies, only out-of-range updates pay an explicit ADAR.
+//   - GenerateNaive models the "regular C compiler" baseline of the
+//     paper's Results section: one address register per array and an
+//     explicit pointer-arithmetic instruction for every non-zero
+//     address update — the AGU's free post-modify is never exploited.
+//
+// Both generators produce verifiable programs: Program.Verify runs the
+// code on the simulator and checks the observed address trace against
+// the loop's source-level access sequence.
+package codegen
+
+import (
+	"fmt"
+
+	"dspaddr/internal/agu"
+	"dspaddr/internal/core"
+	"dspaddr/internal/dspsim"
+	"dspaddr/internal/model"
+)
+
+// Program is generated code plus enough metadata to execute and verify
+// it.
+type Program struct {
+	// Code is the instruction stream (preamble, body, loop, HALT).
+	Code []dspsim.Instruction
+	// BodyStart indexes the first body instruction (the DBNZ target).
+	BodyStart int
+	// Registers is the number of address registers the code uses.
+	Registers int
+	// IndexRegisters is the number of index (modify) registers the
+	// code uses (zero for the paper's base AGU model).
+	IndexRegisters int
+	// ModifyRange is the M the code was generated for.
+	ModifyRange int
+	// Loop is the source loop.
+	Loop model.LoopSpec
+	// Bases maps each array to its data-memory base address.
+	Bases map[string]int
+}
+
+// CodeWords returns the program size in instruction words — the
+// code-size metric of experiment E3.
+func (p *Program) CodeWords() int { return len(p.Code) }
+
+// BodyWords returns the loop-body size in words (everything from
+// BodyStart up to and including the DBNZ).
+func (p *Program) BodyWords() int { return len(p.Code) - p.BodyStart - 1 }
+
+// AutoBases lays the loop's arrays out back-to-back in data memory,
+// each shifted so that every touched address is non-negative. It
+// returns the base map and the total memory words needed.
+func AutoBases(loop model.LoopSpec) (map[string]int, int) {
+	pats, _ := loop.Patterns()
+	bases := make(map[string]int, len(pats))
+	cursor := 0
+	for _, pat := range pats {
+		minOff, maxOff := pat.OffsetSpan()
+		lo := loop.From + minOff
+		hi := loop.To + maxOff
+		bases[pat.Array] = cursor - lo
+		cursor += hi - lo + 1
+	}
+	if cursor < 1 {
+		cursor = 1
+	}
+	return bases, cursor
+}
+
+// GenerateOptimized emits the loop using the allocator's assignment.
+// The dataOp (LD/ADD/MUL) is used for every access; pass dspsim.ADD
+// for a MAC-style kernel body.
+func GenerateOptimized(alloc *core.LoopResult, bases map[string]int, dataOp dspsim.Opcode) (*Program, error) {
+	if !dataOp.IsMemAccess() {
+		return nil, fmt.Errorf("codegen: data op %v is not a memory access", dataOp)
+	}
+	loop := alloc.Loop
+	iters := loop.Iterations()
+	if iters < 1 {
+		return nil, fmt.Errorf("codegen: loop executes no iterations")
+	}
+
+	scheds := make([]arraySched, len(alloc.Arrays))
+	spec := model.AGUSpec{Registers: alloc.RegistersUsed, ModifyRange: modifyRangeOf(alloc)}
+	for ai, aa := range alloc.Arrays {
+		base, ok := bases[aa.Result.Pattern.Array]
+		if !ok {
+			return nil, fmt.Errorf("codegen: no base address for array %q", aa.Result.Pattern.Array)
+		}
+		localSpec := model.AGUSpec{
+			Registers:   aa.Result.Assignment.Registers(),
+			ModifyRange: aa.Result.Config.AGU.ModifyRange,
+		}
+		sched, err := agu.Build(aa.Result.Pattern, aa.Result.Assignment, localSpec, base, loop.From)
+		if err != nil {
+			return nil, err
+		}
+		pos := make(map[int]int, len(aa.LoopAccess))
+		for k, li := range aa.LoopAccess {
+			pos[li] = k
+		}
+		scheds[ai] = arraySched{sched: sched, globals: aa.GlobalRegisters, patPos: pos}
+	}
+
+	p := &Program{
+		Registers:   alloc.RegistersUsed,
+		ModifyRange: spec.ModifyRange,
+		Loop:        loop,
+		Bases:       bases,
+	}
+	for _, as := range scheds {
+		for _, in := range as.sched.Preamble {
+			p.Code = append(p.Code, dspsim.Instruction{Op: dspsim.LDAR, Reg: as.globals[in.Reg], Imm: in.Value})
+		}
+	}
+	p.Code = append(p.Code, dspsim.Instruction{Op: dspsim.LDCTR, Imm: iters})
+	p.BodyStart = len(p.Code)
+
+	for li, acc := range loop.Accesses {
+		as, k := findAccess(scheds, li)
+		if as == nil {
+			return nil, fmt.Errorf("codegen: loop access %d not covered by allocation", li)
+		}
+		st := as.sched.Steps[k]
+		p.Code = append(p.Code, dspsim.Instruction{
+			Op:  accessOp(acc, dataOp),
+			Reg: as.globals[st.Reg],
+			Mod: st.PostModify,
+		})
+		for _, ex := range st.Extra {
+			p.Code = append(p.Code, dspsim.Instruction{Op: dspsim.ADAR, Reg: as.globals[ex.Reg], Imm: ex.Value})
+		}
+	}
+	p.Code = append(p.Code, dspsim.Instruction{Op: dspsim.DBNZ, Imm: p.BodyStart})
+	p.Code = append(p.Code, dspsim.Instruction{Op: dspsim.HALT})
+	return p, nil
+}
+
+// arraySched couples one array's AGU schedule with its global register
+// numbering and the loop-access back-map.
+type arraySched struct {
+	sched   *agu.Schedule
+	globals []int
+	patPos  map[int]int // loop access index -> pattern position
+}
+
+func findAccess(scheds []arraySched, li int) (*arraySched, int) {
+	for i := range scheds {
+		if k, ok := scheds[i].patPos[li]; ok {
+			return &scheds[i], k
+		}
+	}
+	return nil, 0
+}
+
+func modifyRangeOf(alloc *core.LoopResult) int {
+	if len(alloc.Arrays) == 0 {
+		return 0
+	}
+	return alloc.Arrays[0].Result.Config.AGU.ModifyRange
+}
+
+// GenerateNaive emits the baseline code a non-optimizing compiler
+// would produce: one dedicated address register per array, with an
+// explicit ADAR before using the register whenever the next access
+// sits at a different offset, and no use of free post-modify. The
+// generated code is address-exact, just slower and bigger.
+func GenerateNaive(loop model.LoopSpec, bases map[string]int, modifyRange int, dataOp dspsim.Opcode) (*Program, error) {
+	if !dataOp.IsMemAccess() {
+		return nil, fmt.Errorf("codegen: data op %v is not a memory access", dataOp)
+	}
+	if err := loop.Validate(); err != nil {
+		return nil, err
+	}
+	iters := loop.Iterations()
+	if iters < 1 {
+		return nil, fmt.Errorf("codegen: loop executes no iterations")
+	}
+	pats, back := loop.Patterns()
+
+	// Per-array register and per-access deltas. The register cycles
+	// through the array's offsets; the move before access k is the
+	// offset delta from the register's previous position (the wrap
+	// delta for the first access, folding the stride advance).
+	type arrayState struct {
+		reg    int
+		patPos map[int]int
+		pat    model.Pattern
+	}
+	states := make([]arrayState, len(pats))
+	p := &Program{
+		Registers:   len(pats),
+		ModifyRange: modifyRange,
+		Loop:        loop,
+		Bases:       bases,
+	}
+	for ai, pat := range pats {
+		base, ok := bases[pat.Array]
+		if !ok {
+			return nil, fmt.Errorf("codegen: no base address for array %q", pat.Array)
+		}
+		pos := make(map[int]int, len(back[ai]))
+		for k, li := range back[ai] {
+			pos[li] = k
+		}
+		states[ai] = arrayState{reg: ai, patPos: pos, pat: pat}
+		p.Code = append(p.Code, dspsim.Instruction{
+			Op: dspsim.LDAR, Reg: ai, Imm: base + loop.From + pat.Offsets[0],
+		})
+	}
+	p.Code = append(p.Code, dspsim.Instruction{Op: dspsim.LDCTR, Imm: iters})
+	p.BodyStart = len(p.Code)
+
+	for li, acc := range loop.Accesses {
+		var st *arrayState
+		var k int
+		for i := range states {
+			if kk, ok := states[i].patPos[li]; ok {
+				st, k = &states[i], kk
+				break
+			}
+		}
+		if st == nil {
+			return nil, fmt.Errorf("codegen: loop access %d has no array state", li)
+		}
+		// Move the pointer from its previous position if needed. For
+		// k == 0 the preamble (first iteration) and the end-of-body
+		// wrap move (subsequent iterations) already positioned it.
+		if k > 0 {
+			if delta := st.pat.Distance(k-1, k); delta != 0 {
+				p.Code = append(p.Code, dspsim.Instruction{Op: dspsim.ADAR, Reg: st.reg, Imm: delta})
+			}
+		}
+		p.Code = append(p.Code, dspsim.Instruction{Op: accessOp(acc, dataOp), Reg: st.reg})
+	}
+	// Wrap moves: advance every array register to its first offset of
+	// the next iteration.
+	for ai := range states {
+		pat := states[ai].pat
+		if delta := pat.WrapDistance(pat.N()-1, 0); delta != 0 {
+			p.Code = append(p.Code, dspsim.Instruction{Op: dspsim.ADAR, Reg: ai, Imm: delta})
+		}
+	}
+	p.Code = append(p.Code, dspsim.Instruction{Op: dspsim.DBNZ, Imm: p.BodyStart})
+	p.Code = append(p.Code, dspsim.Instruction{Op: dspsim.HALT})
+	return p, nil
+}
+
+// ExpectedTrace returns the source-level address sequence of the loop:
+// iteration-major, program order within an iteration.
+func ExpectedTrace(loop model.LoopSpec, bases map[string]int) []int {
+	var out []int
+	for v := loop.From; v <= loop.To; v += loop.Stride {
+		for _, a := range loop.Accesses {
+			out = append(out, bases[a.Array]+v+a.Offset)
+		}
+	}
+	return out
+}
+
+// Run executes the program on a fresh machine with the given data
+// memory size and returns the machine for inspection.
+func (p *Program) Run(memWords int) (*dspsim.Machine, error) {
+	m, err := dspsim.New(dspsim.Config{
+		AddressRegisters: maxInt(p.Registers, 1),
+		IndexRegisters:   p.IndexRegisters,
+		ModifyRange:      p.ModifyRange,
+		MemWords:         memWords,
+	})
+	if err != nil {
+		return nil, err
+	}
+	budget := 64 + 16*len(p.Code)*maxInt(p.Loop.Iterations(), 1)
+	if err := m.Run(p.Code, budget); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// accessOp selects the data operation for an access: stores become ST,
+// reads use the caller's dataOp.
+func accessOp(acc model.Access, dataOp dspsim.Opcode) dspsim.Opcode {
+	if acc.Write {
+		return dspsim.ST
+	}
+	return dataOp
+}
+
+// Verify runs the program and checks its memory-access trace — both
+// the addresses and the read/write direction — against the source
+// loop.
+func (p *Program) Verify(memWords int) error {
+	m, err := p.Run(memWords)
+	if err != nil {
+		return err
+	}
+	want := ExpectedTrace(p.Loop, p.Bases)
+	got := m.Trace
+	if len(got) != len(want) {
+		return fmt.Errorf("codegen: trace has %d accesses, want %d", len(got), len(want))
+	}
+	nAcc := len(p.Loop.Accesses)
+	for i := range want {
+		if got[i].Addr != want[i] {
+			return fmt.Errorf("codegen: access %d touched address %d, want %d", i, got[i].Addr, want[i])
+		}
+		if wantWrite := p.Loop.Accesses[i%nAcc].Write; got[i].Write != wantWrite {
+			return fmt.Errorf("codegen: access %d write=%v, source says %v", i, got[i].Write, wantWrite)
+		}
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

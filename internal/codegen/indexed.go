@@ -1,0 +1,112 @@
+package codegen
+
+import (
+	"fmt"
+
+	"dspaddr/internal/dspsim"
+	"dspaddr/internal/indexreg"
+	"dspaddr/internal/model"
+)
+
+// GenerateIndexed lowers an indexed allocation (address registers plus
+// index-register values, from indexreg.Optimize) of a single-array
+// loop to simulator code. Updates within the modify range ride along
+// as immediate post-modifies, updates matching ±(an index value) as
+// index post-modifies, and only the remainder pays an explicit ADAR.
+func GenerateIndexed(loop model.LoopSpec, res *indexreg.Result, modifyRange int, dataOp dspsim.Opcode) (*Program, error) {
+	if !dataOp.IsMemAccess() {
+		return nil, fmt.Errorf("codegen: data op %v is not a memory access", dataOp)
+	}
+	if err := loop.Validate(); err != nil {
+		return nil, err
+	}
+	pats, _ := loop.Patterns()
+	if len(pats) != 1 {
+		return nil, fmt.Errorf("codegen: indexed generation handles single-array loops, got %d arrays", len(pats))
+	}
+	pat := pats[0]
+	iters := loop.Iterations()
+	if iters < 1 {
+		return nil, fmt.Errorf("codegen: loop executes no iterations")
+	}
+	if err := res.Assignment.Validate(pat); err != nil {
+		return nil, err
+	}
+
+	bases, _ := AutoBases(loop)
+	base := bases[pat.Array]
+	p := &Program{
+		Registers:      res.Assignment.Registers(),
+		IndexRegisters: len(res.Values),
+		ModifyRange:    modifyRange,
+		Loop:           loop,
+		Bases:          bases,
+	}
+
+	// Preamble: index values, then per-register start addresses.
+	for ir, v := range res.Values {
+		p.Code = append(p.Code, dspsim.Instruction{Op: dspsim.LDIR, Reg: ir, Imm: v})
+	}
+	for r, path := range res.Assignment.Paths {
+		p.Code = append(p.Code, dspsim.Instruction{
+			Op: dspsim.LDAR, Reg: r, Imm: base + loop.From + pat.Offsets[path[0]],
+		})
+	}
+	p.Code = append(p.Code, dspsim.Instruction{Op: dspsim.LDCTR, Imm: iters})
+	p.BodyStart = len(p.Code)
+
+	// Per-access step table in program order.
+	type step struct {
+		reg    int
+		mod    int
+		idxReg int
+		idxNeg bool
+		extra  int // explicit ADAR distance, 0 if none
+	}
+	steps := make([]step, pat.N())
+	for r, path := range res.Assignment.Paths {
+		for k, acc := range path {
+			var dist int
+			if k+1 < len(path) {
+				dist = pat.Distance(acc, path[k+1])
+			} else {
+				dist = pat.WrapDistance(acc, path[0])
+			}
+			st := step{reg: r}
+			abs := dist
+			if abs < 0 {
+				abs = -abs
+			}
+			switch {
+			case model.TransitionCost(dist, modifyRange) == 0:
+				st.mod = dist
+			case indexOf(res.Values, abs) >= 0:
+				st.idxReg = indexOf(res.Values, abs) + 1
+				st.idxNeg = dist < 0
+			default:
+				st.extra = dist
+			}
+			steps[acc] = st
+		}
+	}
+	for acc, st := range steps {
+		p.Code = append(p.Code, dspsim.Instruction{
+			Op: accessOp(loop.Accesses[acc], dataOp), Reg: st.reg, Mod: st.mod, IdxReg: st.idxReg, IdxNeg: st.idxNeg,
+		})
+		if st.extra != 0 {
+			p.Code = append(p.Code, dspsim.Instruction{Op: dspsim.ADAR, Reg: st.reg, Imm: st.extra})
+		}
+	}
+	p.Code = append(p.Code, dspsim.Instruction{Op: dspsim.DBNZ, Imm: p.BodyStart})
+	p.Code = append(p.Code, dspsim.Instruction{Op: dspsim.HALT})
+	return p, nil
+}
+
+func indexOf(values []int, v int) int {
+	for i, x := range values {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dspaddr/internal/merge"
+	"dspaddr/internal/model"
+	"dspaddr/internal/pathcover"
+)
+
+func agu(k, m int) model.AGUSpec { return model.AGUSpec{Registers: k, ModifyRange: m} }
+
+func TestAllocatePaperExampleUnconstrained(t *testing.T) {
+	res, err := Allocate(model.PaperExample(), Config{AGU: agu(4, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VirtualRegisters != 2 {
+		t.Fatalf("K~ = %d, want 2", res.VirtualRegisters)
+	}
+	if res.Merged {
+		t.Fatal("K~ <= K must not merge")
+	}
+	if res.Cost != 0 {
+		t.Fatalf("cost = %d, want 0", res.Cost)
+	}
+	if err := res.Assignment.Validate(res.Pattern); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatePaperExampleConstrained(t *testing.T) {
+	res, err := Allocate(model.PaperExample(), Config{AGU: agu(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Merged {
+		t.Fatal("K=1 < K~=2 must merge")
+	}
+	if res.Assignment.Registers() != 1 {
+		t.Fatalf("registers = %d, want 1", res.Assignment.Registers())
+	}
+	if res.Cost < 1 {
+		t.Fatalf("cost = %d, merging must cost at least 1", res.Cost)
+	}
+}
+
+func TestAllocateInterIteration(t *testing.T) {
+	res, err := Allocate(model.PaperExample(), Config{AGU: agu(8, 1), InterIteration: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CoverZeroCost {
+		t.Fatal("stride 1 <= M guarantees a zero-cost wrap cover exists")
+	}
+	if res.Cost != 0 {
+		t.Fatalf("cost = %d, want 0 with enough registers", res.Cost)
+	}
+	// Wrap-aware K~ is never below the intra-iteration K~.
+	intra, err := Allocate(model.PaperExample(), Config{AGU: agu(8, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VirtualRegisters < intra.VirtualRegisters {
+		t.Fatalf("wrap K~ %d < intra K~ %d", res.VirtualRegisters, intra.VirtualRegisters)
+	}
+}
+
+func TestAllocateValidatesInputs(t *testing.T) {
+	if _, err := Allocate(model.Pattern{}, Config{AGU: agu(1, 1)}); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+	if _, err := Allocate(model.PaperExample(), Config{AGU: agu(0, 1)}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := Allocate(model.PaperExample(), Config{AGU: agu(1, -1)}); err == nil {
+		t.Fatal("M=-1 accepted")
+	}
+}
+
+func TestAllocateCustomStrategy(t *testing.T) {
+	pat := model.PaperExample()
+	greedy, err := Allocate(pat, Config{AGU: agu(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Allocate(pat, Config{AGU: agu(1, 1), Strategy: merge.Naive{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Cost > naive.Cost {
+		t.Fatalf("greedy %d worse than naive %d on the paper example", greedy.Cost, naive.Cost)
+	}
+}
+
+func TestAllocateCoverOptionsPropagate(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	offs := make([]int, 30)
+	for i := range offs {
+		offs[i] = rng.Intn(13) - 6
+	}
+	pat := model.Pattern{Array: "A", Stride: 1, Offsets: offs}
+	res, err := Allocate(pat, Config{
+		AGU:            agu(2, 1),
+		InterIteration: true,
+		CoverOptions:   &pathcover.Options{NodeBudget: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Assignment.Validate(pat); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultReport(t *testing.T) {
+	res, err := Allocate(model.PaperExample(), Config{AGU: agu(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	for _, want := range []string{"K~ = 2", "merged down to 1", "unit-cost address computation"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	un, err := Allocate(model.PaperExample(), Config{AGU: agu(4, 1), InterIteration: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(un.Report(), "not needed") {
+		t.Error("unconstrained report should say phase 2 not needed")
+	}
+	if !strings.Contains(un.Report(), "wrap included") {
+		t.Error("inter-iteration report should name the objective")
+	}
+}
+
+func TestAllocateCostMatchesAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(20)
+		offs := make([]int, n)
+		for i := range offs {
+			offs[i] = rng.Intn(15) - 7
+		}
+		pat := model.Pattern{Array: "A", Stride: 1, Offsets: offs}
+		cfg := Config{AGU: agu(1+rng.Intn(4), rng.Intn(3)), InterIteration: rng.Intn(2) == 0}
+		res, err := Allocate(pat, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := res.Assignment.Cost(pat, cfg.AGU.ModifyRange, cfg.InterIteration)
+		if res.Cost != want {
+			t.Fatalf("Cost %d != recomputed %d", res.Cost, want)
+		}
+		if err := res.Assignment.Validate(pat); err != nil {
+			t.Fatal(err)
+		}
+		if res.Assignment.Registers() > cfg.AGU.Registers {
+			t.Fatalf("used %d > K=%d registers", res.Assignment.Registers(), cfg.AGU.Registers)
+		}
+	}
+}
+
+func fixtureLoop() model.LoopSpec {
+	return model.LoopSpec{
+		Var: "i", From: 2, To: 100, Stride: 1,
+		Accesses: []model.Access{
+			{Array: "A", Offset: 1},
+			{Array: "B", Offset: 0},
+			{Array: "A", Offset: 0},
+			{Array: "B", Offset: 4},
+			{Array: "A", Offset: 2},
+			{Array: "B", Offset: 0},
+			{Array: "A", Offset: -1},
+		},
+	}
+}
+
+func TestAllocateLoopMultiArray(t *testing.T) {
+	res, err := AllocateLoop(fixtureLoop(), Config{AGU: agu(4, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Arrays) != 2 {
+		t.Fatalf("arrays = %d, want 2", len(res.Arrays))
+	}
+	if res.RegistersUsed > 4 {
+		t.Fatalf("used %d registers, budget 4", res.RegistersUsed)
+	}
+	// Global register ids must be unique across arrays.
+	seen := map[int]bool{}
+	for _, aa := range res.Arrays {
+		for _, g := range aa.GlobalRegisters {
+			if seen[g] {
+				t.Fatalf("global register %d assigned twice", g)
+			}
+			seen[g] = true
+		}
+		if err := aa.Result.Assignment.Validate(aa.Result.Pattern); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := 0
+	for _, aa := range res.Arrays {
+		sum += aa.Result.Cost
+	}
+	if sum != res.TotalCost {
+		t.Fatalf("TotalCost %d != sum %d", res.TotalCost, sum)
+	}
+}
+
+func TestAllocateLoopTooFewRegisters(t *testing.T) {
+	if _, err := AllocateLoop(fixtureLoop(), Config{AGU: agu(1, 1)}); err == nil {
+		t.Fatal("two arrays cannot share one register")
+	}
+}
+
+func TestAllocateLoopBudgetMonotone(t *testing.T) {
+	loop := fixtureLoop()
+	var prev int
+	for k := 2; k <= 6; k++ {
+		res, err := AllocateLoop(loop, Config{AGU: agu(k, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k > 2 && res.TotalCost > prev {
+			t.Fatalf("cost increased from %d to %d when adding a register (K=%d)", prev, res.TotalCost, k)
+		}
+		prev = res.TotalCost
+	}
+}
+
+func TestAllocateLoopValidation(t *testing.T) {
+	if _, err := AllocateLoop(model.LoopSpec{Stride: 1}, Config{AGU: agu(2, 1)}); err == nil {
+		t.Fatal("empty loop accepted")
+	}
+	if _, err := AllocateLoop(fixtureLoop(), Config{AGU: agu(2, -1)}); err == nil {
+		t.Fatal("bad AGU accepted")
+	}
+}
+
+func TestAllocateLoopBackMaps(t *testing.T) {
+	loop := fixtureLoop()
+	res, err := AllocateLoop(loop, Config{AGU: agu(4, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, aa := range res.Arrays {
+		for k, li := range aa.LoopAccess {
+			if loop.Accesses[li].Array != aa.Result.Pattern.Array {
+				t.Fatalf("back-map %d -> %d crosses arrays", k, li)
+			}
+			if loop.Accesses[li].Offset != aa.Result.Pattern.Offsets[k] {
+				t.Fatalf("back-map %d -> %d offset mismatch", k, li)
+			}
+		}
+	}
+}
+
+// The marginal-cost register distribution must never lose to splitting
+// the budget evenly across arrays.
+func TestAllocateLoopDistributionBeatsEvenSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	arrays := []string{"A", "B"}
+	for trial := 0; trial < 40; trial++ {
+		nAcc := 4 + rng.Intn(10)
+		accs := make([]model.Access, nAcc)
+		for i := range accs {
+			accs[i] = model.Access{Array: arrays[rng.Intn(2)], Offset: rng.Intn(13) - 6}
+		}
+		accs[0].Array, accs[1].Array = "A", "B"
+		loop := model.LoopSpec{Var: "i", From: 0, To: 20, Stride: 1, Accesses: accs}
+		k := 4
+		res, err := AllocateLoop(loop, Config{AGU: agu(k, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Even split: K/2 registers per array.
+		even := 0
+		pats, _ := loop.Patterns()
+		for _, pat := range pats {
+			sub, err := Allocate(pat, Config{AGU: agu(k/2, 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			even += sub.Cost
+		}
+		if res.TotalCost > even {
+			t.Fatalf("marginal distribution cost %d worse than even split %d (loop %+v)",
+				res.TotalCost, even, loop)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"dspaddr/internal/distgraph"
+	"dspaddr/internal/merge"
+	"dspaddr/internal/model"
+	"dspaddr/internal/pathcover"
+)
+
+// ArrayAllocation is the per-array slice of a loop allocation.
+type ArrayAllocation struct {
+	// Result is the single-array allocation outcome, computed with the
+	// register budget the loop-level distribution granted this array.
+	Result *Result
+	// GlobalRegisters maps the array-local register index r to the
+	// loop-global physical register GlobalRegisters[r].
+	GlobalRegisters []int
+	// LoopAccess maps pattern position k back to the index of the
+	// originating access in LoopSpec.Accesses.
+	LoopAccess []int
+}
+
+// LoopResult allocates a whole loop, possibly referencing several
+// arrays. Address registers cannot be shared across arrays (their
+// address streams interleave arbitrarily), so the K physical registers
+// are distributed over the arrays by marginal cost analysis.
+type LoopResult struct {
+	// Loop is the allocated loop.
+	Loop model.LoopSpec
+	// Arrays holds one allocation per referenced array, in
+	// first-appearance order.
+	Arrays []ArrayAllocation
+	// TotalCost is the summed unit-cost address computations per
+	// iteration.
+	TotalCost int
+	// RegistersUsed is the number of physical registers consumed.
+	RegistersUsed int
+}
+
+// AllocateLoop allocates address registers for every array accessed by
+// the loop. Each array requires at least one private register; the
+// remaining budget is assigned greedily to the array with the largest
+// marginal cost reduction, then each array is allocated with its final
+// budget.
+func AllocateLoop(loop model.LoopSpec, cfg Config) (*LoopResult, error) {
+	cfg = cfg.withDefaults()
+	if err := loop.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.AGU.Validate(); err != nil {
+		return nil, err
+	}
+	pats, back := loop.Patterns()
+	nArrays := len(pats)
+	if cfg.AGU.Registers < nArrays {
+		return nil, fmt.Errorf("core: loop references %d arrays but AGU has only %d address registers", nArrays, cfg.AGU.Registers)
+	}
+
+	// Per-array phase 1 plus the cost curve cost(k) for k = 1..K~.
+	covers := make([]pathcover.Cover, nArrays)
+	curves := make([][]int, nArrays) // curves[a][k-1] = cost with k registers
+	for a, pat := range pats {
+		dg, err := distgraph.Build(pat, cfg.AGU.ModifyRange)
+		if err != nil {
+			return nil, err
+		}
+		covers[a] = pathcover.MinCover(dg, cfg.InterIteration, cfg.CoverOptions)
+		kt := covers[a].K()
+		curve := make([]int, kt)
+		coverCost := covers[a].Assignment().Cost(pat, cfg.AGU.ModifyRange, cfg.InterIteration)
+		curve[kt-1] = coverCost
+		for k := 1; k < kt; k++ {
+			asg, err := merge.Reduce(cfg.Strategy, covers[a].Paths, pat, cfg.AGU.ModifyRange, cfg.InterIteration, k)
+			if err != nil {
+				return nil, fmt.Errorf("core: cost curve for array %q at K=%d: %w", pat.Array, k, err)
+			}
+			curve[k-1] = asg.Cost(pat, cfg.AGU.ModifyRange, cfg.InterIteration)
+		}
+		curves[a] = curve
+	}
+
+	// Distribute the budget: start at one register per array, then give
+	// each spare register to the array whose cost drops the most.
+	budget := make([]int, nArrays)
+	for a := range budget {
+		budget[a] = 1
+	}
+	spare := cfg.AGU.Registers - nArrays
+	costAt := func(a, k int) int {
+		if k >= len(curves[a]) {
+			return curves[a][len(curves[a])-1]
+		}
+		return curves[a][k-1]
+	}
+	for ; spare > 0; spare-- {
+		best, bestGain := -1, 0
+		for a := range budget {
+			if budget[a] >= covers[a].K() {
+				continue // more registers cannot help this array
+			}
+			gain := costAt(a, budget[a]) - costAt(a, budget[a]+1)
+			if best == -1 || gain > bestGain {
+				best, bestGain = a, gain
+			}
+		}
+		if best == -1 {
+			break // every array already at its K~
+		}
+		budget[best]++
+	}
+
+	// Final per-array allocation with the granted budgets.
+	out := &LoopResult{Loop: loop}
+	nextReg := 0
+	for a, pat := range pats {
+		sub := cfg
+		sub.AGU.Registers = budget[a]
+		res, err := Allocate(pat, sub)
+		if err != nil {
+			return nil, err
+		}
+		used := res.Assignment.Registers()
+		globals := make([]int, used)
+		for r := range globals {
+			globals[r] = nextReg
+			nextReg++
+		}
+		out.Arrays = append(out.Arrays, ArrayAllocation{
+			Result:          res,
+			GlobalRegisters: globals,
+			LoopAccess:      back[a],
+		})
+		out.TotalCost += res.Cost
+	}
+	out.RegistersUsed = nextReg
+	return out, nil
+}

@@ -1,0 +1,154 @@
+// Package distgraph builds the paper's distance-graph model G = (V, E)
+// of an array access pattern: one node per access, and an edge
+// (a_i, a_j) with i < j whenever the address of a_j can be derived from
+// the address of a_i by a zero-cost post-modify, i.e. the address
+// distance lies within the AGU's modify range M. Figure 1 of the paper
+// is the distance graph of the example pattern (offsets 1,0,2,-1,1,0,-2)
+// for M = 1.
+//
+// Inter-iteration ("wrap") relations — the update from a register's
+// last access in iteration t to its first access in iteration t+1 —
+// are exposed as predicates rather than materialized edges, because
+// they depend on which accesses end up first/last on a register.
+package distgraph
+
+import (
+	"fmt"
+
+	"dspaddr/internal/graph"
+	"dspaddr/internal/model"
+)
+
+// Graph couples a pattern with its zero-cost distance graph for a given
+// modify range (and, optionally, a set of index-register values that
+// widen the zero-cost predicate — see model.TransitionCostIndexed).
+type Graph struct {
+	// Pattern is the access pattern the graph models.
+	Pattern model.Pattern
+	// M is the AGU modify range used to classify transitions.
+	M int
+	// Index holds the AGU's index-register values; an update matching
+	// ±value is also zero-cost. Empty for the paper's base model.
+	Index []int
+	// Intra is the intra-iteration zero-cost graph: edge i->j (i<j) iff
+	// the update from i to j is free. Edge weights store the signed
+	// distance. It is a DAG by construction.
+	Intra *graph.Digraph
+}
+
+// Build constructs the distance graph of pat for modify range m.
+func Build(pat model.Pattern, m int) (*Graph, error) {
+	return BuildIndexed(pat, m, nil)
+}
+
+// BuildIndexed constructs the distance graph under the indexed cost
+// model: updates within the modify range or matching ±(an index value)
+// are zero-cost edges.
+func BuildIndexed(pat model.Pattern, m int, index []int) (*Graph, error) {
+	if err := pat.Validate(); err != nil {
+		return nil, err
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("distgraph: modify range must be non-negative, got %d", m)
+	}
+	n := pat.N()
+	g := graph.New(n)
+	dg := &Graph{Pattern: pat, M: m, Index: append([]int(nil), index...), Intra: g}
+	for i := 0; i < n; i++ {
+		g.SetLabel(i, NodeLabel(pat, i))
+		for j := i + 1; j < n; j++ {
+			d := pat.Distance(i, j)
+			if dg.zeroDist(d) {
+				if err := g.AddEdge(i, j, d); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return dg, nil
+}
+
+// zeroDist reports whether an update by d is free under the graph's
+// cost model.
+func (dg *Graph) zeroDist(d int) bool {
+	return model.TransitionCostIndexed(d, dg.M, dg.Index) == 0
+}
+
+// MustBuild is Build for known-good inputs; it panics on error. It is
+// convenient for fixtures and examples.
+func MustBuild(pat model.Pattern, m int) *Graph {
+	g, err := Build(pat, m)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NodeLabel renders the paper-style node label for access i, e.g.
+// "a1: A[i+1]".
+func NodeLabel(pat model.Pattern, i int) string {
+	d := pat.Offsets[i]
+	arr := pat.Array
+	if arr == "" {
+		arr = "A"
+	}
+	switch {
+	case d > 0:
+		return fmt.Sprintf("a%d: %s[i+%d]", i+1, arr, d)
+	case d < 0:
+		return fmt.Sprintf("a%d: %s[i%d]", i+1, arr, d)
+	default:
+		return fmt.Sprintf("a%d: %s[i]", i+1, arr)
+	}
+}
+
+// N returns the number of accesses.
+func (dg *Graph) N() int { return dg.Pattern.N() }
+
+// ZeroIntra reports whether the intra-iteration transition i->j (i<j)
+// is zero-cost.
+func (dg *Graph) ZeroIntra(i, j int) bool { return dg.Intra.HasEdge(i, j) }
+
+// ZeroWrap reports whether the inter-iteration transition from access
+// last (iteration t) to access first (iteration t+1) is zero-cost.
+func (dg *Graph) ZeroWrap(last, first int) bool {
+	return dg.zeroDist(dg.Pattern.WrapDistance(last, first))
+}
+
+// PathCost returns the number of unit-cost computations of the
+// register subsequence p under the graph's cost model.
+func (dg *Graph) PathCost(p model.Path, wrap bool) int {
+	return p.CostIndexed(dg.Pattern, dg.M, dg.Index, wrap)
+}
+
+// PathIsZeroCost reports whether the register subsequence p incurs no
+// unit-cost computation: all intra transitions zero and, if wrap is
+// set, the loop-back transition too.
+func (dg *Graph) PathIsZeroCost(p model.Path, wrap bool) bool {
+	return dg.PathCost(p, wrap) == 0
+}
+
+// CoverIsZeroCost reports whether every path of the assignment is
+// zero-cost under the graph's cost model.
+func (dg *Graph) CoverIsZeroCost(a model.Assignment, wrap bool) bool {
+	return a.CostIndexed(dg.Pattern, dg.M, dg.Index, wrap) == 0
+}
+
+// DOT renders the intra-iteration distance graph in Graphviz syntax;
+// the output for the paper's example pattern reproduces Figure 1.
+func (dg *Graph) DOT(name string) string { return dg.Intra.DOT(name) }
+
+// EdgeCount returns the number of intra-iteration zero-cost edges.
+func (dg *Graph) EdgeCount() int { return dg.Intra.E() }
+
+// Edges lists all intra-iteration zero-cost edges as (from, to) pairs
+// in lexicographic order.
+func (dg *Graph) Edges() [][2]int {
+	var out [][2]int
+	for u := 0; u < dg.N(); u++ {
+		for _, e := range dg.Intra.Out(u) {
+			out = append(out, [2]int{u, e.To})
+		}
+	}
+	return out
+}

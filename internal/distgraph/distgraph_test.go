@@ -1,0 +1,155 @@
+package distgraph
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dspaddr/internal/model"
+)
+
+// fig1Edges is the exact edge set of the paper's Figure 1 (0-based):
+// the zero-cost relations of the example pattern (1,0,2,-1,1,0,-2)
+// under M=1.
+var fig1Edges = [][2]int{
+	{0, 1}, {0, 2}, {0, 4}, {0, 5},
+	{1, 3}, {1, 4}, {1, 5},
+	{2, 4},
+	{3, 5}, {3, 6},
+	{4, 5},
+}
+
+func TestFigure1EdgeSet(t *testing.T) {
+	dg := MustBuild(model.PaperExample(), 1)
+	if got := dg.Edges(); !reflect.DeepEqual(got, fig1Edges) {
+		t.Fatalf("Figure 1 edges =\n%v\nwant\n%v", got, fig1Edges)
+	}
+	if dg.EdgeCount() != len(fig1Edges) {
+		t.Fatalf("EdgeCount = %d, want %d", dg.EdgeCount(), len(fig1Edges))
+	}
+	if !dg.Intra.IsDAG() {
+		t.Fatal("distance graph must be a DAG")
+	}
+}
+
+func TestPaperExamplePath(t *testing.T) {
+	dg := MustBuild(model.PaperExample(), 1)
+	// The paper: subsequence (a1,a3,a5,a6) is a path in G.
+	p := model.Path{0, 2, 4, 5}
+	if !dg.Intra.IsPath([]int(p)) {
+		t.Fatal("(a1,a3,a5,a6) should be a path in Figure 1")
+	}
+	if !dg.PathIsZeroCost(p, false) {
+		t.Fatal("(a1,a3,a5,a6) should be zero-cost intra-iteration")
+	}
+	// Its wrap transition has distance 2 > M.
+	if dg.PathIsZeroCost(p, true) {
+		t.Fatal("(a1,a3,a5,a6) should not be zero-cost with wrap")
+	}
+}
+
+func TestZeroIntraMatchesCostModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(15)
+		offs := make([]int, n)
+		for i := range offs {
+			offs[i] = rng.Intn(17) - 8
+		}
+		pat := model.Pattern{Array: "A", Stride: 1, Offsets: offs}
+		m := rng.Intn(4)
+		dg := MustBuild(pat, m)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				want := model.TransitionCost(pat.Distance(i, j), m) == 0
+				if got := dg.ZeroIntra(i, j); got != want {
+					t.Fatalf("ZeroIntra(%d,%d) = %v, want %v (pattern %v M=%d)", i, j, got, want, pat, m)
+				}
+			}
+		}
+	}
+}
+
+func TestZeroWrap(t *testing.T) {
+	dg := MustBuild(model.PaperExample(), 1)
+	// a7 -> a7: distance -2+1-(-2) = 1, zero-cost.
+	if !dg.ZeroWrap(6, 6) {
+		t.Fatal("a7 self wrap should be zero-cost")
+	}
+	// a6 -> a1: distance 1+1-0 = 2 > 1.
+	if dg.ZeroWrap(5, 0) {
+		t.Fatal("a6->a1 wrap should cost")
+	}
+}
+
+func TestCoverIsZeroCost(t *testing.T) {
+	dg := MustBuild(model.PaperExample(), 1)
+	a := model.Assignment{Paths: []model.Path{{0, 2, 4, 5}, {1, 3, 6}}}
+	if !dg.CoverIsZeroCost(a, false) {
+		t.Fatal("two-path cover should be zero-cost intra-iteration")
+	}
+	if dg.CoverIsZeroCost(a, true) {
+		t.Fatal("two-path cover should have wrap costs")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(model.Pattern{}, 1); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+	if _, err := Build(model.PaperExample(), -1); err == nil {
+		t.Fatal("negative M accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild should panic on bad input")
+		}
+	}()
+	MustBuild(model.Pattern{}, 1)
+}
+
+func TestNodeLabel(t *testing.T) {
+	pat := model.PaperExample()
+	tests := []struct {
+		i    int
+		want string
+	}{
+		{0, "a1: A[i+1]"},
+		{1, "a2: A[i]"},
+		{3, "a4: A[i-1]"},
+	}
+	for _, tt := range tests {
+		if got := NodeLabel(pat, tt.i); got != tt.want {
+			t.Errorf("NodeLabel(%d) = %q, want %q", tt.i, got, tt.want)
+		}
+	}
+	anon := model.Pattern{Stride: 1, Offsets: []int{0}}
+	if got := NodeLabel(anon, 0); got != "a1: A[i]" {
+		t.Errorf("anon label = %q", got)
+	}
+}
+
+func TestDOTContainsAllNodes(t *testing.T) {
+	dg := MustBuild(model.PaperExample(), 1)
+	dot := dg.DOT("fig1")
+	for _, want := range []string{"a1: A[i+1]", "a7: A[i-2]", "n0 -> n1", "digraph fig1"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestLargerModifyRangeAddsEdges(t *testing.T) {
+	pat := model.PaperExample()
+	e1 := MustBuild(pat, 1).EdgeCount()
+	e2 := MustBuild(pat, 2).EdgeCount()
+	e4 := MustBuild(pat, 4).EdgeCount()
+	if !(e1 < e2 && e2 < e4) {
+		t.Fatalf("edge counts should grow with M: %d %d %d", e1, e2, e4)
+	}
+	// M large enough connects every forward pair: n*(n-1)/2 edges.
+	if e4 != 21 {
+		t.Fatalf("M=4 should give complete forward graph, got %d edges", e4)
+	}
+}

@@ -1,0 +1,305 @@
+package dspsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func newMachine(t *testing.T, ars, m, mem int) *Machine {
+	t.Helper()
+	mc, err := New(Config{AddressRegisters: ars, ModifyRange: m, MemWords: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mc
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{AddressRegisters: 0, ModifyRange: 1, MemWords: 8}); err == nil {
+		t.Fatal("zero ARs accepted")
+	}
+	if _, err := New(Config{AddressRegisters: 1, ModifyRange: -1, MemWords: 8}); err == nil {
+		t.Fatal("negative M accepted")
+	}
+	if _, err := New(Config{AddressRegisters: 1, ModifyRange: 1, MemWords: 0}); err == nil {
+		t.Fatal("zero memory accepted")
+	}
+}
+
+func TestStraightLineExecution(t *testing.T) {
+	m := newMachine(t, 2, 1, 16)
+	m.Mem[5] = 7
+	m.Mem[6] = 3
+	prog := []Instruction{
+		{Op: LDAR, Reg: 0, Imm: 5},
+		{Op: LDACC, Imm: 0},
+		{Op: ADD, Reg: 0, Mod: 1},  // acc += mem[5]; AR0 -> 6
+		{Op: ADD, Reg: 0, Mod: -1}, // acc += mem[6]; AR0 -> 5
+		{Op: ST, Reg: 0},           // mem[5] = 10
+		{Op: HALT},
+	}
+	if err := m.Run(prog, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted() {
+		t.Fatal("machine should have halted")
+	}
+	if m.Acc != 10 || m.Mem[5] != 10 {
+		t.Fatalf("acc=%d mem[5]=%d, want 10", m.Acc, m.Mem[5])
+	}
+	if m.Cycles != 6 {
+		t.Fatalf("cycles = %d, want 6", m.Cycles)
+	}
+	wantTrace := []MemEvent{{5, false}, {6, false}, {5, true}}
+	if len(m.Trace) != len(wantTrace) {
+		t.Fatalf("trace = %v", m.Trace)
+	}
+	for i, e := range wantTrace {
+		if m.Trace[i] != e {
+			t.Fatalf("trace[%d] = %v, want %v", i, m.Trace[i], e)
+		}
+	}
+}
+
+func TestMulAndLD(t *testing.T) {
+	m := newMachine(t, 1, 0, 8)
+	m.Mem[0] = 6
+	m.Mem[1] = 7
+	prog := []Instruction{
+		{Op: LDAR, Reg: 0, Imm: 0},
+		{Op: LD, Reg: 0},
+		{Op: ADAR, Reg: 0, Imm: 1},
+		{Op: MUL, Reg: 0},
+		{Op: HALT},
+	}
+	if err := m.Run(prog, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Acc != 42 {
+		t.Fatalf("acc = %d, want 42", m.Acc)
+	}
+}
+
+func TestHardwareLoop(t *testing.T) {
+	m := newMachine(t, 1, 1, 64)
+	for i := 0; i < 10; i++ {
+		m.Mem[i] = i + 1
+	}
+	prog := []Instruction{
+		{Op: LDAR, Reg: 0, Imm: 0},
+		{Op: LDACC, Imm: 0},
+		{Op: LDCTR, Imm: 10},
+		{Op: ADD, Reg: 0, Mod: 1}, // body
+		{Op: DBNZ, Imm: 3},
+		{Op: HALT},
+	}
+	if err := m.Run(prog, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Acc != 55 {
+		t.Fatalf("acc = %d, want 55", m.Acc)
+	}
+	if len(m.Trace) != 10 {
+		t.Fatalf("trace length = %d", len(m.Trace))
+	}
+	// Cycles: 3 setup + 10*(ADD+DBNZ) + HALT = 24.
+	if m.Cycles != 24 {
+		t.Fatalf("cycles = %d, want 24", m.Cycles)
+	}
+}
+
+func TestModifyRangeEnforced(t *testing.T) {
+	m := newMachine(t, 1, 1, 16)
+	prog := []Instruction{
+		{Op: LDAR, Reg: 0, Imm: 0},
+		{Op: LD, Reg: 0, Mod: 2}, // exceeds M=1
+		{Op: HALT},
+	}
+	err := m.Run(prog, 100)
+	if err == nil || !strings.Contains(err.Error(), "modify range") {
+		t.Fatalf("expected modify-range error, got %v", err)
+	}
+}
+
+func TestMemoryBoundsEnforced(t *testing.T) {
+	m := newMachine(t, 1, 1, 4)
+	prog := []Instruction{
+		{Op: LDAR, Reg: 0, Imm: 9},
+		{Op: LD, Reg: 0},
+		{Op: HALT},
+	}
+	if err := m.Run(prog, 100); err == nil {
+		t.Fatal("out-of-bounds access accepted")
+	}
+	m.Reset()
+	prog[0].Imm = -1
+	if err := m.Run(prog, 100); err == nil {
+		t.Fatal("negative address accepted")
+	}
+}
+
+func TestRegisterBoundsEnforced(t *testing.T) {
+	m := newMachine(t, 1, 1, 4)
+	for _, prog := range [][]Instruction{
+		{{Op: LDAR, Reg: 3, Imm: 0}},
+		{{Op: ADAR, Reg: -1, Imm: 0}},
+		{{Op: LD, Reg: 7}},
+	} {
+		m.Reset()
+		if err := m.Run(prog, 10); err == nil {
+			t.Fatalf("bad register accepted: %v", prog[0])
+		}
+	}
+}
+
+func TestRunawayLoopCaught(t *testing.T) {
+	m := newMachine(t, 1, 1, 4)
+	prog := []Instruction{
+		{Op: LDCTR, Imm: 1 << 30},
+		{Op: NOP},
+		{Op: DBNZ, Imm: 1},
+		{Op: HALT},
+	}
+	err := m.Run(prog, 500)
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("expected budget error, got %v", err)
+	}
+}
+
+func TestPCOutOfRange(t *testing.T) {
+	m := newMachine(t, 1, 1, 4)
+	if err := m.Run([]Instruction{{Op: NOP}}, 10); err == nil {
+		t.Fatal("running off the end should error")
+	}
+}
+
+func TestIllegalOpcode(t *testing.T) {
+	m := newMachine(t, 1, 1, 4)
+	if err := m.Run([]Instruction{{Op: Opcode(99)}}, 10); err == nil {
+		t.Fatal("illegal opcode accepted")
+	}
+}
+
+func TestResetPreservesMemory(t *testing.T) {
+	m := newMachine(t, 1, 1, 4)
+	m.Mem[2] = 42
+	m.Acc = 5
+	m.Trace = []MemEvent{{1, false}}
+	m.Reset()
+	if m.Acc != 0 || m.Trace != nil || m.Cycles != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	if m.Mem[2] != 42 {
+		t.Fatal("Reset cleared memory")
+	}
+}
+
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	src := `
+; preamble
+LDAR AR0, #100
+LDACC #0
+LDCTR #3
+ADD *(AR0)+1   ; body
+ADD *(AR0)-1
+ADD *(AR0)
+ADAR AR0, #5
+ST *(AR0)+1
+MUL *(AR1)
+LD *(AR0)
+NOP
+DBNZ 3
+HALT
+`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 13 {
+		t.Fatalf("assembled %d instructions", len(prog))
+	}
+	// Round trip: disassemble (without index) and re-assemble.
+	var lines []string
+	for _, in := range prog {
+		lines = append(lines, in.String())
+	}
+	prog2, err := Assemble(strings.Join(lines, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prog {
+		if prog[i] != prog2[i] {
+			t.Fatalf("round trip diverged at %d: %v vs %v", i, prog[i], prog2[i])
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"FOO",
+		"LDAR AR0",
+		"LDAR ARX, #1",
+		"LDAR AR0, 5",
+		"LDACC",
+		"LDACC #x",
+		"DBNZ",
+		"DBNZ x",
+		"LD AR0",
+		"LD *(AR0",
+		"LD *(AR0)x",
+		"ADD",
+		"LDAR AR-2, #0",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) accepted", src)
+		}
+	}
+}
+
+func TestDisassembleListing(t *testing.T) {
+	out := Disassemble([]Instruction{{Op: NOP}, {Op: HALT}})
+	if !strings.Contains(out, "0  NOP") || !strings.Contains(out, "1  HALT") {
+		t.Fatalf("listing:\n%s", out)
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	tests := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: LDAR, Reg: 1, Imm: -4}, "LDAR AR1, #-4"},
+		{Instruction{Op: LDACC, Imm: 0}, "LDACC #0"},
+		{Instruction{Op: LD, Reg: 0, Mod: 1}, "LD *(AR0)+1"},
+		{Instruction{Op: ST, Reg: 2, Mod: -2}, "ST *(AR2)-2"},
+		{Instruction{Op: ADD, Reg: 3}, "ADD *(AR3)"},
+		{Instruction{Op: DBNZ, Imm: 7}, "DBNZ 7"},
+		{Instruction{Op: Opcode(42)}, "??? 42"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+	if Opcode(42).String() != "Opcode(42)" {
+		t.Error("unknown opcode name")
+	}
+}
+
+func TestAddressesHelper(t *testing.T) {
+	m := newMachine(t, 1, 1, 8)
+	prog := []Instruction{
+		{Op: LDAR, Reg: 0, Imm: 3},
+		{Op: LD, Reg: 0, Mod: 1},
+		{Op: LD, Reg: 0},
+		{Op: HALT},
+	}
+	if err := m.Run(prog, 100); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Addresses()
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("Addresses = %v", got)
+	}
+}

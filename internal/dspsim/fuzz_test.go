@@ -1,0 +1,70 @@
+package dspsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble feeds arbitrary text to the assembler; it must never
+// panic, and everything it accepts must survive a
+// disassemble/re-assemble round trip.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"LDAR AR0, #100\nLD *(AR0)+1\nHALT",
+		"LDIR IR0, #5\nADD *(AR1)-IR0\nDBNZ 0",
+		"NOP ; comment",
+		"ST *(AR2)-3",
+		"BOGUS",
+		"LDAR",
+		"LD *(AR0",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		var lines []string
+		for _, in := range prog {
+			lines = append(lines, in.String())
+		}
+		prog2, err := Assemble(strings.Join(lines, "\n"))
+		if err != nil {
+			t.Fatalf("disassembly of accepted program does not re-assemble: %v\nsource %q", err, src)
+		}
+		if len(prog) != len(prog2) {
+			t.Fatalf("round trip changed length: %d vs %d", len(prog), len(prog2))
+		}
+		for i := range prog {
+			if prog[i] != prog2[i] {
+				t.Fatalf("round trip diverged at %d: %+v vs %+v", i, prog[i], prog2[i])
+			}
+		}
+	})
+}
+
+// FuzzMachineRun executes arbitrary short programs; the machine must
+// fail cleanly (error) rather than panic, and must respect its cycle
+// budget.
+func FuzzMachineRun(f *testing.F) {
+	f.Add(int8(2), int8(0), int8(5), int8(1), int8(3), int8(-1))
+	f.Add(int8(10), int8(1), int8(0), int8(0), int8(9), int8(2))
+	f.Fuzz(func(t *testing.T, op1, r1, v1, op2, r2, v2 int8) {
+		m, err := New(Config{AddressRegisters: 2, IndexRegisters: 1, ModifyRange: 1, MemWords: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := []Instruction{
+			{Op: Opcode(int(op1) % 12), Reg: int(r1), Imm: int(v1), Mod: int(v1) % 3},
+			{Op: Opcode(int(op2) % 12), Reg: int(r2), Imm: int(v2), Mod: int(v2) % 3, IdxReg: int(r2) % 2},
+			{Op: HALT},
+		}
+		_ = m.Run(prog, 50) // errors allowed, panics and runaways are not
+		if m.Cycles > 50 {
+			t.Fatalf("cycle budget exceeded: %d", m.Cycles)
+		}
+	})
+}

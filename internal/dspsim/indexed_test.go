@@ -1,0 +1,287 @@
+package dspsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIndexRegisterPostModify(t *testing.T) {
+	m, err := New(Config{AddressRegisters: 1, IndexRegisters: 2, ModifyRange: 1, MemWords: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Mem[0] = 1
+	m.Mem[5] = 2
+	m.Mem[10] = 3
+	prog := []Instruction{
+		{Op: LDIR, Reg: 0, Imm: 5},
+		{Op: LDAR, Reg: 0, Imm: 0},
+		{Op: LDACC, Imm: 0},
+		{Op: ADD, Reg: 0, IdxReg: 1},               // mem[0]; AR0 += 5
+		{Op: ADD, Reg: 0, IdxReg: 1},               // mem[5]; AR0 += 5
+		{Op: ADD, Reg: 0, IdxReg: 1, IdxNeg: true}, // mem[10]; AR0 -= 5
+		{Op: LD, Reg: 0},                           // mem[5]
+		{Op: HALT},
+	}
+	if err := m.Run(prog, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Acc != 2 {
+		t.Fatalf("acc = %d, want mem[5]=2", m.Acc)
+	}
+	want := []int{0, 5, 10, 5}
+	got := m.Addresses()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIndexRegisterErrors(t *testing.T) {
+	m, err := New(Config{AddressRegisters: 1, IndexRegisters: 1, ModifyRange: 1, MemWords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LDIR to a register outside the file.
+	if err := m.Run([]Instruction{{Op: LDIR, Reg: 3, Imm: 1}}, 10); err == nil {
+		t.Fatal("out-of-range LDIR accepted")
+	}
+	m.Reset()
+	// Memory access via an index register outside the file.
+	if err := m.Run([]Instruction{{Op: LD, Reg: 0, IdxReg: 2}}, 10); err == nil {
+		t.Fatal("out-of-range index post-modify accepted")
+	}
+	m.Reset()
+	// Combining immediate and index post-modify is illegal.
+	if err := m.Run([]Instruction{{Op: LD, Reg: 0, Mod: 1, IdxReg: 1}}, 10); err == nil {
+		t.Fatal("combined post-modify accepted")
+	}
+	if _, err := New(Config{AddressRegisters: 1, IndexRegisters: -1, MemWords: 8}); err == nil {
+		t.Fatal("negative IR count accepted")
+	}
+}
+
+func TestIndexRegisterNotRangeLimited(t *testing.T) {
+	// Index post-modifies are free regardless of the modify range —
+	// that is the point of the extension.
+	m, err := New(Config{AddressRegisters: 1, IndexRegisters: 1, ModifyRange: 0, MemWords: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := []Instruction{
+		{Op: LDIR, Reg: 0, Imm: 40},
+		{Op: LDAR, Reg: 0, Imm: 0},
+		{Op: LD, Reg: 0, IdxReg: 1},
+		{Op: LD, Reg: 0},
+		{Op: HALT},
+	}
+	if err := m.Run(prog, 100); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Addresses()
+	if got[0] != 0 || got[1] != 40 {
+		t.Fatalf("trace = %v", got)
+	}
+}
+
+func TestAssembleIndexOperands(t *testing.T) {
+	src := `
+LDIR IR0, #5
+LDIR IR1, #-3
+LD *(AR0)+IR0
+ADD *(AR1)-IR1
+ST *(AR0)+IR0
+`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog[0].Op != LDIR || prog[0].Reg != 0 || prog[0].Imm != 5 {
+		t.Fatalf("LDIR parsed as %+v", prog[0])
+	}
+	if prog[2].IdxReg != 1 || prog[2].IdxNeg {
+		t.Fatalf("+IR0 parsed as %+v", prog[2])
+	}
+	if prog[3].IdxReg != 2 || !prog[3].IdxNeg {
+		t.Fatalf("-IR1 parsed as %+v", prog[3])
+	}
+	// Round trip through the disassembler.
+	var lines []string
+	for _, in := range prog {
+		lines = append(lines, in.String())
+	}
+	prog2, err := Assemble(strings.Join(lines, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prog {
+		if prog[i] != prog2[i] {
+			t.Fatalf("round trip diverged at %d: %v vs %v", i, prog[i], prog2[i])
+		}
+	}
+}
+
+func TestAssembleIndexErrors(t *testing.T) {
+	for _, src := range []string{
+		"LDIR",
+		"LDIR IR0",
+		"LDIR AR0, #1",
+		"LDIR IRx, #1",
+		"LD *(AR0)+IRx",
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) accepted", src)
+		}
+	}
+}
+
+func TestIndexInstructionString(t *testing.T) {
+	tests := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: LDIR, Reg: 1, Imm: 7}, "LDIR IR1, #7"},
+		{Instruction{Op: LD, Reg: 0, IdxReg: 1}, "LD *(AR0)+IR0"},
+		{Instruction{Op: ST, Reg: 2, IdxReg: 2, IdxNeg: true}, "ST *(AR2)-IR1"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestModuloAddressing(t *testing.T) {
+	m, err := New(Config{AddressRegisters: 1, ModifyRange: 1, MemWords: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := []Instruction{
+		{Op: LDAR, Reg: 0, Imm: 10},
+		{Op: LDMOD, Reg: 0, Imm: 10, Mod: 3}, // circular buffer [10,13)
+		{Op: LD, Reg: 0, Mod: 1},             // 10 -> 11
+		{Op: LD, Reg: 0, Mod: 1},             // 11 -> 12
+		{Op: LD, Reg: 0, Mod: 1},             // 12 -> wraps to 10
+		{Op: LD, Reg: 0, Mod: -1},            // 10 -> wraps to 12
+		{Op: LD, Reg: 0},                     // reads 12
+		{Op: HALT},
+	}
+	if err := m.Run(prog, 100); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{10, 11, 12, 10, 12}
+	got := m.Addresses()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestModuloDisarm(t *testing.T) {
+	m, err := New(Config{AddressRegisters: 1, ModifyRange: 1, MemWords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := []Instruction{
+		{Op: LDAR, Reg: 0, Imm: 0},
+		{Op: LDMOD, Reg: 0, Imm: 0, Mod: 2},
+		{Op: LD, Reg: 0, Mod: 1}, // 0 -> 1
+		{Op: LD, Reg: 0, Mod: 1}, // 1 -> wraps to 0
+		{Op: LDMOD, Reg: 0, Imm: 0, Mod: 0},
+		{Op: LD, Reg: 0, Mod: 1}, // 0 -> 1 (linear again)
+		{Op: LD, Reg: 0, Mod: 1}, // 1 -> 2, no wrap
+		{Op: LD, Reg: 0},         // reads 2
+		{Op: HALT},
+	}
+	if err := m.Run(prog, 100); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Addresses()
+	want := []int{0, 1, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestModuloErrors(t *testing.T) {
+	m, err := New(Config{AddressRegisters: 1, ModifyRange: 1, MemWords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run([]Instruction{{Op: LDMOD, Reg: 5, Imm: 0, Mod: 2}}, 10); err == nil {
+		t.Fatal("out-of-range AR accepted")
+	}
+	m.Reset()
+	if err := m.Run([]Instruction{{Op: LDMOD, Reg: 0, Imm: 0, Mod: -1}}, 10); err == nil {
+		t.Fatal("negative modulo length accepted")
+	}
+}
+
+func TestDirectAndImmediateOps(t *testing.T) {
+	m, err := New(Config{AddressRegisters: 1, ModifyRange: 1, MemWords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Mem[3] = 4
+	prog := []Instruction{
+		{Op: LDACC, Imm: 5},
+		{Op: MULI, Imm: 3}, // 15
+		{Op: ADDD, Imm: 3}, // 19
+		{Op: STD, Imm: 4},  // mem[4] = 19
+		{Op: LDD, Imm: 4},  // ACC = 19
+		{Op: HALT},
+	}
+	if err := m.Run(prog, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Acc != 19 || m.Mem[4] != 19 {
+		t.Fatalf("acc=%d mem[4]=%d", m.Acc, m.Mem[4])
+	}
+	// Direct accesses appear in the trace.
+	if len(m.Trace) != 3 {
+		t.Fatalf("trace = %v", m.Trace)
+	}
+	m.Reset()
+	if err := m.Run([]Instruction{{Op: LDD, Imm: 99}}, 10); err == nil {
+		t.Fatal("out-of-range direct address accepted")
+	}
+}
+
+func TestAssembleModuloAndDirect(t *testing.T) {
+	src := `
+LDMOD AR0, #100, #8
+MULI #-3
+LDD #5
+ADDD #6
+STD #7
+`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog[0].Op != LDMOD || prog[0].Reg != 0 || prog[0].Imm != 100 || prog[0].Mod != 8 {
+		t.Fatalf("LDMOD parsed as %+v", prog[0])
+	}
+	var lines []string
+	for _, in := range prog {
+		lines = append(lines, in.String())
+	}
+	prog2, err := Assemble(strings.Join(lines, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prog {
+		if prog[i] != prog2[i] {
+			t.Fatalf("round trip diverged at %d: %v vs %v", i, prog[i], prog2[i])
+		}
+	}
+	for _, bad := range []string{"LDMOD AR0, #1", "LDMOD IR0, #1, #2", "MULI", "LDD x"} {
+		if _, err := Assemble(bad); err == nil {
+			t.Errorf("Assemble(%q) accepted", bad)
+		}
+	}
+}

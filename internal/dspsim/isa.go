@@ -1,0 +1,337 @@
+// Package dspsim provides a small TI-C2x-flavoured DSP instruction set
+// and cycle-accurate simulator: an accumulator data path, a file of
+// address registers with free bounded post-modify (the AGU), explicit
+// pointer arithmetic, and a hardware loop counter. It executes the code
+// the generator emits, records the address trace of every memory
+// access, and counts cycles — the substrate for the paper's code-size
+// and speed experiments.
+package dspsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Opcode enumerates the machine's instructions.
+type Opcode int
+
+const (
+	// NOP does nothing for one cycle.
+	NOP Opcode = iota
+	// HALT stops execution.
+	HALT
+	// LDAR loads an address register with an immediate address.
+	LDAR
+	// ADAR adds a signed immediate to an address register — the
+	// paper's unit-cost address computation.
+	ADAR
+	// LDACC loads the accumulator with an immediate.
+	LDACC
+	// LD loads mem[ARk] into the accumulator, then post-modifies ARk.
+	LD
+	// ADD adds mem[ARk] to the accumulator, then post-modifies ARk.
+	ADD
+	// MUL multiplies the accumulator by mem[ARk], then post-modifies.
+	MUL
+	// ST stores the accumulator to mem[ARk], then post-modifies ARk.
+	ST
+	// LDCTR loads the hardware loop counter with an immediate.
+	LDCTR
+	// DBNZ decrements the loop counter and branches to the absolute
+	// instruction index Imm while the counter is non-zero.
+	DBNZ
+	// LDIR loads an index (modify) register with an immediate. Memory
+	// accesses may post-modify their address register by ±(an index
+	// register's value) for free — the indexed AGU extension.
+	LDIR
+	// LDMOD arms modulo (circular-buffer) addressing on an address
+	// register: post-modifies of ARk wrap inside [Imm, Imm+Mod). A
+	// length of zero disarms it.
+	LDMOD
+	// MULI multiplies the accumulator by an immediate (coefficient
+	// taps of filter kernels).
+	MULI
+	// LDD/ADDD/STD are direct-addressed data operations on the memory
+	// word Imm (scratch accumulators), bypassing the AGU.
+	LDD
+	// ADDD adds the directly addressed word to the accumulator.
+	ADDD
+	// STD stores the accumulator to the directly addressed word.
+	STD
+)
+
+var opNames = map[Opcode]string{
+	NOP: "NOP", HALT: "HALT", LDAR: "LDAR", ADAR: "ADAR", LDACC: "LDACC",
+	LD: "LD", ADD: "ADD", MUL: "MUL", ST: "ST", LDCTR: "LDCTR", DBNZ: "DBNZ",
+	LDIR: "LDIR", LDMOD: "LDMOD", MULI: "MULI", LDD: "LDD", ADDD: "ADDD", STD: "STD",
+}
+
+// String returns the mnemonic.
+func (op Opcode) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("Opcode(%d)", int(op))
+}
+
+// IsMemAccess reports whether the opcode reads or writes data memory
+// through an address register.
+func (op Opcode) IsMemAccess() bool {
+	return op == LD || op == ADD || op == MUL || op == ST
+}
+
+// Instruction is one machine word.
+type Instruction struct {
+	Op Opcode
+	// Reg selects the address register for LDAR/ADAR and memory
+	// accesses, and the index register for LDIR.
+	Reg int
+	// Imm is the immediate of LDAR/ADAR/LDACC/LDCTR/LDIR and the
+	// branch target of DBNZ.
+	Imm int
+	// Mod is the immediate post-modify distance of a memory access;
+	// the machine rejects |Mod| greater than its modify range.
+	Mod int
+	// IdxReg selects an index-register post-modify for a memory
+	// access: 0 means none, k means IR(k-1). Mutually exclusive with a
+	// non-zero Mod.
+	IdxReg int
+	// IdxNeg subtracts the index register instead of adding it.
+	IdxNeg bool
+}
+
+// String disassembles the instruction.
+func (in Instruction) String() string {
+	switch in.Op {
+	case NOP, HALT:
+		return in.Op.String()
+	case LDAR, ADAR:
+		return fmt.Sprintf("%s AR%d, #%d", in.Op, in.Reg, in.Imm)
+	case LDIR:
+		return fmt.Sprintf("LDIR IR%d, #%d", in.Reg, in.Imm)
+	case LDMOD:
+		return fmt.Sprintf("LDMOD AR%d, #%d, #%d", in.Reg, in.Imm, in.Mod)
+	case LDACC, LDCTR, MULI, LDD, ADDD, STD:
+		return fmt.Sprintf("%s #%d", in.Op, in.Imm)
+	case DBNZ:
+		return fmt.Sprintf("DBNZ %d", in.Imm)
+	case LD, ADD, MUL, ST:
+		switch {
+		case in.IdxReg > 0 && in.IdxNeg:
+			return fmt.Sprintf("%s *(AR%d)-IR%d", in.Op, in.Reg, in.IdxReg-1)
+		case in.IdxReg > 0:
+			return fmt.Sprintf("%s *(AR%d)+IR%d", in.Op, in.Reg, in.IdxReg-1)
+		case in.Mod == 0:
+			return fmt.Sprintf("%s *(AR%d)", in.Op, in.Reg)
+		default:
+			return fmt.Sprintf("%s *(AR%d)%+d", in.Op, in.Reg, in.Mod)
+		}
+	default:
+		return fmt.Sprintf("??? %d", int(in.Op))
+	}
+}
+
+// Disassemble renders a program listing with instruction indices.
+func Disassemble(prog []Instruction) string {
+	var b strings.Builder
+	for i, in := range prog {
+		fmt.Fprintf(&b, "%4d  %s\n", i, in)
+	}
+	return b.String()
+}
+
+// Assemble parses the textual form produced by Disassemble (without
+// the index column) or hand-written source. One instruction per line;
+// blank lines and ";" comments are ignored. Example:
+//
+//	LDAR AR0, #100
+//	LD *(AR0)+1
+//	ADAR AR0, #-4
+//	DBNZ 1
+//	HALT
+func Assemble(src string) ([]Instruction, error) {
+	var prog []Instruction
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		in, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("dspsim: line %d: %w", ln+1, err)
+		}
+		prog = append(prog, in)
+	}
+	return prog, nil
+}
+
+func parseLine(line string) (Instruction, error) {
+	fields := strings.Fields(strings.ReplaceAll(line, ",", " "))
+	mn := strings.ToUpper(fields[0])
+	rest := fields[1:]
+	switch mn {
+	case "NOP":
+		return Instruction{Op: NOP}, nil
+	case "HALT":
+		return Instruction{Op: HALT}, nil
+	case "LDAR", "ADAR":
+		op := LDAR
+		if mn == "ADAR" {
+			op = ADAR
+		}
+		if len(rest) != 2 {
+			return Instruction{}, fmt.Errorf("%s wants register and immediate", mn)
+		}
+		reg, err := parseAR(rest[0])
+		if err != nil {
+			return Instruction{}, err
+		}
+		imm, err := parseImm(rest[1])
+		if err != nil {
+			return Instruction{}, err
+		}
+		return Instruction{Op: op, Reg: reg, Imm: imm}, nil
+	case "LDIR":
+		if len(rest) != 2 {
+			return Instruction{}, fmt.Errorf("LDIR wants register and immediate")
+		}
+		reg, err := parseIR(rest[0])
+		if err != nil {
+			return Instruction{}, err
+		}
+		imm, err := parseImm(rest[1])
+		if err != nil {
+			return Instruction{}, err
+		}
+		return Instruction{Op: LDIR, Reg: reg, Imm: imm}, nil
+	case "LDACC", "LDCTR", "MULI", "LDD", "ADDD", "STD":
+		ops := map[string]Opcode{
+			"LDACC": LDACC, "LDCTR": LDCTR, "MULI": MULI,
+			"LDD": LDD, "ADDD": ADDD, "STD": STD,
+		}
+		if len(rest) != 1 {
+			return Instruction{}, fmt.Errorf("%s wants one immediate", mn)
+		}
+		imm, err := parseImm(rest[0])
+		if err != nil {
+			return Instruction{}, err
+		}
+		return Instruction{Op: ops[mn], Imm: imm}, nil
+	case "LDMOD":
+		if len(rest) != 3 {
+			return Instruction{}, fmt.Errorf("LDMOD wants register, base and length")
+		}
+		reg, err := parseAR(rest[0])
+		if err != nil {
+			return Instruction{}, err
+		}
+		base, err := parseImm(rest[1])
+		if err != nil {
+			return Instruction{}, err
+		}
+		length, err := parseImm(rest[2])
+		if err != nil {
+			return Instruction{}, err
+		}
+		return Instruction{Op: LDMOD, Reg: reg, Imm: base, Mod: length}, nil
+	case "DBNZ":
+		if len(rest) != 1 {
+			return Instruction{}, fmt.Errorf("DBNZ wants a target index")
+		}
+		imm, err := strconv.Atoi(rest[0])
+		if err != nil {
+			return Instruction{}, fmt.Errorf("bad DBNZ target %q", rest[0])
+		}
+		return Instruction{Op: DBNZ, Imm: imm}, nil
+	case "LD", "ADD", "MUL", "ST":
+		ops := map[string]Opcode{"LD": LD, "ADD": ADD, "MUL": MUL, "ST": ST}
+		if len(rest) != 1 {
+			return Instruction{}, fmt.Errorf("%s wants one memory operand", mn)
+		}
+		in, err := parseMemOperand(rest[0])
+		if err != nil {
+			return Instruction{}, err
+		}
+		in.Op = ops[mn]
+		return in, nil
+	default:
+		return Instruction{}, fmt.Errorf("unknown mnemonic %q", mn)
+	}
+}
+
+func parseAR(s string) (int, error) {
+	up := strings.ToUpper(s)
+	if !strings.HasPrefix(up, "AR") {
+		return 0, fmt.Errorf("bad address register %q", s)
+	}
+	n, err := strconv.Atoi(up[2:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad address register %q", s)
+	}
+	return n, nil
+}
+
+func parseImm(s string) (int, error) {
+	if !strings.HasPrefix(s, "#") {
+		return 0, fmt.Errorf("immediate must start with '#', got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return n, nil
+}
+
+// parseMemOperand parses "*(AR2)", "*(AR2)+1", "*(AR2)-3",
+// "*(AR2)+IR0" or "*(AR2)-IR1".
+func parseMemOperand(s string) (Instruction, error) {
+	if !strings.HasPrefix(s, "*(") {
+		return Instruction{}, fmt.Errorf("bad memory operand %q", s)
+	}
+	close := strings.IndexByte(s, ')')
+	if close < 0 {
+		return Instruction{}, fmt.Errorf("bad memory operand %q", s)
+	}
+	reg, err := parseAR(s[2:close])
+	if err != nil {
+		return Instruction{}, err
+	}
+	in := Instruction{Reg: reg}
+	tail := s[close+1:]
+	if tail == "" {
+		return in, nil
+	}
+	up := strings.ToUpper(tail)
+	if strings.HasPrefix(up, "+IR") || strings.HasPrefix(up, "-IR") {
+		ir, err := parseIR(up[1:])
+		if err != nil {
+			return Instruction{}, err
+		}
+		in.IdxReg = ir + 1
+		in.IdxNeg = up[0] == '-'
+		return in, nil
+	}
+	mod, err := strconv.Atoi(tail)
+	if err != nil {
+		return Instruction{}, fmt.Errorf("bad post-modify %q", tail)
+	}
+	in.Mod = mod
+	return in, nil
+}
+
+func parseIR(s string) (int, error) {
+	up := strings.ToUpper(s)
+	if !strings.HasPrefix(up, "IR") {
+		return 0, fmt.Errorf("bad index register %q", s)
+	}
+	n, err := strconv.Atoi(up[2:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad index register %q", s)
+	}
+	return n, nil
+}

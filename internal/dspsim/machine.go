@@ -1,0 +1,245 @@
+package dspsim
+
+import (
+	"fmt"
+)
+
+// MemEvent records one data-memory access during simulation.
+type MemEvent struct {
+	Addr  int
+	Write bool
+}
+
+// Config describes the simulated machine.
+type Config struct {
+	// AddressRegisters is the size of the AR file.
+	AddressRegisters int
+	// IndexRegisters is the size of the IR (modify register) file;
+	// zero models the paper's base AGU.
+	IndexRegisters int
+	// ModifyRange is M: the largest immediate |post-modify| the AGU
+	// performs for free alongside a memory access. Larger immediate
+	// modifies in LD/ADD/MUL/ST are an execution error — codegen must
+	// emit explicit ADARs. Index-register modifies are always free.
+	ModifyRange int
+	// MemWords is the data memory size in words.
+	MemWords int
+}
+
+// Machine is the simulator state.
+type Machine struct {
+	cfg     Config
+	AR      []int
+	IR      []int
+	modBase []int // per-AR modulo base (valid when modLen > 0)
+	modLen  []int // per-AR modulo length; 0 = linear addressing
+	Acc     int
+	Ctr     int
+	Mem     []int
+	PC      int
+	Cycles  int
+	Trace   []MemEvent
+	halted  bool
+}
+
+// New returns a machine with zeroed registers and memory.
+func New(cfg Config) (*Machine, error) {
+	if cfg.AddressRegisters < 1 {
+		return nil, fmt.Errorf("dspsim: need at least one address register")
+	}
+	if cfg.ModifyRange < 0 {
+		return nil, fmt.Errorf("dspsim: modify range must be non-negative")
+	}
+	if cfg.MemWords < 1 {
+		return nil, fmt.Errorf("dspsim: need at least one word of memory")
+	}
+	if cfg.IndexRegisters < 0 {
+		return nil, fmt.Errorf("dspsim: index register count must be non-negative")
+	}
+	return &Machine{
+		cfg:     cfg,
+		AR:      make([]int, cfg.AddressRegisters),
+		IR:      make([]int, cfg.IndexRegisters),
+		modBase: make([]int, cfg.AddressRegisters),
+		modLen:  make([]int, cfg.AddressRegisters),
+		Mem:     make([]int, cfg.MemWords),
+	}, nil
+}
+
+// Halted reports whether the last Run stopped at a HALT.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Reset clears registers, cycle count and trace but preserves memory
+// contents (so workloads can be reloaded between runs).
+func (m *Machine) Reset() {
+	for i := range m.AR {
+		m.AR[i] = 0
+	}
+	for i := range m.IR {
+		m.IR[i] = 0
+	}
+	for i := range m.modLen {
+		m.modBase[i], m.modLen[i] = 0, 0
+	}
+	m.Acc, m.Ctr, m.PC, m.Cycles = 0, 0, 0, 0
+	m.Trace = nil
+	m.halted = false
+}
+
+// Run executes the program from instruction 0 until HALT, an error, or
+// the cycle budget is exhausted (which is an error — generated loops
+// must terminate).
+func (m *Machine) Run(prog []Instruction, maxCycles int) error {
+	m.PC = 0
+	m.halted = false
+	for m.Cycles < maxCycles {
+		if m.PC < 0 || m.PC >= len(prog) {
+			return fmt.Errorf("dspsim: PC %d outside program of %d instructions", m.PC, len(prog))
+		}
+		in := prog[m.PC]
+		m.Cycles++
+		switch in.Op {
+		case NOP:
+			m.PC++
+		case HALT:
+			m.halted = true
+			return nil
+		case LDAR:
+			if err := m.checkAR(in.Reg); err != nil {
+				return err
+			}
+			m.AR[in.Reg] = in.Imm
+			m.PC++
+		case ADAR:
+			if err := m.checkAR(in.Reg); err != nil {
+				return err
+			}
+			m.AR[in.Reg] += in.Imm
+			m.PC++
+		case LDACC:
+			m.Acc = in.Imm
+			m.PC++
+		case LDCTR:
+			m.Ctr = in.Imm
+			m.PC++
+		case LDIR:
+			if in.Reg < 0 || in.Reg >= len(m.IR) {
+				return fmt.Errorf("dspsim: index register IR%d outside file of %d at PC %d", in.Reg, len(m.IR), m.PC)
+			}
+			m.IR[in.Reg] = in.Imm
+			m.PC++
+		case LDMOD:
+			if err := m.checkAR(in.Reg); err != nil {
+				return err
+			}
+			if in.Mod < 0 {
+				return fmt.Errorf("dspsim: negative modulo length %d at PC %d", in.Mod, m.PC)
+			}
+			m.modBase[in.Reg] = in.Imm
+			m.modLen[in.Reg] = in.Mod
+			m.PC++
+		case MULI:
+			m.Acc *= in.Imm
+			m.PC++
+		case LDD, ADDD, STD:
+			if in.Imm < 0 || in.Imm >= len(m.Mem) {
+				return fmt.Errorf("dspsim: direct address %d outside memory of %d words at PC %d", in.Imm, len(m.Mem), m.PC)
+			}
+			switch in.Op {
+			case LDD:
+				m.Acc = m.Mem[in.Imm]
+			case ADDD:
+				m.Acc += m.Mem[in.Imm]
+			case STD:
+				m.Mem[in.Imm] = m.Acc
+			}
+			m.Trace = append(m.Trace, MemEvent{Addr: in.Imm, Write: in.Op == STD})
+			m.PC++
+		case DBNZ:
+			m.Ctr--
+			if m.Ctr > 0 {
+				m.PC = in.Imm
+			} else {
+				m.PC++
+			}
+		case LD, ADD, MUL, ST:
+			if err := m.memAccess(in); err != nil {
+				return err
+			}
+			m.PC++
+		default:
+			return fmt.Errorf("dspsim: illegal opcode %d at PC %d", int(in.Op), m.PC)
+		}
+	}
+	return fmt.Errorf("dspsim: cycle budget %d exhausted (runaway loop?)", maxCycles)
+}
+
+func (m *Machine) memAccess(in Instruction) error {
+	if err := m.checkAR(in.Reg); err != nil {
+		return err
+	}
+	post := in.Mod
+	switch {
+	case in.IdxReg > 0:
+		if in.Mod != 0 {
+			return fmt.Errorf("dspsim: memory access combines immediate and index post-modify at PC %d", m.PC)
+		}
+		ir := in.IdxReg - 1
+		if ir >= len(m.IR) {
+			return fmt.Errorf("dspsim: index register IR%d outside file of %d at PC %d", ir, len(m.IR), m.PC)
+		}
+		post = m.IR[ir]
+		if in.IdxNeg {
+			post = -post
+		}
+	case in.Mod > m.cfg.ModifyRange || in.Mod < -m.cfg.ModifyRange:
+		return fmt.Errorf("dspsim: post-modify %d exceeds modify range %d at PC %d", in.Mod, m.cfg.ModifyRange, m.PC)
+	}
+	addr := m.AR[in.Reg]
+	if addr < 0 || addr >= len(m.Mem) {
+		return fmt.Errorf("dspsim: address %d outside memory of %d words at PC %d", addr, len(m.Mem), m.PC)
+	}
+	switch in.Op {
+	case LD:
+		m.Acc = m.Mem[addr]
+	case ADD:
+		m.Acc += m.Mem[addr]
+	case MUL:
+		m.Acc *= m.Mem[addr]
+	case ST:
+		m.Mem[addr] = m.Acc
+	}
+	m.Trace = append(m.Trace, MemEvent{Addr: addr, Write: in.Op == ST})
+	next := m.AR[in.Reg] + post
+	if l := m.modLen[in.Reg]; l > 0 {
+		base := m.modBase[in.Reg]
+		next = base + floorMod(next-base, l)
+	}
+	m.AR[in.Reg] = next
+	return nil
+}
+
+// floorMod returns x mod m with a non-negative result for m > 0.
+func floorMod(x, m int) int {
+	r := x % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+func (m *Machine) checkAR(r int) error {
+	if r < 0 || r >= len(m.AR) {
+		return fmt.Errorf("dspsim: address register AR%d outside file of %d at PC %d", r, len(m.AR), m.PC)
+	}
+	return nil
+}
+
+// Addresses returns the raw address sequence of the trace.
+func (m *Machine) Addresses() []int {
+	out := make([]int, len(m.Trace))
+	for i, e := range m.Trace {
+		out[i] = e.Addr
+	}
+	return out
+}

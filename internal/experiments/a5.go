@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dspaddr/internal/indexreg"
+	"dspaddr/internal/model"
+	"dspaddr/internal/stats"
+	"dspaddr/internal/workload"
+)
+
+// A5Row measures the index-register extension at one sweep point: the
+// mean cost of the paper's base AGU model versus the indexed model
+// with 1 and 2 index registers.
+type A5Row struct {
+	N, K                 int
+	Base, OneIdx, TwoIdx float64
+	Red1, Red2           float64 // percent reductions vs. base
+}
+
+// RunA5 measures the benefit of AGU index (modify) registers — the
+// extension beyond the paper's model — on random patterns with large
+// strided jumps (the access shape index registers exist for).
+func RunA5(ns []int, k, m, trials int, seed int64) ([]A5Row, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var rows []A5Row
+	for _, n := range ns {
+		var base, one, two stats.Sample
+		for trial := 0; trial < trials; trial++ {
+			pat, err := workload.RandomPattern(rng, workload.RandomParams{
+				N: n, OffsetRange: 16, Dist: workload.Clustered, Clusters: 3,
+			})
+			if err != nil {
+				return nil, err
+			}
+			spec := model.AGUSpec{Registers: k, ModifyRange: m}
+			for idx, dst := range map[int]*stats.Sample{0: &base, 1: &one, 2: &two} {
+				res, err := indexreg.Optimize(pat, spec, indexreg.Options{IndexRegisters: idx})
+				if err != nil {
+					return nil, err
+				}
+				dst.AddInt(res.Cost)
+			}
+		}
+		rows = append(rows, A5Row{
+			N: n, K: k,
+			Base: base.Mean(), OneIdx: one.Mean(), TwoIdx: two.Mean(),
+			Red1: stats.PercentReduction(base.Mean(), one.Mean()),
+			Red2: stats.PercentReduction(base.Mean(), two.Mean()),
+		})
+	}
+	return rows, nil
+}
+
+// A5Table renders the index-register ablation.
+func A5Table(rows []A5Row, k, m int) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("A5 — index-register extension, mean cost on clustered patterns (K=%d, M=%d)", k, m),
+		"N", "base model", "1 index reg", "2 index regs", "red. 1 %", "red. 2 %")
+	for _, r := range rows {
+		t.AddRowf(r.N, r.Base, r.OneIdx, r.TwoIdx, r.Red1, r.Red2)
+	}
+	return t
+}

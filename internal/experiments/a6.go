@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+
+	"dspaddr/internal/circular"
+	"dspaddr/internal/stats"
+)
+
+// A6Row measures modulo (circular-buffer) addressing at one tap count:
+// cycles and code words of the circular delay-line FIR versus the
+// window-shifting implementation required without modulo addressing.
+type A6Row struct {
+	Taps                    int
+	ShiftCycles, CircCycles int
+	ShiftWords, CircWords   int
+	SpeedImprovement        float64
+	SizeImprovement         float64
+	CyclesPerSampleShift    float64
+	CyclesPerSampleCircular float64
+}
+
+// RunA6 sweeps the FIR tap count. Both implementations are verified
+// sample-by-sample against the pure-Go reference before measuring.
+func RunA6(tapCounts []int, nSamples int, seed int64) ([]A6Row, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var rows []A6Row
+	for _, t := range tapCounts {
+		taps := make([]int, t)
+		for i := range taps {
+			taps[i] = rng.Intn(9) - 4
+		}
+		input := make([]int, nSamples)
+		for i := range input {
+			input[i] = rng.Intn(41) - 20
+		}
+		want := circular.Reference(taps, input)
+
+		circ, err := circular.BuildCircularFIR(taps, nSamples)
+		if err != nil {
+			return nil, err
+		}
+		shift, err := circular.BuildShiftFIR(taps, nSamples)
+		if err != nil {
+			return nil, err
+		}
+		mc, yc, err := circ.Run(input)
+		if err != nil {
+			return nil, err
+		}
+		ms, ys, err := shift.Run(input)
+		if err != nil {
+			return nil, err
+		}
+		if !reflect.DeepEqual(yc, want) || !reflect.DeepEqual(ys, want) {
+			return nil, fmt.Errorf("experiments: A6 T=%d: implementation output diverges from reference", t)
+		}
+		rows = append(rows, A6Row{
+			Taps:                    t,
+			ShiftCycles:             ms.Cycles,
+			CircCycles:              mc.Cycles,
+			ShiftWords:              len(shift.Code),
+			CircWords:               len(circ.Code),
+			SpeedImprovement:        stats.PercentReduction(float64(ms.Cycles), float64(mc.Cycles)),
+			SizeImprovement:         stats.PercentReduction(float64(len(shift.Code)), float64(len(circ.Code))),
+			CyclesPerSampleShift:    float64(ms.Cycles) / float64(nSamples),
+			CyclesPerSampleCircular: float64(mc.Cycles) / float64(nSamples),
+		})
+	}
+	return rows, nil
+}
+
+// A6Table renders the modulo-addressing ablation.
+func A6Table(rows []A6Row, nSamples int) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("A6 — modulo addressing: circular delay-line FIR vs window shifting (%d samples, outputs verified)", nSamples),
+		"taps", "shift cyc", "circ cyc", "speed %", "shift words", "circ words", "size %", "cyc/sample shift", "cyc/sample circ")
+	for _, r := range rows {
+		t.AddRowf(r.Taps, r.ShiftCycles, r.CircCycles, r.SpeedImprovement,
+			r.ShiftWords, r.CircWords, r.SizeImprovement,
+			r.CyclesPerSampleShift, r.CyclesPerSampleCircular)
+	}
+	return t
+}

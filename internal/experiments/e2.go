@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dspaddr/internal/distgraph"
+	"dspaddr/internal/merge"
+	"dspaddr/internal/pathcover"
+	"dspaddr/internal/stats"
+	"dspaddr/internal/workload"
+)
+
+// E2Params configures the Results-section statistical analysis:
+// random access patterns swept over N, M and K, comparing the paper's
+// greedy path merging against the naive (arbitrary-pair) baseline.
+type E2Params struct {
+	// Ns, Ms, Ks are the sweep axes (accesses, modify range,
+	// registers).
+	Ns, Ms, Ks []int
+	// Trials is the number of random patterns per cell.
+	Trials int
+	// Seed makes the sweep reproducible.
+	Seed int64
+	// OffsetRange bounds the random offsets.
+	OffsetRange int
+	// Dist selects the random pattern distribution.
+	Dist workload.Distribution
+	// InterIteration switches the optimization objective to include
+	// wrap transitions.
+	InterIteration bool
+}
+
+// DefaultE2Params returns the sweep used in EXPERIMENTS.md: the
+// parameter ranges the paper names ("a variety of parameters N, M and
+// K") at laptop-friendly sizes.
+func DefaultE2Params() E2Params {
+	return E2Params{
+		Ns:          []int{10, 20, 30, 50},
+		Ms:          []int{1, 2},
+		Ks:          []int{2, 4},
+		Trials:      100,
+		Seed:        1998,
+		OffsetRange: 8,
+		Dist:        workload.Uniform,
+	}
+}
+
+// E2Cell is one (N, M, K) sweep point.
+type E2Cell struct {
+	N, M, K int
+	// MeanKTilde is the average phase-1 register demand.
+	MeanKTilde float64
+	// MeanNaive and MeanGreedy are the average unit-cost computations
+	// per iteration after reduction to K registers.
+	MeanNaive, MeanGreedy float64
+	// CINaive and CIGreedy are 95% confidence half-widths.
+	CINaive, CIGreedy float64
+	// Reduction is the relative improvement of greedy over naive in
+	// percent.
+	Reduction float64
+}
+
+// E2Result is the whole sweep.
+type E2Result struct {
+	Params E2Params
+	Cells  []E2Cell
+	// GrandReduction is the mean of the per-cell reductions — the
+	// paper's "about 40 % on the average".
+	GrandReduction float64
+}
+
+// RunE2 executes the sweep.
+func RunE2(p E2Params) (*E2Result, error) {
+	if p.Trials < 1 {
+		return nil, fmt.Errorf("experiments: E2 needs at least one trial")
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	res := &E2Result{Params: p}
+	var reductions stats.Sample
+	for _, n := range p.Ns {
+		for _, m := range p.Ms {
+			for _, k := range p.Ks {
+				cell, err := runE2Cell(rng, p, n, m, k)
+				if err != nil {
+					return nil, err
+				}
+				res.Cells = append(res.Cells, cell)
+				reductions.Add(cell.Reduction)
+			}
+		}
+	}
+	res.GrandReduction = reductions.Mean()
+	return res, nil
+}
+
+func runE2Cell(rng *rand.Rand, p E2Params, n, m, k int) (E2Cell, error) {
+	var naiveCosts, greedyCosts, ktildes stats.Sample
+	for trial := 0; trial < p.Trials; trial++ {
+		pat, err := workload.RandomPattern(rng, workload.RandomParams{
+			N: n, OffsetRange: p.OffsetRange, Dist: p.Dist,
+		})
+		if err != nil {
+			return E2Cell{}, err
+		}
+		dg, err := distgraph.Build(pat, m)
+		if err != nil {
+			return E2Cell{}, err
+		}
+		cover := pathcover.MinCover(dg, p.InterIteration, nil)
+		ktildes.AddInt(cover.K())
+
+		naive, err := merge.Reduce(merge.Naive{}, cover.Paths, pat, m, p.InterIteration, k)
+		if err != nil {
+			return E2Cell{}, err
+		}
+		greedy, err := merge.Reduce(merge.Greedy{}, cover.Paths, pat, m, p.InterIteration, k)
+		if err != nil {
+			return E2Cell{}, err
+		}
+		naiveCosts.AddInt(naive.Cost(pat, m, p.InterIteration))
+		greedyCosts.AddInt(greedy.Cost(pat, m, p.InterIteration))
+	}
+	return E2Cell{
+		N: n, M: m, K: k,
+		MeanKTilde: ktildes.Mean(),
+		MeanNaive:  naiveCosts.Mean(),
+		MeanGreedy: greedyCosts.Mean(),
+		CINaive:    naiveCosts.CI95(),
+		CIGreedy:   greedyCosts.CI95(),
+		Reduction:  stats.PercentReduction(naiveCosts.Mean(), greedyCosts.Mean()),
+	}, nil
+}
+
+// Table renders the sweep in the paper's style.
+func (r *E2Result) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("E2 — random patterns, greedy vs naive path merging (%d trials/cell, seed %d): grand average reduction %.1f%%",
+			r.Params.Trials, r.Params.Seed, r.GrandReduction),
+		"N", "M", "K", "mean K~", "naive cost", "greedy cost", "reduction %")
+	for _, c := range r.Cells {
+		t.AddRowf(c.N, c.M, c.K, c.MeanKTilde, c.MeanNaive, c.MeanGreedy, c.Reduction)
+	}
+	return t
+}

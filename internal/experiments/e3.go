@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dspaddr/internal/codegen"
+	"dspaddr/internal/core"
+	"dspaddr/internal/dspsim"
+	"dspaddr/internal/model"
+	"dspaddr/internal/stats"
+	"dspaddr/internal/workload"
+)
+
+// E3Params configures the realistic-kernel experiment: code size and
+// speed of AGU-optimized addressing versus the naive "regular C
+// compiler" baseline (explicit pointer arithmetic before every access,
+// no free post-modify).
+type E3Params struct {
+	// Registers is the AGU register count K.
+	Registers int
+	// ModifyRange is M.
+	ModifyRange int
+	// Kernels selects library kernels by name; nil means all.
+	Kernels []string
+}
+
+// DefaultE3Params uses a 4-register, M=1 AGU — the ADSP/TI-generation
+// configuration the paper targets.
+func DefaultE3Params() E3Params {
+	return E3Params{Registers: 4, ModifyRange: 1}
+}
+
+// E3Row is one kernel's measurement.
+type E3Row struct {
+	Kernel      string
+	Arrays      int
+	Accesses    int
+	NaiveWords  int
+	OptWords    int
+	NaiveCycles int
+	OptCycles   int
+	// SizeImprovement and SpeedImprovement are percent reductions of
+	// words and cycles.
+	SizeImprovement  float64
+	SpeedImprovement float64
+}
+
+// E3Result is the whole kernel table.
+type E3Result struct {
+	Params E3Params
+	Rows   []E3Row
+	// MeanSize and MeanSpeed are the average improvements; MaxSize and
+	// MaxSpeed the best observed (the paper reports "up to" numbers).
+	MeanSize, MeanSpeed, MaxSize, MaxSpeed float64
+}
+
+// RunE3 measures every requested kernel. Both program variants are
+// verified against the source-level address trace before measuring —
+// a run never reports numbers from incorrect code.
+func RunE3(p E3Params) (*E3Result, error) {
+	names := p.Kernels
+	if names == nil {
+		names = workload.KernelNames()
+	}
+	res := &E3Result{Params: p}
+	var size, speed stats.Sample
+	for _, name := range names {
+		k, err := workload.KernelByName(name)
+		if err != nil {
+			return nil, err
+		}
+		row, err := runE3Kernel(k, p)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: kernel %s: %w", name, err)
+		}
+		res.Rows = append(res.Rows, row)
+		size.Add(row.SizeImprovement)
+		speed.Add(row.SpeedImprovement)
+	}
+	res.MeanSize, res.MeanSpeed = size.Mean(), speed.Mean()
+	res.MaxSize, res.MaxSpeed = size.Max(), speed.Max()
+	return res, nil
+}
+
+func runE3Kernel(k *workload.Kernel, p E3Params) (E3Row, error) {
+	pats, _ := k.Loop.Patterns()
+	regs := p.Registers
+	if regs < len(pats) {
+		regs = len(pats) // every array needs one private register
+	}
+	alloc, err := core.AllocateLoop(k.Loop, core.Config{
+		AGU:            model.AGUSpec{Registers: regs, ModifyRange: p.ModifyRange},
+		InterIteration: true,
+	})
+	if err != nil {
+		return E3Row{}, err
+	}
+	bases, words := codegen.AutoBases(k.Loop)
+	opt, err := codegen.GenerateOptimized(alloc, bases, dspsim.ADD)
+	if err != nil {
+		return E3Row{}, err
+	}
+	if err := opt.Verify(words); err != nil {
+		return E3Row{}, fmt.Errorf("optimized code failed verification: %w", err)
+	}
+	naive, err := codegen.GenerateNaive(k.Loop, bases, p.ModifyRange, dspsim.ADD)
+	if err != nil {
+		return E3Row{}, err
+	}
+	if err := naive.Verify(words); err != nil {
+		return E3Row{}, fmt.Errorf("naive code failed verification: %w", err)
+	}
+	mo, err := opt.Run(words)
+	if err != nil {
+		return E3Row{}, err
+	}
+	mn, err := naive.Run(words)
+	if err != nil {
+		return E3Row{}, err
+	}
+	return E3Row{
+		Kernel:           k.Name,
+		Arrays:           len(pats),
+		Accesses:         len(k.Loop.Accesses),
+		NaiveWords:       naive.CodeWords(),
+		OptWords:         opt.CodeWords(),
+		NaiveCycles:      mn.Cycles,
+		OptCycles:        mo.Cycles,
+		SizeImprovement:  stats.PercentReduction(float64(naive.CodeWords()), float64(opt.CodeWords())),
+		SpeedImprovement: stats.PercentReduction(float64(mn.Cycles), float64(mo.Cycles)),
+	}, nil
+}
+
+// Table renders the kernel comparison.
+func (r *E3Result) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("E3 — DSP kernels, optimized vs naive compiler addressing (K=%d, M=%d): size mean %.1f%% / max %.1f%%, speed mean %.1f%% / max %.1f%%",
+			r.Params.Registers, r.Params.ModifyRange, r.MeanSize, r.MaxSize, r.MeanSpeed, r.MaxSpeed),
+		"kernel", "arrays", "accesses", "naive words", "opt words", "size %", "naive cycles", "opt cycles", "speed %")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Kernel, row.Arrays, row.Accesses, row.NaiveWords, row.OptWords,
+			row.SizeImprovement, row.NaiveCycles, row.OptCycles, row.SpeedImprovement)
+	}
+	return t
+}

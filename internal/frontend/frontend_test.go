@@ -1,0 +1,208 @@
+package frontend
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dspaddr/internal/model"
+)
+
+func mustParse(t *testing.T, src string, bindings map[string]int) *Program {
+	t.Helper()
+	prog, err := Parse(src, bindings)
+	if err != nil {
+		t.Fatalf("Parse: %v\nsource:\n%s", err, src)
+	}
+	return prog
+}
+
+func TestParsePaperExampleLoop(t *testing.T) {
+	src := `
+/* the example loop of Section 2 */
+for (i = 2; i <= N; i++)
+{
+    A[i+1];  // a_1
+    A[i];    // a_2
+    A[i+2];  // a_3
+    A[i-1];  // a_4
+    A[i+1];  // a_5
+    A[i];    // a_6
+    A[i-2];  // a_7
+}
+`
+	prog := mustParse(t, src, map[string]int{"N": 100})
+	l := prog.Loop
+	if l.Var != "i" || l.From != 2 || l.To != 100 || l.Stride != 1 {
+		t.Fatalf("header = %+v", l)
+	}
+	pats, _ := l.Patterns()
+	if len(pats) != 1 {
+		t.Fatalf("patterns = %d", len(pats))
+	}
+	if !reflect.DeepEqual(pats[0].Offsets, model.PaperExample().Offsets) {
+		t.Fatalf("offsets = %v", pats[0].Offsets)
+	}
+}
+
+func TestParseAssignmentsAndScalars(t *testing.T) {
+	src := `
+for (i = 0; i <= 9; i++) {
+    y[i] = c0*x[i+1] + c1*x[i] - c2*x[i-2];
+    acc += y[i-1];
+}
+`
+	prog := mustParse(t, src, nil)
+	// Access order: reads of x in expression order, then the y[i]
+	// write, then read y[i-1] (acc += is scalar read + write around it).
+	var got []model.Access
+	for _, a := range prog.Loop.Accesses {
+		got = append(got, a)
+	}
+	want := []model.Access{
+		{Array: "x", Offset: 1},
+		{Array: "x", Offset: 0},
+		{Array: "x", Offset: -2},
+		{Array: "y", Offset: 0, Write: true},
+		{Array: "y", Offset: -1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("accesses = %v, want %v", got, want)
+	}
+	wantScalars := []ScalarAccess{
+		{Name: "c0", Write: false},
+		{Name: "c1", Write: false},
+		{Name: "c2", Write: false},
+		{Name: "acc", Write: false},
+		{Name: "acc", Write: true},
+	}
+	if !reflect.DeepEqual(prog.Scalars, wantScalars) {
+		t.Fatalf("scalars = %v, want %v", prog.Scalars, wantScalars)
+	}
+}
+
+func TestParseCompoundArrayAssignment(t *testing.T) {
+	src := `for (i = 0; i <= 3; i++) { w[i] += x[i]; }`
+	prog := mustParse(t, src, nil)
+	want := []model.Access{
+		{Array: "w", Offset: 0}, // read of w[i]
+		{Array: "x", Offset: 0},
+		{Array: "w", Offset: 0, Write: true},
+	}
+	if !reflect.DeepEqual(prog.Loop.Accesses, want) {
+		t.Fatalf("accesses = %v, want %v", prog.Loop.Accesses, want)
+	}
+}
+
+func TestParseStrideAndExclusiveBound(t *testing.T) {
+	prog := mustParse(t, `for (i = 0; i < 16; i += 4) { A[i]; }`, nil)
+	if prog.Loop.To != 15 || prog.Loop.Stride != 4 {
+		t.Fatalf("loop = %+v", prog.Loop)
+	}
+	if prog.Loop.Iterations() != 4 {
+		t.Fatalf("iterations = %d", prog.Loop.Iterations())
+	}
+}
+
+func TestParseIndexForms(t *testing.T) {
+	prog := mustParse(t, `for (i = 0; i <= 5; i++) { A[3+i]; A[i-0]; A[i+M]; }`, map[string]int{"M": 7})
+	want := []int{3, 0, 7}
+	for k, a := range prog.Loop.Accesses {
+		if a.Offset != want[k] {
+			t.Fatalf("offset[%d] = %d, want %d", k, a.Offset, want[k])
+		}
+	}
+}
+
+func TestParseParenthesesAndUnaryMinus(t *testing.T) {
+	prog := mustParse(t, `for (i = 0; i <= 2; i++) { y[i] = -(x[i+1] - x[i-1]) / 2; }`, nil)
+	want := []model.Access{
+		{Array: "x", Offset: 1},
+		{Array: "x", Offset: -1},
+		{Array: "y", Offset: 0, Write: true},
+	}
+	if !reflect.DeepEqual(prog.Loop.Accesses, want) {
+		t.Fatalf("accesses = %v", prog.Loop.Accesses)
+	}
+}
+
+func TestParseInductionVariableInExpression(t *testing.T) {
+	prog := mustParse(t, `for (i = 0; i <= 2; i++) { s = s + i; A[i]; }`, nil)
+	if len(prog.Loop.Accesses) != 1 {
+		t.Fatalf("accesses = %v", prog.Loop.Accesses)
+	}
+	if len(prog.Scalars) != 2 { // read s, write s
+		t.Fatalf("scalars = %v", prog.Scalars)
+	}
+}
+
+func TestParseNegativeFrom(t *testing.T) {
+	prog := mustParse(t, `for (i = -4; i <= 4; i++) { A[i]; }`, nil)
+	if prog.Loop.From != -4 {
+		t.Fatalf("From = %d", prog.Loop.From)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+		bindings  map[string]int
+	}{
+		{"garbage", "bogus", nil},
+		{"missing paren", "for i = 0; i <= 3; i++) { A[i]; }", nil},
+		{"bad condition", "for (i = 0; i == 3; i++) { A[i]; }", nil},
+		{"unbound symbol", "for (i = 0; i <= N; i++) { A[i]; }", nil},
+		{"bad step", "for (i = 0; i <= 3; i--) { A[i]; }", nil},
+		{"wrong loop var in cond", "for (i = 0; j <= 3; i++) { A[i]; }", nil},
+		{"unterminated body", "for (i = 0; i <= 3; i++) { A[i];", nil},
+		{"trailing input", "for (i = 0; i <= 3; i++) { A[i]; } junk", nil},
+		{"index without loop var", "for (i = 0; i <= 3; i++) { A[5]; }", nil},
+		{"index wrong var", "for (i = 0; i <= 3; i++) { A[j+1]; }", nil},
+		{"missing semicolon", "for (i = 0; i <= 3; i++) { A[i] }", nil},
+		{"empty body", "for (i = 0; i <= 3; i++) { }", nil},
+		{"bad char", "for (i = 0; i <= 3; i++) { A[i] @ 2; }", nil},
+		{"unterminated comment", "/* oops\nfor (i = 0; i <= 3; i++) { A[i]; }", nil},
+		{"missing bracket", "for (i = 0; i <= 3; i++) { A[i; }", nil},
+		{"stray close in expr", "for (i = 0; i <= 3; i++) { y[i] = (x[i]; }", nil},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.src, tc.bindings); err == nil {
+			t.Errorf("%s: Parse accepted %q", tc.name, tc.src)
+		}
+	}
+}
+
+func TestParseErrorMentionsLine(t *testing.T) {
+	src := "for (i = 0; i <= 3; i++) {\n  A[i];\n  A[j];\n}"
+	_, err := Parse(src, nil)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error should cite line 3: %v", err)
+	}
+}
+
+func TestParseMultiArrayKernel(t *testing.T) {
+	src := `
+for (i = 0; i <= 63; i++) {
+    y[i] = b0*x[i] + b1*x[i-1] + b2*x[i-2] - a1*y[i-1] - a2*y[i-2];
+}
+`
+	prog := mustParse(t, src, nil)
+	pats, _ := prog.Loop.Patterns()
+	if len(pats) != 2 {
+		t.Fatalf("patterns = %d", len(pats))
+	}
+	byName := map[string][]int{}
+	for _, p := range pats {
+		byName[p.Array] = p.Offsets
+	}
+	if !reflect.DeepEqual(byName["x"], []int{0, -1, -2}) {
+		t.Fatalf("x offsets = %v", byName["x"])
+	}
+	// The y[i] write is recorded after the RHS reads y[i-1], y[i-2].
+	if !reflect.DeepEqual(byName["y"], []int{-1, -2, 0}) {
+		t.Fatalf("y offsets = %v", byName["y"])
+	}
+}

@@ -1,0 +1,40 @@
+package frontend
+
+import (
+	"testing"
+)
+
+// FuzzParse feeds arbitrary source to the parser; it must never panic,
+// and on success the lowered loop must validate. The seed corpus also
+// runs under plain `go test`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"for (i = 2; i <= N; i++) { A[i+1]; A[i]; }",
+		"for (i = 0; i < 16; i += 4) { y[i] = x[i] - x[i-1]; }",
+		"for (i = -3; i <= 3; i++) { s += a[i]*b[i]; }",
+		"for (i = 0; i <= 3; i++) { w[i] += x[i]; }",
+		"for (i = 0; i <= 3; i++) { y[i] = -(x[i+1]) / 2; }",
+		"for (i",
+		"for (i = 0; i <= 3; i++) { A[5]; }",
+		"for (i = 0; i <= 3; i++) { /* unterminated",
+		"}{][)(",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src, map[string]int{"N": 10})
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := prog.Loop.Validate(); err != nil {
+			t.Fatalf("accepted loop fails validation: %v\nsource: %q", err, src)
+		}
+		for _, a := range prog.Loop.Accesses {
+			if a.Array == "" {
+				t.Fatalf("access without array name from %q", src)
+			}
+		}
+	})
+}

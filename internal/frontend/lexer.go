@@ -1,0 +1,138 @@
+// Package frontend parses the mini-C loop language the tools accept and
+// lowers it to model.LoopSpec. The language covers the loops the paper
+// studies: a counted for-loop over one induction variable whose body is
+// a sequence of statements over array references A[i+c], scalar
+// variables and integer constants, e.g.
+//
+//	for (i = 2; i <= N; i++) {
+//	    y[i] = c0*x[i+1] + c1*x[i] + c2*x[i-2];
+//	    t = t + y[i-1];
+//	}
+//
+// Array references are collected left-to-right into the loop's access
+// pattern; scalar reads/writes are collected into a separate sequence
+// that feeds the complementary offset-assignment optimizer.
+package frontend
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokPunct // single punctuation: ( ) { } [ ] ; , = + - * /
+	tokOp    // multi-char operators: ++ += <= < ==
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error messages
+	line int
+}
+
+type lexer struct {
+	src    string
+	off    int
+	line   int
+	tokens []token
+}
+
+// lex splits src into tokens. It reports unknown characters as errors.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch {
+		case c == '\n':
+			l.line++
+			l.off++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.off++
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			l.skipLineComment()
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '*':
+			if err := l.skipBlockComment(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			l.lexInt()
+		default:
+			if err := l.lexOperator(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.off, line: l.line})
+	return l.tokens, nil
+}
+
+func (l *lexer) skipLineComment() {
+	for l.off < len(l.src) && l.src[l.off] != '\n' {
+		l.off++
+	}
+}
+
+func (l *lexer) skipBlockComment() error {
+	start := l.line
+	l.off += 2
+	for l.off+1 < len(l.src) {
+		if l.src[l.off] == '\n' {
+			l.line++
+		}
+		if l.src[l.off] == '*' && l.src[l.off+1] == '/' {
+			l.off += 2
+			return nil
+		}
+		l.off++
+	}
+	return fmt.Errorf("frontend: line %d: unterminated block comment", start)
+}
+
+func (l *lexer) lexIdent() {
+	start := l.off
+	for l.off < len(l.src) && isIdentPart(rune(l.src[l.off])) {
+		l.off++
+	}
+	l.tokens = append(l.tokens, token{kind: tokIdent, text: l.src[start:l.off], pos: start, line: l.line})
+}
+
+func (l *lexer) lexInt() {
+	start := l.off
+	for l.off < len(l.src) && l.src[l.off] >= '0' && l.src[l.off] <= '9' {
+		l.off++
+	}
+	l.tokens = append(l.tokens, token{kind: tokInt, text: l.src[start:l.off], pos: start, line: l.line})
+}
+
+func (l *lexer) lexOperator() error {
+	two := ""
+	if l.off+1 < len(l.src) {
+		two = l.src[l.off : l.off+2]
+	}
+	switch two {
+	case "++", "+=", "<=", "==":
+		l.tokens = append(l.tokens, token{kind: tokOp, text: two, pos: l.off, line: l.line})
+		l.off += 2
+		return nil
+	}
+	c := l.src[l.off]
+	if strings.IndexByte("(){}[];,=+-*/<", c) >= 0 {
+		l.tokens = append(l.tokens, token{kind: tokPunct, text: string(c), pos: l.off, line: l.line})
+		l.off++
+		return nil
+	}
+	return fmt.Errorf("frontend: line %d: unexpected character %q", l.line, c)
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }

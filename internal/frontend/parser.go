@@ -1,0 +1,360 @@
+package frontend
+
+import (
+	"fmt"
+	"strconv"
+
+	"dspaddr/internal/model"
+)
+
+// ScalarAccess is one read or write of a scalar variable, in source
+// order. The sequence feeds the offset-assignment optimizer for scalar
+// addressing (the complementary problem of Liao et al. and
+// Leupers/Marwedel the paper cites).
+type ScalarAccess struct {
+	Name  string
+	Write bool
+}
+
+// Program is the parse result: the lowered loop plus the scalar access
+// sequence of its body.
+type Program struct {
+	Loop    model.LoopSpec
+	Scalars []ScalarAccess
+}
+
+// Parse parses a mini-C loop. Symbolic constants in the loop bounds
+// (e.g. the N of "i <= N") are resolved through bindings; a missing
+// binding is an error. The induction variable may be used only as an
+// array index term.
+func Parse(src string, bindings map[string]int) (*Program, error) {
+	tokens, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{tokens: tokens, bindings: bindings}
+	prog, err := p.parseLoop()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Loop.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	tokens   []token
+	pos      int
+	bindings map[string]int
+	loopVar  string
+	prog     Program
+}
+
+func (p *parser) cur() token  { return p.tokens[p.pos] }
+func (p *parser) next() token { t := p.tokens[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("frontend: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if (t.kind != tokPunct && t.kind != tokOp) || t.text != s {
+		return fmt.Errorf("frontend: line %d: expected %q, got %q", t.line, s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent(want string) (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("frontend: line %d: expected identifier, got %q", t.line, t.text)
+	}
+	if want != "" && t.text != want {
+		return "", fmt.Errorf("frontend: line %d: expected %q, got %q", t.line, want, t.text)
+	}
+	return t.text, nil
+}
+
+// constValue resolves an integer literal or bound symbolic constant,
+// with optional unary minus.
+func (p *parser) constValue() (int, error) {
+	neg := false
+	if p.cur().kind == tokPunct && p.cur().text == "-" {
+		p.next()
+		neg = true
+	}
+	t := p.next()
+	var v int
+	switch t.kind {
+	case tokInt:
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return 0, fmt.Errorf("frontend: line %d: bad integer %q", t.line, t.text)
+		}
+		v = n
+	case tokIdent:
+		n, ok := p.bindings[t.text]
+		if !ok {
+			return 0, fmt.Errorf("frontend: line %d: unbound symbolic constant %q", t.line, t.text)
+		}
+		v = n
+	default:
+		return 0, fmt.Errorf("frontend: line %d: expected constant, got %q", t.line, t.text)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// parseLoop parses
+//
+//	for ( i = lo ; i <= hi ; step ) { body }
+//
+// where step is i++ or i += c, and the condition may use < or <=.
+func (p *parser) parseLoop() (*Program, error) {
+	if _, err := p.expectIdent("for"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	v, err := p.expectIdent("")
+	if err != nil {
+		return nil, err
+	}
+	p.loopVar = v
+	p.prog.Loop.Var = v
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	if p.prog.Loop.From, err = p.constValue(); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectIdent(v); err != nil {
+		return nil, err
+	}
+	cmp := p.next()
+	if cmp.text != "<=" && cmp.text != "<" {
+		return nil, fmt.Errorf("frontend: line %d: expected < or <=, got %q", cmp.line, cmp.text)
+	}
+	hi, err := p.constValue()
+	if err != nil {
+		return nil, err
+	}
+	if cmp.text == "<" {
+		hi--
+	}
+	p.prog.Loop.To = hi
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectIdent(v); err != nil {
+		return nil, err
+	}
+	step := p.next()
+	switch step.text {
+	case "++":
+		p.prog.Loop.Stride = 1
+	case "+=":
+		if p.prog.Loop.Stride, err = p.constValue(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("frontend: line %d: expected ++ or +=, got %q", step.line, step.text)
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !(p.cur().kind == tokPunct && p.cur().text == "}") {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf("unterminated loop body")
+		}
+		if err := p.parseStatement(); err != nil {
+			return nil, err
+		}
+	}
+	p.next() // consume "}"
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("trailing input after loop: %q", p.cur().text)
+	}
+	return &p.prog, nil
+}
+
+// parseStatement parses either an assignment "ref = expr ;", a
+// compound assignment "ref += expr ;", or a bare expression statement
+// "expr ;".
+func (p *parser) parseStatement() error {
+	// Lookahead: ident followed by "=" / "+=" / "[" means a reference
+	// starts the statement.
+	if p.cur().kind == tokIdent {
+		save := p.pos
+		name := p.next().text
+		switch {
+		case p.cur().text == "[":
+			// Array reference; may be an assignment target or the
+			// start of an expression.
+			off, err := p.parseIndex()
+			if err != nil {
+				return err
+			}
+			if p.cur().text == "=" || p.cur().text == "+=" {
+				compound := p.next().text == "+="
+				if compound {
+					// x[i] += e reads then writes the element.
+					p.recordArray(name, off, false)
+				}
+				if err := p.parseExpr(); err != nil {
+					return err
+				}
+				p.recordArray(name, off, true)
+				return p.expectPunct(";")
+			}
+			// Expression statement beginning with this access.
+			p.recordArray(name, off, false)
+			if err := p.continueExpr(); err != nil {
+				return err
+			}
+			return p.expectPunct(";")
+		case p.cur().text == "=" || p.cur().text == "+=":
+			compound := p.next().text == "+="
+			if compound {
+				p.recordScalar(name, false)
+			}
+			if err := p.parseExpr(); err != nil {
+				return err
+			}
+			p.recordScalar(name, true)
+			return p.expectPunct(";")
+		default:
+			// Bare expression starting with a scalar.
+			p.pos = save
+			if err := p.parseExpr(); err != nil {
+				return err
+			}
+			return p.expectPunct(";")
+		}
+	}
+	if err := p.parseExpr(); err != nil {
+		return err
+	}
+	return p.expectPunct(";")
+}
+
+// parseExpr parses term (("+"|"-"|"*"|"/") term)* recording accesses in
+// source order. Precedence is irrelevant for access extraction, so the
+// grammar is deliberately flat.
+func (p *parser) parseExpr() error {
+	if err := p.parseTerm(); err != nil {
+		return err
+	}
+	return p.continueExpr()
+}
+
+func (p *parser) continueExpr() error {
+	for {
+		t := p.cur()
+		if t.kind == tokPunct && (t.text == "+" || t.text == "-" || t.text == "*" || t.text == "/") {
+			p.next()
+			if err := p.parseTerm(); err != nil {
+				return err
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseTerm() error {
+	t := p.cur()
+	switch {
+	case t.kind == tokPunct && t.text == "(":
+		p.next()
+		if err := p.parseExpr(); err != nil {
+			return err
+		}
+		return p.expectPunct(")")
+	case t.kind == tokPunct && t.text == "-":
+		p.next()
+		return p.parseTerm()
+	case t.kind == tokInt:
+		p.next()
+		return nil
+	case t.kind == tokIdent:
+		name := p.next().text
+		if p.cur().kind == tokPunct && p.cur().text == "[" {
+			off, err := p.parseIndex()
+			if err != nil {
+				return err
+			}
+			p.recordArray(name, off, false)
+			return nil
+		}
+		if name == p.loopVar {
+			return nil // the induction variable itself, e.g. "t = t + i"
+		}
+		p.recordScalar(name, false)
+		return nil
+	default:
+		return p.errf("unexpected token %q in expression", t.text)
+	}
+}
+
+// parseIndex parses "[" index "]" where index is the induction
+// variable with an optional ±constant, or a constant with the
+// induction variable added ("[c+i]").
+func (p *parser) parseIndex() (int, error) {
+	if err := p.expectPunct("["); err != nil {
+		return 0, err
+	}
+	var offset int
+	t := p.cur()
+	switch {
+	case t.kind == tokIdent && t.text == p.loopVar:
+		p.next()
+		if p.cur().text == "+" || p.cur().text == "-" {
+			sign := 1
+			if p.next().text == "-" {
+				sign = -1
+			}
+			c, err := p.constValue()
+			if err != nil {
+				return 0, err
+			}
+			offset = sign * c
+		}
+	default:
+		c, err := p.constValue()
+		if err != nil {
+			return 0, err
+		}
+		if p.cur().text != "+" {
+			return 0, p.errf("array index must involve the loop variable %q", p.loopVar)
+		}
+		p.next()
+		if _, err := p.expectIdent(p.loopVar); err != nil {
+			return 0, err
+		}
+		offset = c
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return 0, err
+	}
+	return offset, nil
+}
+
+func (p *parser) recordArray(name string, offset int, write bool) {
+	p.prog.Loop.Accesses = append(p.prog.Loop.Accesses, model.Access{Array: name, Offset: offset, Write: write})
+}
+
+func (p *parser) recordScalar(name string, write bool) {
+	p.prog.Scalars = append(p.prog.Scalars, ScalarAccess{Name: name, Write: write})
+}

@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestAddNodeAndEdge(t *testing.T) {
+	g := New(3)
+	if g.N() != 3 || g.E() != 0 {
+		t.Fatalf("N=%d E=%d", g.N(), g.E())
+	}
+	if err := g.AddEdge(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 1, 5); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+	if err := g.AddEdge(0, 3, 1); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if err := g.AddEdge(-1, 0, 1); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Fatal("HasEdge wrong")
+	}
+	if w, ok := g.Weight(0, 1); !ok || w != 5 {
+		t.Fatalf("Weight = %d,%v", w, ok)
+	}
+	if _, ok := g.Weight(1, 2); ok {
+		t.Fatal("missing edge has weight")
+	}
+	if _, ok := g.Weight(9, 2); ok {
+		t.Fatal("out-of-range source has weight")
+	}
+	if g.HasEdge(9, 0) {
+		t.Fatal("out-of-range HasEdge true")
+	}
+}
+
+func TestDegreesAndSuccessors(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 0, 2, 1)
+	mustEdge(t, g, 0, 1, 1)
+	mustEdge(t, g, 3, 1, 1)
+	if g.OutDegree(0) != 2 || g.OutDegree(1) != 0 {
+		t.Fatalf("out degrees wrong")
+	}
+	if g.InDegree(1) != 2 || g.InDegree(0) != 0 {
+		t.Fatalf("in degrees wrong")
+	}
+	if got := g.Successors(0); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("Successors = %v", got)
+	}
+	if g.E() != 3 {
+		t.Fatalf("E = %d", g.E())
+	}
+}
+
+func TestLabels(t *testing.T) {
+	g := New(1)
+	i := g.AddNode("a2")
+	if g.Label(i) != "a2" || g.Label(0) != "" {
+		t.Fatal("labels wrong")
+	}
+	g.SetLabel(0, "a1")
+	if g.Label(0) != "a1" {
+		t.Fatal("SetLabel failed")
+	}
+}
+
+func TestIsDAGAndTopoSort(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 0, 1, 0)
+	mustEdge(t, g, 1, 2, 0)
+	mustEdge(t, g, 0, 2, 0)
+	mustEdge(t, g, 2, 3, 0)
+	if !g.IsDAG() {
+		t.Fatal("acyclic graph reported cyclic")
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for k, u := range order {
+		pos[u] = k
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, e := range g.Out(u) {
+			if pos[u] >= pos[e.To] {
+				t.Fatalf("topo order violates edge %d->%d", u, e.To)
+			}
+		}
+	}
+
+	mustEdge(t, g, 3, 0, 0) // close a cycle
+	if g.IsDAG() {
+		t.Fatal("cyclic graph reported acyclic")
+	}
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("TopoSort accepted cyclic graph")
+	}
+}
+
+func TestSelfLoopIsCycle(t *testing.T) {
+	g := New(1)
+	mustEdge(t, g, 0, 0, 1)
+	if g.IsDAG() {
+		t.Fatal("self-loop reported acyclic")
+	}
+}
+
+func TestIsPath(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 0, 1, 0)
+	mustEdge(t, g, 1, 3, 0)
+	if !g.IsPath([]int{0, 1, 3}) {
+		t.Fatal("valid path rejected")
+	}
+	if g.IsPath([]int{0, 3}) {
+		t.Fatal("invalid path accepted")
+	}
+	if !g.IsPath([]int{2}) || !g.IsPath(nil) {
+		t.Fatal("trivial paths rejected")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := New(2)
+	g.SetLabel(0, "+1")
+	mustEdge(t, g, 0, 1, -1)
+	dot := g.DOT("fig 1")
+	for _, want := range []string{"digraph fig_1 {", `n0 [label="+1"]`, `n1 [label="1"]`, `n0 -> n1 [label="-1"]`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q in:\n%s", want, dot)
+		}
+	}
+	if !strings.Contains((&Digraph{}).DOT(""), "digraph G {") {
+		t.Error("empty name should default to G")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := New(3)
+	mustEdge(t, g, 0, 1, 7)
+	c := g.Clone()
+	mustEdge(t, g, 1, 2, 1)
+	if c.E() != 1 || g.E() != 2 {
+		t.Fatalf("clone not independent: c.E=%d g.E=%d", c.E(), g.E())
+	}
+	if w, ok := c.Weight(0, 1); !ok || w != 7 {
+		t.Fatal("clone lost edge")
+	}
+}
+
+// Property: random DAG construction (edges only forward) always passes
+// IsDAG and TopoSort covers all nodes.
+func TestRandomForwardGraphIsDAG(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(20)
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					mustEdge(t, g, u, v, rng.Intn(9)-4)
+				}
+			}
+		}
+		if !g.IsDAG() {
+			t.Fatal("forward graph not DAG")
+		}
+		order, err := g.TopoSort()
+		if err != nil || len(order) != n {
+			t.Fatalf("topo sort failed: %v len=%d", err, len(order))
+		}
+	}
+}
+
+func mustEdge(t *testing.T, g *Digraph, u, v, w int) {
+	t.Helper()
+	if err := g.AddEdge(u, v, w); err != nil {
+		t.Fatal(err)
+	}
+}

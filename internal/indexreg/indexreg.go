@@ -1,0 +1,205 @@
+// Package indexreg extends the paper's AGU model with index (modify)
+// registers, as found on real DSPs (TI C5x AR0-indexed modes, Motorola
+// 56k Nx registers): besides immediate post-modifies within the range
+// M, an address-register update whose distance matches ±(an index
+// register's value) is also free. The paper's model is the special
+// case of zero index registers.
+//
+// Choosing the index values and allocating address registers are
+// mutually dependent, so Optimize alternates them: allocate under the
+// current value set, then re-pick the values that cover the most
+// residual unit-cost distances, until a fixpoint or the iteration cap.
+// The best (assignment, values) pair seen — including the base model of
+// iteration zero — is returned, so the result never loses to the
+// paper's allocator.
+package indexreg
+
+import (
+	"fmt"
+	"sort"
+
+	"dspaddr/internal/distgraph"
+	"dspaddr/internal/model"
+	"dspaddr/internal/pathcover"
+)
+
+// Options tunes Optimize.
+type Options struct {
+	// IndexRegisters is the number of AGU index registers available.
+	IndexRegisters int
+	// Wrap includes inter-iteration updates in the objective.
+	Wrap bool
+	// MaxIterations caps the allocate/re-pick alternation (default 4).
+	MaxIterations int
+	// CoverOptions tunes the phase-1 search.
+	CoverOptions *pathcover.Options
+}
+
+// Result is the outcome of an indexed allocation.
+type Result struct {
+	// Values are the chosen index-register contents (absolute
+	// distances), at most IndexRegisters of them.
+	Values []int
+	// Assignment maps accesses to address registers.
+	Assignment model.Assignment
+	// VirtualRegisters is the phase-1 K~ of the final iteration.
+	VirtualRegisters int
+	// Cost is the unit-cost computations per iteration under the
+	// indexed model with Values.
+	Cost int
+	// BaseCost is the cost of the paper's base model (no index
+	// registers) with the same pipeline — the comparison point.
+	BaseCost int
+	// Iterations is the number of refinement rounds executed.
+	Iterations int
+}
+
+// Optimize allocates pat's accesses to spec.Registers address
+// registers, additionally choosing values for the AGU's index
+// registers.
+func Optimize(pat model.Pattern, spec model.AGUSpec, opts Options) (*Result, error) {
+	if err := pat.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.IndexRegisters < 0 {
+		return nil, fmt.Errorf("indexreg: index register count must be non-negative, got %d", opts.IndexRegisters)
+	}
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 4
+	}
+
+	res := &Result{}
+	var values []int
+	bestCost := -1
+	for iter := 0; iter <= maxIter; iter++ {
+		res.Iterations = iter
+		asg, ktilde, err := allocateIndexed(pat, spec, values, opts)
+		if err != nil {
+			return nil, err
+		}
+		cost := asg.CostIndexed(pat, spec.ModifyRange, values, opts.Wrap)
+		if iter == 0 {
+			res.BaseCost = cost // empty value set = the paper's model
+		}
+		if bestCost == -1 || cost < bestCost {
+			bestCost = cost
+			res.Cost = cost
+			res.Values = append([]int(nil), values...)
+			res.Assignment = asg.Clone()
+			res.VirtualRegisters = ktilde
+		}
+		if cost == 0 || opts.IndexRegisters == 0 {
+			break
+		}
+		next := pickValues(pat, asg, spec.ModifyRange, opts.IndexRegisters, opts.Wrap)
+		if equalSets(next, values) {
+			break
+		}
+		values = next
+	}
+	return res, nil
+}
+
+// allocateIndexed runs the paper's two phases under the indexed cost
+// model.
+func allocateIndexed(pat model.Pattern, spec model.AGUSpec, values []int, opts Options) (model.Assignment, int, error) {
+	dg, err := distgraph.BuildIndexed(pat, spec.ModifyRange, values)
+	if err != nil {
+		return model.Assignment{}, 0, err
+	}
+	cover := pathcover.MinCover(dg, opts.Wrap, opts.CoverOptions)
+	ktilde := cover.K()
+	if ktilde <= spec.Registers {
+		return cover.Assignment().Normalize(), ktilde, nil
+	}
+	paths := reduceGreedyIndexed(cover.Paths, pat, spec.ModifyRange, values, opts.Wrap, spec.Registers)
+	a := model.Assignment{Paths: paths}.Normalize()
+	if err := a.Validate(pat); err != nil {
+		return model.Assignment{}, 0, fmt.Errorf("indexreg: merge produced invalid assignment: %w", err)
+	}
+	return a, ktilde, nil
+}
+
+// reduceGreedyIndexed is the paper's phase-2 greedy merge evaluated
+// under the indexed cost model (the merge package's Strategy interface
+// is fixed to the base model, so the indexed variant lives here).
+func reduceGreedyIndexed(paths []model.Path, pat model.Pattern, m int, values []int, wrap bool, k int) []model.Path {
+	ps := make([]model.Path, len(paths))
+	for i, p := range paths {
+		ps[i] = p.Clone()
+	}
+	for len(ps) > k && len(ps) > 1 {
+		bi, bj := -1, -1
+		bestCost, bestLen := 0, 0
+		for i := 0; i < len(ps); i++ {
+			for j := i + 1; j < len(ps); j++ {
+				merged := ps[i].Merge(ps[j])
+				c := merged.CostIndexed(pat, m, values, wrap)
+				l := len(merged)
+				if bi == -1 || c < bestCost || (c == bestCost && l < bestLen) {
+					bi, bj, bestCost, bestLen = i, j, c, l
+				}
+			}
+		}
+		merged := ps[bi].Merge(ps[bj])
+		ps[bi] = merged
+		ps = append(ps[:bj], ps[bj+1:]...)
+	}
+	return ps
+}
+
+// pickValues returns the index-register contents covering the most
+// residual unit-cost transitions of the assignment: the n most
+// frequent absolute distances beyond the modify range, ties broken
+// toward smaller values.
+func pickValues(pat model.Pattern, a model.Assignment, m, n int, wrap bool) []int {
+	freq := map[int]int{}
+	count := func(d int) {
+		if model.TransitionCost(d, m) == 0 {
+			return
+		}
+		if d < 0 {
+			d = -d
+		}
+		freq[d]++
+	}
+	for _, p := range a.Paths {
+		for k := 1; k < len(p); k++ {
+			count(pat.Distance(p[k-1], p[k]))
+		}
+		if wrap && len(p) > 0 {
+			count(pat.WrapDistance(p[len(p)-1], p[0]))
+		}
+	}
+	dists := make([]int, 0, len(freq))
+	for d := range freq {
+		dists = append(dists, d)
+	}
+	sort.Slice(dists, func(i, j int) bool {
+		if freq[dists[i]] != freq[dists[j]] {
+			return freq[dists[i]] > freq[dists[j]]
+		}
+		return dists[i] < dists[j]
+	})
+	if len(dists) > n {
+		dists = dists[:n]
+	}
+	sort.Ints(dists)
+	return dists
+}
+
+func equalSets(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,168 @@
+package indexreg
+
+import (
+	"math/rand"
+	"testing"
+
+	"dspaddr/internal/model"
+)
+
+func agu(k, m int) model.AGUSpec { return model.AGUSpec{Registers: k, ModifyRange: m} }
+
+func TestOptimizeCoversRepeatedLargeStride(t *testing.T) {
+	// Alternating jumps of +5/-5 on one register: hopeless for M=1
+	// (every transition costs) but a single index register holding 5
+	// makes the whole pattern free.
+	pat := model.NewPattern(0, 5, 0, 5, 0, 5)
+	res, err := Optimize(pat, agu(1, 1), Options{IndexRegisters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaseCost == 0 {
+		t.Fatalf("base model should pay for the jumps, got 0")
+	}
+	if res.Cost != 0 {
+		t.Fatalf("indexed cost = %d, want 0 (values %v)", res.Cost, res.Values)
+	}
+	if len(res.Values) != 1 || res.Values[0] != 5 {
+		t.Fatalf("values = %v, want [5]", res.Values)
+	}
+}
+
+func TestOptimizeTwoValuePattern(t *testing.T) {
+	// Distances 7 and 13 dominate; two index registers cover both.
+	pat := model.NewPattern(0, 7, 0, 13, 0, 7, 0, 13)
+	res, err := Optimize(pat, agu(1, 1), Options{IndexRegisters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 0 {
+		t.Fatalf("cost = %d with values %v, want 0", res.Cost, res.Values)
+	}
+	if len(res.Values) != 2 {
+		t.Fatalf("values = %v", res.Values)
+	}
+}
+
+func TestOptimizeZeroIndexRegistersEqualsBase(t *testing.T) {
+	pat := model.PaperExample()
+	res, err := Optimize(pat, agu(1, 1), Options{IndexRegisters: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != res.BaseCost {
+		t.Fatalf("cost %d != base %d with no index registers", res.Cost, res.BaseCost)
+	}
+	if len(res.Values) != 0 {
+		t.Fatalf("values = %v", res.Values)
+	}
+}
+
+func TestOptimizeNeverWorseThanBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(16)
+		offs := make([]int, n)
+		for i := range offs {
+			offs[i] = rng.Intn(25) - 12
+		}
+		pat := model.Pattern{Array: "A", Stride: 1, Offsets: offs}
+		spec := agu(1+rng.Intn(3), rng.Intn(2))
+		opts := Options{
+			IndexRegisters: rng.Intn(3),
+			Wrap:           rng.Intn(2) == 0,
+		}
+		res, err := Optimize(pat, spec, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost > res.BaseCost {
+			t.Fatalf("indexed cost %d worse than base %d (pattern %v, %v, %d idx regs)",
+				res.Cost, res.BaseCost, pat, spec, opts.IndexRegisters)
+		}
+		if len(res.Values) > opts.IndexRegisters {
+			t.Fatalf("too many values: %v", res.Values)
+		}
+		if err := res.Assignment.Validate(pat); err != nil {
+			t.Fatal(err)
+		}
+		if res.Assignment.Registers() > spec.Registers {
+			t.Fatalf("used %d > K=%d registers", res.Assignment.Registers(), spec.Registers)
+		}
+		// The reported cost must match recomputation.
+		if got := res.Assignment.CostIndexed(pat, spec.ModifyRange, res.Values, opts.Wrap); got != res.Cost {
+			t.Fatalf("reported cost %d != recomputed %d", res.Cost, got)
+		}
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	if _, err := Optimize(model.Pattern{}, agu(1, 1), Options{}); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+	if _, err := Optimize(model.PaperExample(), agu(0, 1), Options{}); err == nil {
+		t.Fatal("bad AGU accepted")
+	}
+	if _, err := Optimize(model.PaperExample(), agu(1, 1), Options{IndexRegisters: -1}); err == nil {
+		t.Fatal("negative index count accepted")
+	}
+}
+
+func TestPickValuesFrequencyOrder(t *testing.T) {
+	// Distances: 9 appears twice, 4 once. One slot must pick 9.
+	pat := model.NewPattern(0, 9, 0, 4)
+	a := model.Assignment{Paths: []model.Path{{0, 1, 2, 3}}}
+	vals := pickValues(pat, a, 1, 1, false)
+	if len(vals) != 1 || vals[0] != 9 {
+		t.Fatalf("values = %v, want [9]", vals)
+	}
+	// Two slots pick both.
+	vals = pickValues(pat, a, 1, 2, false)
+	if len(vals) != 2 || vals[0] != 4 || vals[1] != 9 {
+		t.Fatalf("values = %v, want [4 9]", vals)
+	}
+	// Wrap adds the loop-back distance 0+1-4 = -3.
+	vals = pickValues(pat, a, 1, 3, true)
+	if len(vals) != 3 {
+		t.Fatalf("values = %v", vals)
+	}
+}
+
+func TestTransitionCostIndexedModel(t *testing.T) {
+	if model.TransitionCostIndexed(5, 1, []int{5}) != 0 {
+		t.Fatal("matching value should be free")
+	}
+	if model.TransitionCostIndexed(-5, 1, []int{5}) != 0 {
+		t.Fatal("negative distance should match by magnitude")
+	}
+	if model.TransitionCostIndexed(5, 1, []int{-5}) != 0 {
+		t.Fatal("negative value should match by magnitude")
+	}
+	if model.TransitionCostIndexed(4, 1, []int{5}) != 1 {
+		t.Fatal("non-matching distance should cost")
+	}
+	if model.TransitionCostIndexed(1, 1, nil) != 0 {
+		t.Fatal("in-range distance should stay free")
+	}
+}
+
+func TestIndexedCostMonotoneInValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(10)
+		offs := make([]int, n)
+		for i := range offs {
+			offs[i] = rng.Intn(21) - 10
+		}
+		pat := model.Pattern{Array: "A", Stride: 1, Offsets: offs}
+		var path model.Path
+		for i := 0; i < n; i++ {
+			path = append(path, i)
+		}
+		base := path.CostIndexed(pat, 1, nil, true)
+		widened := path.CostIndexed(pat, 1, []int{3, 7}, true)
+		if widened > base {
+			t.Fatalf("adding free distances increased cost: %d > %d", widened, base)
+		}
+	}
+}

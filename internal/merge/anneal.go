@@ -1,0 +1,126 @@
+package merge
+
+import (
+	"math"
+	"math/rand"
+
+	"dspaddr/internal/model"
+)
+
+// AnnealOptions tunes the simulated-annealing allocator.
+type AnnealOptions struct {
+	// Steps is the number of proposed moves (default 20000).
+	Steps int
+	// StartTemp and EndTemp bound the geometric cooling schedule
+	// (defaults 2.0 and 0.01).
+	StartTemp, EndTemp float64
+}
+
+func (o *AnnealOptions) withDefaults() AnnealOptions {
+	out := AnnealOptions{Steps: 20000, StartTemp: 2.0, EndTemp: 0.01}
+	if o != nil {
+		if o.Steps > 0 {
+			out.Steps = o.Steps
+		}
+		if o.StartTemp > 0 {
+			out.StartTemp = o.StartTemp
+		}
+		if o.EndTemp > 0 {
+			out.EndTemp = o.EndTemp
+		}
+	}
+	return out
+}
+
+// Anneal searches the space of register labelings (one register index
+// per access) by simulated annealing, starting from the greedy merge
+// result. It is an upper-quality reference point for the merge-strategy
+// ablation: slower than the paper's heuristic but able to escape its
+// local optima. The returned assignment uses at most k registers.
+func Anneal(paths []model.Path, pat model.Pattern, m int, wrap bool, k int, rng *rand.Rand, opts *AnnealOptions) model.Assignment {
+	o := opts.withDefaults()
+	n := pat.N()
+	if k > n {
+		k = n
+	}
+
+	start := Greedy{}.Reduce(paths, pat, m, wrap, k)
+	reg := model.Assignment{Paths: start}.RegisterOf(n)
+
+	cost := func(labels []int) int {
+		return labelCost(labels, pat, m, wrap, k)
+	}
+	cur := cost(reg)
+	best := append([]int(nil), reg...)
+	bestCost := cur
+
+	if n > 0 && k > 1 {
+		decay := math.Pow(o.EndTemp/o.StartTemp, 1/float64(o.Steps))
+		temp := o.StartTemp
+		for step := 0; step < o.Steps; step++ {
+			i := rng.Intn(n)
+			old := reg[i]
+			next := rng.Intn(k - 1)
+			if next >= old {
+				next++
+			}
+			reg[i] = next
+			c := cost(reg)
+			if c <= cur || rng.Float64() < math.Exp(float64(cur-c)/temp) {
+				cur = c
+				if c < bestCost {
+					bestCost = c
+					copy(best, reg)
+				}
+			} else {
+				reg[i] = old
+			}
+			temp *= decay
+		}
+	}
+	return labelsToAssignment(best, n)
+}
+
+// labelCost evaluates the total unit-cost computations of a labeling.
+func labelCost(labels []int, pat model.Pattern, m int, wrap bool, k int) int {
+	tails := make([]int, k)
+	heads := make([]int, k)
+	for r := range tails {
+		tails[r] = -1
+		heads[r] = -1
+	}
+	total := 0
+	for i, r := range labels {
+		if tails[r] >= 0 {
+			total += model.TransitionCost(pat.Distance(tails[r], i), m)
+		} else {
+			heads[r] = i
+		}
+		tails[r] = i
+	}
+	if wrap {
+		for r := range tails {
+			if tails[r] >= 0 {
+				total += model.TransitionCost(pat.WrapDistance(tails[r], heads[r]), m)
+			}
+		}
+	}
+	return total
+}
+
+func labelsToAssignment(labels []int, n int) model.Assignment {
+	byReg := map[int]model.Path{}
+	var order []int
+	for i := 0; i < n; i++ {
+		r := labels[i]
+		if _, ok := byReg[r]; !ok {
+			order = append(order, r)
+		}
+		byReg[r] = append(byReg[r], i)
+	}
+	a := model.Assignment{}
+	for _, r := range order {
+		a.Paths = append(a.Paths, byReg[r])
+	}
+	return a.Normalize()
+}

@@ -1,0 +1,168 @@
+package merge
+
+import (
+	"sort"
+
+	"dspaddr/internal/model"
+)
+
+// OptimalDP computes an exact minimum-cost assignment of the pattern's
+// accesses to at most k registers for the intra-iteration objective,
+// by dynamic programming over register tail profiles: after placing a
+// prefix of the accesses, the only state that matters is the multiset
+// of offsets the busy registers currently point at. The state space is
+// O(D^k) for D distinct offsets — polynomial for fixed k — so unlike
+// ExhaustiveOptimal it scales to the pattern sizes of the paper's
+// sweeps (N = 50 and beyond). Wrap transitions are not part of the
+// objective (tracking per-register heads would square the state
+// space); use ExhaustiveOptimal for small wrap-aware instances.
+func OptimalDP(pat model.Pattern, m, k int) (model.Assignment, int) {
+	n := pat.N()
+	if k > n {
+		k = n
+	}
+
+	type decision struct {
+		prev   string
+		tail   int  // replaced tail offset (valid when !opened)
+		opened bool // access opened a fresh register
+	}
+	// cost[stateKey] after placing accesses [0, i); decisions[i] maps
+	// the state reached after placing access i to how it was reached.
+	cost := map[string]int{encodeTails(nil): 0}
+	decisions := make([]map[string]decision, n)
+
+	tailsOf := decodeTails
+	for i := 0; i < n; i++ {
+		d := pat.Offsets[i]
+		next := map[string]int{}
+		decisions[i] = map[string]decision{}
+		for key, c := range cost {
+			tails := tailsOf(key)
+			// Option 1: extend a busy register (distinct tails only —
+			// registers with equal tails are interchangeable).
+			seen := map[int]bool{}
+			for _, t := range tails {
+				if seen[t] {
+					continue
+				}
+				seen[t] = true
+				nc := c + model.TransitionCost(d-t, m)
+				nk := encodeTails(replaceTail(tails, t, d))
+				if old, ok := next[nk]; !ok || nc < old {
+					next[nk] = nc
+					decisions[i][nk] = decision{prev: key, tail: t}
+				}
+			}
+			// Option 2: open a fresh register.
+			if len(tails) < k {
+				nk := encodeTails(append(append([]int(nil), tails...), d))
+				if old, ok := next[nk]; !ok || c < old {
+					next[nk] = c
+					decisions[i][nk] = decision{prev: key, opened: true}
+				}
+			}
+		}
+		cost = next
+	}
+
+	// Best final state.
+	bestKey, bestCost := "", -1
+	for key, c := range cost {
+		if bestCost == -1 || c < bestCost || (c == bestCost && key < bestKey) {
+			bestKey, bestCost = key, c
+		}
+	}
+	if bestCost == -1 {
+		return model.Assignment{}, 0 // empty pattern
+	}
+
+	// Walk the decisions backwards, then replay forwards to attach
+	// accesses to concrete registers.
+	type step struct {
+		tail   int
+		opened bool
+	}
+	steps := make([]step, n)
+	key := bestKey
+	for i := n - 1; i >= 0; i-- {
+		dec := decisions[i][key]
+		steps[i] = step{tail: dec.tail, opened: dec.opened}
+		key = dec.prev
+	}
+	var paths []model.Path
+	tailOfReg := []int{}
+	for i := 0; i < n; i++ {
+		if steps[i].opened {
+			paths = append(paths, model.Path{i})
+			tailOfReg = append(tailOfReg, pat.Offsets[i])
+			continue
+		}
+		placed := false
+		for r, t := range tailOfReg {
+			if t == steps[i].tail {
+				paths[r] = append(paths[r], i)
+				tailOfReg[r] = pat.Offsets[i]
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Unreachable for a consistent decision table; keep the
+			// assignment total anyway.
+			paths = append(paths, model.Path{i})
+			tailOfReg = append(tailOfReg, pat.Offsets[i])
+		}
+	}
+	return model.Assignment{Paths: paths}.Normalize(), bestCost
+}
+
+// encodeTails canonically encodes a tail multiset (order-insensitive).
+func encodeTails(tails []int) string {
+	s := append([]int(nil), tails...)
+	sort.Ints(s)
+	buf := make([]byte, 0, 2*len(s))
+	for _, t := range s {
+		v := uint16(int16(t))
+		buf = append(buf, byte(v>>8), byte(v))
+	}
+	return string(buf)
+}
+
+func decodeTails(key string) []int {
+	out := make([]int, 0, len(key)/2)
+	for i := 0; i+1 < len(key); i += 2 {
+		out = append(out, int(int16(uint16(key[i])<<8|uint16(key[i+1]))))
+	}
+	return out
+}
+
+// replaceTail returns tails with one occurrence of old replaced by new.
+func replaceTail(tails []int, old, new int) []int {
+	out := append([]int(nil), tails...)
+	for i, t := range out {
+		if t == old {
+			out[i] = new
+			break
+		}
+	}
+	return out
+}
+
+// Optimal is a Strategy backed by OptimalDP: it ignores the incoming
+// path set and produces the exact minimum-cost partition for the
+// intra-iteration objective. With wrap set (which the DP does not
+// model) it falls back to the paper's greedy heuristic.
+type Optimal struct{}
+
+// Name implements Strategy.
+func (Optimal) Name() string { return "optimal" }
+
+// Reduce implements Strategy.
+func (Optimal) Reduce(paths []model.Path, pat model.Pattern, m int, wrap bool, k int) []model.Path {
+	if wrap {
+		return Greedy{}.Reduce(paths, pat, m, wrap, k)
+	}
+	a, _ := OptimalDP(pat, m, k)
+	return a.Paths
+}

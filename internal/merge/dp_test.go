@@ -1,0 +1,122 @@
+package merge
+
+import (
+	"math/rand"
+	"testing"
+
+	"dspaddr/internal/model"
+)
+
+func TestOptimalDPMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + rng.Intn(9)
+		pat := randomPattern(rng, n, 5, 1)
+		m := rng.Intn(3)
+		k := 1 + rng.Intn(3)
+		a, got := OptimalDP(pat, m, k)
+		_, want := ExhaustiveOptimal(pat, m, false, k)
+		if got != want {
+			t.Fatalf("DP cost %d != exhaustive %d (pattern %v M=%d K=%d)", got, want, pat, m, k)
+		}
+		if err := a.Validate(pat); err != nil {
+			t.Fatalf("DP assignment invalid: %v", err)
+		}
+		if a.Cost(pat, m, false) != got {
+			t.Fatalf("DP assignment cost %d != reported %d", a.Cost(pat, m, false), got)
+		}
+		limit := k
+		if n < k {
+			limit = n
+		}
+		if a.Registers() > limit {
+			t.Fatalf("DP used %d registers, limit %d", a.Registers(), limit)
+		}
+	}
+}
+
+func TestOptimalDPScalesToSweepSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	for _, n := range []int{50, 100} {
+		pat := randomPattern(rng, n, 8, 1)
+		a, cost := OptimalDP(pat, 1, 4)
+		if err := a.Validate(pat); err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		// Optimal can never lose to the two-phase heuristic.
+		paths := initialCover(t, pat, 1, false)
+		h, err := Reduce(Greedy{}, paths, pat, 1, false, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost > h.Cost(pat, 1, false) {
+			t.Fatalf("N=%d: DP %d worse than heuristic %d", n, cost, h.Cost(pat, 1, false))
+		}
+	}
+}
+
+func TestOptimalDPPaperExample(t *testing.T) {
+	pat := model.PaperExample()
+	_, cost2 := OptimalDP(pat, 1, 2)
+	if cost2 != 0 {
+		t.Fatalf("K=2 optimal = %d, want 0 (the paper's zero-cost allocation)", cost2)
+	}
+	_, cost1 := OptimalDP(pat, 1, 1)
+	if cost1 == 0 {
+		t.Fatal("K=1 cannot be zero-cost (a2->a3 distance 2)")
+	}
+}
+
+func TestOptimalDPDegenerate(t *testing.T) {
+	a, cost := OptimalDP(model.NewPattern(3), 1, 4)
+	if cost != 0 || a.Registers() != 1 {
+		t.Fatalf("single access: cost %d registers %d", cost, a.Registers())
+	}
+	empty, cost := OptimalDP(model.Pattern{Stride: 1}, 1, 2)
+	if cost != 0 || empty.Registers() != 0 {
+		t.Fatalf("empty pattern: cost %d registers %d", cost, empty.Registers())
+	}
+}
+
+func TestEncodeDecodeTails(t *testing.T) {
+	for _, tails := range [][]int{nil, {0}, {-5, 3, 3}, {100, -100}} {
+		got := decodeTails(encodeTails(tails))
+		if len(got) != len(tails) {
+			t.Fatalf("round trip length %d != %d", len(got), len(tails))
+		}
+		// decode returns the sorted canonical form.
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				t.Fatalf("decoded tails unsorted: %v", got)
+			}
+		}
+	}
+	// Encoding must be order-insensitive.
+	if encodeTails([]int{2, -1}) != encodeTails([]int{-1, 2}) {
+		t.Fatal("encoding not canonical")
+	}
+}
+
+func TestOptimalStrategy(t *testing.T) {
+	pat := model.PaperExample()
+	paths := initialCover(t, pat, 1, false)
+	a, err := Reduce(Optimal{}, paths, pat, 1, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want := OptimalDP(pat, 1, 1)
+	if got := a.Cost(pat, 1, false); got != want {
+		t.Fatalf("optimal strategy cost %d, DP %d", got, want)
+	}
+	if (Optimal{}).Name() != "optimal" {
+		t.Fatal("name wrong")
+	}
+	// Wrap falls back to greedy and must still be valid.
+	aw, err := Reduce(Optimal{}, paths, pat, 1, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aw.Registers() != 1 {
+		t.Fatalf("wrap fallback registers = %d", aw.Registers())
+	}
+}

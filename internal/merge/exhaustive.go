@@ -1,0 +1,89 @@
+package merge
+
+import (
+	"dspaddr/internal/model"
+)
+
+// ExhaustiveOptimal computes a minimum-cost assignment of the pattern's
+// accesses to at most k registers by exhaustive search with
+// cost-bounded pruning and register-symmetry breaking. It is
+// exponential in N and intended as the optimality oracle for small
+// instances in tests and the merge-strategy ablation (A2). The returned
+// cost is the exact optimum.
+func ExhaustiveOptimal(pat model.Pattern, m int, wrap bool, k int) (model.Assignment, int) {
+	n := pat.N()
+	if k > n {
+		k = n
+	}
+	s := exhaustiveState{
+		pat: pat, m: m, wrap: wrap, k: k, n: n,
+		reg:      make([]int, n),
+		tails:    make([]int, 0, k),
+		heads:    make([]int, 0, k),
+		bestCost: 1 << 30,
+	}
+	s.place(0, 0)
+	a := model.Assignment{Paths: make([]model.Path, 0, k)}
+	byReg := make(map[int]model.Path)
+	order := []int{}
+	for i, r := range s.bestReg {
+		if _, ok := byReg[r]; !ok {
+			order = append(order, r)
+		}
+		byReg[r] = append(byReg[r], i)
+	}
+	for _, r := range order {
+		a.Paths = append(a.Paths, byReg[r])
+	}
+	return a.Normalize(), s.bestCost
+}
+
+type exhaustiveState struct {
+	pat          model.Pattern
+	m, k, n      int
+	wrap         bool
+	reg          []int
+	tails, heads []int // per used register: current tail / first access
+	bestCost     int
+	bestReg      []int
+}
+
+// place assigns access i to a register; cost carries the accumulated
+// intra-iteration cost of the partial assignment.
+func (s *exhaustiveState) place(i, cost int) {
+	if cost >= s.bestCost {
+		return
+	}
+	if i == s.n {
+		total := cost
+		if s.wrap {
+			for r := range s.tails {
+				total += model.TransitionCost(s.pat.WrapDistance(s.tails[r], s.heads[r]), s.m)
+			}
+		}
+		if total < s.bestCost {
+			s.bestCost = total
+			s.bestReg = append([]int(nil), s.reg...)
+		}
+		return
+	}
+	used := len(s.tails)
+	// Existing registers.
+	for r := 0; r < used; r++ {
+		prevTail := s.tails[r]
+		step := model.TransitionCost(s.pat.Distance(prevTail, i), s.m)
+		s.reg[i] = r
+		s.tails[r] = i
+		s.place(i+1, cost+step)
+		s.tails[r] = prevTail
+	}
+	// A fresh register (symmetry-broken: always the next unused index).
+	if used < s.k {
+		s.reg[i] = used
+		s.tails = append(s.tails, i)
+		s.heads = append(s.heads, i)
+		s.place(i+1, cost)
+		s.tails = s.tails[:used]
+		s.heads = s.heads[:used]
+	}
+}

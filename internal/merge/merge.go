@@ -1,0 +1,162 @@
+// Package merge implements phase 2 of the paper's allocator: when the
+// zero-cost cover needs more virtual registers K~ than the AGU has
+// physical registers K, pairs of paths are merged — order-preservingly —
+// until only K remain. The paper's heuristic always merges the pair
+// whose merged path has minimal cost C(P_i ⊕ P_j); the paper's baseline
+// ("naive") merges arbitrary pairs. Additional strategies (random,
+// smallest-two, exhaustive optimal, simulated annealing) support the
+// ablation experiments.
+package merge
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dspaddr/internal/model"
+)
+
+// Strategy reduces a path set to at most k paths. Implementations must
+// return a valid partition and must not mutate the input paths.
+type Strategy interface {
+	// Name identifies the strategy in reports and tables.
+	Name() string
+	// Reduce merges paths until at most k remain.
+	Reduce(paths []model.Path, pat model.Pattern, m int, wrap bool, k int) []model.Path
+}
+
+// Greedy is the paper's phase-2 heuristic: each round, evaluate
+// C(P_i ⊕ P_j) for every pair and merge the minimum-cost pair. Ties are
+// broken by smaller combined length, then by lower pair index, making
+// the result deterministic.
+type Greedy struct{}
+
+// Name implements Strategy.
+func (Greedy) Name() string { return "greedy" }
+
+// Reduce implements Strategy.
+func (Greedy) Reduce(paths []model.Path, pat model.Pattern, m int, wrap bool, k int) []model.Path {
+	ps := clonePaths(paths)
+	for len(ps) > k && len(ps) > 1 {
+		bi, bj := -1, -1
+		bestCost, bestLen := 0, 0
+		for i := 0; i < len(ps); i++ {
+			for j := i + 1; j < len(ps); j++ {
+				merged := ps[i].Merge(ps[j])
+				c := merged.Cost(pat, m, wrap)
+				l := len(merged)
+				if bi == -1 || c < bestCost || (c == bestCost && l < bestLen) {
+					bi, bj, bestCost, bestLen = i, j, c, l
+				}
+			}
+		}
+		ps = mergeAt(ps, bi, bj)
+	}
+	return ps
+}
+
+// Naive is the paper's comparison baseline: repetitively merge two
+// arbitrary paths until the register constraint is met. This
+// deterministic variant always merges the first two paths.
+type Naive struct{}
+
+// Name implements Strategy.
+func (Naive) Name() string { return "naive" }
+
+// Reduce implements Strategy.
+func (Naive) Reduce(paths []model.Path, pat model.Pattern, m int, wrap bool, k int) []model.Path {
+	ps := clonePaths(paths)
+	for len(ps) > k && len(ps) > 1 {
+		ps = mergeAt(ps, 0, 1)
+	}
+	return ps
+}
+
+// Random merges uniformly random pairs; it models the paper's
+// "arbitrary" baseline without positional bias. The RNG must be
+// non-nil; experiments pass seeded sources for reproducibility.
+type Random struct {
+	Rng *rand.Rand
+}
+
+// Name implements Strategy.
+func (Random) Name() string { return "random" }
+
+// Reduce implements Strategy.
+func (r Random) Reduce(paths []model.Path, pat model.Pattern, m int, wrap bool, k int) []model.Path {
+	ps := clonePaths(paths)
+	for len(ps) > k && len(ps) > 1 {
+		i := r.Rng.Intn(len(ps))
+		j := r.Rng.Intn(len(ps) - 1)
+		if j >= i {
+			j++
+		}
+		if i > j {
+			i, j = j, i
+		}
+		ps = mergeAt(ps, i, j)
+	}
+	return ps
+}
+
+// SmallestTwo merges the two shortest paths each round — a length-only
+// heuristic that ignores address distances; it isolates how much of the
+// greedy strategy's win comes from cost awareness.
+type SmallestTwo struct{}
+
+// Name implements Strategy.
+func (SmallestTwo) Name() string { return "smallest-two" }
+
+// Reduce implements Strategy.
+func (SmallestTwo) Reduce(paths []model.Path, pat model.Pattern, m int, wrap bool, k int) []model.Path {
+	ps := clonePaths(paths)
+	for len(ps) > k && len(ps) > 1 {
+		i1, i2 := -1, -1
+		for i, p := range ps {
+			switch {
+			case i1 == -1 || len(p) < len(ps[i1]):
+				i2 = i1
+				i1 = i
+			case i2 == -1 || len(p) < len(ps[i2]):
+				i2 = i
+			}
+		}
+		if i1 > i2 {
+			i1, i2 = i2, i1
+		}
+		ps = mergeAt(ps, i1, i2)
+	}
+	return ps
+}
+
+// Reduce runs the strategy and wraps the result in an Assignment.
+func Reduce(s Strategy, paths []model.Path, pat model.Pattern, m int, wrap bool, k int) (model.Assignment, error) {
+	if k < 1 {
+		return model.Assignment{}, fmt.Errorf("merge: register constraint must be at least 1, got %d", k)
+	}
+	out := s.Reduce(paths, pat, m, wrap, k)
+	a := model.Assignment{Paths: out}.Normalize()
+	if err := a.Validate(pat); err != nil {
+		return model.Assignment{}, fmt.Errorf("merge: strategy %q produced invalid assignment: %w", s.Name(), err)
+	}
+	if a.Registers() > k {
+		return model.Assignment{}, fmt.Errorf("merge: strategy %q left %d paths, constraint is %d", s.Name(), a.Registers(), k)
+	}
+	return a, nil
+}
+
+// mergeAt replaces paths i and j (i<j) with their order-preserving
+// merge.
+func mergeAt(ps []model.Path, i, j int) []model.Path {
+	merged := ps[i].Merge(ps[j])
+	ps[i] = merged
+	ps = append(ps[:j], ps[j+1:]...)
+	return ps
+}
+
+func clonePaths(paths []model.Path) []model.Path {
+	out := make([]model.Path, len(paths))
+	for i, p := range paths {
+		out[i] = p.Clone()
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package merge
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dspaddr/internal/distgraph"
+	"dspaddr/internal/model"
+	"dspaddr/internal/pathcover"
+)
+
+// Property (quick): every strategy produces a valid partition within
+// the register budget, and the merged cost never drops below the
+// initial cover's cost (merging cannot create free transitions that
+// were not free before — the zero-cost cover is the floor).
+func TestQuickStrategyInvariants(t *testing.T) {
+	f := func(raw []byte, mRaw, kRaw uint8) bool {
+		if len(raw) == 0 {
+			raw = []byte{1}
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		offs := make([]int, len(raw))
+		for i, b := range raw {
+			offs[i] = int(b%15) - 7
+		}
+		pat := model.Pattern{Array: "A", Stride: 1, Offsets: offs}
+		m := int(mRaw % 3)
+		k := 1 + int(kRaw%4)
+		dg, err := distgraph.Build(pat, m)
+		if err != nil {
+			return false
+		}
+		cover := pathcover.MinCover(dg, false, nil)
+		baseCost := model.Assignment{Paths: cover.Paths}.Cost(pat, m, false)
+		for _, s := range []Strategy{Greedy{}, Naive{}, SmallestTwo{}, Random{Rng: rand.New(rand.NewSource(1))}} {
+			a, err := Reduce(s, cover.Paths, pat, m, false, k)
+			if err != nil {
+				return false
+			}
+			if a.Registers() > k {
+				return false
+			}
+			if a.Cost(pat, m, false) < baseCost {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(131))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (quick): merging exactly two zero-cost paths costs at least
+// one unit — the paper's Section 3.2 observation.
+func TestQuickMergeIncursCost(t *testing.T) {
+	f := func(raw []byte, mRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		offs := make([]int, len(raw))
+		for i, b := range raw {
+			offs[i] = int(b%15) - 7
+		}
+		pat := model.Pattern{Array: "A", Stride: 1, Offsets: offs}
+		m := int(mRaw % 3)
+		dg, err := distgraph.Build(pat, m)
+		if err != nil {
+			return false
+		}
+		cover := pathcover.MinCover(dg, false, nil)
+		if cover.K() < 2 {
+			return true // nothing to merge
+		}
+		a, err := Reduce(Greedy{}, cover.Paths, pat, m, false, cover.K()-1)
+		if err != nil {
+			return false
+		}
+		// K~ is minimal, so one fewer register cannot stay zero-cost.
+		return a.Cost(pat, m, false) >= 1
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(132))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Path is an ordered subsequence of access indices (into a Pattern's
+// program order) that share one address register. Indices are strictly
+// increasing; the register serves the accesses in exactly this order
+// within every iteration.
+type Path []int
+
+// Clone returns a copy of the path.
+func (p Path) Clone() Path {
+	out := make(Path, len(p))
+	copy(out, p)
+	return out
+}
+
+// IsOrdered reports whether the path's indices are strictly increasing,
+// which every valid register subsequence must be (accesses happen in
+// program order).
+func (p Path) IsOrdered() bool {
+	for k := 1; k < len(p); k++ {
+		if p[k] <= p[k-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Cost returns the number of unit-cost address computations the path
+// incurs per loop iteration under modify range M: one per consecutive
+// pair whose intra-iteration distance exceeds M, plus — if wrap is true —
+// one if the inter-iteration distance from the last access back to the
+// first access of the next iteration exceeds M. This is the paper's C(P).
+func (p Path) Cost(pat Pattern, modifyRange int, wrap bool) int {
+	if len(p) == 0 {
+		return 0
+	}
+	cost := 0
+	for k := 1; k < len(p); k++ {
+		cost += TransitionCost(pat.Distance(p[k-1], p[k]), modifyRange)
+	}
+	if wrap {
+		cost += TransitionCost(pat.WrapDistance(p[len(p)-1], p[0]), modifyRange)
+	}
+	return cost
+}
+
+// Merge returns the order-preserving merge P ⊕ Q of two disjoint paths:
+// the union of their indices in increasing (program) order. It is the
+// paper's merge operation "⊕"; e.g. (a1,a4,a6) ⊕ (a3,a5) = (a1,a3,a4,a5,a6).
+func (p Path) Merge(q Path) Path {
+	out := make(Path, 0, len(p)+len(q))
+	i, j := 0, 0
+	for i < len(p) && j < len(q) {
+		if p[i] < q[j] {
+			out = append(out, p[i])
+			i++
+		} else {
+			out = append(out, q[j])
+			j++
+		}
+	}
+	out = append(out, p[i:]...)
+	out = append(out, q[j:]...)
+	return out
+}
+
+// String renders the path as "(a1,a3,a5)" using the paper's 1-based
+// access naming.
+func (p Path) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for k, i := range p {
+		if k > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "a%d", i+1)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Assignment allocates every access of a pattern to one address
+// register: Paths[r] is the subsequence of access indices served by
+// register r. A valid assignment partitions {0..N-1}.
+type Assignment struct {
+	Paths []Path
+}
+
+// Registers returns the number of address registers the assignment uses.
+func (a Assignment) Registers() int { return len(a.Paths) }
+
+// Cost returns the total number of unit-cost address computations per
+// iteration across all registers.
+func (a Assignment) Cost(pat Pattern, modifyRange int, wrap bool) int {
+	total := 0
+	for _, p := range a.Paths {
+		total += p.Cost(pat, modifyRange, wrap)
+	}
+	return total
+}
+
+// Validate checks that the assignment is a partition of the pattern's
+// accesses into strictly increasing subsequences.
+func (a Assignment) Validate(pat Pattern) error {
+	n := pat.N()
+	seen := make([]bool, n)
+	count := 0
+	for r, p := range a.Paths {
+		if len(p) == 0 {
+			return fmt.Errorf("model: register %d has an empty path", r)
+		}
+		if !p.IsOrdered() {
+			return fmt.Errorf("model: register %d path %v is not strictly increasing", r, []int(p))
+		}
+		for _, i := range p {
+			if i < 0 || i >= n {
+				return fmt.Errorf("model: register %d references access %d outside [0,%d)", r, i, n)
+			}
+			if seen[i] {
+				return fmt.Errorf("model: access %d assigned to more than one register", i)
+			}
+			seen[i] = true
+			count++
+		}
+	}
+	if count != n {
+		return fmt.Errorf("model: assignment covers %d of %d accesses", count, n)
+	}
+	return nil
+}
+
+// RegisterOf returns, for each access index, the register serving it.
+func (a Assignment) RegisterOf(n int) []int {
+	reg := make([]int, n)
+	for i := range reg {
+		reg[i] = -1
+	}
+	for r, p := range a.Paths {
+		for _, i := range p {
+			if i >= 0 && i < n {
+				reg[i] = r
+			}
+		}
+	}
+	return reg
+}
+
+// Normalize sorts the paths by their first access index so that
+// equivalent assignments compare equal; it returns the receiver for
+// chaining.
+func (a Assignment) Normalize() Assignment {
+	sort.Slice(a.Paths, func(i, j int) bool {
+		if len(a.Paths[i]) == 0 {
+			return true
+		}
+		if len(a.Paths[j]) == 0 {
+			return false
+		}
+		return a.Paths[i][0] < a.Paths[j][0]
+	})
+	return a
+}
+
+// Clone deep-copies the assignment.
+func (a Assignment) Clone() Assignment {
+	out := Assignment{Paths: make([]Path, len(a.Paths))}
+	for i, p := range a.Paths {
+		out.Paths[i] = p.Clone()
+	}
+	return out
+}
+
+// String renders the assignment as "R0=(a1,a3) R1=(a2,a4)".
+func (a Assignment) String() string {
+	var b strings.Builder
+	for r, p := range a.Paths {
+		if r > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "R%d=%s", r, p)
+	}
+	return b.String()
+}
+
+// SingletonAssignment returns the trivial assignment with one register
+// per access — the starting point of zero intra-iteration cost used by
+// upper-bound arguments (with wrap disabled every singleton path has
+// cost equal to its own wrap transition only).
+func SingletonAssignment(n int) Assignment {
+	a := Assignment{Paths: make([]Path, n)}
+	for i := 0; i < n; i++ {
+		a.Paths[i] = Path{i}
+	}
+	return a
+}

@@ -1,0 +1,92 @@
+package offsetassign
+
+import (
+	"fmt"
+)
+
+// GOAResult is a general offset assignment: a partition of the
+// variables over k address registers, each group with its own layout.
+type GOAResult struct {
+	// Groups[r] is the layout served by address register r.
+	Groups []Layout
+	// Cost is the summed SOA cost of the per-register subsequences.
+	Cost int
+}
+
+// GOA partitions the variables of the access sequence over k address
+// registers and lays each group out with the tie-break SOA heuristic,
+// minimizing the total unit-cost address computations. The heuristic
+// starts from everything on one register and repeatedly moves the
+// variable whose relocation reduces total cost the most (steepest
+// descent), mirroring the variable-partitioning strategy of
+// Leupers/Marwedel's GOA.
+func GOA(seq []string, k int) (GOAResult, error) {
+	if k < 1 {
+		return GOAResult{}, fmt.Errorf("offsetassign: need at least one address register, got %d", k)
+	}
+	vars := Variables(seq)
+	group := make(map[string]int, len(vars))
+	for _, v := range vars {
+		group[v] = 0
+	}
+
+	total := func() int {
+		c := 0
+		for r := 0; r < k; r++ {
+			c += groupCost(seq, group, r)
+		}
+		return c
+	}
+
+	cur := total()
+	improved := true
+	for improved {
+		improved = false
+		bestVar, bestGroup, bestCost := "", -1, cur
+		for _, v := range vars {
+			origin := group[v]
+			for r := 0; r < k; r++ {
+				if r == origin {
+					continue
+				}
+				group[v] = r
+				if c := total(); c < bestCost {
+					bestVar, bestGroup, bestCost = v, r, c
+				}
+			}
+			group[v] = origin
+		}
+		if bestGroup >= 0 {
+			group[bestVar] = bestGroup
+			cur = bestCost
+			improved = true
+		}
+	}
+
+	res := GOAResult{Cost: cur}
+	for r := 0; r < k; r++ {
+		res.Groups = append(res.Groups, TieBreakSOA(subSequence(seq, group, r)))
+	}
+	return res, nil
+}
+
+// groupCost evaluates register r's subsequence under the tie-break SOA
+// layout.
+func groupCost(seq []string, group map[string]int, r int) int {
+	sub := subSequence(seq, group, r)
+	if len(sub) == 0 {
+		return 0
+	}
+	return TieBreakSOA(sub).Cost(sub)
+}
+
+// subSequence filters the access sequence to the variables of group r.
+func subSequence(seq []string, group map[string]int, r int) []string {
+	var out []string
+	for _, v := range seq {
+		if group[v] == r {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package offsetassign
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func seqOf(s string) []string {
+	return strings.Split(s, "")
+}
+
+func TestLayoutCost(t *testing.T) {
+	l := NewLayout([]string{"a", "b", "c", "d"})
+	// a->b neighbours (free), b->d distance 2 (cost), d->d same (free),
+	// d->c neighbours (free), c->a distance 2 (cost).
+	if got := l.Cost([]string{"a", "b", "d", "d", "c", "a"}); got != 2 {
+		t.Fatalf("Cost = %d, want 2", got)
+	}
+	if got := l.Cost([]string{"a"}); got != 0 {
+		t.Fatalf("single access cost = %d", got)
+	}
+	if got := l.Cost(nil); got != 0 {
+		t.Fatalf("empty cost = %d", got)
+	}
+}
+
+func TestLayoutCostPanicsOnMissingVariable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLayout([]string{"a"}).Cost([]string{"a", "z"})
+}
+
+func TestVariablesFirstAppearance(t *testing.T) {
+	got := Variables(seqOf("cabcab"))
+	if !reflect.DeepEqual(got, []string{"c", "a", "b"}) {
+		t.Fatalf("Variables = %v", got)
+	}
+}
+
+func TestFirstUseBaseline(t *testing.T) {
+	l := FirstUse(seqOf("bca"))
+	if !reflect.DeepEqual(l.Order, []string{"b", "c", "a"}) {
+		t.Fatalf("FirstUse = %v", l.Order)
+	}
+}
+
+// The classic SOA example from Liao et al.: access sequence
+// a b c d a d a c (after Figure examples in the literature). The
+// optimal layout saves the heavy (a,d) and (a,c) adjacencies.
+func TestLiaoKnownExample(t *testing.T) {
+	seq := seqOf("abcdadac")
+	liao := LiaoSOA(seq)
+	_, opt := OptimalSOA(seq)
+	if got := liao.Cost(seq); got > opt+1 {
+		t.Fatalf("Liao cost %d too far above optimum %d", got, opt)
+	}
+	naive := FirstUse(seq).Cost(seq)
+	if got := liao.Cost(seq); got > naive {
+		t.Fatalf("Liao cost %d worse than first-use %d", got, naive)
+	}
+}
+
+func TestLayoutsCoverAllVariables(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	letters := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for trial := 0; trial < 100; trial++ {
+		nv := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(30)
+		seq := make([]string, n)
+		for i := range seq {
+			seq[i] = letters[rng.Intn(nv)]
+		}
+		vars := Variables(seq)
+		for _, l := range []Layout{FirstUse(seq), LiaoSOA(seq), TieBreakSOA(seq)} {
+			if len(l.Order) != len(vars) {
+				t.Fatalf("layout %v does not cover %v", l.Order, vars)
+			}
+			seen := map[string]bool{}
+			for _, v := range l.Order {
+				if seen[v] {
+					t.Fatalf("duplicate %q in layout %v", v, l.Order)
+				}
+				seen[v] = true
+			}
+			l.Cost(seq) // must not panic
+		}
+	}
+}
+
+func TestHeuristicsNeverBeatOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	letters := []string{"a", "b", "c", "d", "e", "f"}
+	for trial := 0; trial < 80; trial++ {
+		nv := 2 + rng.Intn(5) // up to 6 variables: 720 permutations
+		n := 2 + rng.Intn(24)
+		seq := make([]string, n)
+		for i := range seq {
+			seq[i] = letters[rng.Intn(nv)]
+		}
+		_, opt := OptimalSOA(seq)
+		for name, l := range map[string]Layout{
+			"liao":      LiaoSOA(seq),
+			"tie-break": TieBreakSOA(seq),
+			"first-use": FirstUse(seq),
+		} {
+			if c := l.Cost(seq); c < opt {
+				t.Fatalf("%s cost %d beats optimum %d for %v", name, c, opt, seq)
+			}
+		}
+	}
+}
+
+func TestTieBreakAtLeastAsGoodOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	letters := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	liaoTotal, tieTotal, naiveTotal := 0, 0, 0
+	for trial := 0; trial < 300; trial++ {
+		n := 10 + rng.Intn(40)
+		seq := make([]string, n)
+		for i := range seq {
+			seq[i] = letters[rng.Intn(len(letters))]
+		}
+		liaoTotal += LiaoSOA(seq).Cost(seq)
+		tieTotal += TieBreakSOA(seq).Cost(seq)
+		naiveTotal += FirstUse(seq).Cost(seq)
+	}
+	if tieTotal > liaoTotal {
+		t.Fatalf("tie-break total %d worse than Liao %d", tieTotal, liaoTotal)
+	}
+	if liaoTotal >= naiveTotal {
+		t.Fatalf("Liao total %d not better than first-use %d", liaoTotal, naiveTotal)
+	}
+}
+
+func TestOptimalSOASmall(t *testing.T) {
+	// Two variables always admit a zero-cost layout.
+	seq := seqOf("ababab")
+	_, cost := OptimalSOA(seq)
+	if cost != 0 {
+		t.Fatalf("two-variable optimum = %d, want 0", cost)
+	}
+	// Three variables in a strict triangle access a-b-c-a-b-c...
+	// cannot all be pairwise adjacent: at least one transition per
+	// round trip costs.
+	seq = seqOf("abcabc")
+	_, cost = OptimalSOA(seq)
+	if cost == 0 {
+		t.Fatal("triangle sequence cannot be zero-cost")
+	}
+}
+
+func TestGOAReducesCostWithMoreRegisters(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	letters := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(20)
+		seq := make([]string, n)
+		for i := range seq {
+			seq[i] = letters[rng.Intn(len(letters))]
+		}
+		prev := -1
+		for k := 1; k <= 4; k++ {
+			res, err := GOA(seq, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev >= 0 && res.Cost > prev {
+				t.Fatalf("GOA cost rose from %d to %d at k=%d", prev, res.Cost, k)
+			}
+			prev = res.Cost
+			// Groups must partition the variables.
+			seen := map[string]bool{}
+			for _, g := range res.Groups {
+				for _, v := range g.Order {
+					if seen[v] {
+						t.Fatalf("variable %q in two groups", v)
+					}
+					seen[v] = true
+				}
+			}
+			for _, v := range Variables(seq) {
+				if !seen[v] {
+					t.Fatalf("variable %q unassigned", v)
+				}
+			}
+		}
+	}
+}
+
+func TestGOAOneRegisterMatchesSOA(t *testing.T) {
+	seq := seqOf("abcdadacbdbc")
+	res, err := GOA(seq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TieBreakSOA(seq).Cost(seq)
+	if res.Cost != want {
+		t.Fatalf("GOA k=1 cost %d, SOA cost %d", res.Cost, want)
+	}
+}
+
+func TestGOAValidation(t *testing.T) {
+	if _, err := GOA(seqOf("ab"), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestGOAEnoughRegistersZeroCost(t *testing.T) {
+	// With one register per variable every subsequence is a single
+	// variable: zero cost.
+	seq := seqOf("abcabc")
+	res, err := GOA(seq, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 0 {
+		t.Fatalf("GOA with k=#vars cost = %d, want 0", res.Cost)
+	}
+}

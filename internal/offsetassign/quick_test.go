@@ -1,0 +1,93 @@
+package offsetassign
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func seqFromBytes(raw []byte) []string {
+	letters := []string{"a", "b", "c", "d", "e", "f", "g"}
+	if len(raw) == 0 {
+		raw = []byte{0}
+	}
+	if len(raw) > 40 {
+		raw = raw[:40]
+	}
+	seq := make([]string, len(raw))
+	for i, b := range raw {
+		seq[i] = letters[int(b)%len(letters)]
+	}
+	return seq
+}
+
+// Property (quick): every heuristic layout is a permutation of the
+// sequence's variables, and its cost is bounded by the number of
+// variable-changing transitions.
+func TestQuickLayoutInvariants(t *testing.T) {
+	f := func(raw []byte) bool {
+		seq := seqFromBytes(raw)
+		vars := Variables(seq)
+		maxCost := 0
+		for k := 1; k < len(seq); k++ {
+			if seq[k] != seq[k-1] {
+				maxCost++
+			}
+		}
+		for _, l := range []Layout{FirstUse(seq), LiaoSOA(seq), TieBreakSOA(seq)} {
+			if len(l.Order) != len(vars) {
+				return false
+			}
+			seen := map[string]bool{}
+			for _, v := range l.Order {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+			c := l.Cost(seq)
+			if c < 0 || c > maxCost {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(121))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (quick): GOA's cost is monotone non-increasing in the
+// register count and its groups partition the variables.
+func TestQuickGOAInvariants(t *testing.T) {
+	f := func(raw []byte, kRaw uint8) bool {
+		seq := seqFromBytes(raw)
+		k1 := 1 + int(kRaw%3)
+		r1, err := GOA(seq, k1)
+		if err != nil {
+			return false
+		}
+		r2, err := GOA(seq, k1+1)
+		if err != nil {
+			return false
+		}
+		if r2.Cost > r1.Cost {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, g := range r1.Groups {
+			for _, v := range g.Order {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		return len(seen) == len(Variables(seq))
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(122))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

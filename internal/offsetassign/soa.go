@@ -1,0 +1,263 @@
+// Package offsetassign implements the scalar-variable counterpart the
+// paper cites as complementary work: simple offset assignment (SOA,
+// Liao et al., PLDI 1995) and its generalization to k address
+// registers (GOA, Leupers/Marwedel, ICCAD 1996).
+//
+// A DSP addresses its scalar variables through an address register with
+// free post-increment/decrement by 1. Given the access sequence of a
+// basic block, SOA chooses the memory layout (a linear order of the
+// variables) minimizing the number of accesses whose predecessor is not
+// a memory neighbour — each such access costs one explicit
+// address-register load. The problem reduces to maximum-weight path
+// cover of the access graph; Liao's heuristic picks edges greedily by
+// weight, and the Leupers/Marwedel variant adds a tie-break that
+// prefers the edge losing the least adjacent weight.
+package offsetassign
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Layout is a memory order of scalar variables.
+type Layout struct {
+	Order []string
+	pos   map[string]int
+}
+
+// NewLayout builds a layout from a variable order.
+func NewLayout(order []string) Layout {
+	pos := make(map[string]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+	return Layout{Order: append([]string(nil), order...), pos: pos}
+}
+
+// Cost counts the unit-cost address computations of the access
+// sequence under this layout: a transition between two different
+// variables costs 1 unless they are memory neighbours (|Δpos| == 1,
+// covered by free post-increment/decrement). Transitions to the same
+// variable are free. Variables missing from the layout make Cost
+// panic — layouts must cover the sequence.
+func (l Layout) Cost(seq []string) int {
+	cost := 0
+	for k := 1; k < len(seq); k++ {
+		a, b := seq[k-1], seq[k]
+		if a == b {
+			continue
+		}
+		pa, oka := l.pos[a]
+		pb, okb := l.pos[b]
+		if !oka || !okb {
+			panic(fmt.Sprintf("offsetassign: layout misses variable %q or %q", a, b))
+		}
+		d := pa - pb
+		if d != 1 && d != -1 {
+			cost++
+		}
+	}
+	return cost
+}
+
+// Variables returns the distinct variables of a sequence in
+// first-appearance order.
+func Variables(seq []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, v := range seq {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// FirstUse is the naive baseline: variables laid out in first-use
+// order (what a declaration-order compiler does).
+func FirstUse(seq []string) Layout {
+	return NewLayout(Variables(seq))
+}
+
+// edge is an undirected access-graph edge with its adjacency weight.
+type edge struct {
+	u, v   string
+	weight int
+}
+
+// accessGraph builds the weighted access graph: weight(a,b) counts the
+// adjacent occurrences of a,b (a != b) in the sequence.
+func accessGraph(seq []string) []edge {
+	w := map[[2]string]int{}
+	for k := 1; k < len(seq); k++ {
+		a, b := seq[k-1], seq[k]
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		w[[2]string{a, b}]++
+	}
+	edges := make([]edge, 0, len(w))
+	for key, weight := range w {
+		edges = append(edges, edge{u: key[0], v: key[1], weight: weight})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].weight != edges[j].weight {
+			return edges[i].weight > edges[j].weight
+		}
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	return edges
+}
+
+// LiaoSOA runs Liao's greedy heuristic: scan edges by descending
+// weight, accept an edge when both endpoints still have memory degree
+// < 2 and it closes no cycle, then stitch the resulting paths into one
+// layout.
+func LiaoSOA(seq []string) Layout {
+	return greedySOA(seq, false)
+}
+
+// TieBreakSOA runs the Leupers/Marwedel variant: among equal-weight
+// edges, prefer the one whose endpoints carry the least remaining
+// adjacent weight (losing it hurts least later).
+func TieBreakSOA(seq []string) Layout {
+	return greedySOA(seq, true)
+}
+
+func greedySOA(seq []string, tieBreak bool) Layout {
+	vars := Variables(seq)
+	edges := accessGraph(seq)
+
+	if tieBreak {
+		// Total incident weight per variable.
+		incident := map[string]int{}
+		for _, e := range edges {
+			incident[e.u] += e.weight
+			incident[e.v] += e.weight
+		}
+		sort.SliceStable(edges, func(i, j int) bool {
+			if edges[i].weight != edges[j].weight {
+				return edges[i].weight > edges[j].weight
+			}
+			ti := incident[edges[i].u] + incident[edges[i].v] - 2*edges[i].weight
+			tj := incident[edges[j].u] + incident[edges[j].v] - 2*edges[j].weight
+			return ti < tj
+		})
+	}
+
+	degree := map[string]int{}
+	next := map[string]string{} // path adjacency (undirected, two slots)
+	prev := map[string]string{}
+	find := newUnionFind(vars)
+	for _, e := range edges {
+		if degree[e.u] >= 2 || degree[e.v] >= 2 {
+			continue
+		}
+		if find.root(e.u) == find.root(e.v) {
+			continue // would close a cycle
+		}
+		find.union(e.u, e.v)
+		degree[e.u]++
+		degree[e.v]++
+		// Attach on whichever side is free.
+		if _, ok := next[e.u]; !ok {
+			next[e.u] = e.v
+		} else {
+			prev[e.u] = e.v
+		}
+		if _, ok := prev[e.v]; !ok {
+			prev[e.v] = e.u
+		} else {
+			next[e.v] = e.u
+		}
+	}
+
+	// Walk each path from an endpoint (degree < 2), concatenating.
+	var order []string
+	visited := map[string]bool{}
+	for _, start := range vars {
+		if visited[start] || degree[start] >= 2 {
+			continue
+		}
+		cur, from := start, ""
+		for cur != "" && !visited[cur] {
+			visited[cur] = true
+			order = append(order, cur)
+			n1, n2 := next[cur], prev[cur]
+			switch {
+			case n1 != "" && n1 != from && !visited[n1]:
+				from, cur = cur, n1
+			case n2 != "" && n2 != from && !visited[n2]:
+				from, cur = cur, n2
+			default:
+				cur = ""
+			}
+		}
+	}
+	// Isolated or cycle-remnant variables (shouldn't occur, but be
+	// safe): append any not yet placed.
+	for _, v := range vars {
+		if !visited[v] {
+			order = append(order, v)
+		}
+	}
+	return NewLayout(order)
+}
+
+// OptimalSOA finds the minimum-cost layout by trying all permutations;
+// it is feasible only for small variable counts and serves as the
+// oracle in tests and the A4 ablation.
+func OptimalSOA(seq []string) (Layout, int) {
+	vars := Variables(seq)
+	best := append([]string(nil), vars...)
+	bestCost := NewLayout(vars).Cost(seq)
+	perm := append([]string(nil), vars...)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(perm) {
+			if c := NewLayout(perm).Cost(seq); c < bestCost {
+				bestCost = c
+				copy(best, perm)
+			}
+			return
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return NewLayout(best), bestCost
+}
+
+type unionFind struct {
+	parent map[string]string
+}
+
+func newUnionFind(items []string) *unionFind {
+	uf := &unionFind{parent: make(map[string]string, len(items))}
+	for _, it := range items {
+		uf.parent[it] = it
+	}
+	return uf
+}
+
+func (uf *unionFind) root(x string) string {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b string) {
+	uf.parent[uf.root(a)] = uf.root(b)
+}

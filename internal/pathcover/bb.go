@@ -1,0 +1,212 @@
+package pathcover
+
+import (
+	"sort"
+
+	"dspaddr/internal/distgraph"
+	"dspaddr/internal/model"
+)
+
+// Options tunes the branch-and-bound search of MinCover.
+type Options struct {
+	// NodeBudget caps the number of explored search states; when the
+	// budget is exhausted the best cover found so far is returned with
+	// Exact=false. Zero selects DefaultNodeBudget.
+	NodeBudget int
+}
+
+// DefaultNodeBudget is the branch-and-bound state cap used when
+// Options.NodeBudget is zero. Patterns of the sizes the paper studies
+// (N up to ~50) complete far below this limit.
+const DefaultNodeBudget = 2_000_000
+
+// MinCover computes phase 1 of the paper's allocator: a cover of the
+// distance graph by the minimum number K~ of node-disjoint zero-cost
+// paths.
+//
+// With wrap=false the problem is a minimum path cover of a DAG, solved
+// exactly in polynomial time via maximum matching. With wrap=true the
+// loop-back transition of every path must also be zero-cost; MinCover
+// then runs a branch-and-bound search seeded with the matching lower
+// bound and the greedy upper bound, mirroring the procedure of the
+// companion ASP-DAC'98 paper. If no zero-cost cover exists at all
+// (possible only when the loop stride exceeds the modify range), the
+// returned cover is the intra-iteration optimum with ZeroCost=false.
+func MinCover(dg *distgraph.Graph, wrap bool, opts *Options) Cover {
+	if !wrap {
+		paths := sortPaths(MinCoverDAG(dg))
+		return Cover{Paths: paths, ZeroCost: true, Exact: true}
+	}
+	budget := DefaultNodeBudget
+	if opts != nil && opts.NodeBudget > 0 {
+		budget = opts.NodeBudget
+	}
+
+	lb := LowerBound(dg)
+	s := &bbSearch{dg: dg, n: dg.N(), budget: budget, best: int(^uint(0) >> 1)}
+
+	if greedy := GreedyCover(dg, true); coverZeroCost(dg, greedy, true) {
+		s.best = len(greedy)
+		s.bestPaths = clonePaths(greedy)
+		if s.best == lb {
+			return Cover{Paths: sortPaths(s.bestPaths), ZeroCost: true, Exact: true}
+		}
+	}
+
+	s.run()
+
+	if s.bestPaths == nil {
+		// No zero-cost cover exists; fall back to the intra-iteration
+		// optimum. The search completing within budget proves
+		// infeasibility.
+		return Cover{
+			Paths:    sortPaths(MinCoverDAG(dg)),
+			ZeroCost: false,
+			Exact:    !s.exhausted,
+			Nodes:    s.nodes,
+		}
+	}
+	return Cover{
+		Paths:    sortPaths(s.bestPaths),
+		ZeroCost: true,
+		Exact:    !s.exhausted || s.best == lb,
+		Nodes:    s.nodes,
+	}
+}
+
+// bbSearch carries the branch-and-bound state: accesses are placed in
+// program order, each either appended to an open path (keeping all
+// intra transitions zero-cost) or opening a new path; a leaf is
+// feasible when every path's wrap transition is zero-cost.
+type bbSearch struct {
+	dg        *distgraph.Graph
+	n         int
+	budget    int
+	nodes     int
+	exhausted bool
+	best      int
+	bestPaths []model.Path
+	open      []model.Path
+	// badWrap tracks, per open path, whether its current (tail, head)
+	// wrap transition costs; such paths need at least one more access.
+	badWrap []bool
+	numBad  int
+}
+
+func (s *bbSearch) run() {
+	s.open = s.open[:0]
+	s.badWrap = s.badWrap[:0]
+	s.numBad = 0
+	s.place(0)
+}
+
+func (s *bbSearch) place(i int) {
+	if s.exhausted {
+		return
+	}
+	s.nodes++
+	if s.nodes > s.budget {
+		s.exhausted = true
+		return
+	}
+	if len(s.open) >= s.best {
+		return // cannot improve: path count never decreases
+	}
+	remaining := s.n - i
+	if s.numBad > remaining {
+		return // each bad-wrap path needs at least one future access
+	}
+	if i == s.n {
+		if s.numBad == 0 {
+			s.best = len(s.open)
+			s.bestPaths = clonePaths(s.open)
+		}
+		return
+	}
+
+	// A bad-wrap path whose tail has no future zero-cost successor can
+	// never be repaired; prune the whole branch.
+	for pi, p := range s.open {
+		if s.badWrap[pi] && !s.hasFutureSuccessor(p[len(p)-1], i) {
+			return
+		}
+	}
+
+	// Branch 1: append access i to each compatible open path, skipping
+	// symmetric duplicates (paths with identical tail and head offsets
+	// are interchangeable).
+	type sig struct{ tail, head int }
+	tried := make(map[sig]bool)
+	for pi := range s.open {
+		p := s.open[pi]
+		tail, head := p[len(p)-1], p[0]
+		if !s.dg.ZeroIntra(tail, i) {
+			continue
+		}
+		key := sig{s.dg.Pattern.Offsets[tail], s.dg.Pattern.Offsets[head]}
+		if tried[key] {
+			continue
+		}
+		tried[key] = true
+
+		wasBad := s.badWrap[pi]
+		nowBad := !s.dg.ZeroWrap(i, head)
+		s.open[pi] = append(p, i)
+		s.badWrap[pi] = nowBad
+		s.numBad += boolDelta(wasBad, nowBad)
+
+		s.place(i + 1)
+
+		s.open[pi] = p
+		s.badWrap[pi] = wasBad
+		s.numBad -= boolDelta(wasBad, nowBad)
+	}
+
+	// Branch 2: open a new path at access i.
+	newBad := !s.dg.ZeroWrap(i, i) // singleton wrap distance is the stride
+	s.open = append(s.open, model.Path{i})
+	s.badWrap = append(s.badWrap, newBad)
+	if newBad {
+		s.numBad++
+	}
+
+	s.place(i + 1)
+
+	s.open = s.open[:len(s.open)-1]
+	s.badWrap = s.badWrap[:len(s.badWrap)-1]
+	if newBad {
+		s.numBad--
+	}
+}
+
+// hasFutureSuccessor reports whether tail has any zero-cost successor
+// with index >= i.
+func (s *bbSearch) hasFutureSuccessor(tail, i int) bool {
+	succ := s.dg.Intra.Out(tail)
+	// Successors are sorted ascending; the largest decides.
+	return len(succ) > 0 && succ[len(succ)-1].To >= i
+}
+
+func boolDelta(was, now bool) int {
+	switch {
+	case !was && now:
+		return 1
+	case was && !now:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func clonePaths(paths []model.Path) []model.Path {
+	out := make([]model.Path, len(paths))
+	for i, p := range paths {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+func sortPaths(paths []model.Path) []model.Path {
+	sort.Slice(paths, func(i, j int) bool { return paths[i][0] < paths[j][0] })
+	return paths
+}

@@ -1,0 +1,86 @@
+// Package pathcover implements phase 1 of the paper's allocator: cover
+// the distance graph with the minimum number K~ of node-disjoint paths,
+// so that all array addresses are computed by zero-cost post-modify
+// operations only.
+//
+// Without inter-iteration (wrap) constraints the distance graph is a
+// DAG and the minimum path cover is computed exactly in polynomial time
+// via König's theorem: minCover = N - maxMatching of the bipartite
+// out/in-copy graph (the bound technique of Araujo et al. [2]). With
+// wrap constraints the matching value remains a lower bound, a greedy
+// cover provides an upper bound, and a branch-and-bound search (per the
+// companion ASP-DAC'98 paper [3]) closes the gap.
+package pathcover
+
+// bipartite is an adjacency-list bipartite graph with nLeft left nodes
+// and nRight right nodes used by the Hopcroft-Karp matcher.
+type bipartite struct {
+	nLeft, nRight int
+	adj           [][]int // adj[u] lists right neighbours of left node u
+}
+
+// hopcroftKarp returns a maximum matching as matchL (left -> right or
+// -1) and matchR (right -> left or -1), plus its cardinality. It runs
+// in O(E * sqrt(V)).
+func hopcroftKarp(g bipartite) (matchL, matchR []int, size int) {
+	const inf = int(^uint(0) >> 1)
+	matchL = make([]int, g.nLeft)
+	matchR = make([]int, g.nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int, g.nLeft)
+	queue := make([]int, 0, g.nLeft)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < g.nLeft; u++ {
+			if matchL[u] == -1 {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, v := range g.adj[u] {
+				w := matchR[v]
+				if w == -1 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range g.adj[u] {
+			w := matchR[v]
+			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	for bfs() {
+		for u := 0; u < g.nLeft; u++ {
+			if matchL[u] == -1 && dfs(u) {
+				size++
+			}
+		}
+	}
+	return matchL, matchR, size
+}

@@ -1,0 +1,99 @@
+package pathcover
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dspaddr/internal/distgraph"
+	"dspaddr/internal/model"
+)
+
+// patternFromBytes derives a small pattern from raw fuzz bytes.
+func patternFromBytes(raw []byte, stride int) model.Pattern {
+	if len(raw) == 0 {
+		raw = []byte{0}
+	}
+	if len(raw) > 14 {
+		raw = raw[:14]
+	}
+	offs := make([]int, len(raw))
+	for i, b := range raw {
+		offs[i] = int(b%17) - 8
+	}
+	return model.Pattern{Array: "A", Stride: stride, Offsets: offs}
+}
+
+// Property (quick): the matching-based cover is always a valid
+// partition, zero-cost intra-iteration, and exactly as large as the
+// lower bound.
+func TestQuickMinCoverDAGInvariants(t *testing.T) {
+	f := func(raw []byte, m uint8) bool {
+		pat := patternFromBytes(raw, 1)
+		dg, err := distgraph.Build(pat, int(m%4))
+		if err != nil {
+			return false
+		}
+		paths := MinCoverDAG(dg)
+		a := model.Assignment{Paths: paths}
+		if err := a.Validate(pat); err != nil {
+			return false
+		}
+		if !coverZeroCost(dg, paths, false) {
+			return false
+		}
+		return len(paths) == LowerBound(dg)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(111))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (quick): the branch-and-bound cover respects the matching
+// lower bound and is a valid partition, for both objectives.
+func TestQuickMinCoverBounds(t *testing.T) {
+	f := func(raw []byte, m, strideRaw uint8) bool {
+		pat := patternFromBytes(raw, 1+int(strideRaw%3))
+		dg, err := distgraph.Build(pat, int(m%3))
+		if err != nil {
+			return false
+		}
+		lb := LowerBound(dg)
+		for _, wrap := range []bool{false, true} {
+			c := MinCover(dg, wrap, nil)
+			if err := c.Assignment().Validate(pat); err != nil {
+				return false
+			}
+			if c.ZeroCost && c.K() < lb {
+				return false // a zero-cost cover can never beat the relaxation
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(112))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (quick): greedy covers never use more paths than accesses
+// and never fewer than the exact optimum.
+func TestQuickGreedyCoverBounds(t *testing.T) {
+	f := func(raw []byte, m uint8) bool {
+		pat := patternFromBytes(raw, 1)
+		dg, err := distgraph.Build(pat, int(m%3))
+		if err != nil {
+			return false
+		}
+		g := GreedyCover(dg, false)
+		if len(g) > pat.N() {
+			return false
+		}
+		return len(g) >= LowerBound(dg)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(113))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package stats provides the small descriptive-statistics and
+// text-table substrate used by every experiment harness: sample
+// summaries (mean, standard deviation, median, confidence intervals),
+// histograms, and aligned plain-text table rendering for the
+// paper-style result tables.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Sample accumulates float64 observations and answers descriptive
+// queries. The zero value is an empty sample ready to use.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// AddInt appends an integer observation.
+func (s *Sample) AddInt(x int) { s.Add(float64(x)) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Sum returns the sum of all observations.
+func (s *Sample) Sum() float64 {
+	total := 0.0
+	for _, x := range s.xs {
+		total += x
+	}
+	return total
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.Sum() / float64(len(s.xs))
+}
+
+// Var returns the unbiased sample variance, or 0 with fewer than two
+// observations.
+func (s *Sample) Var() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	min := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	max := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation
+// between order statistics, or 0 for an empty sample.
+func (s *Sample) Quantile(q float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// CI95 returns the half-width of the normal-approximation 95 %
+// confidence interval of the mean (1.96 * stderr), or 0 with fewer than
+// two observations.
+func (s *Sample) CI95() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(len(s.xs)))
+}
+
+// Values returns a copy of the raw observations.
+func (s *Sample) Values() []float64 { return append([]float64(nil), s.xs...) }
+
+// PercentReduction returns 100*(base-opt)/base, the improvement of opt
+// over base; it returns 0 when base is 0 (no cost to reduce).
+func PercentReduction(base, opt float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - opt) / base
+}
+
+// Speedup returns base/opt, treating opt==0 as a speedup of +Inf when
+// base>0 and 1 when both are zero.
+func Speedup(base, opt float64) float64 {
+	if opt == 0 {
+		if base == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return base / opt
+}
+
+// Histogram counts observations into uniform-width bins over [lo, hi).
+// Observations outside the range are clamped into the end bins.
+func Histogram(xs []float64, lo, hi float64, bins int) []int {
+	counts := make([]int, bins)
+	if bins == 0 || hi <= lo {
+		return counts
+	}
+	w := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	return counts
+}

@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !approx(s.Mean(), 5) {
+		t.Fatalf("Mean = %g", s.Mean())
+	}
+	// Unbiased variance of the classic example is 32/7.
+	if !approx(s.Var(), 32.0/7.0) {
+		t.Fatalf("Var = %g", s.Var())
+	}
+	if !approx(s.Min(), 2) || !approx(s.Max(), 9) {
+		t.Fatalf("Min/Max = %g/%g", s.Min(), s.Max())
+	}
+	if !approx(s.Sum(), 40) {
+		t.Fatalf("Sum = %g", s.Sum())
+	}
+}
+
+func TestSampleAddInt(t *testing.T) {
+	var s Sample
+	s.AddInt(3)
+	s.AddInt(5)
+	if !approx(s.Mean(), 4) {
+		t.Fatalf("Mean = %g", s.Mean())
+	}
+}
+
+func TestQuantileAndMedian(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{3, 1, 2} {
+		s.Add(x)
+	}
+	if !approx(s.Median(), 2) {
+		t.Fatalf("Median = %g", s.Median())
+	}
+	if !approx(s.Quantile(0), 1) || !approx(s.Quantile(1), 3) {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if !approx(s.Quantile(0.25), 1.5) {
+		t.Fatalf("Q1 = %g", s.Quantile(0.25))
+	}
+	if !approx(s.Quantile(-1), 1) || !approx(s.Quantile(2), 3) {
+		t.Fatal("clamped quantiles wrong")
+	}
+	var empty Sample
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	var single Sample
+	single.Add(42)
+	if !approx(single.Quantile(0.5), 42) {
+		t.Fatal("single-element quantile wrong")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	if s.CI95() != 0 {
+		t.Fatal("CI95 of single observation should be 0")
+	}
+	s.Add(3)
+	want := 1.96 * s.StdDev() / math.Sqrt(2)
+	if !approx(s.CI95(), want) {
+		t.Fatalf("CI95 = %g, want %g", s.CI95(), want)
+	}
+}
+
+func TestValuesCopies(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	v := s.Values()
+	v[0] = 99
+	if !approx(s.Mean(), 1) {
+		t.Fatal("Values leaked internal storage")
+	}
+}
+
+func TestPercentReduction(t *testing.T) {
+	if !approx(PercentReduction(10, 6), 40) {
+		t.Fatalf("PercentReduction = %g", PercentReduction(10, 6))
+	}
+	if PercentReduction(0, 5) != 0 {
+		t.Fatal("zero base should yield 0")
+	}
+	if !approx(PercentReduction(4, 6), -50) {
+		t.Fatal("regression should be negative")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if !approx(Speedup(10, 5), 2) {
+		t.Fatal("Speedup wrong")
+	}
+	if !math.IsInf(Speedup(3, 0), 1) {
+		t.Fatal("Speedup with zero opt should be +Inf")
+	}
+	if !approx(Speedup(0, 0), 1) {
+		t.Fatal("Speedup 0/0 should be 1")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.5, 1.5, 2.5, 9.9, -3, 12}
+	h := Histogram(xs, 0, 10, 5)
+	if h[0] != 3 { // 0, 0.5, 1.5 and clamped -3 -> bin 0? -3 clamps to 0: 4 total
+		// recompute: bins of width 2: [0,2):0,0.5,1.5,-3(clamped) = 4
+	}
+	want := []int{4, 1, 0, 0, 2} // [0,2):4, [2,4):1, [8,10):9.9 and clamped 12
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("Histogram = %v, want %v", h, want)
+		}
+	}
+	if got := Histogram(xs, 0, 0, 3); got[0] != 0 {
+		t.Fatal("degenerate range should count nothing")
+	}
+	if got := Histogram(xs, 0, 1, 0); len(got) != 0 {
+		t.Fatal("zero bins should return empty")
+	}
+}
+
+func TestSampleMeanMatchesManualComputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s Sample
+	sum := 0.0
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 10
+		s.Add(x)
+		sum += x
+	}
+	if !approx(s.Mean(), sum/1000) {
+		t.Fatal("mean mismatch")
+	}
+	// ~99.99% of the mass lies within 4 sigma; CI95 should be small.
+	if s.CI95() > 1 {
+		t.Fatalf("CI95 unexpectedly large: %g", s.CI95())
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := NewTable("T1: demo", "kernel", "naive", "opt", "reduction")
+	tb.AddRowf("fir", 10, 6, 40.0)
+	tb.AddRow("iir", "8", "8", "0.00")
+	out := tb.String()
+	if !strings.Contains(out, "T1: demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "kernel") || !strings.Contains(out, "40.00") {
+		t.Errorf("missing cells in:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + rule + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only")
+	tb.AddRow("x", "y", "overflow")
+	out := tb.String()
+	if strings.Contains(out, "overflow") {
+		t.Error("over-wide row should be truncated")
+	}
+	if !strings.Contains(out, "only") {
+		t.Error("short row should be padded")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("My title", "x", "y")
+	tb.AddRowf(1, 2)
+	md := tb.Markdown()
+	for _, want := range []string{"**My title**", "| x | y |", "|---|---|", "| 1 | 2 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

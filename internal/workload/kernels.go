@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"dspaddr/internal/frontend"
+	"dspaddr/internal/model"
+)
+
+// Kernel is one realistic DSP loop, written in the mini-C language and
+// lowered through the frontend — the kernels stand in for the paper's
+// "realistic DSP programs" (DSPstone-era benchmarks).
+type Kernel struct {
+	// Name identifies the kernel in tables.
+	Name string
+	// Description says what the loop computes.
+	Description string
+	// Source is the mini-C text.
+	Source string
+	// Bindings resolves the source's symbolic constants.
+	Bindings map[string]int
+	// Loop is the lowered loop.
+	Loop model.LoopSpec
+	// Scalars is the body's scalar access sequence (input to the
+	// complementary offset-assignment optimizer).
+	Scalars []frontend.ScalarAccess
+}
+
+// kernelSources lists the library; every entry is parsed and validated
+// at first use.
+var kernelSources = []struct {
+	name, desc, src string
+	bindings        map[string]int
+}{
+	{
+		name: "fir8",
+		desc: "8-tap FIR filter, taps unrolled",
+		src: `
+for (i = 7; i <= N; i++) {
+    y[i] = c0*x[i] + c1*x[i-1] + c2*x[i-2] + c3*x[i-3]
+         + c4*x[i-4] + c5*x[i-5] + c6*x[i-6] + c7*x[i-7];
+}`,
+		bindings: map[string]int{"N": 127},
+	},
+	{
+		name: "iir-biquad",
+		desc: "direct-form-I IIR biquad section",
+		src: `
+for (i = 2; i <= N; i++) {
+    y[i] = b0*x[i] + b1*x[i-1] + b2*x[i-2] - a1*y[i-1] - a2*y[i-2];
+}`,
+		bindings: map[string]int{"N": 127},
+	},
+	{
+		name: "conv5",
+		desc: "5-point convolution window",
+		src: `
+for (i = 2; i <= N; i++) {
+    y[i] = k0*x[i-2] + k1*x[i-1] + k2*x[i] + k3*x[i+1] + k4*x[i+2];
+}`,
+		bindings: map[string]int{"N": 125},
+	},
+	{
+		name: "xcorr4",
+		desc: "cross-correlation of two signals, lag window 4",
+		src: `
+for (i = 0; i <= N; i++) {
+    r[i] = a[i]*b[i] + a[i+1]*b[i+1] + a[i+2]*b[i+2] + a[i+3]*b[i+3];
+}`,
+		bindings: map[string]int{"N": 123},
+	},
+	{
+		name: "moving-avg",
+		desc: "recursive moving average (window 8)",
+		src: `
+for (i = 8; i <= N; i++) {
+    y[i] = y[i-1] + x[i] - x[i-8];
+}`,
+		bindings: map[string]int{"N": 127},
+	},
+	{
+		name: "stencil3",
+		desc: "three-point Laplacian stencil",
+		src: `
+for (i = 1; i <= N; i++) {
+    b[i] = a[i-1] - 2*a[i] + a[i+1];
+}`,
+		bindings: map[string]int{"N": 126},
+	},
+	{
+		name: "lms4",
+		desc: "LMS adaptive filter tap update, 4 taps unrolled",
+		src: `
+for (i = 0; i <= N; i += 4) {
+    w[i]   += mu*x[i];
+    w[i+1] += mu*x[i+1];
+    w[i+2] += mu*x[i+2];
+    w[i+3] += mu*x[i+3];
+}`,
+		bindings: map[string]int{"N": 124},
+	},
+	{
+		name: "fft-bfly",
+		desc: "radix-2 FFT butterfly pass (half = 8), real/imag interleaved in two arrays",
+		src: `
+for (i = 0; i <= N; i++) {
+    tr = re[i+8] * wr - im[i+8] * wi;
+    ti = re[i+8] * wi + im[i+8] * wr;
+    re[i+8] = re[i] - tr;
+    im[i+8] = im[i] - ti;
+    re[i] = re[i] + tr;
+    im[i] = im[i] + ti;
+}`,
+		bindings: map[string]int{"N": 7},
+	},
+	{
+		name: "dct8-col",
+		desc: "8-point DCT column pass, block-strided",
+		src: `
+for (i = 0; i <= N; i += 8) {
+    s0 = x[i]   + x[i+7];
+    s1 = x[i+1] + x[i+6];
+    s2 = x[i+2] + x[i+5];
+    s3 = x[i+3] + x[i+4];
+    y[i]   = s0 + s1 + s2 + s3;
+    y[i+4] = s0 - s1 - s2 + s3;
+}`,
+		bindings: map[string]int{"N": 120},
+	},
+	{
+		name: "vec-dot",
+		desc: "vector dot product, 4-way unrolled",
+		src: `
+for (i = 0; i <= N; i += 4) {
+    acc += a[i]*b[i] + a[i+1]*b[i+1] + a[i+2]*b[i+2] + a[i+3]*b[i+3];
+}`,
+		bindings: map[string]int{"N": 124},
+	},
+	{
+		name: "fir16",
+		desc: "16-tap FIR filter, taps unrolled",
+		src: `
+for (i = 15; i <= N; i++) {
+    y[i] = c0*x[i]     + c1*x[i-1]  + c2*x[i-2]   + c3*x[i-3]
+         + c4*x[i-4]   + c5*x[i-5]  + c6*x[i-6]   + c7*x[i-7]
+         + c8*x[i-8]   + c9*x[i-9]  + c10*x[i-10] + c11*x[i-11]
+         + c12*x[i-12] + c13*x[i-13] + c14*x[i-14] + c15*x[i-15];
+}`,
+		bindings: map[string]int{"N": 127},
+	},
+	{
+		name: "lattice2",
+		desc: "two-stage lattice filter update",
+		src: `
+for (i = 1; i <= N; i++) {
+    f[i] = f[i-1] + k1*g[i-1];
+    g[i] = g[i-1] + k1*f[i-1];
+}`,
+		bindings: map[string]int{"N": 126},
+	},
+	{
+		name: "cplx-mult",
+		desc: "complex vector multiply, split real/imaginary arrays",
+		src: `
+for (i = 0; i <= N; i++) {
+    cr[i] = ar[i]*br[i] - ai[i]*bi[i];
+    ci[i] = ar[i]*bi[i] + ai[i]*br[i];
+}`,
+		bindings: map[string]int{"N": 126},
+	},
+	{
+		name: "interp4",
+		desc: "4-point interpolation window",
+		src: `
+for (i = 1; i <= N; i++) {
+    y[i] = w0*x[i-1] + w1*x[i] + w2*x[i+1] + w3*x[i+2];
+}`,
+		bindings: map[string]int{"N": 125},
+	},
+}
+
+var kernelCache map[string]*Kernel
+
+func buildKernels() (map[string]*Kernel, error) {
+	out := make(map[string]*Kernel, len(kernelSources))
+	for _, ks := range kernelSources {
+		prog, err := frontend.Parse(ks.src, ks.bindings)
+		if err != nil {
+			return nil, fmt.Errorf("workload: kernel %q: %w", ks.name, err)
+		}
+		out[ks.name] = &Kernel{
+			Name:        ks.name,
+			Description: ks.desc,
+			Source:      ks.src,
+			Bindings:    ks.bindings,
+			Loop:        prog.Loop,
+			Scalars:     prog.Scalars,
+		}
+	}
+	return out, nil
+}
+
+func kernels() map[string]*Kernel {
+	if kernelCache == nil {
+		m, err := buildKernels()
+		if err != nil {
+			panic(err) // library sources are fixtures; failure is a bug
+		}
+		kernelCache = m
+	}
+	return kernelCache
+}
+
+// KernelNames lists the library alphabetically.
+func KernelNames() []string {
+	m := kernels()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// KernelByName fetches one kernel.
+func KernelByName(name string) (*Kernel, error) {
+	if k, ok := kernels()[name]; ok {
+		return k, nil
+	}
+	return nil, fmt.Errorf("workload: unknown kernel %q (have %v)", name, KernelNames())
+}
+
+// AllKernels returns the library in name order.
+func AllKernels() []*Kernel {
+	var out []*Kernel
+	for _, n := range KernelNames() {
+		out = append(out, kernels()[n])
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+// Package workload supplies the inputs of the paper's experiments:
+// seeded random access patterns (the Results section's statistical
+// analysis sweeps N, M and K over such patterns) and a library of
+// realistic DSP kernels expressed in the mini-C loop language (the
+// Results section's "realistic DSP programs").
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dspaddr/internal/model"
+)
+
+// Distribution selects the shape of random offset sequences.
+type Distribution int
+
+const (
+	// Uniform draws each offset independently from
+	// [-OffsetRange, +OffsetRange].
+	Uniform Distribution = iota
+	// Clustered draws offsets near a few cluster centres, mimicking
+	// kernels that work on a handful of window positions.
+	Clustered
+	// Walk draws each offset as a bounded random step from the
+	// previous one, mimicking sliding-window access.
+	Walk
+)
+
+// String names the distribution.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Clustered:
+		return "clustered"
+	case Walk:
+		return "walk"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// ParseDistribution resolves a distribution name ("uniform",
+// "clustered", "walk").
+func ParseDistribution(name string) (Distribution, error) {
+	switch name {
+	case "uniform":
+		return Uniform, nil
+	case "clustered":
+		return Clustered, nil
+	case "walk":
+		return Walk, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown distribution %q (want uniform|clustered|walk)", name)
+	}
+}
+
+// RandomParams configures RandomPattern.
+type RandomParams struct {
+	// N is the number of accesses per iteration.
+	N int
+	// OffsetRange bounds the absolute offset values.
+	OffsetRange int
+	// Stride is the loop stride (default 1).
+	Stride int
+	// Dist selects the offset distribution.
+	Dist Distribution
+	// Clusters is the number of centres for the Clustered
+	// distribution (default 3).
+	Clusters int
+}
+
+// RandomPattern draws an access pattern from the given distribution
+// using the caller's RNG (experiments pass fixed seeds).
+func RandomPattern(rng *rand.Rand, p RandomParams) (model.Pattern, error) {
+	if p.N < 1 {
+		return model.Pattern{}, fmt.Errorf("workload: N must be positive, got %d", p.N)
+	}
+	if p.OffsetRange < 0 {
+		return model.Pattern{}, fmt.Errorf("workload: offset range must be non-negative, got %d", p.OffsetRange)
+	}
+	stride := p.Stride
+	if stride == 0 {
+		stride = 1
+	}
+	if stride < 0 {
+		return model.Pattern{}, fmt.Errorf("workload: stride must be positive, got %d", stride)
+	}
+	offs := make([]int, p.N)
+	switch p.Dist {
+	case Uniform:
+		for i := range offs {
+			offs[i] = rng.Intn(2*p.OffsetRange+1) - p.OffsetRange
+		}
+	case Clustered:
+		nc := p.Clusters
+		if nc < 1 {
+			nc = 3
+		}
+		centres := make([]int, nc)
+		for i := range centres {
+			centres[i] = rng.Intn(2*p.OffsetRange+1) - p.OffsetRange
+		}
+		for i := range offs {
+			c := centres[rng.Intn(nc)]
+			off := c + rng.Intn(3) - 1
+			offs[i] = clamp(off, -p.OffsetRange, p.OffsetRange)
+		}
+	case Walk:
+		cur := rng.Intn(2*p.OffsetRange+1) - p.OffsetRange
+		for i := range offs {
+			offs[i] = cur
+			cur = clamp(cur+rng.Intn(5)-2, -p.OffsetRange, p.OffsetRange)
+		}
+	default:
+		return model.Pattern{}, fmt.Errorf("workload: unknown distribution %v", p.Dist)
+	}
+	return model.Pattern{Array: "A", Stride: stride, Offsets: offs}, nil
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"dspaddr/internal/codegen"
+	"dspaddr/internal/core"
+	"dspaddr/internal/dspsim"
+	"dspaddr/internal/model"
+)
+
+func TestRandomPatternUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	pat, err := RandomPattern(rng, RandomParams{N: 50, OffsetRange: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat.N() != 50 || pat.Stride != 1 {
+		t.Fatalf("pattern = %v", pat)
+	}
+	for _, d := range pat.Offsets {
+		if d < -6 || d > 6 {
+			t.Fatalf("offset %d outside range", d)
+		}
+	}
+}
+
+func TestRandomPatternDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for _, dist := range []Distribution{Uniform, Clustered, Walk} {
+		pat, err := RandomPattern(rng, RandomParams{N: 100, OffsetRange: 5, Dist: dist, Stride: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", dist, err)
+		}
+		if pat.N() != 100 || pat.Stride != 2 {
+			t.Fatalf("%v: pattern %v", dist, pat)
+		}
+		for _, d := range pat.Offsets {
+			if d < -5 || d > 5 {
+				t.Fatalf("%v: offset %d outside range", dist, d)
+			}
+		}
+	}
+}
+
+func TestRandomPatternWalkIsLocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	pat, err := RandomPattern(rng, RandomParams{N: 200, OffsetRange: 10, Dist: Walk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < pat.N(); k++ {
+		if d := pat.Distance(k-1, k); d < -2 || d > 2 {
+			t.Fatalf("walk step %d too large", d)
+		}
+	}
+}
+
+func TestRandomPatternDeterministic(t *testing.T) {
+	p1, _ := RandomPattern(rand.New(rand.NewSource(9)), RandomParams{N: 20, OffsetRange: 4})
+	p2, _ := RandomPattern(rand.New(rand.NewSource(9)), RandomParams{N: 20, OffsetRange: 4})
+	for i := range p1.Offsets {
+		if p1.Offsets[i] != p2.Offsets[i] {
+			t.Fatal("same seed must give same pattern")
+		}
+	}
+}
+
+func TestRandomPatternValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomPattern(rng, RandomParams{N: 0, OffsetRange: 1}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := RandomPattern(rng, RandomParams{N: 1, OffsetRange: -1}); err == nil {
+		t.Fatal("negative range accepted")
+	}
+	if _, err := RandomPattern(rng, RandomParams{N: 1, OffsetRange: 1, Stride: -2}); err == nil {
+		t.Fatal("negative stride accepted")
+	}
+	if _, err := RandomPattern(rng, RandomParams{N: 1, OffsetRange: 1, Dist: Distribution(9)}); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Uniform.String() != "uniform" || Clustered.String() != "clustered" || Walk.String() != "walk" {
+		t.Fatal("distribution names wrong")
+	}
+	if Distribution(7).String() != "Distribution(7)" {
+		t.Fatal("unknown distribution name wrong")
+	}
+}
+
+func TestKernelLibraryLoads(t *testing.T) {
+	names := KernelNames()
+	if len(names) < 8 {
+		t.Fatalf("kernel library too small: %v", names)
+	}
+	for _, n := range names {
+		k, err := KernelByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Loop.Validate(); err != nil {
+			t.Fatalf("kernel %s: %v", n, err)
+		}
+		if k.Loop.Iterations() < 1 {
+			t.Fatalf("kernel %s runs no iterations", n)
+		}
+		if k.Description == "" {
+			t.Fatalf("kernel %s lacks a description", n)
+		}
+	}
+	if _, err := KernelByName("nope"); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestAllKernelsOrdered(t *testing.T) {
+	ks := AllKernels()
+	names := KernelNames()
+	if len(ks) != len(names) {
+		t.Fatal("AllKernels/KernelNames mismatch")
+	}
+	for i, k := range ks {
+		if k.Name != names[i] {
+			t.Fatalf("order mismatch at %d: %s vs %s", i, k.Name, names[i])
+		}
+	}
+}
+
+func TestFIRKernelShape(t *testing.T) {
+	k, err := KernelByName("fir8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats, _ := k.Loop.Patterns()
+	byName := map[string]model.Pattern{}
+	for _, p := range pats {
+		byName[p.Array] = p
+	}
+	x, ok := byName["x"]
+	if !ok || x.N() != 8 {
+		t.Fatalf("fir8 x accesses = %v", x)
+	}
+	for j, d := range x.Offsets {
+		if d != -j {
+			t.Fatalf("fir8 x offsets = %v", x.Offsets)
+		}
+	}
+	if y := byName["y"]; y.N() != 1 || y.Offsets[0] != 0 {
+		t.Fatalf("fir8 y accesses = %v", y)
+	}
+	if len(k.Scalars) == 0 {
+		t.Fatal("fir8 should reference coefficient scalars")
+	}
+}
+
+// Every kernel must be allocatable and its generated code must
+// reproduce the exact source address trace on the simulator.
+func TestKernelsEndToEnd(t *testing.T) {
+	for _, k := range AllKernels() {
+		pats, _ := k.Loop.Patterns()
+		kReg := len(pats) + 2
+		alloc, err := core.AllocateLoop(k.Loop, core.Config{
+			AGU: model.AGUSpec{Registers: kReg, ModifyRange: 1},
+		})
+		if err != nil {
+			t.Fatalf("kernel %s: %v", k.Name, err)
+		}
+		bases, words := codegen.AutoBases(k.Loop)
+		prog, err := codegen.GenerateOptimized(alloc, bases, dspsim.ADD)
+		if err != nil {
+			t.Fatalf("kernel %s: %v", k.Name, err)
+		}
+		if err := prog.Verify(words); err != nil {
+			t.Fatalf("kernel %s: %v", k.Name, err)
+		}
+		naive, err := codegen.GenerateNaive(k.Loop, bases, 1, dspsim.ADD)
+		if err != nil {
+			t.Fatalf("kernel %s: %v", k.Name, err)
+		}
+		if err := naive.Verify(words); err != nil {
+			t.Fatalf("kernel %s naive: %v", k.Name, err)
+		}
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for name, want := range map[string]Distribution{
+		"uniform": Uniform, "clustered": Clustered, "walk": Walk,
+	} {
+		got, err := ParseDistribution(name)
+		if err != nil || got != want {
+			t.Errorf("ParseDistribution(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseDistribution("bogus"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
