@@ -9,6 +9,7 @@ package dspaddr
 // sweeps live behind `rcabench`.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -17,6 +18,7 @@ import (
 	"dspaddr/internal/core"
 	"dspaddr/internal/distgraph"
 	"dspaddr/internal/dspsim"
+	"dspaddr/internal/engine"
 	"dspaddr/internal/experiments"
 	"dspaddr/internal/indexreg"
 	"dspaddr/internal/merge"
@@ -292,6 +294,96 @@ func BenchmarkIndexedOptimize(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- batch engine benchmarks ---
+
+// BenchmarkEngineBatch measures end-to-end batch throughput on the
+// worker pool: each iteration submits a 64-job batch of distinct
+// patterns (every job misses the cache).
+func BenchmarkEngineBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	jobs := make([]engine.Request, 64)
+	for i := range jobs {
+		jobs[i] = engine.Request{
+			Pattern: randomPatternB(rng, 20),
+			AGU:     model.AGUSpec{Registers: 2, ModifyRange: 1},
+		}
+	}
+	e := engine.New(engine.Options{Workers: 8, CacheSize: -1})
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range e.RunBatch(context.Background(), jobs) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkEngineCacheHit measures the canonical-pattern cache fast
+// path under parallel load: every submission after the first is a hit.
+func BenchmarkEngineCacheHit(b *testing.B) {
+	e := engine.New(engine.Options{Workers: 8})
+	defer e.Close()
+	req := engine.Request{
+		Pattern: model.PaperExample(),
+		AGU:     model.AGUSpec{Registers: 1, ModifyRange: 1},
+	}
+	if res := e.Run(context.Background(), req); res.Err != nil {
+		b.Fatal(res.Err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			res := e.Run(context.Background(), req)
+			if res.Err != nil {
+				b.Error(res.Err)
+				return
+			}
+			if !res.CacheHit {
+				b.Error("expected a cache hit")
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkEngineCacheMissVsHit reports the solve-vs-lookup gap on one
+// mid-size pattern: sub-benchmark "miss" disables the cache,
+// sub-benchmark "hit" serves from it.
+func BenchmarkEngineCacheMissVsHit(b *testing.B) {
+	pat := randomPatternB(rand.New(rand.NewSource(5)), 30)
+	req := engine.Request{Pattern: pat, AGU: model.AGUSpec{Registers: 2, ModifyRange: 1}}
+	b.Run("miss", func(b *testing.B) {
+		e := engine.New(engine.Options{Workers: 2, CacheSize: -1})
+		defer e.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if res := e.Run(context.Background(), req); res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		e := engine.New(engine.Options{Workers: 2})
+		defer e.Close()
+		e.Run(context.Background(), req)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := e.Run(context.Background(), req)
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			if !res.CacheHit {
+				b.Fatal("expected a cache hit")
+			}
+		}
+	})
 }
 
 // BenchmarkA6ModuloAddressing regenerates the circular-buffer

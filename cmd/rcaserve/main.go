@@ -1,0 +1,115 @@
+// Command rcaserve is a long-running HTTP/JSON service for
+// register-constrained address computation. It fronts the concurrent
+// batch allocation engine (package engine): requests fan out over a
+// bounded worker pool, identical access patterns are answered from a
+// canonicalized-pattern cache, and aggregate statistics are exported.
+//
+// Endpoints:
+//
+//	POST /v1/allocate   one job (inline pattern or mini-C loop source)
+//	POST /v1/batch      many jobs in one request
+//	GET  /v1/stats      engine + HTTP statistics
+//	GET  /healthz       liveness probe
+//
+// Usage:
+//
+//	rcaserve [flags]
+//
+// Flags:
+//
+//	-addr string        listen address (default ":8080")
+//	-workers int        solver worker pool size (default max(8, NumCPU))
+//	-timeout duration   per-job solve deadline (default 5s, 0 disables)
+//	-cache int          result cache entries (default 4096, negative disables)
+//
+// Example:
+//
+//	rcaserve -addr :8080 &
+//	curl -s localhost:8080/v1/allocate -d '{
+//	    "pattern": {"offsets": [1, 0, 2, -1, 1, 0, -2]},
+//	    "agu": {"registers": 1, "modifyRange": 1}
+//	}'
+//
+// The service shuts down gracefully on SIGINT/SIGTERM: the listener
+// stops, in-flight requests get a drain window, then the engine pool
+// is released.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dspaddr/internal/engine"
+)
+
+// shutdownGrace is how long in-flight requests get to finish after a
+// termination signal.
+const shutdownGrace = 10 * time.Second
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rcaserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, starts the engine and serves until a termination
+// signal arrives.
+func run(args []string) error {
+	fs := flag.NewFlagSet("rcaserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "solver worker pool size (0 = max(8, NumCPU))")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-job solve deadline (0 disables)")
+	cacheSize := fs.Int("cache", 0, "result cache entries (0 = default 4096, negative disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	eng := engine.New(engine.Options{
+		Workers:    *workers,
+		JobTimeout: *timeout,
+		CacheSize:  *cacheSize,
+	})
+	defer eng.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(eng).handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("rcaserve: listening on %s (workers=%d, timeout=%v)",
+			*addr, eng.Stats().Workers, *timeout)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+
+	log.Printf("rcaserve: shutting down (%v grace)", shutdownGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,299 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dspaddr/internal/engine"
+)
+
+// newTestServer spins up the handler over a fresh engine; the cleanup
+// closes the pool.
+func newTestServer(t *testing.T, opts engine.Options) *httptest.Server {
+	t.Helper()
+	eng := engine.New(opts)
+	ts := httptest.NewServer(newServer(eng).handler())
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+	return ts
+}
+
+// do posts a body and decodes the JSON response into out, returning
+// the status code.
+func do(t *testing.T, url, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestAllocatePattern exercises the happy path: the paper's example
+// pattern needs K~ = 2 virtual registers and is zero-cost at K=2, M=1
+// (Section 2 of the paper).
+func TestAllocatePattern(t *testing.T) {
+	ts := newTestServer(t, engine.Options{Workers: 2})
+	var resp jobResponseJSON
+	status := do(t, ts.URL+"/v1/allocate", `{
+		"pattern": {"offsets": [1, 0, 2, -1, 1, 0, -2]},
+		"agu": {"registers": 2, "modifyRange": 1}
+	}`, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if len(resp.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(resp.Results))
+	}
+	r := resp.Results[0]
+	if r.Cost != 0 || r.VirtualRegisters != 2 || r.Merged || r.RegistersUsed != 2 {
+		t.Fatalf("paper example allocation off: %+v", r)
+	}
+}
+
+// TestAllocateLoopDSL feeds mini-C loop source through the frontend:
+// one result per referenced array, with the K registers shared across
+// arrays exactly as dspaddr.AllocateLoop distributes them.
+func TestAllocateLoopDSL(t *testing.T) {
+	ts := newTestServer(t, engine.Options{Workers: 2})
+	var resp jobResponseJSON
+	status := do(t, ts.URL+"/v1/allocate", `{
+		"loop": "for (i = 0; i <= N; i++) { C[i] = A[i+1] + B[i]; B[i+2]; }",
+		"bindings": {"N": 100},
+		"agu": {"registers": 4, "modifyRange": 1}
+	}`, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %+v", status, resp)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3 (arrays A, B, C)", len(resp.Results))
+	}
+	arrays := map[string]bool{}
+	total := 0
+	globals := map[int]bool{}
+	for _, r := range resp.Results {
+		arrays[r.Array] = true
+		total += r.RegistersUsed
+		if len(r.GlobalRegisters) != r.RegistersUsed {
+			t.Errorf("array %s: %d global registers for %d used", r.Array, len(r.GlobalRegisters), r.RegistersUsed)
+		}
+		for _, g := range r.GlobalRegisters {
+			if globals[g] {
+				t.Errorf("global register %d assigned to two arrays", g)
+			}
+			globals[g] = true
+		}
+	}
+	for _, want := range []string{"A", "B", "C"} {
+		if !arrays[want] {
+			t.Errorf("missing result for array %s (got %v)", want, arrays)
+		}
+	}
+	if total > 4 {
+		t.Errorf("arrays use %d registers in total, budget is 4", total)
+	}
+}
+
+// TestAllocateLoopBudgetShared pins the fix for per-array
+// full-budget expansion: a 3-array loop on a 2-register AGU must be
+// rejected (each array needs a private register), not allocated with
+// 2 registers per array.
+func TestAllocateLoopBudgetShared(t *testing.T) {
+	ts := newTestServer(t, engine.Options{Workers: 2})
+	var resp jobResponseJSON
+	status := do(t, ts.URL+"/v1/allocate", `{
+		"loop": "for (i = 0; i <= 9; i++) { A[i]; B[i]; C[i]; }",
+		"agu": {"registers": 2, "modifyRange": 1}
+	}`, &resp)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422 (3 arrays cannot share 2 registers)", status)
+	}
+	if !strings.Contains(resp.Error, "3 arrays") {
+		t.Errorf("error %q does not explain the register shortfall", resp.Error)
+	}
+}
+
+// TestMalformedRequests covers the 400 paths: invalid JSON, unknown
+// fields, trailing garbage, empty job, both pattern and loop set.
+func TestMalformedRequests(t *testing.T) {
+	ts := newTestServer(t, engine.Options{Workers: 1})
+	cases := []struct {
+		name, body string
+		wantStatus int
+	}{
+		{"invalid JSON", `{"pattern": [`, http.StatusBadRequest},
+		{"unknown field", `{"patern": {"offsets": [1]}, "agu": {"registers": 1}}`, http.StatusBadRequest},
+		{"trailing garbage", `{"pattern": {"offsets": [1]}, "agu": {"registers": 1, "modifyRange": 1}} extra`, http.StatusBadRequest},
+		{"neither pattern nor loop", `{"agu": {"registers": 1, "modifyRange": 1}}`, http.StatusUnprocessableEntity},
+		{"both pattern and loop", `{"pattern": {"offsets": [1]}, "loop": "for", "agu": {"registers": 1, "modifyRange": 1}}`, http.StatusUnprocessableEntity},
+		{"bad loop source", `{"loop": "while (1) {}", "agu": {"registers": 1, "modifyRange": 1}}`, http.StatusUnprocessableEntity},
+		{"zero registers", `{"pattern": {"offsets": [1, 2]}, "agu": {"registers": 0, "modifyRange": 1}}`, http.StatusUnprocessableEntity},
+		{"bad strategy", `{"pattern": {"offsets": [1, 2]}, "agu": {"registers": 1, "modifyRange": 1}, "strategy": "quantum"}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if status := do(t, ts.URL+"/v1/allocate", tc.body, nil); status != tc.wantStatus {
+				t.Errorf("status %d, want %d", status, tc.wantStatus)
+			}
+		})
+	}
+}
+
+// TestMethodNotAllowed checks verbs are enforced per endpoint.
+func TestMethodNotAllowed(t *testing.T) {
+	ts := newTestServer(t, engine.Options{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/allocate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/allocate: status %d", resp.StatusCode)
+	}
+	if status := do(t, ts.URL+"/v1/stats", `{}`, nil); status != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/stats: status %d", status)
+	}
+}
+
+// TestAllocateTimeout configures a vanishing job deadline and checks
+// the 504 path.
+func TestAllocateTimeout(t *testing.T) {
+	ts := newTestServer(t, engine.Options{Workers: 1, JobTimeout: time.Nanosecond})
+	var resp jobResponseJSON
+	status := do(t, ts.URL+"/v1/allocate", `{
+		"pattern": {"offsets": [1, 0, 2, -1, 1, 0, -2]},
+		"agu": {"registers": 1, "modifyRange": 1}
+	}`, &resp)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", status)
+	}
+	if !strings.Contains(resp.Error, "timed out") {
+		t.Fatalf("error %q does not mention the timeout", resp.Error)
+	}
+}
+
+// TestBatchWithCacheHits posts a batch of repeated patterns and checks
+// both the per-result cacheHit flags and the /v1/stats counters.
+func TestBatchWithCacheHits(t *testing.T) {
+	ts := newTestServer(t, engine.Options{Workers: 8})
+
+	job := `{"pattern": {"offsets": [1, 0, 2, -1]}, "agu": {"registers": 2, "modifyRange": 1}}`
+	jobs := make([]string, 12)
+	for i := range jobs {
+		jobs[i] = job
+	}
+	var resp batchResponseJSON
+	status := do(t, ts.URL+"/v1/batch", `{"jobs": [`+strings.Join(jobs, ",")+`]}`, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if len(resp.Results) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(resp.Results), len(jobs))
+	}
+	hits := 0
+	for i, jr := range resp.Results {
+		if jr.Error != "" {
+			t.Fatalf("job %d failed: %s", i, jr.Error)
+		}
+		if len(jr.Results) != 1 {
+			t.Fatalf("job %d: %d results", i, len(jr.Results))
+		}
+		if jr.Results[0].CacheHit {
+			hits++
+		}
+		if jr.Results[0].Cost != resp.Results[0].Results[0].Cost {
+			t.Fatalf("job %d cost differs from job 0", i)
+		}
+	}
+	if hits == 0 {
+		t.Fatal("identical batch jobs produced no cache hits")
+	}
+
+	stats := getStats(t, ts)
+	if stats.CacheHits == 0 {
+		t.Fatalf("stats report no cache hits: %+v", stats)
+	}
+	if stats.CacheMisses == 0 || stats.Jobs != uint64(len(jobs)) {
+		t.Fatalf("stats off: %+v", stats)
+	}
+	if stats.Workers < 8 {
+		t.Fatalf("stats.Workers = %d, want >= 8", stats.Workers)
+	}
+}
+
+// TestBatchMixedJobs mixes good, bad and loop jobs in one batch and
+// checks failures stay per-job.
+func TestBatchMixedJobs(t *testing.T) {
+	ts := newTestServer(t, engine.Options{Workers: 4})
+	var resp batchResponseJSON
+	status := do(t, ts.URL+"/v1/batch", `{"jobs": [
+		{"pattern": {"offsets": [1, 0, 2]}, "agu": {"registers": 1, "modifyRange": 1}},
+		{"agu": {"registers": 1, "modifyRange": 1}},
+		{"loop": "for (i = 0; i <= 9; i++) { A[i]; A[i+1]; }", "agu": {"registers": 1, "modifyRange": 1}}
+	]}`, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results", len(resp.Results))
+	}
+	if resp.Results[0].Error != "" || len(resp.Results[0].Results) != 1 {
+		t.Errorf("job 0 should succeed: %+v", resp.Results[0])
+	}
+	if resp.Results[1].Error == "" {
+		t.Error("job 1 (no pattern) should fail")
+	}
+	if resp.Results[2].Error != "" || len(resp.Results[2].Results) != 1 {
+		t.Errorf("job 2 (loop) should succeed with one array: %+v", resp.Results[2])
+	}
+}
+
+// TestEmptyBatch checks the explicit 400 for a no-job batch.
+func TestEmptyBatch(t *testing.T) {
+	ts := newTestServer(t, engine.Options{Workers: 1})
+	if status := do(t, ts.URL+"/v1/batch", `{"jobs": []}`, nil); status != http.StatusBadRequest {
+		t.Errorf("status %d, want 400", status)
+	}
+}
+
+// TestHealthz checks the liveness probe.
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, engine.Options{Workers: 1})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func getStats(t *testing.T, ts *httptest.Server) statsJSON {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var out statsJSON
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

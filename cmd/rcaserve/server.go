@@ -1,0 +1,320 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dspaddr/internal/core"
+	"dspaddr/internal/engine"
+	"dspaddr/internal/frontend"
+	"dspaddr/internal/model"
+)
+
+// maxBodyBytes caps request bodies; allocation requests are tiny, so
+// anything bigger is abuse.
+const maxBodyBytes = 1 << 20
+
+// server wires the batch allocation engine to the HTTP API.
+type server struct {
+	engine   *engine.Engine
+	started  time.Time
+	requests atomic.Uint64
+}
+
+// newServer builds a server around a running engine.
+func newServer(e *engine.Engine) *server {
+	return &server{engine: e, started: time.Now()}
+}
+
+// handler returns the service's routing table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/allocate", s.handleAllocate)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// aguJSON is the wire form of model.AGUSpec.
+type aguJSON struct {
+	// Registers is K, the number of AGU address registers.
+	Registers int `json:"registers"`
+	// ModifyRange is M, the free post-modify range.
+	ModifyRange int `json:"modifyRange"`
+}
+
+// patternJSON is the wire form of model.Pattern.
+type patternJSON struct {
+	// Array names the accessed array (informational).
+	Array string `json:"array,omitempty"`
+	// Stride is the loop increment per iteration; 0 means 1.
+	Stride int `json:"stride,omitempty"`
+	// Offsets is the access offset sequence in program order.
+	Offsets []int `json:"offsets"`
+}
+
+// jobJSON is one allocation job of an /v1/allocate or /v1/batch
+// request. Exactly one of Pattern and Loop must be set: Pattern names
+// the access pattern directly, Loop is mini-C loop source parsed by
+// the frontend. A loop is allocated as a whole — the K registers are
+// distributed over its arrays by marginal cost, exactly as
+// dspaddr.AllocateLoop does — and yields one result per array.
+type jobJSON struct {
+	Pattern  *patternJSON   `json:"pattern,omitempty"`
+	Loop     string         `json:"loop,omitempty"`
+	Bindings map[string]int `json:"bindings,omitempty"`
+	AGU      aguJSON        `json:"agu"`
+	// Wrap includes inter-iteration updates in the objective.
+	Wrap bool `json:"wrap,omitempty"`
+	// Strategy selects the phase-2 merge heuristic
+	// (greedy|naive|smallest|optimal); empty means greedy.
+	Strategy string `json:"strategy,omitempty"`
+}
+
+// allocJSON is the wire form of one array's allocation result.
+type allocJSON struct {
+	Array            string  `json:"array"`
+	Offsets          []int   `json:"offsets"`
+	Cost             int     `json:"cost"`
+	VirtualRegisters int     `json:"virtualRegisters"`
+	RegistersUsed    int     `json:"registersUsed"`
+	Merged           bool    `json:"merged"`
+	CoverExact       bool    `json:"coverExact"`
+	Registers        [][]int `json:"registers"`
+	// GlobalRegisters maps this array's register indices to loop-wide
+	// physical registers (loop jobs only).
+	GlobalRegisters []int  `json:"globalRegisters,omitempty"`
+	CacheHit        bool   `json:"cacheHit"`
+	ElapsedMicros   int64  `json:"elapsedMicros"`
+	Report          string `json:"report"`
+}
+
+// jobResponseJSON is the outcome of one job: per-array results, or an
+// error string.
+type jobResponseJSON struct {
+	Error   string      `json:"error,omitempty"`
+	Results []allocJSON `json:"results,omitempty"`
+}
+
+// batchRequestJSON is the /v1/batch request body.
+type batchRequestJSON struct {
+	Jobs []jobJSON `json:"jobs"`
+}
+
+// batchResponseJSON is the /v1/batch response body.
+type batchResponseJSON struct {
+	Results       []jobResponseJSON `json:"results"`
+	ElapsedMicros int64             `json:"elapsedMicros"`
+}
+
+// errorJSON is the uniform error body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// writeJSON marshals v with the given status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone — nothing left to do
+}
+
+// writeError sends the uniform error body.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly decodes the request body into v: unknown fields,
+// trailing garbage and oversize bodies are errors.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if err := dec.Decode(new(any)); !errors.Is(err, io.EOF) {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+// toAllocJSON renders one single-pattern allocation for the wire.
+func toAllocJSON(res *core.Result, cacheHit bool, elapsedMicros int64) allocJSON {
+	out := allocJSON{
+		Array:         res.Pattern.Array,
+		Offsets:       res.Pattern.Offsets,
+		CacheHit:      cacheHit,
+		ElapsedMicros: elapsedMicros,
+	}
+	out.Cost = res.Cost
+	out.VirtualRegisters = res.VirtualRegisters
+	out.RegistersUsed = res.Assignment.Registers()
+	out.Merged = res.Merged
+	out.CoverExact = res.CoverExact
+	out.Registers = make([][]int, len(res.Assignment.Paths))
+	for i, p := range res.Assignment.Paths {
+		out.Registers[i] = []int(p)
+	}
+	out.Report = res.Report()
+	return out
+}
+
+// runJob resolves one wire job and runs it on the engine: a pattern
+// job is a single engine request, a loop job is a whole-loop request
+// whose response carries one entry per array. The second return value
+// is the failure (nil on success), so callers can map error kinds to
+// HTTP status codes.
+func (s *server) runJob(r *http.Request, job jobJSON) (jobResponseJSON, error) {
+	agu := model.AGUSpec{Registers: job.AGU.Registers, ModifyRange: job.AGU.ModifyRange}
+	switch {
+	case job.Pattern != nil && job.Loop != "":
+		err := errors.New("job sets both pattern and loop; pick one")
+		return jobResponseJSON{Error: err.Error()}, err
+
+	case job.Pattern != nil:
+		stride := job.Pattern.Stride
+		if stride == 0 {
+			stride = 1
+		}
+		res := s.engine.Run(r.Context(), engine.Request{
+			Pattern:        model.Pattern{Array: job.Pattern.Array, Stride: stride, Offsets: job.Pattern.Offsets},
+			AGU:            agu,
+			InterIteration: job.Wrap,
+			Strategy:       job.Strategy,
+		})
+		if res.Err != nil {
+			return jobResponseJSON{Error: res.Err.Error()}, res.Err
+		}
+		return jobResponseJSON{Results: []allocJSON{
+			toAllocJSON(res.Result, res.CacheHit, res.Elapsed.Microseconds()),
+		}}, nil
+
+	case job.Loop != "":
+		prog, err := frontend.Parse(job.Loop, job.Bindings)
+		if err != nil {
+			return jobResponseJSON{Error: err.Error()}, err
+		}
+		res := s.engine.RunLoop(r.Context(), engine.LoopRequest{
+			Loop:           prog.Loop,
+			AGU:            agu,
+			InterIteration: job.Wrap,
+			Strategy:       job.Strategy,
+		})
+		if res.Err != nil {
+			return jobResponseJSON{Error: res.Err.Error()}, res.Err
+		}
+		resp := jobResponseJSON{Results: make([]allocJSON, 0, len(res.Result.Arrays))}
+		for _, aa := range res.Result.Arrays {
+			a := toAllocJSON(aa.Result, res.CacheHit, res.Elapsed.Microseconds())
+			a.GlobalRegisters = aa.GlobalRegisters
+			resp.Results = append(resp.Results, a)
+		}
+		return resp, nil
+
+	default:
+		err := errors.New("job needs a pattern or a loop")
+		return jobResponseJSON{Error: err.Error()}, err
+	}
+}
+
+// handleAllocate serves POST /v1/allocate: one job, one response.
+// Allocator-level failures map to 422, per-job timeouts to 504.
+func (s *server) handleAllocate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var job jobJSON
+	if err := decodeBody(r, &job); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	resp, err := s.runJob(r, job)
+	if err != nil {
+		writeJSON(w, statusForJobError(err), resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatch serves POST /v1/batch: many jobs fanned out over the
+// engine's worker pool, results in job order. Per-job failures are
+// reported inline; the batch response itself is always 200 once the
+// body parses.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var batch batchRequestJSON
+	if err := decodeBody(r, &batch); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(batch.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no jobs")
+		return
+	}
+	start := time.Now()
+	resp := batchResponseJSON{Results: make([]jobResponseJSON, len(batch.Jobs))}
+	var wg sync.WaitGroup
+	for i, job := range batch.Jobs {
+		wg.Add(1)
+		go func(i int, job jobJSON) {
+			defer wg.Done()
+			resp.Results[i], _ = s.runJob(r, job)
+		}(i, job)
+	}
+	wg.Wait()
+	resp.ElapsedMicros = time.Since(start).Microseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statsJSON is the /v1/stats response: engine statistics plus process
+// uptime and HTTP request count.
+type statsJSON struct {
+	engine.Stats
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	HTTPRequests  uint64  `json:"httpRequests"`
+}
+
+// handleStats serves GET /v1/stats.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, statsJSON{
+		Stats:         s.engine.Stats(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		HTTPRequests:  s.requests.Load(),
+	})
+}
+
+// handleHealthz serves GET /healthz for load-balancer probes.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// statusForJobError distinguishes timeout failures (504) from
+// validation and allocation failures (422) on the single-job endpoint.
+func statusForJobError(err error) int {
+	if errors.Is(err, engine.ErrTimeout) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
+}

@@ -27,10 +27,13 @@
 package dspaddr
 
 import (
+	"context"
+
 	"dspaddr/internal/codegen"
 	"dspaddr/internal/core"
 	"dspaddr/internal/distgraph"
 	"dspaddr/internal/dspsim"
+	"dspaddr/internal/engine"
 	"dspaddr/internal/frontend"
 	"dspaddr/internal/indexreg"
 	"dspaddr/internal/model"
@@ -133,6 +136,45 @@ func Kernels() []*Kernel { return workload.AllKernels() }
 
 // KernelByName fetches one bundled kernel.
 func KernelByName(name string) (*Kernel, error) { return workload.KernelByName(name) }
+
+// Batch allocation engine types, re-exported from the engine package.
+type (
+	// Engine is the concurrent batch allocation engine: a bounded
+	// worker pool with a canonicalized-pattern result cache and
+	// aggregate serving statistics.
+	Engine = engine.Engine
+	// EngineOptions configures an Engine (workers, per-job timeout,
+	// cache size).
+	EngineOptions = engine.Options
+	// BatchJob is one (pattern, configuration) allocation job.
+	BatchJob = engine.Request
+	// BatchResult is one job's outcome: result or error, cache-hit
+	// flag and latency.
+	BatchResult = engine.JobResult
+	// BatchLoopJob is one whole-loop allocation job for Engine.RunLoop:
+	// the K registers are shared across the loop's arrays as in
+	// AllocateLoop.
+	BatchLoopJob = engine.LoopRequest
+	// BatchLoopResult is a whole-loop job's outcome.
+	BatchLoopResult = engine.LoopJobResult
+	// EngineStats is a snapshot of an engine's aggregate statistics.
+	EngineStats = engine.Stats
+)
+
+// NewEngine starts a batch allocation engine. The caller must Close it
+// when done; for one-shot batches AllocateBatch is simpler.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// AllocateBatch runs many allocation jobs across a bounded worker pool
+// and returns their results in job order. Identical (up to
+// translation) patterns are solved once and served from cache. It
+// spins up a temporary engine; services that allocate continuously
+// should hold a NewEngine instead to keep the cache warm.
+func AllocateBatch(ctx context.Context, jobs []BatchJob, opts EngineOptions) []BatchResult {
+	e := engine.New(opts)
+	defer e.Close()
+	return e.RunBatch(ctx, jobs)
+}
 
 // Index-register extension (beyond the paper's base AGU model).
 type (

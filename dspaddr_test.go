@@ -1,6 +1,7 @@
 package dspaddr
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -15,6 +16,47 @@ func TestFacadeQuickstart(t *testing.T) {
 	}
 	if !strings.Contains(res.Report(), "K~ = 2") {
 		t.Error("report malformed")
+	}
+}
+
+func TestFacadeAllocateBatch(t *testing.T) {
+	jobs := []BatchJob{
+		{Pattern: PaperExample(), AGU: AGUSpec{Registers: 2, ModifyRange: 1}},
+		{Pattern: PaperExample(), AGU: AGUSpec{Registers: 2, ModifyRange: 1}},
+		{Pattern: NewPattern(0, 3, 6), AGU: AGUSpec{Registers: 1, ModifyRange: 1}},
+	}
+	results := AllocateBatch(context.Background(), jobs, EngineOptions{Workers: 4})
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(results), len(jobs))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("job %d: %v", i, res.Err)
+		}
+	}
+	if results[0].Result.Cost != 0 || results[1].Result.Cost != 0 {
+		t.Fatalf("paper example costs %d/%d, want 0/0", results[0].Result.Cost, results[1].Result.Cost)
+	}
+	if results[0].Result.Cost != results[1].Result.Cost {
+		t.Fatal("identical jobs disagree")
+	}
+}
+
+func TestFacadeNewEngineStats(t *testing.T) {
+	e := NewEngine(EngineOptions{Workers: 2})
+	defer e.Close()
+	job := BatchJob{Pattern: PaperExample(), AGU: AGUSpec{Registers: 2, ModifyRange: 1}}
+	e.Run(context.Background(), job)
+	res := e.Run(context.Background(), job)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.CacheHit {
+		t.Error("second identical job should hit the cache")
+	}
+	s := e.Stats()
+	if s.Jobs != 2 || s.CacheHits != 1 {
+		t.Fatalf("stats = %+v", s)
 	}
 }
 

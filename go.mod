@@ -1,0 +1,3 @@
+module dspaddr
+
+go 1.24

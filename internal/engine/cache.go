@@ -1,0 +1,142 @@
+// Canonicalized-pattern result cache.
+//
+// Every quantity the allocator computes — distance-graph edges, path
+// covers, merge costs, the final Assignment (which holds access
+// *indices*, not addresses) — depends only on pairwise offset
+// differences Offsets[j]-Offsets[i] and on the stride, never on
+// absolute offsets. Translating every offset of a pattern by the same
+// constant therefore yields a byte-identical Result up to the echoed
+// Pattern itself. The cache exploits this: keys normalize the pattern
+// so its first offset is zero (and drop the informational array name),
+// letting A[i], A[i+1] share an entry with B[i+7], B[i+8].
+
+package engine
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dspaddr/internal/core"
+)
+
+// DefaultCacheSize is the entry cap used when Options.CacheSize is 0.
+const DefaultCacheSize = 4096
+
+// canonicalKey builds the cache key: the translation-normalized offset
+// sequence plus every allocation parameter that influences the result.
+func canonicalKey(req Request) string {
+	var b strings.Builder
+	base := 0
+	if len(req.Pattern.Offsets) > 0 {
+		base = req.Pattern.Offsets[0]
+	}
+	for _, d := range req.Pattern.Offsets {
+		b.WriteString(strconv.Itoa(d - base))
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(req.Pattern.Stride))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(req.AGU.Registers))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(req.AGU.ModifyRange))
+	b.WriteByte('|')
+	if req.InterIteration {
+		b.WriteByte('w')
+	}
+	b.WriteByte('|')
+	b.WriteString(req.Strategy)
+	return b.String()
+}
+
+// rewrite adapts a cached canonical result to the requesting job:
+// same allocation, but echoing the caller's pattern and configuration.
+// The assignment is cloned so callers can't corrupt the cached entry.
+func rewrite(cached *core.Result, req Request) *core.Result {
+	out := *cached
+	out.Pattern = req.Pattern
+	out.Config = req.config()
+	out.Assignment = cached.Assignment.Clone()
+	return &out
+}
+
+// resultCache is a mutex-guarded LRU map from canonical keys to solved
+// results. Entries are treated as immutable once inserted.
+type resultCache struct {
+	mu       sync.Mutex
+	max      int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+	disabled bool
+}
+
+// cacheEntry is one LRU node.
+type cacheEntry struct {
+	key string
+	res any
+}
+
+// newResultCache sizes the cache: 0 means DefaultCacheSize, negative
+// disables caching entirely.
+func newResultCache(size int) *resultCache {
+	if size < 0 {
+		return &resultCache{disabled: true}
+	}
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	return &resultCache{
+		max:     size,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached result for key, marking it most recently
+// used.
+func (c *resultCache) get(key string) (any, bool) {
+	if c.disabled {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put inserts a solved result, evicting the least recently used entry
+// past the cap. Re-inserting an existing key refreshes its recency.
+func (c *resultCache) put(key string, res any) {
+	if c.disabled {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	if c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *resultCache) len() int {
+	if c.disabled {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,369 @@
+// Package engine is the concurrent batch allocation engine layered on
+// top of the single-request allocator in package core.
+//
+// An Engine owns a bounded pool of worker goroutines, a
+// canonicalized-pattern result cache and aggregate serving statistics.
+// Jobs — (pattern, configuration) pairs — are submitted one at a time
+// with Run or many at once with RunBatch; either way they funnel
+// through the same pool, so total solver concurrency never exceeds the
+// configured worker count regardless of how many callers submit
+// concurrently.
+//
+// Identical access patterns are common across the loops of real DSP
+// programs (the same FIR tap structure appears in every filter), so the
+// cache keys each job by a translation-normalized form of its pattern
+// together with the allocation parameters. A hit skips the path-cover
+// and merge phases entirely and costs one map lookup plus a shallow
+// result rewrite; see cache.go for the canonicalization argument.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"dspaddr/internal/core"
+	"dspaddr/internal/merge"
+	"dspaddr/internal/model"
+)
+
+// DefaultWorkers is the worker-pool size used when Options.Workers is
+// zero: the number of CPUs, but never fewer than 8 so that a small
+// container still overlaps cache misses with cache hits under load.
+const DefaultWorkers = 8
+
+// Request is one allocation job. It mirrors core.Config but replaces
+// the Strategy interface with a by-name selection so that requests are
+// comparable, serializable and cacheable.
+type Request struct {
+	// Pattern is the access pattern to allocate.
+	Pattern model.Pattern
+	// AGU is the register constraint K and modify range M.
+	AGU model.AGUSpec
+	// InterIteration includes loop-back updates in the objective
+	// (core.Config.InterIteration).
+	InterIteration bool
+	// Strategy names the phase-2 merge heuristic: "greedy" (default),
+	// "naive", "smallest" or "optimal". The empty string means greedy.
+	Strategy string
+}
+
+// strategyFor resolves the request's merge strategy name.
+func strategyFor(name string) (merge.Strategy, error) {
+	switch name {
+	case "", "greedy":
+		return merge.Greedy{}, nil
+	case "naive":
+		return merge.Naive{}, nil
+	case "smallest":
+		return merge.SmallestTwo{}, nil
+	case "optimal":
+		return merge.Optimal{}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown merge strategy %q", name)
+	}
+}
+
+// config lowers the request to a core.Config. The strategy name must
+// already have been validated.
+func (r Request) config() core.Config {
+	s, err := strategyFor(r.Strategy)
+	if err != nil {
+		s = merge.Greedy{}
+	}
+	return core.Config{AGU: r.AGU, InterIteration: r.InterIteration, Strategy: s}
+}
+
+// JobResult is the outcome of one job.
+type JobResult struct {
+	// Result is the allocation, nil if Err is set.
+	Result *core.Result
+	// Err reports a failed job: validation errors from the allocator,
+	// ErrTimeout past the per-job deadline, or the context error if the
+	// submitting context was canceled first.
+	Err error
+	// CacheHit reports that this job did not run its own solve: the
+	// result came from the canonical-pattern cache, or from sharing a
+	// concurrent identical job's solve (single-flight).
+	CacheHit bool
+	// Elapsed is the wall time from dequeue to completion.
+	Elapsed time.Duration
+}
+
+// ErrTimeout is returned (wrapped) in JobResult.Err when a job exceeds
+// the engine's per-job timeout.
+var ErrTimeout = fmt.Errorf("engine: job timed out")
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds solver concurrency; 0 means DefaultWorkers.
+	Workers int
+	// JobTimeout is the per-job solve deadline; 0 disables it. On
+	// timeout the waiting caller gives up immediately (ErrTimeout),
+	// but the worker stays occupied until the abandoned solve
+	// finishes — solver concurrency remains bounded by Workers even
+	// under a stream of pathological jobs — and the late result still
+	// populates the cache for future requests.
+	JobTimeout time.Duration
+	// CacheSize is the maximum number of cached canonical results;
+	// 0 means DefaultCacheSize, negative disables caching.
+	CacheSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = DefaultWorkers
+		if n := runtime.NumCPU(); n > o.Workers {
+			o.Workers = n
+		}
+	}
+	return o
+}
+
+// task is one queued unit of work; run executes on a worker goroutine
+// and replies through a channel it captured.
+type task struct {
+	ctx context.Context
+	run func(ctx context.Context)
+}
+
+// Engine runs allocation jobs on a bounded worker pool with caching
+// and statistics. Create one with New, submit with Run or RunBatch,
+// and release it with Close. All methods are safe for concurrent use.
+type Engine struct {
+	opts  Options
+	jobs  chan task
+	wg    sync.WaitGroup
+	cache *resultCache
+	stats collector
+
+	// flights dedups concurrent identical solves (single-flight): the
+	// first job with a given canonical key becomes the leader and runs
+	// the solver; concurrent followers wait for its result instead of
+	// solving again.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	// solve is the job executor, replaceable in tests to instrument
+	// concurrency without paying for real solves.
+	solve func(Request) (*core.Result, error)
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// New starts an engine with its worker pool. The caller must Close it
+// when done.
+func New(opts Options) *Engine {
+	opts = opts.withDefaults()
+	e := &Engine{
+		opts:    opts,
+		jobs:    make(chan task),
+		cache:   newResultCache(opts.CacheSize),
+		flights: make(map[string]*flight),
+		closed:  make(chan struct{}),
+		solve: func(r Request) (*core.Result, error) {
+			return core.Allocate(r.Pattern, r.config())
+		},
+	}
+	e.stats.workers = opts.Workers
+	for i := 0; i < opts.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Close stops accepting jobs and waits for in-flight jobs to drain.
+// Pending Run and RunBatch calls racing with Close receive an error
+// result; Close is idempotent.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.closed) })
+	e.wg.Wait()
+}
+
+// enqueue hands run to a worker, failing fast if the engine is closed
+// or ctx canceled first.
+func (e *Engine) enqueue(ctx context.Context, run func(ctx context.Context)) error {
+	select {
+	case <-e.closed:
+		return fmt.Errorf("engine: closed")
+	case <-ctx.Done():
+		return ctx.Err()
+	case e.jobs <- task{ctx: ctx, run: run}:
+		return nil
+	}
+}
+
+// Run submits one job and waits for its result. It returns early with
+// an error result if ctx is canceled while the job is still queued.
+func (e *Engine) Run(ctx context.Context, req Request) JobResult {
+	done := make(chan JobResult, 1)
+	err := e.enqueue(ctx, func(ctx context.Context) {
+		e.processPattern(ctx, req, func(r JobResult) { done <- r })
+	})
+	if err != nil {
+		return JobResult{Err: err}
+	}
+	select {
+	case r := <-done:
+		return r
+	case <-ctx.Done():
+		return JobResult{Err: ctx.Err()}
+	}
+}
+
+// RunBatch submits every job and waits for all of them, returning
+// results in job order. Individual failures are reported per job; the
+// batch itself never fails.
+func (e *Engine) RunBatch(ctx context.Context, reqs []Request) []JobResult {
+	out := make([]JobResult, len(reqs))
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			out[i] = e.Run(ctx, req)
+		}(i, req)
+	}
+	wg.Wait()
+	return out
+}
+
+// Stats returns a snapshot of the engine's aggregate statistics.
+func (e *Engine) Stats() Stats {
+	s := e.stats.snapshot()
+	s.CacheEntries = e.cache.len()
+	return s
+}
+
+// worker is the pool loop: dequeue, run, until Close. The jobs channel
+// itself is never closed — senders and workers both watch the closed
+// signal instead, so a Run racing with Close can never send on a
+// closed channel.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.closed:
+			return
+		case t := <-e.jobs:
+			t.run(t.ctx)
+		}
+	}
+}
+
+// processPattern runs one single-pattern job on a worker goroutine:
+// validation, cache lookup, then a bounded solve on a miss. reply is
+// called exactly once.
+func (e *Engine) processPattern(ctx context.Context, req Request, reply func(JobResult)) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		e.stats.canceledJob()
+		reply(JobResult{Err: err, Elapsed: time.Since(start)})
+		return
+	}
+	if _, err := strategyFor(req.Strategy); err != nil {
+		e.stats.failed()
+		reply(JobResult{Err: err, Elapsed: time.Since(start)})
+		return
+	}
+	e.solveKeyed(ctx, canonicalKey(req),
+		func() (any, error) { return e.solve(req) },
+		func(v any, hit bool, err error, elapsed time.Duration) {
+			if err != nil {
+				reply(JobResult{Err: err, Elapsed: elapsed})
+				return
+			}
+			// Always hand out a rewritten copy — the solved value lives
+			// in the cache (and in concurrent followers), so the caller
+			// must never see the shared pointer.
+			reply(JobResult{Result: rewrite(v.(*core.Result), req), CacheHit: hit, Elapsed: elapsed})
+		})
+}
+
+// flight is one in-progress solve shared by a leader and any
+// concurrent followers. v and err are written once before done is
+// closed; the channel close publishes them.
+type flight struct {
+	done chan struct{}
+	v    any
+	err  error
+}
+
+// solveKeyed is the shared cache-then-solve path of pattern and loop
+// jobs. It runs on a worker goroutine and calls reply exactly once —
+// possibly before returning: a timeout or cancellation answers the
+// caller immediately, but solveKeyed itself only returns once the
+// solve it is attached to has finished, so total solver concurrency
+// stays bounded by the worker pool. Concurrent jobs with the same key
+// share a single solve (single-flight); followers report as cache
+// hits. A successful solve populates the cache even if every waiter
+// has already given up.
+func (e *Engine) solveKeyed(ctx context.Context, key string, solve func() (any, error), reply func(v any, hit bool, err error, elapsed time.Duration)) {
+	start := time.Now()
+	if v, ok := e.cache.get(key); ok {
+		e.stats.hit()
+		reply(v, true, nil, time.Since(start))
+		return
+	}
+
+	e.flightMu.Lock()
+	f, follower := e.flights[key]
+	if !follower {
+		f = &flight{done: make(chan struct{})}
+		e.flights[key] = f
+		e.flightMu.Unlock()
+		go func() {
+			f.v, f.err = solve()
+			if f.err == nil {
+				e.cache.put(key, f.v)
+			}
+			e.flightMu.Lock()
+			delete(e.flights, key)
+			e.flightMu.Unlock()
+			close(f.done)
+		}()
+	} else {
+		e.flightMu.Unlock()
+	}
+
+	var deadline <-chan time.Time
+	if e.opts.JobTimeout > 0 {
+		timer := time.NewTimer(e.opts.JobTimeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	cancel := ctx.Done()
+	replied := false
+	for {
+		select {
+		case <-f.done:
+			if !replied {
+				elapsed := time.Since(start)
+				switch {
+				case f.err != nil:
+					e.stats.failed()
+					reply(nil, false, f.err, elapsed)
+				case follower:
+					e.stats.hit()
+					reply(f.v, true, nil, elapsed)
+				default:
+					e.stats.solved(elapsed)
+					reply(f.v, false, nil, elapsed)
+				}
+			}
+			return
+		case <-deadline:
+			e.stats.timedOut()
+			reply(nil, false, fmt.Errorf("%w after %v", ErrTimeout, e.opts.JobTimeout), time.Since(start))
+			replied, deadline, cancel = true, nil, nil
+		case <-cancel:
+			e.stats.canceledJob()
+			reply(nil, false, ctx.Err(), time.Since(start))
+			replied, deadline, cancel = true, nil, nil
+		}
+	}
+}

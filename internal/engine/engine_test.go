@@ -1,0 +1,530 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dspaddr/internal/core"
+	"dspaddr/internal/model"
+)
+
+func testRequest(offsets ...int) Request {
+	return Request{
+		Pattern: model.NewPattern(offsets...),
+		AGU:     model.AGUSpec{Registers: 2, ModifyRange: 1},
+	}
+}
+
+// TestRunMatchesDirectAllocate checks the engine returns exactly what
+// the underlying allocator returns.
+func TestRunMatchesDirectAllocate(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+
+	req := Request{Pattern: model.PaperExample(), AGU: model.AGUSpec{Registers: 1, ModifyRange: 1}}
+	got := e.Run(context.Background(), req)
+	if got.Err != nil {
+		t.Fatal(got.Err)
+	}
+	want, err := core.Allocate(req.Pattern, req.config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.Cost != want.Cost {
+		t.Fatalf("cost %d, want %d", got.Result.Cost, want.Cost)
+	}
+	if !reflect.DeepEqual(got.Result.Assignment, want.Assignment) {
+		t.Fatalf("assignment %v, want %v", got.Result.Assignment, want.Assignment)
+	}
+}
+
+// TestBoundedWorkers instruments the solver and checks that observed
+// solver concurrency never exceeds the pool size even when far more
+// jobs are submitted at once.
+func TestBoundedWorkers(t *testing.T) {
+	const workers = 4
+	const jobs = 64
+	e := New(Options{Workers: workers, CacheSize: -1})
+	defer e.Close()
+
+	var inFlight, peak atomic.Int64
+	e.solve = func(r Request) (*core.Result, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		inFlight.Add(-1)
+		return core.Allocate(r.Pattern, r.config())
+	}
+
+	reqs := make([]Request, jobs)
+	for i := range reqs {
+		reqs[i] = testRequest(i, i+1, i+3) // distinct canonical forms
+	}
+	for i, res := range e.RunBatch(context.Background(), reqs) {
+		if res.Err != nil {
+			t.Fatalf("job %d: %v", i, res.Err)
+		}
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent solves, pool size %d", p, workers)
+	}
+	if s := e.Stats(); s.Jobs != jobs {
+		t.Fatalf("stats.Jobs = %d, want %d", s.Jobs, jobs)
+	}
+}
+
+// TestCacheHitDeterminism submits the same pattern twice and requires
+// the second result to be a cache hit identical to the first.
+func TestCacheHitDeterminism(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+
+	req := Request{Pattern: model.PaperExample(), AGU: model.AGUSpec{Registers: 1, ModifyRange: 1}}
+	first := e.Run(context.Background(), req)
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	if first.CacheHit {
+		t.Fatal("first request must not hit the cache")
+	}
+	second := e.Run(context.Background(), req)
+	if second.Err != nil {
+		t.Fatal(second.Err)
+	}
+	if !second.CacheHit {
+		t.Fatal("second identical request must hit the cache")
+	}
+	if second.Result.Cost != first.Result.Cost ||
+		second.Result.VirtualRegisters != first.Result.VirtualRegisters ||
+		second.Result.Merged != first.Result.Merged {
+		t.Fatalf("cache hit differs: %+v vs %+v", second.Result, first.Result)
+	}
+	if !reflect.DeepEqual(second.Result.Assignment, first.Result.Assignment) {
+		t.Fatalf("assignment %v, want %v", second.Result.Assignment, first.Result.Assignment)
+	}
+	if s := e.Stats(); s.CacheHits != 1 || s.CacheMisses != 1 {
+		t.Fatalf("stats hits/misses = %d/%d, want 1/1", s.CacheHits, s.CacheMisses)
+	}
+}
+
+// TestCacheTranslationInvariance checks that a pattern translated by a
+// constant offset hits the entry of the untranslated pattern and still
+// echoes its own pattern back.
+func TestCacheTranslationInvariance(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+
+	base := e.Run(context.Background(), testRequest(1, 0, 2, -1))
+	if base.Err != nil {
+		t.Fatal(base.Err)
+	}
+	shifted := testRequest(8, 7, 9, 6) // +7 translation, same distances
+	hit := e.Run(context.Background(), shifted)
+	if hit.Err != nil {
+		t.Fatal(hit.Err)
+	}
+	if !hit.CacheHit {
+		t.Fatal("translated pattern should hit the canonical cache entry")
+	}
+	if hit.Result.Cost != base.Result.Cost {
+		t.Fatalf("translated cost %d, want %d", hit.Result.Cost, base.Result.Cost)
+	}
+	if !reflect.DeepEqual(hit.Result.Pattern.Offsets, shifted.Pattern.Offsets) {
+		t.Fatalf("hit echoes pattern %v, want caller's %v", hit.Result.Pattern.Offsets, shifted.Pattern.Offsets)
+	}
+	// Direct solve of the shifted pattern must agree with the rewrite.
+	direct, err := core.Allocate(shifted.Pattern, shifted.config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Result.Cost != direct.Cost {
+		t.Fatalf("rewritten cost %d, direct solve %d", hit.Result.Cost, direct.Cost)
+	}
+}
+
+// TestCacheIsolation mutates both a cache-miss and a cache-hit result
+// and checks the cached entry is unaffected either way (misses hand
+// out a clone of the value that went into the cache, not the value
+// itself).
+func TestCacheIsolation(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	req := Request{Pattern: model.PaperExample(), AGU: model.AGUSpec{Registers: 1, ModifyRange: 1}}
+
+	miss := e.Run(context.Background(), req)
+	if miss.CacheHit {
+		t.Fatal("first request must be a miss")
+	}
+	miss.Result.Assignment.Paths[0][0] = 99
+
+	hit := e.Run(context.Background(), req)
+	if !hit.CacheHit {
+		t.Fatal("expected cache hit")
+	}
+	if hit.Result.Assignment.Paths[0][0] == 99 {
+		t.Fatal("mutating a cache-miss result corrupted the cached entry")
+	}
+	hit.Result.Assignment.Paths[0][0] = 99
+
+	again := e.Run(context.Background(), req)
+	if again.Result.Assignment.Paths[0][0] == 99 {
+		t.Fatal("mutating a cache-hit result corrupted the cached entry")
+	}
+}
+
+// TestSingleFlight checks that concurrent identical jobs share one
+// solve instead of all missing the cold cache.
+func TestSingleFlight(t *testing.T) {
+	const jobs = 8
+	e := New(Options{Workers: jobs})
+	defer e.Close()
+
+	var solves atomic.Int64
+	e.solve = func(r Request) (*core.Result, error) {
+		solves.Add(1)
+		time.Sleep(20 * time.Millisecond) // hold the flight open
+		return core.Allocate(r.Pattern, r.config())
+	}
+
+	req := Request{Pattern: model.PaperExample(), AGU: model.AGUSpec{Registers: 2, ModifyRange: 1}}
+	var wg sync.WaitGroup
+	results := make([]JobResult, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = e.Run(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+
+	hits := 0
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("job %d: %v", i, res.Err)
+		}
+		if res.CacheHit {
+			hits++
+		}
+	}
+	if n := solves.Load(); n != 1 {
+		t.Fatalf("%d solves for %d concurrent identical jobs, want 1", n, jobs)
+	}
+	if hits != jobs-1 {
+		t.Fatalf("%d jobs reported as hits, want %d (all but the leader)", hits, jobs-1)
+	}
+}
+
+// TestConcurrentMixedLoad hammers Run, RunBatch and Stats from many
+// goroutines; run under -race this is the engine's data-race test.
+func TestConcurrentMixedLoad(t *testing.T) {
+	e := New(Options{Workers: 4, CacheSize: 64})
+	defer e.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch i % 3 {
+				case 0:
+					res := e.Run(context.Background(), testRequest(i%5, (i%5)+1, (i%5)+2, 0))
+					if res.Err != nil {
+						t.Errorf("run: %v", res.Err)
+					}
+				case 1:
+					reqs := []Request{testRequest(0, 1, 2), testRequest(g, g+2)}
+					for _, r := range e.RunBatch(context.Background(), reqs) {
+						if r.Err != nil {
+							t.Errorf("batch: %v", r.Err)
+						}
+					}
+				default:
+					e.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := e.Stats()
+	if s.CacheHits == 0 {
+		t.Error("repeated patterns produced no cache hits")
+	}
+	if s.Errors != 0 || s.Timeouts != 0 || s.Canceled != 0 {
+		t.Errorf("unexpected failures in stats: %+v", s)
+	}
+}
+
+func testLoop() model.LoopSpec {
+	return model.LoopSpec{
+		Var: "i", From: 0, To: 9, Stride: 1,
+		Accesses: []model.Access{
+			{Array: "A", Offset: 1}, {Array: "B", Offset: 0},
+			{Array: "A", Offset: 0}, {Array: "B", Offset: 2},
+		},
+	}
+}
+
+// TestRunLoopMatchesAllocateLoop checks whole-loop jobs agree with the
+// library's shared-budget allocation.
+func TestRunLoopMatchesAllocateLoop(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+
+	req := LoopRequest{Loop: testLoop(), AGU: model.AGUSpec{Registers: 3, ModifyRange: 1}}
+	got := e.RunLoop(context.Background(), req)
+	if got.Err != nil {
+		t.Fatal(got.Err)
+	}
+	want, err := core.AllocateLoop(req.Loop, req.config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.TotalCost != want.TotalCost || got.Result.RegistersUsed != want.RegistersUsed {
+		t.Fatalf("cost/registers %d/%d, want %d/%d",
+			got.Result.TotalCost, got.Result.RegistersUsed, want.TotalCost, want.RegistersUsed)
+	}
+	if len(got.Result.Arrays) != len(want.Arrays) {
+		t.Fatalf("%d arrays, want %d", len(got.Result.Arrays), len(want.Arrays))
+	}
+}
+
+// TestRunLoopCacheHit checks loop jobs cache, translate and stay
+// isolated from caller mutation.
+func TestRunLoopCacheHit(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	agu := model.AGUSpec{Registers: 3, ModifyRange: 1}
+
+	first := e.RunLoop(context.Background(), LoopRequest{Loop: testLoop(), AGU: agu})
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	if first.CacheHit {
+		t.Fatal("first loop job must not hit the cache")
+	}
+
+	// Same body shape: arrays renamed, offsets translated per array,
+	// different bounds. Must hit the same entry.
+	translated := model.LoopSpec{
+		Var: "j", From: 5, To: 50, Stride: 1,
+		Accesses: []model.Access{
+			{Array: "X", Offset: 8}, {Array: "Y", Offset: -3},
+			{Array: "X", Offset: 7}, {Array: "Y", Offset: -1},
+		},
+	}
+	second := e.RunLoop(context.Background(), LoopRequest{Loop: translated, AGU: agu})
+	if second.Err != nil {
+		t.Fatal(second.Err)
+	}
+	if !second.CacheHit {
+		t.Fatal("translated loop should hit the canonical cache entry")
+	}
+	if second.Result.TotalCost != first.Result.TotalCost {
+		t.Fatalf("translated cost %d, want %d", second.Result.TotalCost, first.Result.TotalCost)
+	}
+	if second.Result.Arrays[0].Result.Pattern.Array != "X" {
+		t.Fatalf("hit echoes array %q, want caller's X", second.Result.Arrays[0].Result.Pattern.Array)
+	}
+	direct, err := core.AllocateLoop(translated, LoopRequest{AGU: agu}.config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Result.TotalCost != direct.TotalCost {
+		t.Fatalf("rewritten cost %d, direct solve %d", second.Result.TotalCost, direct.TotalCost)
+	}
+
+	// Mutating a hit must not corrupt the cached entry.
+	second.Result.Arrays[0].Result.Assignment.Paths[0][0] = 99
+	second.Result.Arrays[0].GlobalRegisters[0] = 99
+	third := e.RunLoop(context.Background(), LoopRequest{Loop: testLoop(), AGU: agu})
+	if third.Result.Arrays[0].Result.Assignment.Paths[0][0] == 99 ||
+		third.Result.Arrays[0].GlobalRegisters[0] == 99 {
+		t.Fatal("mutating a cache-hit loop result corrupted the cached entry")
+	}
+}
+
+// TestRunLoopErrors covers loop-job validation: too few registers for
+// the array count, bad strategy, empty loop.
+func TestRunLoopErrors(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	ctx := context.Background()
+
+	short := LoopRequest{Loop: testLoop(), AGU: model.AGUSpec{Registers: 1, ModifyRange: 1}}
+	if res := e.RunLoop(ctx, short); res.Err == nil {
+		t.Error("2 arrays on 1 register accepted")
+	}
+	bad := LoopRequest{Loop: testLoop(), AGU: model.AGUSpec{Registers: 2, ModifyRange: 1}, Strategy: "nope"}
+	if res := e.RunLoop(ctx, bad); res.Err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if res := e.RunLoop(ctx, LoopRequest{AGU: model.AGUSpec{Registers: 1, ModifyRange: 1}}); res.Err == nil {
+		t.Error("empty loop accepted")
+	}
+}
+
+// TestJobTimeout checks that a slow solve is abandoned with ErrTimeout
+// and counted in the stats.
+func TestJobTimeout(t *testing.T) {
+	e := New(Options{Workers: 1, JobTimeout: 5 * time.Millisecond, CacheSize: -1})
+	defer e.Close()
+	release := make(chan struct{})
+	e.solve = func(r Request) (*core.Result, error) {
+		<-release
+		return nil, fmt.Errorf("never reached in time")
+	}
+	res := e.Run(context.Background(), testRequest(0, 1))
+	close(release)
+	if !errors.Is(res.Err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", res.Err)
+	}
+	if s := e.Stats(); s.Timeouts != 1 {
+		t.Fatalf("stats.Timeouts = %d, want 1", s.Timeouts)
+	}
+}
+
+// TestTimeoutKeepsWorkerOccupied pins the bounded-concurrency rule
+// for timeouts: an abandoned solve keeps its worker busy, so later
+// jobs cannot pile extra solves on top of it.
+func TestTimeoutKeepsWorkerOccupied(t *testing.T) {
+	e := New(Options{Workers: 1, JobTimeout: time.Millisecond, CacheSize: -1})
+	var concurrent, peak atomic.Int64
+	block := make(chan struct{})
+	e.solve = func(r Request) (*core.Result, error) {
+		n := concurrent.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		<-block
+		concurrent.Add(-1)
+		return nil, fmt.Errorf("solver blocked for the test")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if res := e.Run(ctx, testRequest(i, i+1)); res.Err == nil {
+				t.Error("blocked solve reported success")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(block)
+	e.Close()
+	if p := peak.Load(); p != 1 {
+		t.Fatalf("peak concurrent solves %d, want 1 — timed-out jobs must not stack solves", p)
+	}
+}
+
+// TestErrorPaths covers invalid requests: bad strategy, bad AGU, empty
+// pattern, canceled context.
+func TestErrorPaths(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	ctx := context.Background()
+
+	bad := testRequest(0, 1)
+	bad.Strategy = "no-such-strategy"
+	if res := e.Run(ctx, bad); res.Err == nil {
+		t.Error("unknown strategy accepted")
+	}
+
+	noRegs := testRequest(0, 1)
+	noRegs.AGU.Registers = 0
+	if res := e.Run(ctx, noRegs); res.Err == nil {
+		t.Error("zero-register AGU accepted")
+	}
+
+	empty := Request{AGU: model.AGUSpec{Registers: 1, ModifyRange: 1}}
+	if res := e.Run(ctx, empty); res.Err == nil {
+		t.Error("empty pattern accepted")
+	}
+
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if res := e.Run(canceled, testRequest(0, 1)); !errors.Is(res.Err, context.Canceled) {
+		t.Errorf("canceled context: err = %v", res.Err)
+	}
+}
+
+// TestClose checks Close drains the pool and subsequent Run fails
+// cleanly.
+func TestClose(t *testing.T) {
+	e := New(Options{Workers: 2})
+	if res := e.Run(context.Background(), testRequest(0, 1)); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	e.Close()
+	e.Close() // idempotent
+	if res := e.Run(context.Background(), testRequest(0, 1)); res.Err == nil {
+		t.Fatal("Run after Close succeeded")
+	}
+}
+
+// TestCacheEviction checks the LRU cap holds.
+func TestCacheEviction(t *testing.T) {
+	c := newResultCache(2)
+	r := &core.Result{}
+	c.put("a", r)
+	c.put("b", r)
+	c.put("c", r) // evicts "a"
+	if _, ok := c.get("a"); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if _, ok := c.get("b"); !ok {
+		t.Fatal("entry b missing")
+	}
+	c.put("d", r) // "c" older than "b" after the get above → evict "c"
+	if _, ok := c.get("c"); ok {
+		t.Fatal("LRU order ignored recency of get")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+// TestCanonicalKey checks translation collapses and parameter changes
+// separate.
+func TestCanonicalKey(t *testing.T) {
+	a := testRequest(1, 0, 2)
+	b := testRequest(11, 10, 12)
+	if canonicalKey(a) != canonicalKey(b) {
+		t.Error("translated patterns should share a key")
+	}
+	c := testRequest(1, 0, 2)
+	c.AGU.ModifyRange = 2
+	if canonicalKey(a) == canonicalKey(c) {
+		t.Error("different modify range must not share a key")
+	}
+	d := testRequest(1, 0, 2)
+	d.Pattern.Stride = 4
+	if canonicalKey(a) == canonicalKey(d) {
+		t.Error("different stride must not share a key")
+	}
+	e := testRequest(1, 0, 2)
+	e.Strategy = "optimal"
+	if canonicalKey(a) == canonicalKey(e) {
+		t.Error("different strategy must not share a key")
+	}
+}

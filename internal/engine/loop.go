@@ -1,0 +1,170 @@
+// Whole-loop jobs. A loop referencing several arrays cannot give each
+// array the full register budget — the AGU's K registers are shared,
+// so the engine delegates to core.AllocateLoop, which distributes them
+// by marginal cost. Loop jobs ride the same worker pool, timeout
+// handling and statistics as pattern jobs, with their own
+// canonicalized cache entries: the key is the interleaved
+// (array, translated-offset) access sequence, which pins down every
+// allocation-relevant property of the loop body (per-array patterns
+// and the access-to-pattern back-mapping) while ignoring array names,
+// absolute offsets and loop bounds.
+
+package engine
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"time"
+
+	"dspaddr/internal/core"
+	"dspaddr/internal/model"
+)
+
+// LoopRequest is one whole-loop allocation job: the K registers are
+// distributed over the loop's arrays by marginal cost, exactly as
+// core.AllocateLoop does.
+type LoopRequest struct {
+	// Loop is the loop to allocate.
+	Loop model.LoopSpec
+	// AGU is the register constraint K and modify range M shared by
+	// all arrays.
+	AGU model.AGUSpec
+	// InterIteration includes loop-back updates in the objective.
+	InterIteration bool
+	// Strategy names the phase-2 merge heuristic; see Request.Strategy.
+	Strategy string
+}
+
+// config lowers the request to a core.Config.
+func (r LoopRequest) config() core.Config {
+	return Request{AGU: r.AGU, InterIteration: r.InterIteration, Strategy: r.Strategy}.config()
+}
+
+// LoopJobResult is the outcome of one whole-loop job.
+type LoopJobResult struct {
+	// Result is the loop allocation, nil if Err is set.
+	Result *core.LoopResult
+	// Err reports a failed job (see JobResult.Err).
+	Err error
+	// CacheHit reports that the result came from the cache.
+	CacheHit bool
+	// Elapsed is the wall time from dequeue to completion.
+	Elapsed time.Duration
+}
+
+// RunLoop submits one whole-loop job and waits for its result. It
+// returns early with an error result if ctx is canceled while the job
+// is still queued.
+func (e *Engine) RunLoop(ctx context.Context, req LoopRequest) LoopJobResult {
+	done := make(chan LoopJobResult, 1)
+	err := e.enqueue(ctx, func(ctx context.Context) {
+		e.processLoop(ctx, req, func(r LoopJobResult) { done <- r })
+	})
+	if err != nil {
+		return LoopJobResult{Err: err}
+	}
+	select {
+	case r := <-done:
+		return r
+	case <-ctx.Done():
+		return LoopJobResult{Err: ctx.Err()}
+	}
+}
+
+// processLoop runs one whole-loop job on a worker goroutine; reply is
+// called exactly once.
+func (e *Engine) processLoop(ctx context.Context, req LoopRequest, reply func(LoopJobResult)) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		e.stats.canceledJob()
+		reply(LoopJobResult{Err: err, Elapsed: time.Since(start)})
+		return
+	}
+	if _, err := strategyFor(req.Strategy); err != nil {
+		e.stats.failed()
+		reply(LoopJobResult{Err: err, Elapsed: time.Since(start)})
+		return
+	}
+	if err := req.Loop.Validate(); err != nil {
+		e.stats.failed()
+		reply(LoopJobResult{Err: err, Elapsed: time.Since(start)})
+		return
+	}
+	e.solveKeyed(ctx, loopCanonicalKey(req),
+		func() (any, error) { return core.AllocateLoop(req.Loop, req.config()) },
+		func(v any, hit bool, err error, elapsed time.Duration) {
+			if err != nil {
+				reply(LoopJobResult{Err: err, Elapsed: elapsed})
+				return
+			}
+			// Always hand out a rewritten copy — the solved value lives
+			// in the cache (and in concurrent followers), so the caller
+			// must never see the shared pointer.
+			reply(LoopJobResult{Result: rewriteLoop(v.(*core.LoopResult), req), CacheHit: hit, Elapsed: elapsed})
+		})
+}
+
+// loopCanonicalKey renders the allocation-relevant identity of a loop
+// job: the interleaved access sequence as (array index, offset
+// translated by the array's first offset) pairs, plus stride and the
+// allocation parameters. Two loops with equal keys have identical
+// per-array canonical patterns AND identical access-to-pattern
+// back-mappings, so a cached core.LoopResult transfers between them
+// by pattern rewriting alone.
+func loopCanonicalKey(req LoopRequest) string {
+	var b strings.Builder
+	b.WriteString("loop:")
+	idx := make(map[string]int)
+	base := make([]int, 0, 4)
+	for _, a := range req.Loop.Accesses {
+		i, seen := idx[a.Array]
+		if !seen {
+			i = len(idx)
+			idx[a.Array] = i
+			base = append(base, a.Offset)
+		}
+		b.WriteString(strconv.Itoa(i))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(a.Offset - base[i]))
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(req.Loop.Stride))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(req.AGU.Registers))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(req.AGU.ModifyRange))
+	b.WriteByte('|')
+	if req.InterIteration {
+		b.WriteByte('w')
+	}
+	b.WriteByte('|')
+	b.WriteString(req.Strategy)
+	return b.String()
+}
+
+// rewriteLoop adapts a cached loop result to the requesting job: same
+// budgets, assignments and costs, but echoing the caller's loop and
+// per-array patterns. Assignments and index slices are cloned so
+// callers can't corrupt the cached entry.
+func rewriteLoop(cached *core.LoopResult, req LoopRequest) *core.LoopResult {
+	pats, back := req.Loop.Patterns()
+	out := &core.LoopResult{
+		Loop:          req.Loop,
+		Arrays:        make([]core.ArrayAllocation, len(cached.Arrays)),
+		TotalCost:     cached.TotalCost,
+		RegistersUsed: cached.RegistersUsed,
+	}
+	for i, aa := range cached.Arrays {
+		res := *aa.Result
+		res.Pattern = pats[i]
+		res.Assignment = aa.Result.Assignment.Clone()
+		out.Arrays[i] = core.ArrayAllocation{
+			Result:          &res,
+			GlobalRegisters: append([]int(nil), aa.GlobalRegisters...),
+			LoopAccess:      append([]int(nil), back[i]...),
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+// Aggregate serving statistics: cheap counters on the hot path, solve
+// latency percentiles from a bounded ring of recent observations.
+
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"dspaddr/internal/stats"
+)
+
+// latencyWindow is how many recent solve latencies feed the
+// percentile estimates.
+const latencyWindow = 4096
+
+// Stats is a point-in-time snapshot of an engine's counters.
+type Stats struct {
+	// Workers is the configured worker-pool size.
+	Workers int `json:"workers"`
+	// Jobs counts completed jobs of every outcome.
+	Jobs uint64 `json:"jobs"`
+	// CacheHits counts jobs answered from the canonical-pattern cache.
+	CacheHits uint64 `json:"cacheHits"`
+	// CacheMisses counts jobs that ran the solver (successfully).
+	CacheMisses uint64 `json:"cacheMisses"`
+	// Errors counts jobs failed by the allocator or a bad request.
+	Errors uint64 `json:"errors"`
+	// Timeouts counts jobs abandoned past the per-job deadline.
+	Timeouts uint64 `json:"timeouts"`
+	// Canceled counts jobs whose submitting context was canceled.
+	Canceled uint64 `json:"canceled"`
+	// CacheEntries is the current number of cached canonical results.
+	CacheEntries int `json:"cacheEntries"`
+	// HitRate is CacheHits over (CacheHits+CacheMisses), 0 when idle.
+	HitRate float64 `json:"hitRate"`
+	// SolveP50Micros, SolveP90Micros and SolveP99Micros are latency
+	// percentiles in microseconds over the recent solve window
+	// (cache misses only — hits are two orders of magnitude cheaper).
+	SolveP50Micros float64 `json:"solveP50Micros"`
+	SolveP90Micros float64 `json:"solveP90Micros"`
+	SolveP99Micros float64 `json:"solveP99Micros"`
+}
+
+// collector accumulates statistics; all methods are concurrency-safe.
+type collector struct {
+	mu        sync.Mutex
+	workers   int
+	jobs      uint64
+	hits      uint64
+	misses    uint64
+	errors    uint64
+	timeouts  uint64
+	canceled  uint64
+	latencies [latencyWindow]time.Duration
+	latN      int // total recorded, ring position = latN % latencyWindow
+}
+
+func (c *collector) hit() {
+	c.mu.Lock()
+	c.jobs++
+	c.hits++
+	c.mu.Unlock()
+}
+
+func (c *collector) solved(d time.Duration) {
+	c.mu.Lock()
+	c.jobs++
+	c.misses++
+	c.latencies[c.latN%latencyWindow] = d
+	c.latN++
+	c.mu.Unlock()
+}
+
+func (c *collector) failed() {
+	c.mu.Lock()
+	c.jobs++
+	c.errors++
+	c.mu.Unlock()
+}
+
+func (c *collector) timedOut() {
+	c.mu.Lock()
+	c.jobs++
+	c.timeouts++
+	c.mu.Unlock()
+}
+
+func (c *collector) canceledJob() {
+	c.mu.Lock()
+	c.jobs++
+	c.canceled++
+	c.mu.Unlock()
+}
+
+// snapshot renders the current counters plus latency percentiles.
+func (c *collector) snapshot() Stats {
+	c.mu.Lock()
+	s := Stats{
+		Workers:     c.workers,
+		Jobs:        c.jobs,
+		CacheHits:   c.hits,
+		CacheMisses: c.misses,
+		Errors:      c.errors,
+		Timeouts:    c.timeouts,
+		Canceled:    c.canceled,
+	}
+	n := c.latN
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	var sample stats.Sample
+	for i := 0; i < n; i++ {
+		sample.Add(float64(c.latencies[i]) / float64(time.Microsecond))
+	}
+	c.mu.Unlock()
+
+	if looked := s.CacheHits + s.CacheMisses; looked > 0 {
+		s.HitRate = float64(s.CacheHits) / float64(looked)
+	}
+	if sample.N() > 0 {
+		s.SolveP50Micros = sample.Quantile(0.50)
+		s.SolveP90Micros = sample.Quantile(0.90)
+		s.SolveP99Micros = sample.Quantile(0.99)
+	}
+	return s
+}
