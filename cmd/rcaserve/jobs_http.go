@@ -1,0 +1,252 @@
+// The asynchronous job lifecycle API over internal/jobs.
+//
+// Where /v1/allocate and /v1/batch hold the connection for the whole
+// solve, /v1/jobs accepts the same payloads, answers 202 with job IDs
+// immediately and lets clients poll — the shape long-running compile
+// campaigns need. Admission is bounded: a submission that does not
+// fit the queue is refused with 429 + Retry-After instead of building
+// an invisible backlog.
+//
+//	POST   /v1/jobs       submit one job or a batch (202, 429 when full)
+//	GET    /v1/jobs       paginated listing (?state=&offset=&limit=)
+//	GET    /v1/jobs/{id}  status + result (404 unknown, 410 evicted)
+//	DELETE /v1/jobs/{id}  cancel queued or running work (409 if done)
+
+package main
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"dspaddr/internal/jobs"
+)
+
+// submitJSON is the POST /v1/jobs request body: either one inline job
+// (the jobJSON fields) or a batch under "jobs" — the same payloads
+// the synchronous endpoints take — plus a scheduling priority.
+type submitJSON struct {
+	jobJSON
+	// Jobs is the batch form; mutually exclusive with the inline
+	// single-job fields.
+	Jobs []jobJSON `json:"jobs,omitempty"`
+	// Priority orders dispatch: higher runs first, equal priorities
+	// stay FIFO. The whole submission shares one priority.
+	Priority int `json:"priority,omitempty"`
+}
+
+// submitResponseJSON is the 202 body: one ID per submitted job, in
+// payload order; ID duplicates the single entry for one-job
+// submissions.
+type submitResponseJSON struct {
+	ID  string   `json:"id,omitempty"`
+	IDs []string `json:"ids"`
+}
+
+// jobStatusJSON is the wire form of one job's status snapshot.
+type jobStatusJSON struct {
+	ID              string           `json:"id"`
+	State           string           `json:"state"`
+	Priority        int              `json:"priority"`
+	SubmittedAt     time.Time        `json:"submittedAt"`
+	StartedAt       *time.Time       `json:"startedAt,omitempty"`
+	FinishedAt      *time.Time       `json:"finishedAt,omitempty"`
+	QueueWaitMicros int64            `json:"queueWaitMicros"`
+	RunMicros       int64            `json:"runMicros"`
+	Error           string           `json:"error,omitempty"`
+	Result          *jobResponseJSON `json:"result,omitempty"`
+}
+
+// listResponseJSON is the GET /v1/jobs body.
+type listResponseJSON struct {
+	Jobs   []jobStatusJSON `json:"jobs"`
+	Total  int             `json:"total"`
+	Offset int             `json:"offset"`
+	Limit  int             `json:"limit"`
+}
+
+// toStatusJSON renders a jobs.Status for the wire.
+func toStatusJSON(st jobs.Status) jobStatusJSON {
+	out := jobStatusJSON{
+		ID:              st.ID,
+		State:           string(st.State),
+		Priority:        st.Priority,
+		SubmittedAt:     st.SubmittedAt,
+		QueueWaitMicros: st.QueueWait.Microseconds(),
+		RunMicros:       st.RunTime.Microseconds(),
+	}
+	if !st.StartedAt.IsZero() {
+		t := st.StartedAt
+		out.StartedAt = &t
+	}
+	if !st.FinishedAt.IsZero() {
+		t := st.FinishedAt
+		out.FinishedAt = &t
+	}
+	if st.Err != nil {
+		out.Error = st.Err.Error()
+	}
+	if resp, ok := st.Result.(jobResponseJSON); ok {
+		out.Result = &resp
+	}
+	return out
+}
+
+// handleJobsCollection routes /v1/jobs: POST submits, GET lists.
+func (s *server) handleJobsCollection(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	switch r.Method {
+	case http.MethodPost:
+		s.handleJobSubmit(w, r)
+	case http.MethodGet:
+		s.handleJobList(w, r)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "POST or GET only")
+	}
+}
+
+// handleJobSubmit serves POST /v1/jobs: validate the payload shape
+// up front (cheap), admit atomically, answer 202 with the IDs — or
+// 429 with Retry-After when the queue cannot take the submission.
+func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var sub submitJSON
+	if err := decodeBody(r, &sub); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	single := sub.Pattern != nil || sub.Loop != ""
+	if single && len(sub.Jobs) > 0 {
+		writeError(w, http.StatusBadRequest, "body mixes an inline job with a jobs array; pick one form")
+		return
+	}
+	entries := sub.Jobs
+	if single {
+		entries = []jobJSON{sub.jobJSON}
+	}
+	if len(entries) == 0 {
+		writeError(w, http.StatusBadRequest, "submission has no jobs")
+		return
+	}
+	payloads := make([]any, len(entries))
+	for i, job := range entries {
+		// Shape errors are caught at admission; semantic errors
+		// (bad loop source, infeasible AGU) surface on the job
+		// itself, exactly as the sync endpoints report them per job.
+		if job.Pattern != nil && job.Loop != "" {
+			writeError(w, http.StatusBadRequest, "job %d sets both pattern and loop; pick one", i)
+			return
+		}
+		if job.Pattern == nil && job.Loop == "" {
+			writeError(w, http.StatusBadRequest, "job %d needs a pattern or a loop", i)
+			return
+		}
+		payloads[i] = job
+	}
+	ids, err := s.jobs.SubmitAll(payloads, sub.Priority)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "job queue full (%d jobs submitted against capacity %d); retry later or shrink the batch",
+			len(payloads), s.jobs.QueueCapacity())
+		return
+	case err != nil:
+		writeError(w, http.StatusServiceUnavailable, "submission failed: %v", err)
+		return
+	}
+	resp := submitResponseJSON{IDs: ids}
+	if len(ids) == 1 {
+		resp.ID = ids[0]
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// listLimits bound GET /v1/jobs pages.
+const (
+	defaultListLimit = 100
+	maxListLimit     = 1000
+)
+
+// handleJobList serves GET /v1/jobs?state=&offset=&limit=.
+func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	state := jobs.State(q.Get("state"))
+	if state != "" && !jobs.ValidState(state) {
+		writeError(w, http.StatusBadRequest, "unknown state %q", state)
+		return
+	}
+	offset, err := queryInt(q.Get("offset"), 0)
+	if err != nil || offset < 0 {
+		writeError(w, http.StatusBadRequest, "bad offset")
+		return
+	}
+	limit, err := queryInt(q.Get("limit"), defaultListLimit)
+	if err != nil || limit <= 0 {
+		writeError(w, http.StatusBadRequest, "bad limit")
+		return
+	}
+	if limit > maxListLimit {
+		limit = maxListLimit
+	}
+	statuses, total := s.jobs.List(state, offset, limit)
+	resp := listResponseJSON{
+		Jobs:   make([]jobStatusJSON, len(statuses)),
+		Total:  total,
+		Offset: offset,
+		Limit:  limit,
+	}
+	for i, st := range statuses {
+		resp.Jobs[i] = toStatusJSON(st)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func queryInt(raw string, def int) (int, error) {
+	if raw == "" {
+		return def, nil
+	}
+	return strconv.Atoi(raw)
+}
+
+// handleJobByID routes /v1/jobs/{id}: GET polls, DELETE cancels.
+func (s *server) handleJobByID(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusNotFound, "no such resource")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		st, err := s.jobs.Get(id)
+		if err != nil {
+			writeJobLookupError(w, id, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toStatusJSON(st))
+	case http.MethodDelete:
+		st, err := s.jobs.Cancel(id)
+		switch {
+		case errors.Is(err, jobs.ErrFinished):
+			writeError(w, http.StatusConflict, "job %s already finished (%s)", id, st.State)
+		case err != nil:
+			writeJobLookupError(w, id, err)
+		default:
+			writeJSON(w, http.StatusOK, toStatusJSON(st))
+		}
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or DELETE only")
+	}
+}
+
+// writeJobLookupError maps store lookup failures: unknown IDs are
+// 404s, evicted results are 410s (the job existed; its result is
+// gone for good).
+func writeJobLookupError(w http.ResponseWriter, id string, err error) {
+	if errors.Is(err, jobs.ErrEvicted) {
+		writeError(w, http.StatusGone, "job %s: result evicted (TTL or capacity)", id)
+		return
+	}
+	writeError(w, http.StatusNotFound, "job %s not found", id)
+}

@@ -3,13 +3,22 @@
 // batch allocation engine (package engine): requests fan out over a
 // bounded worker pool, identical access patterns are answered from a
 // canonicalized-pattern cache, and aggregate statistics are exported.
+// Long-running work goes through the asynchronous job queue (package
+// jobs): submissions are admission-controlled, dispatched by
+// priority, tracked per job and retained in a TTL'd result store for
+// polling.
 //
 // Endpoints:
 //
-//	POST /v1/allocate   one job (inline pattern or mini-C loop source)
-//	POST /v1/batch      many jobs in one request
-//	GET  /v1/stats      engine + HTTP statistics
-//	GET  /healthz       liveness probe
+//	POST   /v1/allocate    one job, synchronous (inline pattern or mini-C loop source)
+//	POST   /v1/batch       many jobs in one request, synchronous
+//	POST   /v1/jobs        submit async job(s): 202 + IDs, 429 when the queue is full
+//	GET    /v1/jobs        paginated job listing (?state=&offset=&limit=)
+//	GET    /v1/jobs/{id}   job status and result (404 unknown, 410 evicted)
+//	DELETE /v1/jobs/{id}   cancel a queued or running job
+//	GET    /v1/stats       engine + async-job + HTTP statistics
+//	GET    /metrics        Prometheus text exposition
+//	GET    /healthz        liveness probe (GET/HEAD)
 //
 // Usage:
 //
@@ -21,18 +30,23 @@
 //	-workers int        solver worker pool size (default max(8, NumCPU))
 //	-timeout duration   per-job solve deadline (default 5s, 0 disables)
 //	-cache int          result cache entries (default 4096, negative disables)
+//	-queue int          async job queue capacity (default 1024)
+//	-store int          async results retained before eviction (default 16384)
+//	-ttl duration       async result retention after completion (default 15m)
+//	-version            print the build version and exit
 //
 // Example:
 //
 //	rcaserve -addr :8080 &
-//	curl -s localhost:8080/v1/allocate -d '{
+//	curl -s localhost:8080/v1/jobs -d '{
 //	    "pattern": {"offsets": [1, 0, 2, -1, 1, 0, -2]},
 //	    "agu": {"registers": 1, "modifyRange": 1}
 //	}'
+//	curl -s localhost:8080/v1/jobs/<id>   # poll until "state": "done"
 //
 // The service shuts down gracefully on SIGINT/SIGTERM: the listener
-// stops, in-flight requests get a drain window, then the engine pool
-// is released.
+// stops, in-flight requests get a drain window, then the job manager
+// and engine pool are released.
 package main
 
 import (
@@ -48,6 +62,7 @@ import (
 	"time"
 
 	"dspaddr/internal/engine"
+	"dspaddr/internal/jobs"
 )
 
 // shutdownGrace is how long in-flight requests get to finish after a
@@ -69,8 +84,16 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "solver worker pool size (0 = max(8, NumCPU))")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-job solve deadline (0 disables)")
 	cacheSize := fs.Int("cache", 0, "result cache entries (0 = default 4096, negative disables)")
+	queueCap := fs.Int("queue", jobs.DefaultQueueCapacity, "async job queue capacity")
+	storeCap := fs.Int("store", jobs.DefaultStoreCapacity, "async results retained before eviction")
+	ttl := fs.Duration("ttl", jobs.DefaultTTL, "async result retention after completion")
+	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println("rcaserve", buildVersion())
+		return nil
 	}
 
 	eng := engine.New(engine.Options{
@@ -80,9 +103,17 @@ func run(args []string) error {
 	})
 	defer eng.Close()
 
+	s := newServer(eng, serverOptions{
+		queueCapacity: *queueCap,
+		storeCapacity: *storeCap,
+		ttl:           *ttl,
+		version:       buildVersion(),
+	})
+	defer s.close()
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng).handler(),
+		Handler:           s.handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -91,8 +122,8 @@ func run(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("rcaserve: listening on %s (workers=%d, timeout=%v)",
-			*addr, eng.Stats().Workers, *timeout)
+		log.Printf("rcaserve %s: listening on %s (workers=%d, timeout=%v, queue=%d, ttl=%v)",
+			buildVersion(), *addr, eng.Stats().Workers, *timeout, *queueCap, *ttl)
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -15,10 +16,19 @@ import (
 // closes the pool.
 func newTestServer(t *testing.T, opts engine.Options) *httptest.Server {
 	t.Helper()
+	return newTestServerWith(t, opts, serverOptions{version: "test"})
+}
+
+// newTestServerWith also takes server options, for tests that tune
+// the async queue, store or executor.
+func newTestServerWith(t *testing.T, opts engine.Options, sopts serverOptions) *httptest.Server {
+	t.Helper()
 	eng := engine.New(opts)
-	ts := httptest.NewServer(newServer(eng).handler())
+	s := newServer(eng, sopts)
+	ts := httptest.NewServer(s.handler())
 	t.Cleanup(func() {
 		ts.Close()
+		s.close()
 		eng.Close()
 	})
 	return ts
@@ -268,16 +278,66 @@ func TestEmptyBatch(t *testing.T) {
 	}
 }
 
-// TestHealthz checks the liveness probe.
+// TestHealthz checks the liveness probe: GET and HEAD succeed, the
+// body leads with "ok" and names the build, and every other method is
+// rejected — the probe endpoint enforces verbs like the rest of the
+// API.
 func TestHealthz(t *testing.T) {
 	ts := newTestServer(t, engine.Options{Workers: 1})
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
+	body, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !strings.HasPrefix(string(body), "ok\n") {
+		t.Fatalf("body %q does not lead with ok", body)
+	}
+	if !strings.Contains(string(body), "rcaserve test") {
+		t.Fatalf("body %q does not name the build", body)
+	}
+
+	resp, err = http.Head(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD status %d", resp.StatusCode)
+	}
+
+	for _, method := range []string{http.MethodPost, http.MethodDelete, http.MethodPut} {
+		req, err := http.NewRequest(method, ts.URL+"/healthz", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s /healthz: status %d, want 405", method, resp.StatusCode)
+		}
+	}
+}
+
+// TestVersionSurfaced checks the build identity reaches /v1/stats
+// and that buildVersion always produces something.
+func TestVersionSurfaced(t *testing.T) {
+	ts := newTestServer(t, engine.Options{Workers: 1})
+	stats := getStats(t, ts)
+	if stats.Version != "test" {
+		t.Fatalf("stats version %q", stats.Version)
+	}
+	if v := buildVersion(); v == "" {
+		t.Fatal("buildVersion returned empty")
 	}
 }
 

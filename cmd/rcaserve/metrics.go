@@ -1,0 +1,106 @@
+// GET /metrics: the service's operational state in Prometheus text
+// exposition format (version 0.0.4), hand-rendered — the repo takes
+// no client-library dependency for what is a dozen Fprintf calls.
+//
+// Exported families cover the async pipeline stage by stage (queue
+// depth and rejections, running jobs, store size and evictions,
+// queue-wait/run latency quantiles), the engine underneath (cache
+// hits/misses, solve latency quantiles, terminal outcome counters)
+// and the process (requests, uptime, build info).
+
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// handleMetrics serves GET /metrics.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	jm := s.jobs.Metrics()
+	es := s.engine.Stats()
+
+	gauge := func(name, help string, v float64) {
+		writeMetric(w, name, help, "gauge", v)
+	}
+	counter := func(name, help string, v float64) {
+		writeMetric(w, name, help, "counter", v)
+	}
+
+	gauge("rcaserve_queue_depth", "Async jobs admitted but not yet running.", float64(jm.QueueDepth))
+	gauge("rcaserve_queue_capacity", "Async job admission bound.", float64(jm.QueueCapacity))
+	gauge("rcaserve_jobs_running", "Async jobs currently executing.", float64(jm.Running))
+	gauge("rcaserve_job_runners", "Concurrent async job executor cap.", float64(jm.Runners))
+	gauge("rcaserve_store_size", "Tracked async jobs (live and finished).", float64(jm.StoreSize))
+	gauge("rcaserve_store_capacity", "Retained finished async job bound.", float64(jm.StoreCapacity))
+	counter("rcaserve_jobs_submitted_total", "Async jobs admitted.", float64(jm.Submitted))
+	counter("rcaserve_jobs_rejected_total", "Async submissions refused by admission control.", float64(jm.Rejected))
+	counter("rcaserve_store_evictions_total", "Finished async jobs dropped by TTL or capacity.", float64(jm.Evicted))
+
+	writeHeader(w, "rcaserve_jobs_finished_total", "Async jobs finished, by terminal state.", "counter")
+	for _, st := range []struct {
+		label string
+		v     uint64
+	}{
+		{"done", jm.Done}, {"failed", jm.Failed},
+		{"timeout", jm.TimedOut}, {"canceled", jm.Canceled},
+	} {
+		fmt.Fprintf(w, "rcaserve_jobs_finished_total{state=%q} %v\n", st.label, st.v)
+	}
+
+	writeQuantiles(w, "rcaserve_job_queue_wait_seconds",
+		"Recent async job queue wait (submission to dispatch).",
+		jm.QueueWaitP50Micros, jm.QueueWaitP90Micros, jm.QueueWaitP99Micros)
+	writeQuantiles(w, "rcaserve_job_run_seconds",
+		"Recent async job run time (dispatch to completion).",
+		jm.RunP50Micros, jm.RunP90Micros, jm.RunP99Micros)
+
+	gauge("rcaserve_engine_workers", "Solver worker pool size.", float64(es.Workers))
+	counter("rcaserve_engine_jobs_total", "Engine jobs completed, any outcome.", float64(es.Jobs))
+	counter("rcaserve_engine_cache_hits_total", "Engine jobs answered from the canonical-pattern cache.", float64(es.CacheHits))
+	counter("rcaserve_engine_cache_misses_total", "Engine jobs that ran the solver.", float64(es.CacheMisses))
+	counter("rcaserve_engine_errors_total", "Engine jobs failed by the allocator or a bad request.", float64(es.Errors))
+	counter("rcaserve_engine_timeouts_total", "Engine jobs abandoned past the per-job deadline.", float64(es.Timeouts))
+	counter("rcaserve_engine_canceled_total", "Engine jobs whose submitting context was canceled.", float64(es.Canceled))
+	gauge("rcaserve_engine_cache_entries", "Cached canonical results.", float64(es.CacheEntries))
+	writeQuantiles(w, "rcaserve_engine_solve_seconds",
+		"Recent solve latency (cache misses only).",
+		es.SolveP50Micros, es.SolveP90Micros, es.SolveP99Micros)
+
+	counter("rcaserve_http_requests_total", "HTTP requests served.", float64(s.requests.Load()))
+	gauge("rcaserve_uptime_seconds", "Seconds since process start.", time.Since(s.started).Seconds())
+	writeHeader(w, "rcaserve_build_info", "Build identity; the value is always 1.", "gauge")
+	fmt.Fprintf(w, "rcaserve_build_info{version=%q} 1\n", s.version)
+}
+
+// writeHeader emits one family's HELP/TYPE preamble.
+func writeHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, strings.ReplaceAll(help, "\n", " "), name, typ)
+}
+
+// writeMetric emits a single-sample family.
+func writeMetric(w io.Writer, name, help, typ string, v float64) {
+	writeHeader(w, name, help, typ)
+	fmt.Fprintf(w, "%s %v\n", name, v)
+}
+
+// writeQuantiles emits a summary-style family from microsecond
+// percentile estimates.
+func writeQuantiles(w io.Writer, name, help string, p50, p90, p99 float64) {
+	writeHeader(w, name, help, "gauge")
+	for _, q := range []struct {
+		q string
+		v float64
+	}{{"0.5", p50}, {"0.9", p90}, {"0.99", p99}} {
+		fmt.Fprintf(w, "%s{quantile=%q} %v\n", name, q.q, q.v/1e6)
+	}
+}

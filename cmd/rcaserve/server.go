@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"dspaddr/internal/core"
 	"dspaddr/internal/engine"
 	"dspaddr/internal/frontend"
+	"dspaddr/internal/jobs"
 	"dspaddr/internal/model"
 )
 
@@ -20,16 +22,77 @@ import (
 // anything bigger is abuse.
 const maxBodyBytes = 1 << 20
 
-// server wires the batch allocation engine to the HTTP API.
+// serverOptions configures the service pieces that sit above the
+// engine: the async job queue, result store and build identity.
+type serverOptions struct {
+	// queueCapacity bounds admitted-but-not-started async jobs
+	// (0 = jobs.DefaultQueueCapacity).
+	queueCapacity int
+	// storeCapacity bounds retained async results
+	// (0 = jobs.DefaultStoreCapacity).
+	storeCapacity int
+	// ttl is how long finished async results stay fetchable
+	// (0 = jobs.DefaultTTL).
+	ttl time.Duration
+	// runners caps concurrently executing async jobs; 0 means the
+	// engine's worker count, so the async path alone can saturate
+	// the solver pool.
+	runners int
+	// run overrides the async executor; tests use it to gate job
+	// completion deterministically. nil means the real engine path.
+	run jobs.Runner
+	// version is the build identity reported by /healthz, /v1/stats
+	// and /metrics.
+	version string
+}
+
+// server wires the batch allocation engine and the async job manager
+// to the HTTP API.
 type server struct {
 	engine   *engine.Engine
+	jobs     *jobs.Manager
+	version  string
 	started  time.Time
 	requests atomic.Uint64
 }
 
-// newServer builds a server around a running engine.
-func newServer(e *engine.Engine) *server {
-	return &server{engine: e, started: time.Now()}
+// newServer builds a server around a running engine and starts its
+// async job manager; the caller must close() it when done.
+func newServer(e *engine.Engine, opts serverOptions) *server {
+	s := &server{engine: e, version: opts.version, started: time.Now()}
+	if s.version == "" {
+		s.version = "unknown"
+	}
+	runners := opts.runners
+	if runners <= 0 {
+		runners = e.Stats().Workers
+	}
+	run := opts.run
+	if run == nil {
+		run = s.runPayload
+	}
+	s.jobs = jobs.New(jobs.Options{
+		QueueCapacity: opts.queueCapacity,
+		StoreCapacity: opts.storeCapacity,
+		TTL:           opts.ttl,
+		Runners:       runners,
+		Run:           run,
+		FailState:     jobFailState,
+	})
+	return s
+}
+
+// close releases the async job manager (the engine is owned by the
+// caller).
+func (s *server) close() { s.jobs.Close() }
+
+// jobFailState maps engine timeouts to the jobs subsystem's timeout
+// state; everything else falls through to the default classification.
+func jobFailState(err error) jobs.State {
+	if errors.Is(err, engine.ErrTimeout) {
+		return jobs.StateTimeout
+	}
+	return ""
 }
 
 // handler returns the service's routing table.
@@ -37,7 +100,10 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/allocate", s.handleAllocate)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/jobs", s.handleJobsCollection)
+	mux.HandleFunc("/v1/jobs/", s.handleJobByID)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -168,12 +234,23 @@ func toAllocJSON(res *core.Result, cacheHit bool, elapsedMicros int64) allocJSON
 	return out
 }
 
+// runPayload is the async executor: the jobs.Manager hands back the
+// submitted wire job and this runs it on the engine exactly like the
+// synchronous path, so polled results match /v1/batch answers.
+func (s *server) runPayload(ctx context.Context, payload any) (any, error) {
+	resp, err := s.runJob(ctx, payload.(jobJSON))
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
 // runJob resolves one wire job and runs it on the engine: a pattern
 // job is a single engine request, a loop job is a whole-loop request
 // whose response carries one entry per array. The second return value
 // is the failure (nil on success), so callers can map error kinds to
 // HTTP status codes.
-func (s *server) runJob(r *http.Request, job jobJSON) (jobResponseJSON, error) {
+func (s *server) runJob(ctx context.Context, job jobJSON) (jobResponseJSON, error) {
 	agu := model.AGUSpec{Registers: job.AGU.Registers, ModifyRange: job.AGU.ModifyRange}
 	switch {
 	case job.Pattern != nil && job.Loop != "":
@@ -185,7 +262,7 @@ func (s *server) runJob(r *http.Request, job jobJSON) (jobResponseJSON, error) {
 		if stride == 0 {
 			stride = 1
 		}
-		res := s.engine.Run(r.Context(), engine.Request{
+		res := s.engine.Run(ctx, engine.Request{
 			Pattern:        model.Pattern{Array: job.Pattern.Array, Stride: stride, Offsets: job.Pattern.Offsets},
 			AGU:            agu,
 			InterIteration: job.Wrap,
@@ -203,7 +280,7 @@ func (s *server) runJob(r *http.Request, job jobJSON) (jobResponseJSON, error) {
 		if err != nil {
 			return jobResponseJSON{Error: err.Error()}, err
 		}
-		res := s.engine.RunLoop(r.Context(), engine.LoopRequest{
+		res := s.engine.RunLoop(ctx, engine.LoopRequest{
 			Loop:           prog.Loop,
 			AGU:            agu,
 			InterIteration: job.Wrap,
@@ -239,7 +316,7 @@ func (s *server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	resp, err := s.runJob(r, job)
+	resp, err := s.runJob(r.Context(), job)
 	if err != nil {
 		writeJSON(w, statusForJobError(err), resp)
 		return
@@ -273,7 +350,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, job jobJSON) {
 			defer wg.Done()
-			resp.Results[i], _ = s.runJob(r, job)
+			resp.Results[i], _ = s.runJob(r.Context(), job)
 		}(i, job)
 	}
 	wg.Wait()
@@ -281,12 +358,14 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// statsJSON is the /v1/stats response: engine statistics plus process
-// uptime and HTTP request count.
+// statsJSON is the /v1/stats response: engine statistics plus async
+// job metrics, build version, process uptime and HTTP request count.
 type statsJSON struct {
 	engine.Stats
-	UptimeSeconds float64 `json:"uptimeSeconds"`
-	HTTPRequests  uint64  `json:"httpRequests"`
+	AsyncJobs     jobs.Metrics `json:"asyncJobs"`
+	Version       string       `json:"version"`
+	UptimeSeconds float64      `json:"uptimeSeconds"`
+	HTTPRequests  uint64       `json:"httpRequests"`
 }
 
 // handleStats serves GET /v1/stats.
@@ -298,16 +377,24 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, statsJSON{
 		Stats:         s.engine.Stats(),
+		AsyncJobs:     s.jobs.Metrics(),
+		Version:       s.version,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		HTTPRequests:  s.requests.Load(),
 	})
 }
 
-// handleHealthz serves GET /healthz for load-balancer probes.
+// handleHealthz serves GET/HEAD /healthz for load-balancer probes.
+// The first line is the literal "ok"; the second names the build so
+// a probe log identifies what is running.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "GET or HEAD only")
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ok")
+	fmt.Fprintf(w, "ok\nrcaserve %s\n", s.version)
 }
 
 // statusForJobError distinguishes timeout failures (504) from

@@ -28,6 +28,8 @@ package dspaddr
 
 import (
 	"context"
+	"errors"
+	"fmt"
 
 	"dspaddr/internal/codegen"
 	"dspaddr/internal/core"
@@ -36,6 +38,7 @@ import (
 	"dspaddr/internal/engine"
 	"dspaddr/internal/frontend"
 	"dspaddr/internal/indexreg"
+	"dspaddr/internal/jobs"
 	"dspaddr/internal/model"
 	"dspaddr/internal/offsetassign"
 	"dspaddr/internal/workload"
@@ -175,6 +178,85 @@ func AllocateBatch(ctx context.Context, jobs []BatchJob, opts EngineOptions) []B
 	defer e.Close()
 	return e.RunBatch(ctx, jobs)
 }
+
+// Asynchronous job queue types, re-exported from the jobs package.
+type (
+	// Jobs is the asynchronous job manager: an admission-controlled
+	// priority queue feeding an executor, with per-job status
+	// tracking and a TTL'd result store for polling.
+	Jobs = jobs.Manager
+	// JobsOptions configures a Jobs manager (queue/store capacity,
+	// result TTL, concurrent runners).
+	JobsOptions = jobs.Options
+	// JobStatus is a point-in-time snapshot of one async job.
+	JobStatus = jobs.Status
+	// JobState is a job's lifecycle state.
+	JobState = jobs.State
+	// JobsMetrics is a snapshot of a manager's aggregate counters.
+	JobsMetrics = jobs.Metrics
+)
+
+// The async job lifecycle states: queued and running are transient,
+// the rest terminal.
+const (
+	JobQueued   = jobs.StateQueued
+	JobRunning  = jobs.StateRunning
+	JobDone     = jobs.StateDone
+	JobFailed   = jobs.StateFailed
+	JobTimeout  = jobs.StateTimeout
+	JobCanceled = jobs.StateCanceled
+)
+
+// NewJobs starts an asynchronous job manager in front of the engine:
+// SubmitJob a BatchJob or BatchLoopJob, poll the returned ID with
+// JobStatus (a done job's Status.Result is the matching BatchResult
+// or BatchLoopResult), cancel with Jobs.Cancel, and Close both when
+// done. Engine timeouts surface as the JobTimeout state. Supplying
+// opts.Run overrides the executor entirely — the engine is then only
+// used by jobs the custom runner forwards to it.
+func NewJobs(e *Engine, opts JobsOptions) *Jobs {
+	if opts.Run == nil {
+		opts.Run = func(ctx context.Context, payload any) (any, error) {
+			switch req := payload.(type) {
+			case engine.Request:
+				r := e.Run(ctx, req)
+				if r.Err != nil {
+					return nil, r.Err
+				}
+				return r, nil
+			case engine.LoopRequest:
+				r := e.RunLoop(ctx, req)
+				if r.Err != nil {
+					return nil, r.Err
+				}
+				return r, nil
+			default:
+				return nil, fmt.Errorf("dspaddr: unsupported job payload %T (want BatchJob or BatchLoopJob)", payload)
+			}
+		}
+	}
+	if opts.FailState == nil {
+		// Applies to custom runners too: any executor that forwards
+		// to the engine gets its timeouts classified correctly.
+		opts.FailState = func(err error) jobs.State {
+			if errors.Is(err, engine.ErrTimeout) {
+				return jobs.StateTimeout
+			}
+			return ""
+		}
+	}
+	return jobs.New(opts)
+}
+
+// SubmitJob submits one allocation job to an async manager at the
+// given priority (higher dispatches first) and returns its ID.
+func SubmitJob(j *Jobs, job BatchJob, priority int) (string, error) {
+	return j.Submit(job, priority)
+}
+
+// JobStatusByID polls one async job; see Jobs.Get for the error
+// contract (not-found vs evicted).
+func JobStatusByID(j *Jobs, id string) (JobStatus, error) { return j.Get(id) }
 
 // Index-register extension (beyond the paper's base AGU model).
 type (

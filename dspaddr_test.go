@@ -145,3 +145,84 @@ func TestAssignScalarOffsets(t *testing.T) {
 		t.Fatal("empty scalar sequence should cost 0")
 	}
 }
+
+func TestFacadeAsyncJobs(t *testing.T) {
+	e := NewEngine(EngineOptions{Workers: 2})
+	defer e.Close()
+	j := NewJobs(e, JobsOptions{})
+	defer j.Close()
+
+	id, err := SubmitJob(j, BatchJob{
+		Pattern: PaperExample(),
+		AGU:     AGUSpec{Registers: 2, ModifyRange: 1},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	for {
+		st, err = JobStatusByID(j, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			break
+		}
+	}
+	if st.State != JobDone {
+		t.Fatalf("state %s (%v), want done", st.State, st.Err)
+	}
+	res, ok := st.Result.(BatchResult)
+	if !ok {
+		t.Fatalf("result type %T", st.Result)
+	}
+	if res.Result.Cost != 0 || res.Result.VirtualRegisters != 2 {
+		t.Fatalf("paper example allocation off: %+v", res.Result)
+	}
+
+	// Loop payloads resolve the same way.
+	prog, err := ParseLoop("for (i = 0; i <= 9; i++) { A[i]; A[i+1]; }", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loopID, err := j.Submit(BatchLoopJob{Loop: prog.Loop, AGU: AGUSpec{Registers: 1, ModifyRange: 1}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		st, err = JobStatusByID(j, loopID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			break
+		}
+	}
+	if st.State != JobDone {
+		t.Fatalf("loop job state %s (%v)", st.State, st.Err)
+	}
+	if _, ok := st.Result.(BatchLoopResult); !ok {
+		t.Fatalf("loop result type %T", st.Result)
+	}
+
+	// An unsupported payload fails the job, not the manager.
+	badID, err := j.Submit("not a job", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		st, err = JobStatusByID(j, badID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			break
+		}
+	}
+	if st.State != JobFailed {
+		t.Fatalf("bad payload state %s, want failed", st.State)
+	}
+	if m := j.Metrics(); m.Submitted != 3 || m.Done != 2 || m.Failed != 1 {
+		t.Fatalf("metrics off: %+v", m)
+	}
+}

@@ -1,5 +1,6 @@
 // Aggregate serving statistics: cheap counters on the hot path, solve
-// latency percentiles from a bounded ring of recent observations.
+// latency percentiles from a bounded ring of recent observations
+// (stats.LatencyRing, shared with the async jobs subsystem).
 
 package engine
 
@@ -12,7 +13,7 @@ import (
 
 // latencyWindow is how many recent solve latencies feed the
 // percentile estimates.
-const latencyWindow = 4096
+const latencyWindow = stats.LatencyWindow
 
 // Stats is a point-in-time snapshot of an engine's counters.
 type Stats struct {
@@ -44,16 +45,15 @@ type Stats struct {
 
 // collector accumulates statistics; all methods are concurrency-safe.
 type collector struct {
-	mu        sync.Mutex
-	workers   int
-	jobs      uint64
-	hits      uint64
-	misses    uint64
-	errors    uint64
-	timeouts  uint64
-	canceled  uint64
-	latencies [latencyWindow]time.Duration
-	latN      int // total recorded, ring position = latN % latencyWindow
+	mu       sync.Mutex
+	workers  int
+	jobs     uint64
+	hits     uint64
+	misses   uint64
+	errors   uint64
+	timeouts uint64
+	canceled uint64
+	lat      stats.LatencyRing
 }
 
 func (c *collector) hit() {
@@ -67,9 +67,8 @@ func (c *collector) solved(d time.Duration) {
 	c.mu.Lock()
 	c.jobs++
 	c.misses++
-	c.latencies[c.latN%latencyWindow] = d
-	c.latN++
 	c.mu.Unlock()
+	c.lat.Observe(d)
 }
 
 func (c *collector) failed() {
@@ -105,23 +104,12 @@ func (c *collector) snapshot() Stats {
 		Timeouts:    c.timeouts,
 		Canceled:    c.canceled,
 	}
-	n := c.latN
-	if n > latencyWindow {
-		n = latencyWindow
-	}
-	var sample stats.Sample
-	for i := 0; i < n; i++ {
-		sample.Add(float64(c.latencies[i]) / float64(time.Microsecond))
-	}
 	c.mu.Unlock()
 
 	if looked := s.CacheHits + s.CacheMisses; looked > 0 {
 		s.HitRate = float64(s.CacheHits) / float64(looked)
 	}
-	if sample.N() > 0 {
-		s.SolveP50Micros = sample.Quantile(0.50)
-		s.SolveP90Micros = sample.Quantile(0.90)
-		s.SolveP99Micros = sample.Quantile(0.99)
-	}
+	qs := c.lat.QuantilesMicros(0.50, 0.90, 0.99)
+	s.SolveP50Micros, s.SolveP90Micros, s.SolveP99Micros = qs[0], qs[1], qs[2]
 	return s
 }

@@ -1,0 +1,87 @@
+// Tests for the stats collector's latency ring: wraparound past the
+// window and percentile edge cases with zero and one observations.
+
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyRingWraparound overwrites the whole ring twice and
+// checks the percentiles reflect only the newest window — an old
+// generation of fast solves must not drag the estimates down — while
+// the job counters keep counting every observation.
+func TestLatencyRingWraparound(t *testing.T) {
+	var c collector
+	for i := 0; i < latencyWindow; i++ {
+		c.solved(10 * time.Microsecond)
+	}
+	if s := c.snapshot(); s.SolveP50Micros != 10 || s.SolveP99Micros != 10 {
+		t.Fatalf("pre-wrap percentiles: p50=%g p99=%g, want 10/10", s.SolveP50Micros, s.SolveP99Micros)
+	}
+	for i := 0; i < latencyWindow; i++ {
+		c.solved(1000 * time.Microsecond)
+	}
+	s := c.snapshot()
+	if s.SolveP50Micros != 1000 || s.SolveP90Micros != 1000 || s.SolveP99Micros != 1000 {
+		t.Fatalf("post-wrap percentiles: p50=%g p90=%g p99=%g, want 1000s — stale ring entries leaked in",
+			s.SolveP50Micros, s.SolveP90Micros, s.SolveP99Micros)
+	}
+	if s.Jobs != 2*latencyWindow || s.CacheMisses != 2*latencyWindow {
+		t.Fatalf("counters lost observations: %+v", s)
+	}
+}
+
+// TestLatencyRingPartialWrap crosses the window boundary by a
+// fraction and checks the sample size stays capped at the window
+// while mixing old and new generations.
+func TestLatencyRingPartialWrap(t *testing.T) {
+	var c collector
+	for i := 0; i < latencyWindow; i++ {
+		c.solved(10 * time.Microsecond)
+	}
+	const extra = 100
+	for i := 0; i < extra; i++ {
+		c.solved(1000 * time.Microsecond)
+	}
+	s := c.snapshot()
+	// The ring holds latencyWindow-extra old and extra new samples:
+	// p50 still sits on the old generation, p99 must see the new one
+	// (extra/latencyWindow ≈ 2.4% > 1%).
+	if s.SolveP50Micros != 10 {
+		t.Fatalf("p50 = %g, want 10 (old generation still dominates)", s.SolveP50Micros)
+	}
+	if s.SolveP99Micros != 1000 {
+		t.Fatalf("p99 = %g, want 1000 (new generation in the tail)", s.SolveP99Micros)
+	}
+}
+
+// TestPercentilesNoSamples checks an idle collector reports zero
+// percentiles rather than NaN or garbage.
+func TestPercentilesNoSamples(t *testing.T) {
+	var c collector
+	s := c.snapshot()
+	if s.SolveP50Micros != 0 || s.SolveP90Micros != 0 || s.SolveP99Micros != 0 {
+		t.Fatalf("idle percentiles non-zero: %+v", s)
+	}
+	if s.HitRate != 0 {
+		t.Fatalf("idle hit rate %g", s.HitRate)
+	}
+}
+
+// TestPercentilesOneSample checks a single observation pins every
+// percentile to itself.
+func TestPercentilesOneSample(t *testing.T) {
+	var c collector
+	c.solved(42 * time.Microsecond)
+	s := c.snapshot()
+	for _, p := range []float64{s.SolveP50Micros, s.SolveP90Micros, s.SolveP99Micros} {
+		if p != 42 {
+			t.Fatalf("single-sample percentiles %+v, want all 42", s)
+		}
+	}
+	if s.Jobs != 1 || s.CacheMisses != 1 {
+		t.Fatalf("counters off: %+v", s)
+	}
+}

@@ -1,0 +1,540 @@
+// Package jobs is the asynchronous job queue and result store that
+// turns a blocking executor into a submit/poll lifecycle.
+//
+// A Manager owns three pieces: an admission-controlled priority queue
+// (queue.go), a pool of dispatcher goroutines that pull queued jobs
+// and run them through the caller-supplied Runner, and a sharded
+// in-memory result store with TTL and capacity eviction (store.go).
+// Every job moves through the state machine
+//
+//	queued ──▶ running ──▶ done | failed | timeout | canceled
+//	   └────────────────────────────────────────────▶ canceled
+//
+// with its queue-wait and run latency recorded, both per job (Status)
+// and in aggregate (Metrics).
+//
+// The package is deliberately payload-agnostic: Submit takes an
+// opaque payload and the Runner interprets it, so the same manager
+// serves engine requests, whole-loop jobs or anything else without
+// this package importing them. Error-to-state classification is
+// likewise pluggable (Options.FailState) so callers can map their
+// executor's timeout error to StateTimeout.
+package jobs
+
+import (
+	"container/list"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dspaddr/internal/stats"
+)
+
+// State is a job's position in the lifecycle.
+type State string
+
+// The job states. Queued and Running are transient; the other four
+// are terminal.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateTimeout  State = "timeout"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateTimeout, StateCanceled:
+		return true
+	}
+	return false
+}
+
+// ValidState reports whether s names a real job state; useful for
+// validating listing filters from the wire.
+func ValidState(s State) bool {
+	switch s {
+	case StateQueued, StateRunning:
+		return true
+	}
+	return s.Terminal()
+}
+
+// Errors beyond the store's lookup errors (ErrNotFound, ErrEvicted)
+// and the queue's ErrQueueFull.
+var (
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("jobs: manager closed")
+	// ErrFinished is returned by Cancel for an already-terminal job.
+	ErrFinished = errors.New("jobs: job already finished")
+)
+
+// Runner executes one job payload. The context is canceled when the
+// job is canceled or the manager shuts down; a Runner that honors it
+// makes DELETE effective against running work.
+type Runner func(ctx context.Context, payload any) (any, error)
+
+// Defaults for zero Options fields.
+const (
+	DefaultQueueCapacity = 1024
+	DefaultStoreCapacity = 16384
+	DefaultTTL           = 15 * time.Minute
+	DefaultRunners       = 8
+)
+
+// Options configures a Manager.
+type Options struct {
+	// QueueCapacity bounds admitted-but-not-started jobs; a
+	// submission that does not fit is rejected with ErrQueueFull.
+	// 0 means DefaultQueueCapacity.
+	QueueCapacity int
+	// StoreCapacity bounds retained finished jobs; the oldest are
+	// evicted first. 0 means DefaultStoreCapacity.
+	StoreCapacity int
+	// TTL is how long a finished job's status and result stay
+	// fetchable. 0 means DefaultTTL.
+	TTL time.Duration
+	// Runners is the number of concurrent dispatcher goroutines —
+	// the cap on jobs in StateRunning. 0 means DefaultRunners.
+	Runners int
+	// Run executes payloads; required.
+	Run Runner
+	// FailState optionally classifies a Runner error into a terminal
+	// state; returning "" falls through to the default (canceled
+	// contexts map to StateCanceled, deadline errors to StateTimeout,
+	// everything else to StateFailed).
+	FailState func(error) State
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueCapacity <= 0 {
+		o.QueueCapacity = DefaultQueueCapacity
+	}
+	if o.StoreCapacity <= 0 {
+		o.StoreCapacity = DefaultStoreCapacity
+	}
+	if o.TTL <= 0 {
+		o.TTL = DefaultTTL
+	}
+	if o.Runners <= 0 {
+		o.Runners = DefaultRunners
+	}
+	return o
+}
+
+// record is one job's mutable state. id, seq, priority, payload and
+// submitted are immutable after creation; elem and expire belong to
+// the store (guarded by its shard lock); everything else is guarded
+// by mu.
+type record struct {
+	id        string
+	seq       uint64
+	priority  int
+	payload   any
+	submitted time.Time
+
+	mu       sync.Mutex
+	state    State
+	started  time.Time
+	finished time.Time
+	result   any
+	err      error
+	cancel   context.CancelFunc // non-nil exactly while running
+
+	// Store bookkeeping, guarded by the owning shard's lock.
+	elem   *list.Element
+	expire time.Time
+}
+
+// Status is a point-in-time snapshot of one job.
+type Status struct {
+	// ID is the job's opaque identifier.
+	ID string
+	// State is the lifecycle state at snapshot time.
+	State State
+	// Priority is the submission priority (higher runs first).
+	Priority int
+	// SubmittedAt, StartedAt and FinishedAt are the lifecycle
+	// timestamps; StartedAt/FinishedAt are zero until reached.
+	SubmittedAt time.Time
+	StartedAt   time.Time
+	FinishedAt  time.Time
+	// QueueWait is the time from submission to dispatch — still
+	// growing for a queued job.
+	QueueWait time.Duration
+	// RunTime is the time from dispatch to completion — still
+	// growing for a running job, zero for one canceled in queue.
+	RunTime time.Duration
+	// Result is the Runner's return value; non-nil only in StateDone.
+	Result any
+	// Err is the failure; non-nil only in the failed/timeout states
+	// and for canceled jobs that had started running.
+	Err error
+}
+
+// snapshot renders the record at time now.
+func (r *record) snapshot(now time.Time) Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Status{
+		ID:          r.id,
+		State:       r.state,
+		Priority:    r.priority,
+		SubmittedAt: r.submitted,
+		StartedAt:   r.started,
+		FinishedAt:  r.finished,
+		Result:      r.result,
+		Err:         r.err,
+	}
+	switch {
+	case !r.started.IsZero():
+		st.QueueWait = r.started.Sub(r.submitted)
+		if !r.finished.IsZero() {
+			st.RunTime = r.finished.Sub(r.started)
+		} else {
+			st.RunTime = now.Sub(r.started)
+		}
+	case !r.finished.IsZero(): // canceled straight out of the queue
+		st.QueueWait = r.finished.Sub(r.submitted)
+	default:
+		st.QueueWait = now.Sub(r.submitted)
+	}
+	return st
+}
+
+// Manager is the asynchronous job engine: bounded admission, priority
+// dispatch, per-job status and a TTL'd result store. Create one with
+// New and release it with Close. All methods are safe for concurrent
+// use.
+type Manager struct {
+	opts  Options
+	queue *queue
+	store *store
+
+	// Stage-latency rings feeding the Metrics percentiles.
+	waitLat stats.LatencyRing
+	runLat  stats.LatencyRing
+
+	prefix  string // random per-manager ID prefix
+	seq     atomic.Uint64
+	depth   atomic.Int64 // jobs in StateQueued
+	running atomic.Int64
+
+	submitted atomic.Uint64
+	rejected  atomic.Uint64
+	done      atomic.Uint64
+	failed    atomic.Uint64
+	timedOut  atomic.Uint64
+	canceled  atomic.Uint64
+
+	// baseCtx parents every job context, so Close cancels all
+	// running work with one call — including a job a dispatcher is
+	// just now starting, which a walk over running records would
+	// race past.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// closeMu orders submissions against Close: submitters hold the
+	// read side across the closed-check and the queue push, so once
+	// Close has held the write side, no new record can slip into the
+	// queue after the drain (where it would sit queued forever with
+	// the dispatchers gone — or block the submitter on a stale ready
+	// token).
+	closeMu   sync.RWMutex
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// New starts a manager with its dispatcher pool and TTL janitor. The
+// caller must Close it when done. It panics if opts.Run is nil — a
+// manager without an executor is a programming error, not a runtime
+// condition.
+func New(opts Options) *Manager {
+	if opts.Run == nil {
+		panic("jobs: Options.Run is required")
+	}
+	opts = opts.withDefaults()
+	var pfx [4]byte
+	rand.Read(pfx[:]) //nolint:errcheck // crypto/rand never fails
+	m := &Manager{
+		opts:   opts,
+		queue:  newQueue(opts.QueueCapacity),
+		store:  newStore(opts.StoreCapacity, opts.TTL),
+		prefix: hex.EncodeToString(pfx[:]),
+		closed: make(chan struct{}),
+	}
+	m.baseCtx, m.baseCancel = context.WithCancel(context.Background())
+	for i := 0; i < opts.Runners; i++ {
+		m.wg.Add(1)
+		go m.dispatch()
+	}
+	m.wg.Add(1)
+	go m.janitor()
+	return m
+}
+
+// Close stops accepting submissions, cancels running jobs, marks
+// still-queued jobs canceled and waits for the dispatchers to drain.
+// Idempotent.
+func (m *Manager) Close() {
+	m.closeOnce.Do(func() {
+		m.closeMu.Lock()
+		close(m.closed)
+		m.closeMu.Unlock()
+		m.baseCancel()
+	})
+	now := time.Now()
+	for _, rec := range m.queue.drain() {
+		m.finishCanceled(rec, now)
+	}
+	m.wg.Wait()
+}
+
+// Submit admits one job at the given priority (higher runs first) and
+// returns its ID, or ErrQueueFull / ErrClosed.
+func (m *Manager) Submit(payload any, priority int) (string, error) {
+	ids, err := m.SubmitAll([]any{payload}, priority)
+	if err != nil {
+		return "", err
+	}
+	return ids[0], nil
+}
+
+// SubmitAll admits every payload or none: a batch that does not fit
+// under the queue capacity is rejected whole with ErrQueueFull, so a
+// caller never has to track a partially admitted batch. IDs are
+// returned in payload order.
+func (m *Manager) SubmitAll(payloads []any, priority int) ([]string, error) {
+	if len(payloads) == 0 {
+		return nil, errors.New("jobs: empty submission")
+	}
+	m.closeMu.RLock()
+	defer m.closeMu.RUnlock()
+	select {
+	case <-m.closed:
+		return nil, ErrClosed
+	default:
+	}
+	now := time.Now()
+	recs := make([]*record, len(payloads))
+	ids := make([]string, len(payloads))
+	for i, p := range payloads {
+		seq := m.seq.Add(1)
+		recs[i] = &record{
+			id:        fmt.Sprintf("j-%s-%08x", m.prefix, seq),
+			seq:       seq,
+			priority:  priority,
+			payload:   p,
+			submitted: now,
+			state:     StateQueued,
+		}
+		ids[i] = recs[i].id
+	}
+	// Records enter the store inside the queue's admission section:
+	// a rejected batch is never visible to Get/List/metrics.
+	if err := m.queue.pushAll(recs, m.store.put); err != nil {
+		m.rejected.Add(1)
+		return nil, err
+	}
+	m.depth.Add(int64(len(recs)))
+	m.submitted.Add(uint64(len(recs)))
+	return ids, nil
+}
+
+// QueueCapacity returns the effective admission bound (defaults
+// applied).
+func (m *Manager) QueueCapacity() int { return m.opts.QueueCapacity }
+
+// Get returns the job's current status, ErrNotFound for an unknown ID
+// or ErrEvicted for a finished job whose result has been dropped.
+func (m *Manager) Get(id string) (Status, error) {
+	now := time.Now()
+	rec, err := m.store.get(id, now)
+	if err != nil {
+		return Status{}, err
+	}
+	return rec.snapshot(now), nil
+}
+
+// Cancel stops a job: a queued job turns canceled immediately, a
+// running job has its context canceled (the state turns canceled once
+// the Runner honors it — the returned Status may still say running).
+// Terminal jobs return ErrFinished alongside their status.
+func (m *Manager) Cancel(id string) (Status, error) {
+	now := time.Now()
+	rec, err := m.store.get(id, now)
+	if err != nil {
+		return Status{}, err
+	}
+	rec.mu.Lock()
+	switch rec.state {
+	case StateQueued:
+		rec.mu.Unlock()
+		m.finishCanceled(rec, now)
+		return rec.snapshot(now), nil
+	case StateRunning:
+		rec.cancel()
+		rec.mu.Unlock()
+		return rec.snapshot(now), nil
+	default:
+		rec.mu.Unlock()
+		return rec.snapshot(now), ErrFinished
+	}
+}
+
+// finishCanceled moves a queued record straight to canceled (Cancel
+// on a queued job, or Close draining the queue). The record stays in
+// the heap until a dispatcher pops and skips it.
+func (m *Manager) finishCanceled(rec *record, now time.Time) {
+	rec.mu.Lock()
+	if rec.state != StateQueued {
+		rec.mu.Unlock()
+		return
+	}
+	rec.state = StateCanceled
+	rec.finished = now
+	rec.mu.Unlock()
+	m.depth.Add(-1)
+	m.canceled.Add(1)
+	m.store.finish(rec, now.Add(m.opts.TTL))
+}
+
+// List returns a page of job statuses, newest submission first,
+// optionally filtered by state (empty matches all). limit <= 0 means
+// no limit. The second return is the total match count before
+// paging.
+func (m *Manager) List(state State, offset, limit int) ([]Status, int) {
+	now := time.Now()
+	recs := m.store.all()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq > recs[j].seq })
+	matches := make([]Status, 0, len(recs))
+	for _, rec := range recs {
+		st := rec.snapshot(now)
+		if state == "" || st.State == state {
+			matches = append(matches, st)
+		}
+	}
+	total := len(matches)
+	if offset >= total {
+		return nil, total
+	}
+	matches = matches[offset:]
+	if limit > 0 && limit < len(matches) {
+		matches = matches[:limit]
+	}
+	return matches, total
+}
+
+// dispatch is one runner goroutine: block for a token, pop the best
+// record, run it, record the outcome.
+func (m *Manager) dispatch() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.closed:
+			return
+		case <-m.queue.ready:
+		}
+		rec := m.queue.pop()
+		if rec == nil {
+			continue // drained by Close
+		}
+		rec.mu.Lock()
+		if rec.state != StateQueued { // canceled while waiting
+			rec.mu.Unlock()
+			continue
+		}
+		now := time.Now()
+		rec.state = StateRunning
+		rec.started = now
+		ctx, cancel := context.WithCancel(m.baseCtx)
+		rec.cancel = cancel
+		payload := rec.payload
+		rec.mu.Unlock()
+
+		m.depth.Add(-1)
+		m.running.Add(1)
+		m.waitLat.Observe(now.Sub(rec.submitted))
+
+		out, err := m.opts.Run(ctx, payload)
+		cancel()
+		finish := time.Now()
+
+		rec.mu.Lock()
+		rec.finished = finish
+		rec.cancel = nil
+		if err != nil {
+			rec.state = m.classify(err)
+			rec.err = err
+		} else {
+			rec.state = StateDone
+			rec.result = out
+		}
+		state := rec.state
+		rec.mu.Unlock()
+
+		m.running.Add(-1)
+		m.runLat.Observe(finish.Sub(now))
+		switch state {
+		case StateDone:
+			m.done.Add(1)
+		case StateTimeout:
+			m.timedOut.Add(1)
+		case StateCanceled:
+			m.canceled.Add(1)
+		default:
+			m.failed.Add(1)
+		}
+		m.store.finish(rec, finish.Add(m.opts.TTL))
+	}
+}
+
+// classify maps a Runner error to a terminal state: the caller's
+// FailState first, then the context sentinels, then StateFailed.
+func (m *Manager) classify(err error) State {
+	if m.opts.FailState != nil {
+		if s := m.opts.FailState(err); s != "" {
+			return s
+		}
+	}
+	switch {
+	case errors.Is(err, context.Canceled):
+		return StateCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return StateTimeout
+	}
+	return StateFailed
+}
+
+// janitor periodically sweeps expired results so idle managers shed
+// memory without waiting for lookups to trip the lazy expiry.
+func (m *Manager) janitor() {
+	defer m.wg.Done()
+	interval := m.opts.TTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.closed:
+			return
+		case <-ticker.C:
+			m.store.sweep(time.Now())
+		}
+	}
+}

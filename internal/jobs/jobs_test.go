@@ -1,0 +1,437 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoRunner completes instantly, echoing its payload.
+func echoRunner(ctx context.Context, payload any) (any, error) {
+	return payload, nil
+}
+
+// gatedRunner blocks every job until release is closed (or its
+// context is canceled), recording execution order.
+type gatedRunner struct {
+	release chan struct{}
+	mu      sync.Mutex
+	order   []any
+}
+
+func newGatedRunner() *gatedRunner { return &gatedRunner{release: make(chan struct{})} }
+
+func (g *gatedRunner) run(ctx context.Context, payload any) (any, error) {
+	g.mu.Lock()
+	g.order = append(g.order, payload)
+	g.mu.Unlock()
+	select {
+	case <-g.release:
+		return payload, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// waitState polls until the job reaches a terminal state or the
+// deadline passes; it fails the test on lookup errors.
+func waitState(t *testing.T, m *Manager, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := m.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return Status{}
+}
+
+func TestSubmitRunDone(t *testing.T) {
+	m := New(Options{Run: echoRunner, Runners: 2})
+	defer m.Close()
+	id, err := m.Submit("hello", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, m, id)
+	if st.State != StateDone {
+		t.Fatalf("state %s, want done", st.State)
+	}
+	if st.Result != "hello" {
+		t.Fatalf("result %v", st.Result)
+	}
+	if st.StartedAt.IsZero() || st.FinishedAt.IsZero() || st.SubmittedAt.IsZero() {
+		t.Fatalf("missing timestamps: %+v", st)
+	}
+	if st.QueueWait < 0 || st.RunTime < 0 {
+		t.Fatalf("negative latency: %+v", st)
+	}
+	mt := m.Metrics()
+	if mt.Submitted != 1 || mt.Done != 1 || mt.QueueDepth != 0 || mt.Running != 0 {
+		t.Fatalf("metrics off: %+v", mt)
+	}
+}
+
+// TestPriorityOrder parks one job on the single runner, queues a
+// low- and a high-priority job, and checks the high one runs first
+// (FIFO would run the low one).
+func TestPriorityOrder(t *testing.T) {
+	g := newGatedRunner()
+	m := New(Options{Run: g.run, Runners: 1})
+	defer m.Close()
+
+	blocker, err := m.Submit("blocker", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, m, blocker)
+	if _, err := m.Submit("low", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit("high", 10); err != nil {
+		t.Fatal(err)
+	}
+	close(g.release)
+	for _, id := range ids(t, m) {
+		waitState(t, m, id)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.order) != 3 || g.order[0] != "blocker" || g.order[1] != "high" || g.order[2] != "low" {
+		t.Fatalf("execution order %v, want [blocker high low]", g.order)
+	}
+}
+
+// ids lists every tracked job ID.
+func ids(t *testing.T, m *Manager) []string {
+	t.Helper()
+	sts, _ := m.List("", 0, 0)
+	out := make([]string, len(sts))
+	for i, st := range sts {
+		out[i] = st.ID
+	}
+	return out
+}
+
+func waitRunning(t *testing.T, m *Manager, id string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateRunning {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never started", id)
+}
+
+// TestQueueFull fills the queue behind a parked runner and checks the
+// overflow submission is rejected and counted.
+func TestQueueFull(t *testing.T) {
+	g := newGatedRunner()
+	m := New(Options{Run: g.run, Runners: 1, QueueCapacity: 2})
+	defer m.Close()
+
+	blocker, err := m.Submit("blocker", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, m, blocker)
+	for i := 0; i < 2; i++ {
+		if _, err := m.Submit(i, 0); err != nil {
+			t.Fatalf("job %d rejected with capacity free: %v", i, err)
+		}
+	}
+	if _, err := m.Submit("overflow", 0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: %v, want ErrQueueFull", err)
+	}
+	if mt := m.Metrics(); mt.Rejected != 1 || mt.QueueDepth != 2 {
+		t.Fatalf("metrics off: %+v", mt)
+	}
+	close(g.release)
+}
+
+// TestSubmitAllAtomic checks a batch larger than the remaining
+// capacity is rejected whole: no job of it is admitted or tracked.
+func TestSubmitAllAtomic(t *testing.T) {
+	m := New(Options{Run: echoRunner, QueueCapacity: 4})
+	defer m.Close()
+	batch := []any{1, 2, 3, 4, 5}
+	if _, err := m.SubmitAll(batch, 0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("oversized batch: %v, want ErrQueueFull", err)
+	}
+	if _, total := m.List("", 0, 0); total != 0 {
+		t.Fatalf("rejected batch left %d records behind", total)
+	}
+	if _, err := m.SubmitAll([]any{}, 0); err == nil {
+		t.Fatal("empty submission should fail")
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	g := newGatedRunner()
+	m := New(Options{Run: g.run, Runners: 1})
+	defer m.Close()
+	blocker, err := m.Submit("blocker", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, m, blocker)
+	queued, err := m.Submit("queued", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Cancel(queued)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled {
+		t.Fatalf("state %s, want canceled", st.State)
+	}
+	if st.RunTime != 0 || !st.StartedAt.IsZero() {
+		t.Fatalf("queue-canceled job claims run time: %+v", st)
+	}
+	// Canceling again reports the terminal state.
+	if _, err := m.Cancel(queued); !errors.Is(err, ErrFinished) {
+		t.Fatalf("second cancel: %v, want ErrFinished", err)
+	}
+	close(g.release)
+	if st := waitState(t, m, blocker); st.State != StateDone {
+		t.Fatalf("blocker state %s", st.State)
+	}
+	if mt := m.Metrics(); mt.Canceled != 1 || mt.Done != 1 {
+		t.Fatalf("metrics off: %+v", mt)
+	}
+}
+
+func TestCancelRunning(t *testing.T) {
+	g := newGatedRunner()
+	m := New(Options{Run: g.run, Runners: 1})
+	defer m.Close()
+	id, err := m.Submit("victim", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, m, id)
+	if _, err := m.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, m, id)
+	if st.State != StateCanceled {
+		t.Fatalf("state %s, want canceled", st.State)
+	}
+	if !errors.Is(st.Err, context.Canceled) {
+		t.Fatalf("err %v", st.Err)
+	}
+}
+
+// TestFailStateClassifier maps a sentinel error to StateTimeout via
+// the pluggable classifier and checks the fallback chain.
+func TestFailStateClassifier(t *testing.T) {
+	sentinel := errors.New("solver deadline")
+	m := New(Options{
+		Run: func(ctx context.Context, payload any) (any, error) {
+			switch payload {
+			case "timeout":
+				return nil, fmt.Errorf("wrapped: %w", sentinel)
+			case "plain":
+				return nil, errors.New("boom")
+			}
+			return payload, nil
+		},
+		FailState: func(err error) State {
+			if errors.Is(err, sentinel) {
+				return StateTimeout
+			}
+			return ""
+		},
+	})
+	defer m.Close()
+	idT, _ := m.Submit("timeout", 0)
+	idP, _ := m.Submit("plain", 0)
+	if st := waitState(t, m, idT); st.State != StateTimeout {
+		t.Fatalf("classified state %s, want timeout", st.State)
+	}
+	if st := waitState(t, m, idP); st.State != StateFailed {
+		t.Fatalf("fallback state %s, want failed", st.State)
+	}
+	if mt := m.Metrics(); mt.TimedOut != 1 || mt.Failed != 1 {
+		t.Fatalf("metrics off: %+v", mt)
+	}
+}
+
+// TestTTLEviction finishes a job with a tiny TTL and checks the
+// result degrades to ErrEvicted — via the lazy check on Get even
+// before the janitor sweeps.
+func TestTTLEviction(t *testing.T) {
+	m := New(Options{Run: echoRunner, TTL: 20 * time.Millisecond})
+	defer m.Close()
+	id, _ := m.Submit("x", 0)
+	waitState(t, m, id)
+	time.Sleep(50 * time.Millisecond)
+	if _, err := m.Get(id); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("expired Get: %v, want ErrEvicted", err)
+	}
+	if mt := m.Metrics(); mt.Evicted == 0 || mt.StoreSize != 0 {
+		t.Fatalf("metrics off: %+v", mt)
+	}
+	// And a genuinely unknown ID stays a not-found.
+	if _, err := m.Get("j-feedbeef-00000001"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown Get: %v, want ErrNotFound", err)
+	}
+}
+
+// TestCapacityEviction overflows a tiny store and checks old finished
+// jobs are dropped with tombstones while the newest survive.
+func TestCapacityEviction(t *testing.T) {
+	const n = 80
+	m := New(Options{Run: echoRunner, StoreCapacity: 16}) // one record per shard
+	defer m.Close()
+	allIDs := make([]string, n)
+	for i := range allIDs {
+		id, err := m.Submit(i, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allIDs[i] = id
+		waitState(t, m, id)
+	}
+	evicted := 0
+	for _, id := range allIDs {
+		if _, err := m.Get(id); errors.Is(err, ErrEvicted) {
+			evicted++
+		}
+	}
+	if evicted < n-16 {
+		t.Fatalf("%d of %d evicted, want >= %d", evicted, n, n-16)
+	}
+	mt := m.Metrics()
+	if mt.StoreSize > 16 {
+		t.Fatalf("store holds %d records past capacity", mt.StoreSize)
+	}
+	if mt.Evicted != uint64(evicted) {
+		t.Fatalf("eviction counter %d, saw %d", mt.Evicted, evicted)
+	}
+}
+
+func TestListPagination(t *testing.T) {
+	g := newGatedRunner()
+	m := New(Options{Run: g.run, Runners: 1})
+	defer m.Close()
+	var last string
+	for i := 0; i < 5; i++ {
+		id, err := m.Submit(i, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = id
+	}
+	all, total := m.List("", 0, 0)
+	if total != 5 || len(all) != 5 {
+		t.Fatalf("List all: %d/%d", len(all), total)
+	}
+	if all[0].ID != last {
+		t.Fatalf("listing not newest-first: %s first, want %s", all[0].ID, last)
+	}
+	page, total := m.List("", 1, 2)
+	if total != 5 || len(page) != 2 {
+		t.Fatalf("page: %d items, total %d", len(page), total)
+	}
+	if page[0].ID != all[1].ID || page[1].ID != all[2].ID {
+		t.Fatal("page window misaligned with full listing")
+	}
+	if beyond, _ := m.List("", 99, 10); beyond != nil {
+		t.Fatalf("offset past end returned %v", beyond)
+	}
+	queued, _ := m.List(StateQueued, 0, 0)
+	running, _ := m.List(StateRunning, 0, 0)
+	if len(queued)+len(running) != 5 {
+		t.Fatalf("state filters miss jobs: %d queued + %d running", len(queued), len(running))
+	}
+	close(g.release)
+}
+
+// TestCloseCancelsOutstanding checks Close marks queued jobs canceled
+// and unblocks running ones via their context.
+func TestCloseCancelsOutstanding(t *testing.T) {
+	g := newGatedRunner()
+	m := New(Options{Run: g.run, Runners: 1})
+	runningID, err := m.Submit("running", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, m, runningID)
+	queuedID, err := m.Submit("queued", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close() // must not hang on the gated runner
+	for _, id := range []string{runningID, queuedID} {
+		st, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateCanceled {
+			t.Fatalf("job %s state %s after Close, want canceled", id, st.State)
+		}
+	}
+	if _, err := m.Submit("late", 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close submit: %v, want ErrClosed", err)
+	}
+}
+
+// TestConcurrentSubmitPoll hammers the manager from many goroutines
+// to give the race detector surface area.
+func TestConcurrentSubmitPoll(t *testing.T) {
+	m := New(Options{Run: echoRunner, Runners: 4})
+	defer m.Close()
+	const per, workers = 50, 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				id, err := m.Submit(fmt.Sprintf("%d-%d", w, i), w%3)
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				for {
+					st, err := m.Get(id)
+					if err != nil {
+						t.Errorf("get: %v", err)
+						return
+					}
+					if st.State.Terminal() {
+						if st.State != StateDone {
+							t.Errorf("job %s: %s", id, st.State)
+						}
+						break
+					}
+					time.Sleep(100 * time.Microsecond)
+				}
+				m.Metrics()
+				m.List("", 0, 10)
+			}
+		}(w)
+	}
+	wg.Wait()
+	mt := m.Metrics()
+	if mt.Done != per*workers {
+		t.Fatalf("done %d, want %d", mt.Done, per*workers)
+	}
+}

@@ -1,0 +1,69 @@
+// Aggregate queue/store metrics: cheap atomic counters on the hot
+// path, stage-latency percentiles from bounded rings of recent
+// observations (stats.LatencyRing, shared with the engine's
+// collector) — covering the two stages the engine cannot see: queue
+// wait (submission to dispatch) and run time (dispatch to
+// completion).
+
+package jobs
+
+// Metrics is a point-in-time snapshot of a Manager's counters; every
+// field maps onto a Prometheus sample in the serving layer.
+type Metrics struct {
+	// QueueDepth is the number of queued (admitted, not yet started)
+	// jobs; QueueCapacity is the admission bound.
+	QueueDepth    int `json:"queueDepth"`
+	QueueCapacity int `json:"queueCapacity"`
+	// Running is the number of jobs currently executing; Runners is
+	// its cap.
+	Running int `json:"running"`
+	Runners int `json:"runners"`
+	// StoreSize is the number of tracked jobs (live and finished);
+	// StoreCapacity bounds the finished ones.
+	StoreSize     int `json:"storeSize"`
+	StoreCapacity int `json:"storeCapacity"`
+	// Submitted counts admitted jobs; Rejected counts submissions
+	// (not jobs) refused by admission control; Evicted counts
+	// finished jobs dropped by TTL or capacity.
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	Evicted   uint64 `json:"evicted"`
+	// Terminal-state counters.
+	Done     uint64 `json:"done"`
+	Failed   uint64 `json:"failed"`
+	TimedOut uint64 `json:"timedOut"`
+	Canceled uint64 `json:"canceled"`
+	// Stage latency percentiles in microseconds over the recent
+	// window: queue wait (submission → dispatch) and run time
+	// (dispatch → completion).
+	QueueWaitP50Micros float64 `json:"queueWaitP50Micros"`
+	QueueWaitP90Micros float64 `json:"queueWaitP90Micros"`
+	QueueWaitP99Micros float64 `json:"queueWaitP99Micros"`
+	RunP50Micros       float64 `json:"runP50Micros"`
+	RunP90Micros       float64 `json:"runP90Micros"`
+	RunP99Micros       float64 `json:"runP99Micros"`
+}
+
+// Metrics returns a snapshot of the manager's aggregate state.
+func (m *Manager) Metrics() Metrics {
+	out := Metrics{
+		QueueDepth:    int(m.depth.Load()),
+		QueueCapacity: m.opts.QueueCapacity,
+		Running:       int(m.running.Load()),
+		Runners:       m.opts.Runners,
+		StoreSize:     int(m.store.size.Load()),
+		StoreCapacity: m.opts.StoreCapacity,
+		Submitted:     m.submitted.Load(),
+		Rejected:      m.rejected.Load(),
+		Evicted:       m.store.evictions.Load(),
+		Done:          m.done.Load(),
+		Failed:        m.failed.Load(),
+		TimedOut:      m.timedOut.Load(),
+		Canceled:      m.canceled.Load(),
+	}
+	qs := m.waitLat.QuantilesMicros(0.50, 0.90, 0.99)
+	out.QueueWaitP50Micros, out.QueueWaitP90Micros, out.QueueWaitP99Micros = qs[0], qs[1], qs[2]
+	qs = m.runLat.QuantilesMicros(0.50, 0.90, 0.99)
+	out.RunP50Micros, out.RunP90Micros, out.RunP99Micros = qs[0], qs[1], qs[2]
+	return out
+}

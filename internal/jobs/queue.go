@@ -1,0 +1,115 @@
+// Admission-controlled priority queue.
+//
+// The queue is the system's only admission point: a submission either
+// fits under the configured capacity — all of it, for multi-job
+// submissions — or is rejected outright with ErrQueueFull, so a burst
+// can never build an unbounded backlog. Inside the capacity bound,
+// dispatch order is (priority descending, submission sequence
+// ascending): urgent work overtakes bulk work, equal-priority work
+// stays FIFO.
+//
+// Cancellation of queued work is lazy. A canceled record stays in the
+// heap (still counted against capacity) until a dispatcher pops and
+// skips it; this keeps Cancel O(1) instead of O(queue). The ready
+// channel carries exactly one token per heap item, so dispatchers
+// block on the channel — never spin — and pop only when an item is
+// guaranteed to be present.
+
+package jobs
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by Submit and SubmitAll when admitting the
+// submission would push the queue past its capacity. Multi-job
+// submissions are admitted atomically: all jobs or none.
+var ErrQueueFull = errors.New("jobs: queue full")
+
+// queue is the bounded priority queue feeding the dispatchers.
+type queue struct {
+	mu    sync.Mutex
+	cap   int
+	heap  recHeap
+	ready chan struct{} // one token per heap item
+}
+
+func newQueue(capacity int) *queue {
+	return &queue{cap: capacity, ready: make(chan struct{}, capacity)}
+}
+
+// pushAll admits every record or none: if the batch does not fit
+// under the capacity it returns ErrQueueFull without enqueueing
+// anything. admit runs per record inside the critical section, after
+// the capacity check — the manager registers records in its store
+// there, so a rejected batch is never visible anywhere and an
+// admitted record is always findable before a dispatcher can pop it.
+// The token sends after the critical section never block — the heap
+// holds at most cap items and ready has cap slots.
+func (q *queue) pushAll(recs []*record, admit func(*record)) error {
+	q.mu.Lock()
+	if len(q.heap)+len(recs) > q.cap {
+		q.mu.Unlock()
+		return ErrQueueFull
+	}
+	for _, r := range recs {
+		admit(r)
+		heap.Push(&q.heap, r)
+	}
+	q.mu.Unlock()
+	for range recs {
+		q.ready <- struct{}{}
+	}
+	return nil
+}
+
+// pop removes the best (highest priority, then oldest) record, or nil
+// if the heap is empty — possible when Close drained it first.
+func (q *queue) pop() *record {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.heap).(*record)
+}
+
+// drain empties the heap and returns the removed records; used by
+// Close to mark still-queued work canceled.
+func (q *queue) drain() []*record {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.heap
+	q.heap = nil
+	return out
+}
+
+// recHeap orders records by priority descending, then submission
+// sequence ascending (FIFO within a priority band). priority and seq
+// are immutable after creation, so heap operations need no record
+// locks.
+type recHeap []*record
+
+func (h recHeap) Len() int { return len(h) }
+
+func (h recHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h recHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *recHeap) Push(x any) { *h = append(*h, x.(*record)) }
+
+func (h *recHeap) Pop() any {
+	old := *h
+	n := len(old)
+	rec := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return rec
+}

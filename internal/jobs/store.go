@@ -1,0 +1,181 @@
+// Sharded in-memory result store with TTL and capacity eviction.
+//
+// The store tracks every job from submission to eviction. Live
+// (queued/running) records are never evicted — they are bounded by
+// the queue capacity plus the dispatcher count — but terminal records
+// are only worth their result for so long: each shard keeps its
+// finished records in completion order and evicts from the old end
+// when the shard exceeds its share of the capacity, or when a record
+// outlives the TTL (checked lazily on lookup and periodically by the
+// manager's janitor).
+//
+// Eviction is distinguishable from "never existed": an evicted ID
+// leaves a tombstone behind, so lookups can answer ErrEvicted (HTTP
+// 410) instead of ErrNotFound (404). Tombstones are themselves
+// bounded — a FIFO ring per shard — so a very old evicted ID
+// eventually degrades to ErrNotFound rather than growing memory
+// forever.
+
+package jobs
+
+import (
+	"container/list"
+	"errors"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Lookup errors.
+var (
+	// ErrNotFound reports an ID the store has never seen (or whose
+	// tombstone has aged out).
+	ErrNotFound = errors.New("jobs: job not found")
+	// ErrEvicted reports a finished job whose result was dropped by
+	// TTL or capacity eviction.
+	ErrEvicted = errors.New("jobs: job result evicted")
+)
+
+// shardCount spreads the store over independently locked shards so
+// status polling does not serialize behind result writes.
+const shardCount = 16
+
+// store is the sharded record map.
+type store struct {
+	ttl       time.Duration
+	shardCap  int // terminal records retained per shard
+	size      atomic.Int64
+	evictions atomic.Uint64
+	shards    [shardCount]shard
+}
+
+// shard is one lock domain of the store.
+type shard struct {
+	mu   sync.Mutex
+	recs map[string]*record
+	term *list.List // terminal records, oldest finish at the front
+
+	// Bounded tombstones for evicted IDs: tombs is the membership
+	// set, ring the FIFO overwrite order.
+	tombs   map[string]struct{}
+	ring    []string
+	ringPos int
+}
+
+func newStore(capacity int, ttl time.Duration) *store {
+	s := &store{ttl: ttl, shardCap: (capacity + shardCount - 1) / shardCount}
+	if s.shardCap < 1 {
+		s.shardCap = 1
+	}
+	tombCap := s.shardCap * 4
+	if tombCap < 64 {
+		tombCap = 64
+	}
+	for i := range s.shards {
+		s.shards[i] = shard{
+			recs:  make(map[string]*record),
+			term:  list.New(),
+			tombs: make(map[string]struct{}, tombCap),
+			ring:  make([]string, tombCap),
+		}
+	}
+	return s
+}
+
+func (s *store) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id)) //nolint:errcheck // fnv never fails
+	return &s.shards[h.Sum32()%shardCount]
+}
+
+// put registers a fresh (queued) record.
+func (s *store) put(rec *record) {
+	sh := s.shardFor(rec.id)
+	sh.mu.Lock()
+	sh.recs[rec.id] = rec
+	sh.mu.Unlock()
+	s.size.Add(1)
+}
+
+// get returns the record for id, or ErrEvicted / ErrNotFound. A
+// terminal record past its TTL is evicted on the spot, so expiry
+// takes effect even between janitor sweeps.
+func (s *store) get(id string, now time.Time) (*record, error) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, ok := sh.recs[id]
+	if !ok {
+		if _, dead := sh.tombs[id]; dead {
+			return nil, ErrEvicted
+		}
+		return nil, ErrNotFound
+	}
+	if rec.elem != nil && now.After(rec.expire) {
+		s.evictLocked(sh, rec)
+		return nil, ErrEvicted
+	}
+	return rec, nil
+}
+
+// finish moves a record onto the shard's terminal list and applies
+// capacity eviction. expire is the record's TTL deadline.
+func (s *store) finish(rec *record, expire time.Time) {
+	sh := s.shardFor(rec.id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec.expire = expire
+	rec.elem = sh.term.PushBack(rec)
+	for sh.term.Len() > s.shardCap {
+		s.evictLocked(sh, sh.term.Front().Value.(*record))
+	}
+}
+
+// sweep evicts every terminal record past its TTL. The terminal lists
+// are in (approximate) finish order, so each shard stops at the first
+// live record.
+func (s *store) sweep(now time.Time) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for e := sh.term.Front(); e != nil; e = sh.term.Front() {
+			rec := e.Value.(*record)
+			if !now.After(rec.expire) {
+				break
+			}
+			s.evictLocked(sh, rec)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// evictLocked drops a terminal record and leaves a tombstone; the
+// shard lock must be held.
+func (s *store) evictLocked(sh *shard, rec *record) {
+	delete(sh.recs, rec.id)
+	sh.term.Remove(rec.elem)
+	rec.elem = nil
+	if old := sh.ring[sh.ringPos]; old != "" {
+		delete(sh.tombs, old)
+	}
+	sh.ring[sh.ringPos] = rec.id
+	sh.tombs[rec.id] = struct{}{}
+	sh.ringPos = (sh.ringPos + 1) % len(sh.ring)
+	s.size.Add(-1)
+	s.evictions.Add(1)
+}
+
+// all snapshots every record pointer; callers sort and filter.
+func (s *store) all() []*record {
+	out := make([]*record, 0, s.size.Load())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, rec := range sh.recs {
+			out = append(out, rec)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

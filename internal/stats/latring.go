@@ -1,0 +1,58 @@
+// LatencyRing: the bounded ring of recent duration observations
+// behind every serving-layer percentile estimate (engine solve
+// latency, job queue wait, job run time). One implementation here
+// instead of a copy per collector.
+
+package stats
+
+import (
+	"sync"
+	"time"
+)
+
+// LatencyWindow is how many recent observations a LatencyRing
+// retains; older ones are overwritten in place.
+const LatencyWindow = 4096
+
+// LatencyRing is a concurrency-safe fixed-size ring of recent
+// latency observations. The zero value is ready to use. Observe is
+// O(1) and cheap enough for hot paths; QuantilesMicros sorts a copy
+// of the window and is meant for snapshot/export paths.
+type LatencyRing struct {
+	mu  sync.Mutex
+	buf [LatencyWindow]time.Duration
+	n   int // total observed; ring position is n % LatencyWindow
+}
+
+// Observe records one latency.
+func (r *LatencyRing) Observe(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.n%LatencyWindow] = d
+	r.n++
+	r.mu.Unlock()
+}
+
+// QuantilesMicros estimates the given quantiles (in [0,1]) over the
+// retained window, in microseconds. With no observations every
+// estimate is 0.
+func (r *LatencyRing) QuantilesMicros(qs ...float64) []float64 {
+	r.mu.Lock()
+	n := r.n
+	if n > LatencyWindow {
+		n = LatencyWindow
+	}
+	var sample Sample
+	for i := 0; i < n; i++ {
+		sample.Add(float64(r.buf[i]) / float64(time.Microsecond))
+	}
+	r.mu.Unlock()
+
+	out := make([]float64, len(qs))
+	if sample.N() == 0 {
+		return out
+	}
+	for i, q := range qs {
+		out[i] = sample.Quantile(q)
+	}
+	return out
+}
