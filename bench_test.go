@@ -140,11 +140,7 @@ func BenchmarkA4SOA(b *testing.B) {
 // --- micro-benchmarks of the allocator phases ---
 
 func randomPatternB(rng *rand.Rand, n int) model.Pattern {
-	offs := make([]int, n)
-	for i := range offs {
-		offs[i] = rng.Intn(17) - 8
-	}
-	return model.Pattern{Array: "A", Stride: 1, Offsets: offs}
+	return workload.BenchPattern(rng, n)
 }
 
 // BenchmarkPhase1MatchingCover measures the polynomial minimum path
@@ -175,6 +171,7 @@ func BenchmarkPhase1BranchAndBound(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				pathcover.MinCover(dg, true, nil)
@@ -193,6 +190,7 @@ func BenchmarkPhase2GreedyMerge(b *testing.B) {
 				b.Fatal(err)
 			}
 			cover := pathcover.MinCover(dg, false, nil)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := merge.Reduce(merge.Greedy{}, cover.Paths, pat, 1, false, 2); err != nil {
@@ -200,6 +198,35 @@ func BenchmarkPhase2GreedyMerge(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkGreedyMergeLarge exercises the incremental greedy merge on
+// a wide phase-2 workload: ~48 singleton paths (offsets spread far
+// beyond the modify range) merged down to 4 registers, 44 rounds. The
+// in-package benchmark BenchmarkGreedyIncrementalVsReference
+// (internal/merge) compares this exact workload against the retained
+// reference implementation.
+func BenchmarkGreedyMergeLarge(b *testing.B) {
+	pat := workload.WideMergePattern()
+	dg, err := distgraph.Build(pat, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cover := pathcover.MinCover(dg, false, nil)
+	if cover.K() < 40 {
+		b.Fatalf("expected a large cover, got %d paths", cover.K())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := merge.Reduce(merge.Greedy{}, cover.Paths, pat, 1, false, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.Registers() != 4 {
+			b.Fatalf("left %d registers", a.Registers())
+		}
 	}
 }
 
@@ -233,6 +260,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := prog.Run(words); err != nil {
@@ -251,16 +279,19 @@ func BenchmarkSOAHeuristics(b *testing.B) {
 		seq[i] = letters[rng.Intn(len(letters))]
 	}
 	b.Run("liao", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			offsetassign.LiaoSOA(seq)
 		}
 	})
 	b.Run("tie-break", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			offsetassign.TieBreakSOA(seq)
 		}
 	})
 	b.Run("goa-k4", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := offsetassign.GOA(seq, 4); err != nil {
 				b.Fatal(err)

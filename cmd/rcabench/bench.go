@@ -1,0 +1,252 @@
+// Machine-readable performance baseline (-exp bench): measures the
+// allocator hot paths with testing.Benchmark and emits a JSON document
+// (BENCH_3.json at the repo root is the committed baseline) so future
+// changes have a recorded trajectory to beat. With -bench-against the
+// fresh numbers are compared to a committed baseline and the run fails
+// when the end-to-end batch benchmark regresses beyond the tolerance —
+// the CI regression gate.
+//
+// The bench mode is deliberately not part of "-exp all": it spends
+// several seconds of wall-clock measurement, which the paper tables do
+// not need.
+
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"dspaddr/internal/distgraph"
+	"dspaddr/internal/engine"
+	"dspaddr/internal/merge"
+	"dspaddr/internal/model"
+	"dspaddr/internal/pathcover"
+	"dspaddr/internal/workload"
+)
+
+// benchSchema versions the baseline file format.
+const benchSchema = 1
+
+// batchBenchKey is the entry the regression gate checks: the
+// end-to-end batch throughput of the serving engine.
+const batchBenchKey = "engine/batch/64xN20"
+
+// regressionTolerance is how much slower (fractionally) the gated
+// benchmark may get before -bench-against fails the run.
+const regressionTolerance = 0.25
+
+// benchEntry is one benchmark's measured costs.
+type benchEntry struct {
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+}
+
+// benchBaseline is the BENCH_*.json document.
+type benchBaseline struct {
+	Schema     int                   `json:"schema"`
+	GoVersion  string                `json:"goVersion"`
+	GOOS       string                `json:"goos"`
+	GOARCH     string                `json:"goarch"`
+	Benchmarks map[string]benchEntry `json:"benchmarks"`
+}
+
+// wideMergeInput builds the ~48-singleton-path phase-2 workload of
+// BenchmarkGreedyMergeLarge (workload.WideMergePattern, shared with
+// the in-package benchmarks so every surface measures the same
+// input).
+func wideMergeInput() ([]model.Path, model.Pattern, error) {
+	pat := workload.WideMergePattern()
+	dg, err := distgraph.Build(pat, 1)
+	if err != nil {
+		return nil, model.Pattern{}, err
+	}
+	return pathcover.MinCoverDAG(dg), pat, nil
+}
+
+// measureBaseline runs every baseline benchmark and collects the
+// results. Each case takes ~1s of measurement (testing.Benchmark's
+// default budget).
+func measureBaseline() (benchBaseline, error) {
+	base := benchBaseline{
+		Schema:     benchSchema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: map[string]benchEntry{},
+	}
+
+	record := func(name string, r testing.BenchmarkResult) {
+		base.Benchmarks[name] = benchEntry{
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+
+	// Phase 1, intra-iteration objective: polynomial matching cover.
+	dagPat := workload.BenchPattern(rand.New(rand.NewSource(50)), 50)
+	dagGraph, err := distgraph.Build(dagPat, 1)
+	if err != nil {
+		return base, err
+	}
+	record("cover/dag/N=50", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pathcover.MinCoverDAG(dagGraph)
+		}
+	}))
+
+	// Phase 1, wrap objective: branch-and-bound search.
+	bbPat := workload.BenchPattern(rand.New(rand.NewSource(20)), 20)
+	bbGraph, err := distgraph.Build(bbPat, 1)
+	if err != nil {
+		return base, err
+	}
+	record("cover/bb/N=20", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pathcover.MinCover(bbGraph, true, nil)
+		}
+	}))
+
+	// Phase 2: incremental greedy merge of ~48 paths down to 4.
+	mergePaths, mergePat, err := wideMergeInput()
+	if err != nil {
+		return base, err
+	}
+	record("merge/greedy/R=48", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := merge.Reduce(merge.Greedy{}, mergePaths, mergePat, 1, false, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// End to end: a 64-job batch of distinct patterns through the
+	// worker pool, cache disabled so every job solves.
+	rng := rand.New(rand.NewSource(11))
+	jobs := make([]engine.Request, 64)
+	for i := range jobs {
+		jobs[i] = engine.Request{
+			Pattern: workload.BenchPattern(rng, 20),
+			AGU:     model.AGUSpec{Registers: 2, ModifyRange: 1},
+		}
+	}
+	eng := engine.New(engine.Options{Workers: 8, CacheSize: -1})
+	defer eng.Close()
+	record(batchBenchKey, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, res := range eng.RunBatch(context.Background(), jobs) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+	}))
+
+	return base, nil
+}
+
+// renderBaseline prints the baseline as an aligned text table.
+func renderBaseline(out io.Writer, base benchBaseline) {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(out, "baseline (%s %s/%s)\n", base.GoVersion, base.GOOS, base.GOARCH)
+	for _, name := range names {
+		e := base.Benchmarks[name]
+		fmt.Fprintf(out, "  %-22s %14.0f ns/op %8d allocs/op %10d B/op\n",
+			name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+	}
+}
+
+// loadBaseline reads a committed BENCH_*.json.
+func loadBaseline(path string) (benchBaseline, error) {
+	var base benchBaseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return base, err
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		return base, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if base.Schema != benchSchema {
+		return base, fmt.Errorf("%s: schema %d, this binary speaks %d", path, base.Schema, benchSchema)
+	}
+	return base, nil
+}
+
+// compareBaselines reports per-benchmark deltas and fails when the
+// gated end-to-end benchmark regressed beyond the tolerance.
+func compareBaselines(out io.Writer, fresh, committed benchBaseline) error {
+	names := make([]string, 0, len(fresh.Benchmarks))
+	for name := range fresh.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		got := fresh.Benchmarks[name]
+		was, ok := committed.Benchmarks[name]
+		if !ok || was.NsPerOp <= 0 {
+			fmt.Fprintf(out, "  %-22s %14.0f ns/op (no committed baseline)\n", name, got.NsPerOp)
+			continue
+		}
+		fmt.Fprintf(out, "  %-22s %14.0f ns/op vs %14.0f committed (%+.1f%%)\n",
+			name, got.NsPerOp, was.NsPerOp, 100*(got.NsPerOp-was.NsPerOp)/was.NsPerOp)
+	}
+	got, ok := fresh.Benchmarks[batchBenchKey]
+	was, wasOK := committed.Benchmarks[batchBenchKey]
+	if !ok || !wasOK || was.NsPerOp <= 0 {
+		return fmt.Errorf("baseline gate: %q missing from fresh or committed baseline", batchBenchKey)
+	}
+	if got.NsPerOp > was.NsPerOp*(1+regressionTolerance) {
+		return fmt.Errorf("baseline gate: %s regressed %.1f%% (%.0f -> %.0f ns/op, tolerance %.0f%%)",
+			batchBenchKey, 100*(got.NsPerOp-was.NsPerOp)/was.NsPerOp,
+			was.NsPerOp, got.NsPerOp, 100*regressionTolerance)
+	}
+	return nil
+}
+
+// runBench is the -exp bench entry point: measure, optionally persist
+// to -bench-out, optionally gate against -bench-against.
+func runBench(out io.Writer, outPath, againstPath string) error {
+	base, err := measureBaseline()
+	if err != nil {
+		return err
+	}
+	renderBaseline(out, base)
+	if outPath != "" {
+		data, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "baseline written to %s\n", outPath)
+	}
+	if againstPath != "" {
+		committed, err := loadBaseline(againstPath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "against %s:\n", againstPath)
+		if err := compareBaselines(out, base, committed); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "baseline gate passed")
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testBaseline(ns float64) benchBaseline {
+	return benchBaseline{
+		Schema:    benchSchema,
+		GoVersion: "go-test",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		Benchmarks: map[string]benchEntry{
+			"cover/dag/N=50": {NsPerOp: 1000, AllocsPerOp: 10, BytesPerOp: 100},
+			batchBenchKey:    {NsPerOp: ns, AllocsPerOp: 500, BytesPerOp: 5000},
+		},
+	}
+}
+
+func writeBaselineFile(t *testing.T, base benchBaseline) string {
+	t.Helper()
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareBaselinesGate(t *testing.T) {
+	committed := testBaseline(1000)
+	var out strings.Builder
+
+	// Within tolerance: 25% slower exactly still passes.
+	if err := compareBaselines(&out, testBaseline(1250), committed); err != nil {
+		t.Fatalf("25%% regression should be within tolerance: %v", err)
+	}
+	// Beyond tolerance fails.
+	if err := compareBaselines(&out, testBaseline(1300), committed); err == nil {
+		t.Fatal("30% regression passed the gate")
+	}
+	// Improvements pass.
+	if err := compareBaselines(&out, testBaseline(500), committed); err != nil {
+		t.Fatalf("improvement failed the gate: %v", err)
+	}
+	// A committed baseline missing the gated entry is an error, not a
+	// silent pass.
+	broken := testBaseline(1000)
+	delete(broken.Benchmarks, batchBenchKey)
+	if err := compareBaselines(&out, testBaseline(1000), broken); err == nil {
+		t.Fatal("missing gated benchmark passed the gate")
+	}
+}
+
+func TestLoadBaseline(t *testing.T) {
+	path := writeBaselineFile(t, testBaseline(1000))
+	base, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Benchmarks[batchBenchKey].NsPerOp != 1000 {
+		t.Fatalf("round-trip lost data: %+v", base)
+	}
+	if _, err := loadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := testBaseline(1)
+	bad.Schema = benchSchema + 1
+	if _, err := loadBaseline(writeBaselineFile(t, bad)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+// TestCommittedBaselineParses guards the repo's committed BENCH_3.json
+// against drift: it must parse and contain every benchmark the gate
+// and the README table rely on.
+func TestCommittedBaselineParses(t *testing.T) {
+	base, err := loadBaseline(filepath.Join("..", "..", "BENCH_3.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cover/dag/N=50", "cover/bb/N=20", "merge/greedy/R=48", batchBenchKey} {
+		e, ok := base.Benchmarks[name]
+		if !ok {
+			t.Errorf("committed baseline missing %q", name)
+		} else if e.NsPerOp <= 0 {
+			t.Errorf("committed baseline %q has ns/op %v", name, e.NsPerOp)
+		}
+	}
+}

@@ -13,9 +13,17 @@
 //	a6  extension — modulo (circular-buffer) addressing
 //	all everything above
 //
+// A separate tooling mode, not part of "all":
+//
+//	bench  machine-readable hot-path baseline (see bench.go); with
+//	       -bench-out it writes BENCH_*.json, with -bench-against it
+//	       fails when end-to-end batch ns/op regresses >25% against a
+//	       committed baseline
+//
 // Usage:
 //
 //	rcabench -exp e2 -trials 100 -seed 1998
+//	rcabench -exp bench -bench-out BENCH_3.json -bench-against BENCH_3.json
 package main
 
 import (
@@ -37,15 +45,21 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rcabench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: e1|e2|e3|a1|a2|a3|a4|a5|a6|all")
+	exp := fs.String("exp", "all", "experiment: e1|e2|e3|a1|a2|a3|a4|a5|a6|all, or bench (hot-path baseline)")
 	trials := fs.Int("trials", 100, "trials per sweep cell")
 	seed := fs.Int64("seed", 1998, "random seed")
 	k := fs.Int("k", 4, "register count for e3/a2/a3")
 	m := fs.Int("m", 1, "modify range for e3/a2/a3")
 	dist := fs.String("dist", "uniform", "random pattern distribution for e2: uniform|clustered|walk")
 	markdown := fs.Bool("md", false, "emit markdown tables")
+	benchOut := fs.String("bench-out", "", "with -exp bench: write the baseline JSON to this file")
+	benchAgainst := fs.String("bench-against", "", "with -exp bench: fail if the end-to-end batch benchmark regresses >25% against this baseline file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *exp == "bench" {
+		return runBench(out, *benchOut, *benchAgainst)
 	}
 
 	render := func(t interface {

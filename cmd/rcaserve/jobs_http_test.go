@@ -376,6 +376,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	for _, name := range []string{
 		"rcaserve_engine_cache_hits_total", "rcaserve_engine_cache_misses_total",
+		"rcaserve_engine_deduped_total",
 		`rcaserve_job_run_seconds{quantile="0.5"}`, `rcaserve_job_queue_wait_seconds{quantile="0.99"}`,
 		"rcaserve_store_evictions_total", "rcaserve_jobs_rejected_total",
 		"rcaserve_http_requests_total", "rcaserve_uptime_seconds",

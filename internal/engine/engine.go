@@ -348,7 +348,7 @@ func (e *Engine) solveKeyed(ctx context.Context, key string, solve func() (any, 
 					e.stats.failed()
 					reply(nil, false, f.err, elapsed)
 				case follower:
-					e.stats.hit()
+					e.stats.dedupedHit()
 					reply(f.v, true, nil, elapsed)
 				default:
 					e.stats.solved(elapsed)

@@ -224,6 +224,16 @@ func TestSingleFlight(t *testing.T) {
 	if hits != jobs-1 {
 		t.Fatalf("%d jobs reported as hits, want %d (all but the leader)", hits, jobs-1)
 	}
+	s := e.Stats()
+	if s.Deduped != jobs-1 {
+		t.Fatalf("stats deduped = %d, want %d (every follower)", s.Deduped, jobs-1)
+	}
+	if s.CacheMisses != 1 {
+		t.Fatalf("stats misses = %d, want 1 (the leader)", s.CacheMisses)
+	}
+	if s.CacheHits != jobs-1 {
+		t.Fatalf("stats hits = %d, want %d (dedupe counts as hits)", s.CacheHits, jobs-1)
+	}
 }
 
 // TestConcurrentMixedLoad hammers Run, RunBatch and Stats from many

@@ -21,10 +21,16 @@ type Stats struct {
 	Workers int `json:"workers"`
 	// Jobs counts completed jobs of every outcome.
 	Jobs uint64 `json:"jobs"`
-	// CacheHits counts jobs answered from the canonical-pattern cache.
+	// CacheHits counts jobs answered without running their own solve:
+	// from the canonical-pattern cache, or by sharing a concurrent
+	// identical job's solve (single-flight).
 	CacheHits uint64 `json:"cacheHits"`
 	// CacheMisses counts jobs that ran the solver (successfully).
 	CacheMisses uint64 `json:"cacheMisses"`
+	// Deduped is the subset of CacheHits served by single-flight
+	// deduplication: the job missed the cache but attached to a
+	// concurrent identical solve instead of starting its own.
+	Deduped uint64 `json:"deduped"`
 	// Errors counts jobs failed by the allocator or a bad request.
 	Errors uint64 `json:"errors"`
 	// Timeouts counts jobs abandoned past the per-job deadline.
@@ -50,6 +56,7 @@ type collector struct {
 	jobs     uint64
 	hits     uint64
 	misses   uint64
+	deduped  uint64
 	errors   uint64
 	timeouts uint64
 	canceled uint64
@@ -60,6 +67,16 @@ func (c *collector) hit() {
 	c.mu.Lock()
 	c.jobs++
 	c.hits++
+	c.mu.Unlock()
+}
+
+// dedupedHit records a single-flight follower: answered like a cache
+// hit, counted separately so the dedupe rate is observable.
+func (c *collector) dedupedHit() {
+	c.mu.Lock()
+	c.jobs++
+	c.hits++
+	c.deduped++
 	c.mu.Unlock()
 }
 
@@ -100,6 +117,7 @@ func (c *collector) snapshot() Stats {
 		Jobs:        c.jobs,
 		CacheHits:   c.hits,
 		CacheMisses: c.misses,
+		Deduped:     c.deduped,
 		Errors:      c.errors,
 		Timeouts:    c.timeouts,
 		Canceled:    c.canceled,

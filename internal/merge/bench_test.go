@@ -1,0 +1,72 @@
+package merge
+
+import (
+	"testing"
+
+	"dspaddr/internal/distgraph"
+	"dspaddr/internal/model"
+	"dspaddr/internal/pathcover"
+	"dspaddr/internal/workload"
+)
+
+// largeMergeInput builds a pattern whose zero-cost cover has ~48
+// singleton paths: offsets spread far beyond the modify range leave no
+// zero-cost intra edges, so phase 2 has maximal merging work.
+func largeMergeInput(tb testing.TB) ([]model.Path, model.Pattern) {
+	tb.Helper()
+	pat := workload.WideMergePattern()
+	dg, err := distgraph.Build(pat, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	paths := pathcover.MinCoverDAG(dg)
+	if len(paths) < 40 {
+		tb.Fatalf("expected a large cover, got %d paths", len(paths))
+	}
+	return paths, pat
+}
+
+// BenchmarkGreedyIncrementalVsReference quantifies the incremental
+// rewrite on a 48-path merge down to 4 registers: the reference
+// re-evaluates all pairs each round and materializes a merged path per
+// evaluation; the incremental strategy computes each pair cost once
+// (amortized) with no materialization.
+func BenchmarkGreedyIncrementalVsReference(b *testing.B) {
+	paths, pat := largeMergeInput(b)
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if out := (Greedy{}).Reduce(paths, pat, 1, false, 4); len(out) != 4 {
+				b.Fatalf("left %d paths", len(out))
+			}
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if out := referenceGreedy(paths, pat, 1, false, 4); len(out) != 4 {
+				b.Fatalf("left %d paths", len(out))
+			}
+		}
+	})
+}
+
+// BenchmarkSmallestTwoScratchVsReference does the same for the
+// length-only heuristic, whose only change is the recycled merge
+// scratch buffer (a heap-based variant measured slower than the O(R)
+// scan and was dropped).
+func BenchmarkSmallestTwoScratchVsReference(b *testing.B) {
+	paths, pat := largeMergeInput(b)
+	b.Run("scratch-reuse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			SmallestTwo{}.Reduce(paths, pat, 1, false, 4)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			referenceSmallestTwo(paths, pat, 1, false, 4)
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package merge
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dspaddr/internal/distgraph"
+	"dspaddr/internal/model"
+	"dspaddr/internal/pathcover"
+)
+
+// diffCase generates a random pattern and its phase-1 cover, the merge
+// input. Patterns go up to N=64 with varied modify range, register
+// budget, stride and offset spread.
+func diffCase(rng *rand.Rand) (paths []model.Path, pat model.Pattern, m, k int, wrap bool) {
+	n := 2 + rng.Intn(63)
+	spread := 3 + rng.Intn(30)
+	offs := make([]int, n)
+	for i := range offs {
+		offs[i] = rng.Intn(2*spread+1) - spread
+	}
+	pat = model.Pattern{Array: "A", Stride: 1 + rng.Intn(3), Offsets: offs}
+	m = rng.Intn(4)
+	k = 1 + rng.Intn(6)
+	wrap = rng.Intn(2) == 0
+	dg, err := distgraph.Build(pat, m)
+	if err != nil {
+		panic(err)
+	}
+	return pathcover.MinCoverDAG(dg), pat, m, k, wrap
+}
+
+// samePaths reports whether two path lists are byte-identical:
+// same order, same indices.
+func samePaths(a, b []model.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !reflect.DeepEqual([]int(a[i]), []int(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// Differential property: the incremental Greedy produces byte-identical
+// assignments to the retained reference implementation.
+func TestDiffGreedyMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1998))
+	for trial := 0; trial < 400; trial++ {
+		paths, pat, m, k, wrap := diffCase(rng)
+		got := Greedy{}.Reduce(paths, pat, m, wrap, k)
+		want := referenceGreedy(paths, pat, m, wrap, k)
+		if !samePaths(got, want) {
+			t.Fatalf("trial %d (N=%d M=%d K=%d wrap=%v):\nincremental %v\nreference   %v",
+				trial, pat.N(), m, k, wrap, got, want)
+		}
+	}
+}
+
+// Differential property: the incremental SmallestTwo matches its
+// reference.
+func TestDiffSmallestTwoMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1999))
+	for trial := 0; trial < 400; trial++ {
+		paths, pat, m, k, wrap := diffCase(rng)
+		got := SmallestTwo{}.Reduce(paths, pat, m, wrap, k)
+		want := referenceSmallestTwo(paths, pat, m, wrap, k)
+		if !samePaths(got, want) {
+			t.Fatalf("trial %d (N=%d M=%d K=%d wrap=%v):\nincremental %v\nreference   %v",
+				trial, pat.N(), m, k, wrap, got, want)
+		}
+	}
+}
+
+// Differential property: Random's scratch-buffer reuse did not change
+// its pair selection — same seed, same result.
+func TestDiffRandomMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2000))
+	for trial := 0; trial < 400; trial++ {
+		paths, pat, m, k, wrap := diffCase(rng)
+		seed := rng.Int63()
+		got := Random{Rng: rand.New(rand.NewSource(seed))}.Reduce(paths, pat, m, wrap, k)
+		want := referenceRandom(rand.New(rand.NewSource(seed)), paths, pat, m, wrap, k)
+		if !samePaths(got, want) {
+			t.Fatalf("trial %d (N=%d M=%d K=%d wrap=%v seed=%d):\nscratch   %v\nreference %v",
+				trial, pat.N(), m, k, wrap, seed, got, want)
+		}
+	}
+}
+
+// Strategies must not mutate their input paths (the Strategy contract);
+// the scratch recycling makes this worth pinning down on large random
+// inputs too (merge_test.go covers the paper example).
+func TestStrategiesDoNotMutateInputRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(2001))
+	for trial := 0; trial < 50; trial++ {
+		paths, pat, m, k, wrap := diffCase(rng)
+		snapshot := clonePaths(paths)
+		for _, s := range []Strategy{Greedy{}, Naive{}, SmallestTwo{}, Random{Rng: rand.New(rand.NewSource(7))}} {
+			s.Reduce(paths, pat, m, wrap, k)
+			if !samePaths(paths, snapshot) {
+				t.Fatalf("trial %d: %s mutated its input", trial, s.Name())
+			}
+		}
+	}
+}
+
+// All strategies treat a register budget below 1 as 1 instead of
+// panicking or returning an over-budget partition.
+func TestReduceGuardsNonPositiveK(t *testing.T) {
+	pat := model.PaperExample()
+	dg := distgraph.MustBuild(pat, 1)
+	paths := pathcover.MinCoverDAG(dg)
+	for _, s := range []Strategy{Greedy{}, Naive{}, SmallestTwo{}, Random{Rng: rand.New(rand.NewSource(1))}} {
+		for _, k := range []int{0, -3} {
+			out := s.Reduce(paths, pat, 1, false, k)
+			if len(out) != 1 {
+				t.Fatalf("%s with k=%d left %d paths, want 1", s.Name(), k, len(out))
+			}
+			a := model.Assignment{Paths: out}.Normalize()
+			if err := a.Validate(pat); err != nil {
+				t.Fatalf("%s with k=%d: %v", s.Name(), k, err)
+			}
+		}
+	}
+}

@@ -6,6 +6,18 @@
 // ("naive") merges arbitrary pairs. Additional strategies (random,
 // smallest-two, exhaustive optimal, simulated annealing) support the
 // ablation experiments.
+//
+// Greedy is incremental: pair costs are computed once up front with
+// the allocation-free model.Path.MergeCost, kept in a
+// lazily-invalidated min-heap, and only the pairs involving the merged
+// path are re-evaluated after each round — O(R²) cost evaluations
+// amortized instead of the reference implementation's O(rounds·R²)
+// with a materialized merged path per evaluation (see reference.go).
+// SmallestTwo and Random keep their reference selection logic (an
+// O(R) scan per round needs no index) but commit merges through a
+// recycled scratch buffer. All strategies produce byte-identical
+// assignments to their references; the differential tests in
+// diff_test.go enforce that.
 package merge
 
 import (
@@ -16,7 +28,8 @@ import (
 )
 
 // Strategy reduces a path set to at most k paths. Implementations must
-// return a valid partition and must not mutate the input paths.
+// return a valid partition and must not mutate the input paths. A
+// register budget k below 1 is treated as 1 by every strategy.
 type Strategy interface {
 	// Name identifies the strategy in reports and tables.
 	Name() string
@@ -24,10 +37,157 @@ type Strategy interface {
 	Reduce(paths []model.Path, pat model.Pattern, m int, wrap bool, k int) []model.Path
 }
 
-// Greedy is the paper's phase-2 heuristic: each round, evaluate
-// C(P_i ⊕ P_j) for every pair and merge the minimum-cost pair. Ties are
-// broken by smaller combined length, then by lower pair index, making
-// the result deterministic.
+// pairItem is one candidate merge in the incremental heap: slots i < j
+// with the cost and combined length of their merge, stamped with the
+// slot versions it was computed against. An item whose stamped version
+// lags a slot's current version is stale and discarded on extraction
+// (lazy invalidation), so the heap never needs random-access deletes.
+type pairItem struct {
+	cost   int
+	length int
+	i, j   int
+	vi, vj uint32
+}
+
+// less orders candidates exactly as the reference scan does: lower
+// cost, then smaller combined length, then the lexicographically
+// smallest pair. Slot order equals current-index order because merges
+// keep the merged path in the lower slot and only tombstone the upper,
+// preserving the relative order of survivors.
+func (a pairItem) less(b pairItem) bool {
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	if a.length != b.length {
+		return a.length < b.length
+	}
+	if a.i != b.i {
+		return a.i < b.i
+	}
+	return a.j < b.j
+}
+
+// lesser is the ordering constraint of minHeap.
+type lesser[T any] interface{ less(T) bool }
+
+// minHeap is a hand-rolled generic binary min-heap. It is concrete
+// per element type (no container/heap interface boxing), so pushes
+// and pops on the merge hot path stay allocation-free once the
+// backing array has grown.
+type minHeap[T lesser[T]] []T
+
+func (h *minHeap[T]) push(it T) {
+	*h = append(*h, it)
+	s := *h
+	for c := len(s) - 1; c > 0; {
+		p := (c - 1) / 2
+		if !s[c].less(s[p]) {
+			break
+		}
+		s[c], s[p] = s[p], s[c]
+		c = p
+	}
+}
+
+func (h *minHeap[T]) pop() T {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	for p := 0; ; {
+		c := 2*p + 1
+		if c >= len(s) {
+			break
+		}
+		if c+1 < len(s) && s[c+1].less(s[c]) {
+			c++
+		}
+		if !s[c].less(s[p]) {
+			break
+		}
+		s[p], s[c] = s[c], s[p]
+		p = c
+	}
+	return top
+}
+
+// heapify establishes the heap invariant over an unordered item slice
+// in O(n), cheaper than n pushes for the initial all-pairs load.
+func heapify[T lesser[T]](s minHeap[T]) {
+	for p := len(s)/2 - 1; p >= 0; p-- {
+		for c := 2*p + 1; c < len(s); {
+			if c+1 < len(s) && s[c+1].less(s[c]) {
+				c++
+			}
+			q := (c - 1) / 2
+			if !s[c].less(s[q]) {
+				break
+			}
+			s[q], s[c] = s[c], s[q]
+			c = 2*c + 1
+		}
+	}
+}
+
+// mergeState is the shared slot bookkeeping of the incremental
+// strategies: paths live in stable slots, a merge folds the higher
+// slot into the lower one (recycling the lower slot's old backing as
+// the next scratch buffer) and bumps the lower slot's version so stale
+// heap entries self-invalidate.
+type mergeState struct {
+	ps      []model.Path
+	alive   []bool
+	version []uint32
+	live    int
+	scratch model.Path
+}
+
+func newMergeState(paths []model.Path) *mergeState {
+	return &mergeState{
+		ps:      clonePaths(paths),
+		alive:   allTrue(len(paths)),
+		version: make([]uint32, len(paths)),
+		live:    len(paths),
+	}
+}
+
+// merge commits the merge of slots i < j into slot i.
+func (st *mergeState) merge(i, j int) {
+	merged := st.ps[i].MergeInto(st.ps[j], st.scratch)
+	st.scratch = st.ps[i]
+	st.ps[i] = merged
+	st.alive[j] = false
+	st.version[i]++
+	st.live--
+}
+
+// result collects the surviving paths in slot order, which equals the
+// order the reference's splice-based list would have.
+func (st *mergeState) result() []model.Path {
+	out := make([]model.Path, 0, st.live)
+	for i, p := range st.ps {
+		if st.alive[i] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func allTrue(n int) []bool {
+	b := make([]bool, n)
+	for i := range b {
+		b[i] = true
+	}
+	return b
+}
+
+// Greedy is the paper's phase-2 heuristic: merge the pair with minimal
+// merged-path cost each round (ties: smaller combined length, then
+// lower pair index). This implementation is incremental: all pair
+// costs are computed once, and after each merge only the pairs
+// involving the merged path are re-evaluated.
 type Greedy struct{}
 
 // Name implements Strategy.
@@ -35,23 +195,55 @@ func (Greedy) Name() string { return "greedy" }
 
 // Reduce implements Strategy.
 func (Greedy) Reduce(paths []model.Path, pat model.Pattern, m int, wrap bool, k int) []model.Path {
-	ps := clonePaths(paths)
-	for len(ps) > k && len(ps) > 1 {
-		bi, bj := -1, -1
-		bestCost, bestLen := 0, 0
-		for i := 0; i < len(ps); i++ {
-			for j := i + 1; j < len(ps); j++ {
-				merged := ps[i].Merge(ps[j])
-				c := merged.Cost(pat, m, wrap)
-				l := len(merged)
-				if bi == -1 || c < bestCost || (c == bestCost && l < bestLen) {
-					bi, bj, bestCost, bestLen = i, j, c, l
-				}
+	if k < 1 {
+		k = 1
+	}
+	st := newMergeState(paths)
+	if st.live <= k || st.live <= 1 {
+		return st.result()
+	}
+	r := len(st.ps)
+	h := make(minHeap[pairItem], 0, r*(r-1)/2)
+	for i := 0; i < r; i++ {
+		for j := i + 1; j < r; j++ {
+			h = append(h, pairItem{
+				cost:   st.ps[i].MergeCost(st.ps[j], pat, m, wrap),
+				length: len(st.ps[i]) + len(st.ps[j]),
+				i:      i,
+				j:      j,
+			})
+		}
+	}
+	heapify(h)
+	for st.live > k && st.live > 1 {
+		var it pairItem
+		for {
+			it = h.pop()
+			if st.alive[it.i] && st.alive[it.j] &&
+				st.version[it.i] == it.vi && st.version[it.j] == it.vj {
+				break
 			}
 		}
-		ps = mergeAt(ps, bi, bj)
+		st.merge(it.i, it.j)
+		for s := 0; s < r; s++ {
+			if s == it.i || !st.alive[s] {
+				continue
+			}
+			lo, hi := s, it.i
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			h.push(pairItem{
+				cost:   st.ps[lo].MergeCost(st.ps[hi], pat, m, wrap),
+				length: len(st.ps[lo]) + len(st.ps[hi]),
+				i:      lo,
+				j:      hi,
+				vi:     st.version[lo],
+				vj:     st.version[hi],
+			})
+		}
 	}
-	return ps
+	return st.result()
 }
 
 // Naive is the paper's comparison baseline: repetitively merge two
@@ -64,11 +256,18 @@ func (Naive) Name() string { return "naive" }
 
 // Reduce implements Strategy.
 func (Naive) Reduce(paths []model.Path, pat model.Pattern, m int, wrap bool, k int) []model.Path {
-	ps := clonePaths(paths)
-	for len(ps) > k && len(ps) > 1 {
-		ps = mergeAt(ps, 0, 1)
+	if k < 1 {
+		k = 1
 	}
-	return ps
+	st := newMergeState(paths)
+	for st.live > k && st.live > 1 {
+		second := 1
+		for !st.alive[second] {
+			second++
+		}
+		st.merge(0, second)
+	}
+	return st.result()
 }
 
 // Random merges uniformly random pairs; it models the paper's
@@ -81,9 +280,16 @@ type Random struct {
 // Name implements Strategy.
 func (Random) Name() string { return "random" }
 
-// Reduce implements Strategy.
+// Reduce implements Strategy. The pair selection (and therefore the
+// RNG consumption) is identical to the reference; only the merged
+// path's storage changed, to one scratch buffer recycled across
+// rounds.
 func (r Random) Reduce(paths []model.Path, pat model.Pattern, m int, wrap bool, k int) []model.Path {
+	if k < 1 {
+		k = 1
+	}
 	ps := clonePaths(paths)
+	var scratch model.Path
 	for len(ps) > k && len(ps) > 1 {
 		i := r.Rng.Intn(len(ps))
 		j := r.Rng.Intn(len(ps) - 1)
@@ -93,14 +299,22 @@ func (r Random) Reduce(paths []model.Path, pat model.Pattern, m int, wrap bool, 
 		if i > j {
 			i, j = j, i
 		}
-		ps = mergeAt(ps, i, j)
+		merged := ps[i].MergeInto(ps[j], scratch)
+		scratch = ps[i]
+		ps[i] = merged
+		ps = append(ps[:j], ps[j+1:]...)
 	}
 	return ps
 }
 
 // SmallestTwo merges the two shortest paths each round — a length-only
-// heuristic that ignores address distances; it isolates how much of the
-// greedy strategy's win comes from cost awareness.
+// heuristic that ignores address distances; it isolates how much of
+// the greedy strategy's win comes from cost awareness. The O(R) scan
+// per round beats any heap bookkeeping at realistic path counts (the
+// package benchmarks confirmed a heap variant was a pessimization),
+// so only the merged path's storage changed from the reference: one
+// scratch buffer recycled across rounds instead of an allocation per
+// merge.
 type SmallestTwo struct{}
 
 // Name implements Strategy.
@@ -108,7 +322,11 @@ func (SmallestTwo) Name() string { return "smallest-two" }
 
 // Reduce implements Strategy.
 func (SmallestTwo) Reduce(paths []model.Path, pat model.Pattern, m int, wrap bool, k int) []model.Path {
+	if k < 1 {
+		k = 1
+	}
 	ps := clonePaths(paths)
+	var scratch model.Path
 	for len(ps) > k && len(ps) > 1 {
 		i1, i2 := -1, -1
 		for i, p := range ps {
@@ -123,7 +341,10 @@ func (SmallestTwo) Reduce(paths []model.Path, pat model.Pattern, m int, wrap boo
 		if i1 > i2 {
 			i1, i2 = i2, i1
 		}
-		ps = mergeAt(ps, i1, i2)
+		merged := ps[i1].MergeInto(ps[i2], scratch)
+		scratch = ps[i1]
+		ps[i1] = merged
+		ps = append(ps[:i2], ps[i2+1:]...)
 	}
 	return ps
 }
@@ -142,15 +363,6 @@ func Reduce(s Strategy, paths []model.Path, pat model.Pattern, m int, wrap bool,
 		return model.Assignment{}, fmt.Errorf("merge: strategy %q left %d paths, constraint is %d", s.Name(), a.Registers(), k)
 	}
 	return a, nil
-}
-
-// mergeAt replaces paths i and j (i<j) with their order-preserving
-// merge.
-func mergeAt(ps []model.Path, i, j int) []model.Path {
-	merged := ps[i].Merge(ps[j])
-	ps[i] = merged
-	ps = append(ps[:j], ps[j+1:]...)
-	return ps
 }
 
 func clonePaths(paths []model.Path) []model.Path {

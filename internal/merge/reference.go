@@ -1,0 +1,100 @@
+// Reference implementations of the merge strategies, retained verbatim
+// from before the incremental rewrite. They re-evaluate every pair cost
+// from scratch each round and materialize a merged path per evaluation
+// — O(rounds·R²·L) cost evaluations with per-pair allocations — which
+// makes them slow but obviously correct. The differential tests assert
+// that the incremental strategies produce byte-identical assignments,
+// and the package benchmarks quantify the speedup against them.
+
+package merge
+
+import (
+	"math/rand"
+
+	"dspaddr/internal/model"
+)
+
+// referenceGreedy is the pre-incremental Greedy.Reduce: each round,
+// evaluate C(P_i ⊕ P_j) for every pair by building the merged path,
+// and merge the minimum-cost pair (ties: smaller combined length, then
+// lower pair index).
+func referenceGreedy(paths []model.Path, pat model.Pattern, m int, wrap bool, k int) []model.Path {
+	if k < 1 {
+		k = 1
+	}
+	ps := clonePaths(paths)
+	for len(ps) > k && len(ps) > 1 {
+		bi, bj := -1, -1
+		bestCost, bestLen := 0, 0
+		for i := 0; i < len(ps); i++ {
+			for j := i + 1; j < len(ps); j++ {
+				merged := ps[i].Merge(ps[j])
+				c := merged.Cost(pat, m, wrap)
+				l := len(merged)
+				if bi == -1 || c < bestCost || (c == bestCost && l < bestLen) {
+					bi, bj, bestCost, bestLen = i, j, c, l
+				}
+			}
+		}
+		ps = mergeAt(ps, bi, bj)
+	}
+	return ps
+}
+
+// referenceSmallestTwo is the pre-incremental SmallestTwo.Reduce: scan
+// for the two shortest paths each round and merge them.
+func referenceSmallestTwo(paths []model.Path, pat model.Pattern, m int, wrap bool, k int) []model.Path {
+	if k < 1 {
+		k = 1
+	}
+	ps := clonePaths(paths)
+	for len(ps) > k && len(ps) > 1 {
+		i1, i2 := -1, -1
+		for i, p := range ps {
+			switch {
+			case i1 == -1 || len(p) < len(ps[i1]):
+				i2 = i1
+				i1 = i
+			case i2 == -1 || len(p) < len(ps[i2]):
+				i2 = i
+			}
+		}
+		if i1 > i2 {
+			i1, i2 = i2, i1
+		}
+		ps = mergeAt(ps, i1, i2)
+	}
+	return ps
+}
+
+// referenceRandom is the pre-scratch-reuse Random.Reduce: merge
+// uniformly random pairs, allocating a fresh merged path per round.
+func referenceRandom(rng *rand.Rand, paths []model.Path, pat model.Pattern, m int, wrap bool, k int) []model.Path {
+	if k < 1 {
+		k = 1
+	}
+	ps := clonePaths(paths)
+	for len(ps) > k && len(ps) > 1 {
+		i := rng.Intn(len(ps))
+		j := rng.Intn(len(ps) - 1)
+		if j >= i {
+			j++
+		}
+		if i > j {
+			i, j = j, i
+		}
+		ps = mergeAt(ps, i, j)
+	}
+	return ps
+}
+
+// mergeAt replaces paths i and j (i<j) with their order-preserving
+// merge, allocating the merged path. The incremental strategies use
+// recycled scratch buffers instead; mergeAt remains the reference
+// commit step.
+func mergeAt(ps []model.Path, i, j int) []model.Path {
+	merged := ps[i].Merge(ps[j])
+	ps[i] = merged
+	ps = append(ps[:j], ps[j+1:]...)
+	return ps
+}

@@ -70,6 +70,72 @@ func (p Path) Merge(q Path) Path {
 	return out
 }
 
+// MergeCost returns the cost C(P ⊕ Q) the order-preserving merge of p
+// and q would have, without materializing the merged path: the two
+// strictly increasing index slices are walked in merge order and each
+// consecutive transition is charged as in Cost. It is the hot-path
+// form of p.Merge(q).Cost(pat, modifyRange, wrap) and performs no
+// allocation.
+func (p Path) MergeCost(q Path, pat Pattern, modifyRange int, wrap bool) int {
+	if len(p) == 0 {
+		return q.Cost(pat, modifyRange, wrap)
+	}
+	if len(q) == 0 {
+		return p.Cost(pat, modifyRange, wrap)
+	}
+	i, j := 0, 0
+	var first int
+	if p[0] < q[0] {
+		first = p[0]
+		i = 1
+	} else {
+		first = q[0]
+		j = 1
+	}
+	prev, cost := first, 0
+	for i < len(p) || j < len(q) {
+		var next int
+		if j == len(q) || (i < len(p) && p[i] < q[j]) {
+			next = p[i]
+			i++
+		} else {
+			next = q[j]
+			j++
+		}
+		cost += TransitionCost(pat.Distance(prev, next), modifyRange)
+		prev = next
+	}
+	if wrap {
+		cost += TransitionCost(pat.WrapDistance(prev, first), modifyRange)
+	}
+	return cost
+}
+
+// MergeInto writes the order-preserving merge p ⊕ q into dst and
+// returns it, growing dst only when its capacity is insufficient. It
+// computes the same result as Merge but lets callers that merge
+// repeatedly recycle one scratch buffer instead of allocating per
+// merge. dst may be nil; it must not alias p or q.
+func (p Path) MergeInto(q Path, dst Path) Path {
+	if need := len(p) + len(q); cap(dst) < need {
+		dst = make(Path, 0, need)
+	}
+	dst = dst[:0]
+	i, j := 0, 0
+	for i < len(p) && j < len(q) {
+		if p[i] < q[j] {
+			dst = append(dst, p[i])
+			i++
+		} else {
+			dst = append(dst, q[j])
+			j++
+		}
+	}
+	dst = append(dst, p[i:]...)
+	dst = append(dst, q[j:]...)
+	return dst
+}
+
 // String renders the path as "(a1,a3,a5)" using the paper's 1-based
 // access naming.
 func (p Path) String() string {

@@ -336,6 +336,63 @@ func TestPathMergeProperty(t *testing.T) {
 	}
 }
 
+// Property: MergeCost equals Merge().Cost() and MergeInto equals Merge,
+// for random disjoint paths over a random pattern, both objectives.
+func TestPathMergeCostAndMergeIntoAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(14)
+		offs := make([]int, n)
+		for i := range offs {
+			offs[i] = rng.Intn(21) - 10
+		}
+		pat := Pattern{Array: "A", Stride: 1 + rng.Intn(3), Offsets: offs}
+		var p, q Path
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				p = append(p, i)
+			case 1:
+				q = append(q, i)
+			}
+		}
+		m := rng.Intn(4)
+		merged := p.Merge(q)
+		for _, wrap := range []bool{false, true} {
+			want := merged.Cost(pat, m, wrap)
+			if got := p.MergeCost(q, pat, m, wrap); got != want {
+				t.Fatalf("trial %d wrap=%v: MergeCost=%d, Merge().Cost()=%d (p=%v q=%v)", trial, wrap, got, want, p, q)
+			}
+			if got := q.MergeCost(p, pat, m, wrap); got != want {
+				t.Fatalf("trial %d wrap=%v: MergeCost not symmetric: %d vs %d", trial, wrap, got, want)
+			}
+		}
+		scratch := make(Path, 0, 4) // deliberately small: MergeInto must grow it
+		if got := p.MergeInto(q, scratch); !reflect.DeepEqual([]int(got), []int(merged)) {
+			t.Fatalf("trial %d: MergeInto=%v, Merge=%v", trial, got, merged)
+		}
+	}
+}
+
+// MergeInto recycles a sufficiently large destination buffer in place.
+func TestPathMergeIntoReusesBuffer(t *testing.T) {
+	p, q := Path{0, 3, 5}, Path{1, 4}
+	dst := make(Path, 0, 8)
+	out := p.MergeInto(q, dst)
+	if !reflect.DeepEqual([]int(out), []int{0, 1, 3, 4, 5}) {
+		t.Fatalf("MergeInto = %v", out)
+	}
+	if &out[0] != &dst[:1][0] {
+		t.Fatal("MergeInto allocated despite sufficient capacity")
+	}
+	if nilOut := p.MergeInto(q, nil); !reflect.DeepEqual([]int(nilOut), []int(out)) {
+		t.Fatalf("MergeInto(nil dst) = %v", nilOut)
+	}
+	if empty := Path(nil).MergeInto(nil, dst); len(empty) != 0 {
+		t.Fatalf("empty merge = %v", empty)
+	}
+}
+
 func sortPath(p Path) {
 	for i := 1; i < len(p); i++ {
 		for j := i; j > 0 && p[j] < p[j-1]; j-- {

@@ -32,10 +32,20 @@ const DefaultNodeBudget = 2_000_000
 // companion ASP-DAC'98 paper. If no zero-cost cover exists at all
 // (possible only when the loop stride exceeds the modify range), the
 // returned cover is the intra-iteration optimum with ZeroCost=false.
+//
+// The search allocates all scratch state up front and runs place()
+// allocation-free: the per-node symmetric-duplicate dedup uses a flat
+// offset-pair array with generation stamps and an undo log instead of
+// a map, new paths draw from per-depth pooled buffers, and improved
+// covers are recorded into a reusable flat store. See bb_reference.go
+// for the retained pre-rewrite search the differential tests compare
+// against.
 func MinCover(dg *distgraph.Graph, wrap bool, opts *Options) Cover {
 	if !wrap {
-		paths := sortPaths(MinCoverDAG(dg))
-		return Cover{Paths: paths, ZeroCost: true, Exact: true}
+		// Nodes counts one unit of search effort per access so the DAG
+		// case reports work comparably with the wrap search instead of
+		// a constant 0.
+		return Cover{Paths: sortPaths(MinCoverDAG(dg)), ZeroCost: true, Exact: true, Nodes: dg.N()}
 	}
 	budget := DefaultNodeBudget
 	if opts != nil && opts.NodeBudget > 0 {
@@ -43,19 +53,29 @@ func MinCover(dg *distgraph.Graph, wrap bool, opts *Options) Cover {
 	}
 
 	lb := LowerBound(dg)
-	s := &bbSearch{dg: dg, n: dg.N(), budget: budget, best: int(^uint(0) >> 1)}
 
+	// The greedy seed often already meets the matching lower bound;
+	// checking it before constructing the search skips the scratch
+	// allocation entirely on that fast path.
+	var seed []model.Path
 	if greedy := GreedyCover(dg, true); coverZeroCost(dg, greedy, true) {
-		s.best = len(greedy)
-		s.bestPaths = clonePaths(greedy)
-		if s.best == lb {
-			return Cover{Paths: sortPaths(s.bestPaths), ZeroCost: true, Exact: true}
+		seed = greedy
+		if len(greedy) == lb {
+			return Cover{Paths: sortPaths(seed), ZeroCost: true, Exact: true, Nodes: dg.N()}
 		}
 	}
 
+	s := newBBSearch(dg, budget)
+	if seed != nil {
+		s.best = len(seed)
+	}
 	s.run()
 
-	if s.bestPaths == nil {
+	best := s.bestCover()
+	if best == nil {
+		best = seed // the search did not improve on the greedy seed
+	}
+	if best == nil {
 		// No zero-cost cover exists; fall back to the intra-iteration
 		// optimum. The search completing within budget proves
 		// infeasibility.
@@ -67,7 +87,7 @@ func MinCover(dg *distgraph.Graph, wrap bool, opts *Options) Cover {
 		}
 	}
 	return Cover{
-		Paths:    sortPaths(s.bestPaths),
+		Paths:    sortPaths(best),
 		ZeroCost: true,
 		Exact:    !s.exhausted || s.best == lb,
 		Nodes:    s.nodes,
@@ -78,6 +98,10 @@ func MinCover(dg *distgraph.Graph, wrap bool, opts *Options) Cover {
 // program order, each either appended to an open path (keeping all
 // intra transitions zero-cost) or opening a new path; a leaf is
 // feasible when every path's wrap transition is zero-cost.
+//
+// All scratch storage is allocated by newBBSearch and reused, so the
+// recursive place() performs no allocation (asserted by
+// TestPlaceZeroAlloc).
 type bbSearch struct {
 	dg        *distgraph.Graph
 	n         int
@@ -85,12 +109,78 @@ type bbSearch struct {
 	nodes     int
 	exhausted bool
 	best      int
-	bestPaths []model.Path
 	open      []model.Path
 	// badWrap tracks, per open path, whether its current (tail, head)
 	// wrap transition costs; such paths need at least one more access.
 	badWrap []bool
 	numBad  int
+
+	// offID maps each access to a dense id of its offset value; the
+	// symmetric-duplicate scratch below is keyed on (tail id, head id).
+	offID  []int
+	numOff int
+	// tried is the flat offset-pair dedup scratch. An entry equal to
+	// the current node's generation means "already tried here"; stamps
+	// from other nodes never collide because every place() call draws
+	// a fresh generation, and the undo log restores overwritten
+	// ancestor stamps on exit.
+	tried []uint64
+	gen   uint64
+	undo  []triedUndo
+	// lastSucc[v] memoizes the largest zero-cost successor of v (-1 if
+	// none), making the bad-wrap reachability prune O(1) per open path
+	// with no edge-list walk.
+	lastSucc []int
+	// pathBuf pools one reusable path buffer per open-path slot; the
+	// buffer backing a slot survives backtracking, so opening a path
+	// at a previously visited depth costs no allocation.
+	pathBuf []model.Path
+	// bestFlat/bestLens store the best cover found as one flat index
+	// array plus per-path lengths, overwritten in place on every
+	// improvement.
+	bestFlat []int
+	bestLens []int
+	haveBest bool
+}
+
+// triedUndo records one overwritten dedup stamp for restoration.
+type triedUndo struct {
+	key  int
+	prev uint64
+}
+
+// newBBSearch allocates the search plus all scratch state for dg.
+func newBBSearch(dg *distgraph.Graph, budget int) *bbSearch {
+	n := dg.N()
+	s := &bbSearch{dg: dg, n: n, budget: budget, best: int(^uint(0) >> 1)}
+	ids := make(map[int]int, n)
+	s.offID = make([]int, n)
+	for i, d := range dg.Pattern.Offsets {
+		id, ok := ids[d]
+		if !ok {
+			id = len(ids)
+			ids[d] = id
+		}
+		s.offID[i] = id
+	}
+	s.numOff = len(ids)
+	s.tried = make([]uint64, s.numOff*s.numOff)
+	s.undo = make([]triedUndo, 0, 2*n)
+	s.lastSucc = make([]int, n)
+	for v := 0; v < n; v++ {
+		succ := dg.Intra.Out(v)
+		if len(succ) == 0 {
+			s.lastSucc[v] = -1
+		} else {
+			s.lastSucc[v] = succ[len(succ)-1].To
+		}
+	}
+	s.open = make([]model.Path, 0, n)
+	s.badWrap = make([]bool, 0, n)
+	s.pathBuf = make([]model.Path, n)
+	s.bestFlat = make([]int, 0, n)
+	s.bestLens = make([]int, 0, n)
+	return s
 }
 
 func (s *bbSearch) run() {
@@ -98,6 +188,16 @@ func (s *bbSearch) run() {
 	s.badWrap = s.badWrap[:0]
 	s.numBad = 0
 	s.place(0)
+}
+
+// reset rewinds the search outcome so run() can be repeated on the
+// same graph with all scratch storage warm (used by the zero-alloc
+// test and benchmark).
+func (s *bbSearch) reset() {
+	s.nodes = 0
+	s.exhausted = false
+	s.best = int(^uint(0) >> 1)
+	s.haveBest = false
 }
 
 func (s *bbSearch) place(i int) {
@@ -119,7 +219,7 @@ func (s *bbSearch) place(i int) {
 	if i == s.n {
 		if s.numBad == 0 {
 			s.best = len(s.open)
-			s.bestPaths = clonePaths(s.open)
+			s.saveBest()
 		}
 		return
 	}
@@ -127,7 +227,7 @@ func (s *bbSearch) place(i int) {
 	// A bad-wrap path whose tail has no future zero-cost successor can
 	// never be repaired; prune the whole branch.
 	for pi, p := range s.open {
-		if s.badWrap[pi] && !s.hasFutureSuccessor(p[len(p)-1], i) {
+		if s.badWrap[pi] && s.lastSucc[p[len(p)-1]] < i {
 			return
 		}
 	}
@@ -135,19 +235,21 @@ func (s *bbSearch) place(i int) {
 	// Branch 1: append access i to each compatible open path, skipping
 	// symmetric duplicates (paths with identical tail and head offsets
 	// are interchangeable).
-	type sig struct{ tail, head int }
-	tried := make(map[sig]bool)
+	s.gen++
+	gen := s.gen
+	undoBase := len(s.undo)
 	for pi := range s.open {
 		p := s.open[pi]
 		tail, head := p[len(p)-1], p[0]
 		if !s.dg.ZeroIntra(tail, i) {
 			continue
 		}
-		key := sig{s.dg.Pattern.Offsets[tail], s.dg.Pattern.Offsets[head]}
-		if tried[key] {
+		key := s.offID[tail]*s.numOff + s.offID[head]
+		if s.tried[key] == gen {
 			continue
 		}
-		tried[key] = true
+		s.undo = append(s.undo, triedUndo{key: key, prev: s.tried[key]})
+		s.tried[key] = gen
 
 		wasBad := s.badWrap[pi]
 		nowBad := !s.dg.ZeroWrap(i, head)
@@ -161,10 +263,21 @@ func (s *bbSearch) place(i int) {
 		s.badWrap[pi] = wasBad
 		s.numBad -= boolDelta(wasBad, nowBad)
 	}
+	// Restore overwritten stamps so ancestor nodes still see theirs.
+	for u := len(s.undo) - 1; u >= undoBase; u-- {
+		s.tried[s.undo[u].key] = s.undo[u].prev
+	}
+	s.undo = s.undo[:undoBase]
 
 	// Branch 2: open a new path at access i.
 	newBad := !s.dg.ZeroWrap(i, i) // singleton wrap distance is the stride
-	s.open = append(s.open, model.Path{i})
+	d := len(s.open)
+	buf := s.pathBuf[d]
+	if cap(buf) < s.n {
+		buf = make(model.Path, 0, s.n)
+		s.pathBuf[d] = buf
+	}
+	s.open = append(s.open, append(buf[:0], i))
 	s.badWrap = append(s.badWrap, newBad)
 	if newBad {
 		s.numBad++
@@ -179,12 +292,31 @@ func (s *bbSearch) place(i int) {
 	}
 }
 
-// hasFutureSuccessor reports whether tail has any zero-cost successor
-// with index >= i.
-func (s *bbSearch) hasFutureSuccessor(tail, i int) bool {
-	succ := s.dg.Intra.Out(tail)
-	// Successors are sorted ascending; the largest decides.
-	return len(succ) > 0 && succ[len(succ)-1].To >= i
+// saveBest records the current open paths into the flat best store
+// without allocating.
+func (s *bbSearch) saveBest() {
+	s.bestFlat = s.bestFlat[:0]
+	s.bestLens = s.bestLens[:0]
+	for _, p := range s.open {
+		s.bestFlat = append(s.bestFlat, p...)
+		s.bestLens = append(s.bestLens, len(p))
+	}
+	s.haveBest = true
+}
+
+// bestCover materializes the recorded best cover, nil if the search
+// never improved on its seed.
+func (s *bbSearch) bestCover() []model.Path {
+	if !s.haveBest {
+		return nil
+	}
+	out := make([]model.Path, len(s.bestLens))
+	off := 0
+	for i, l := range s.bestLens {
+		out[i] = append(model.Path(nil), s.bestFlat[off:off+l]...)
+		off += l
+	}
+	return out
 }
 
 func boolDelta(was, now bool) int {

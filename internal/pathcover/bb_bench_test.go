@@ -1,0 +1,67 @@
+package pathcover
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dspaddr/internal/distgraph"
+	"dspaddr/internal/model"
+)
+
+// BenchmarkBBPlace measures the branch-and-bound search loop alone —
+// scratch construction amortized away — and demonstrates that place()
+// runs allocation-free (0 allocs/op after the first iteration warms
+// the pooled buffers).
+func BenchmarkBBPlace(b *testing.B) {
+	for _, n := range []int{10, 20, 30} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			offs := make([]int, n)
+			for i := range offs {
+				offs[i] = rng.Intn(17) - 8
+			}
+			pat := model.Pattern{Array: "A", Stride: 1, Offsets: offs}
+			dg, err := distgraph.Build(pat, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := newBBSearch(dg, DefaultNodeBudget)
+			s.run() // warm the pooled buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.reset()
+				s.run()
+			}
+		})
+	}
+}
+
+// BenchmarkBBPlaceVsReference pits the zero-alloc search against the
+// retained map-per-node reference on the same graphs, end to end
+// (construction included) as MinCover runs it.
+func BenchmarkBBPlaceVsReference(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	offs := make([]int, 20)
+	for i := range offs {
+		offs[i] = rng.Intn(17) - 8
+	}
+	pat := model.Pattern{Array: "A", Stride: 1, Offsets: offs}
+	dg, err := distgraph.Build(pat, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("rewrite", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			MinCover(dg, true, nil)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			minCoverReference(dg, true, nil)
+		}
+	})
+}

@@ -18,8 +18,10 @@ type Cover struct {
 	// zero-cost covers (false when the branch-and-bound search was
 	// truncated by its node budget).
 	Exact bool
-	// Nodes is the number of branch-and-bound search states explored
-	// (0 for the polynomial DAG case).
+	// Nodes counts the search effort spent: branch-and-bound states
+	// explored for the wrap objective, or one unit per access for the
+	// polynomial DAG case (and for a greedy seed that already meets
+	// the lower bound), so work counters stay comparable across modes.
 	Nodes int
 }
 

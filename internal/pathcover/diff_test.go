@@ -1,0 +1,118 @@
+package pathcover
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dspaddr/internal/distgraph"
+	"dspaddr/internal/model"
+)
+
+// diffPattern generates a random pattern for the differential search
+// tests: stride and modify range varied, offsets within a small spread
+// so zero-cost structure is non-trivial.
+func diffPattern(rng *rand.Rand, maxN int) (model.Pattern, int) {
+	n := 2 + rng.Intn(maxN-1)
+	spread := 2 + rng.Intn(8)
+	offs := make([]int, n)
+	for i := range offs {
+		offs[i] = rng.Intn(2*spread+1) - spread
+	}
+	pat := model.Pattern{Array: "A", Stride: 1 + rng.Intn(3), Offsets: offs}
+	return pat, rng.Intn(3)
+}
+
+// coversEqual compares every observable field of two covers.
+func coversEqual(a, b Cover) bool {
+	if len(a.Paths) != len(b.Paths) || a.ZeroCost != b.ZeroCost || a.Exact != b.Exact || a.Nodes != b.Nodes {
+		return false
+	}
+	for i := range a.Paths {
+		if !reflect.DeepEqual([]int(a.Paths[i]), []int(b.Paths[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// Differential property: the zero-alloc branch-and-bound explores the
+// identical tree to the retained reference search — byte-identical
+// cover, same exactness flag, same node count — for both objectives.
+func TestDiffMinCoverMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3998))
+	for trial := 0; trial < 250; trial++ {
+		pat, m := diffPattern(rng, 14)
+		dg, err := distgraph.Build(pat, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, wrap := range []bool{false, true} {
+			got := MinCover(dg, wrap, nil)
+			want := minCoverReference(dg, wrap, nil)
+			if !coversEqual(got, want) {
+				t.Fatalf("trial %d (pat=%v M=%d wrap=%v):\nrewrite   %+v\nreference %+v",
+					trial, pat, m, wrap, got, want)
+			}
+		}
+	}
+}
+
+// Differential property under a truncating node budget: both searches
+// must give up at the same state and report the same best-so-far, on
+// patterns up to N=64.
+func TestDiffMinCoverMatchesReferenceTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(3999))
+	for trial := 0; trial < 60; trial++ {
+		pat, m := diffPattern(rng, 64)
+		dg, err := distgraph.Build(pat, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := &Options{NodeBudget: 1 + rng.Intn(20_000)}
+		got := MinCover(dg, true, opts)
+		want := minCoverReference(dg, true, opts)
+		if !coversEqual(got, want) {
+			t.Fatalf("trial %d (N=%d M=%d budget=%d):\nrewrite   %+v\nreference %+v",
+				trial, pat.N(), m, opts.NodeBudget, got, want)
+		}
+	}
+}
+
+// The DAG objective now reports its work: one node per access.
+func TestMinCoverDAGPopulatesNodes(t *testing.T) {
+	pat := model.PaperExample()
+	dg := distgraph.MustBuild(pat, 1)
+	c := MinCover(dg, false, nil)
+	if c.Nodes != pat.N() {
+		t.Fatalf("wrap=false Nodes = %d, want %d", c.Nodes, pat.N())
+	}
+	if w := MinCover(dg, true, nil); w.Nodes == 0 {
+		t.Fatal("wrap=true Nodes = 0, want search effort recorded")
+	}
+}
+
+// The search scratch is fully restored between runs: repeating the
+// same search yields the same result and performs no allocation once
+// the pooled buffers are warm.
+func TestPlaceZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pat, _ := diffPattern(rng, 14)
+	dg, err := distgraph.Build(pat, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newBBSearch(dg, DefaultNodeBudget)
+	s.run() // warm the pooled buffers
+	firstNodes, firstBest := s.nodes, s.best
+	allocs := testing.AllocsPerRun(20, func() {
+		s.reset()
+		s.run()
+	})
+	if allocs != 0 {
+		t.Fatalf("place() allocated %.1f times per search, want 0", allocs)
+	}
+	if s.nodes != firstNodes || s.best != firstBest {
+		t.Fatalf("rerun diverged: nodes %d→%d best %d→%d", firstNodes, s.nodes, firstBest, s.best)
+	}
+}
