@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"dspaddr/internal/codegen"
@@ -351,6 +352,48 @@ func BenchmarkEngineBatch(b *testing.B) {
 				b.Fatal(res.Err)
 			}
 		}
+	}
+}
+
+// BenchmarkEngineParallelWarm measures concurrent hit-dominated
+// traffic against the sharded cache: 8 goroutines each push the same
+// 64-pattern batch through the pool per iteration, everything after
+// the warmup answered from cache. This is the shape that serialized on
+// the old single cache mutex; it mirrors the engine/parallel baseline
+// scenario in BENCH_5.json.
+func BenchmarkEngineParallelWarm(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	jobs := make([]engine.Request, 64)
+	for i := range jobs {
+		jobs[i] = engine.Request{
+			Pattern: randomPatternB(rng, 20),
+			AGU:     model.AGUSpec{Registers: 2, ModifyRange: 1},
+		}
+	}
+	e := engine.New(engine.Options{Workers: 8})
+	defer e.Close()
+	for _, res := range e.RunBatch(context.Background(), jobs) {
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, res := range e.RunBatch(context.Background(), jobs) {
+					if res.Err != nil {
+						b.Error(res.Err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
 	}
 }
 

@@ -1,10 +1,11 @@
 // Machine-readable performance baseline (-exp bench): measures the
 // allocator hot paths with testing.Benchmark and emits a JSON document
-// (BENCH_3.json at the repo root is the committed baseline) so future
+// (BENCH_5.json at the repo root is the committed baseline) so future
 // changes have a recorded trajectory to beat. With -bench-against the
 // fresh numbers are compared to a committed baseline and the run fails
-// when the end-to-end batch benchmark regresses beyond the tolerance —
-// the CI regression gate.
+// when a gated scenario — the end-to-end cold batch or the warm
+// parallel engine path — regresses beyond the tolerance: the CI
+// regression gate.
 //
 // The bench mode is deliberately not part of "-exp all": it spends
 // several seconds of wall-clock measurement, which the paper tables do
@@ -21,6 +22,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"sync"
 	"testing"
 
 	"dspaddr/internal/distgraph"
@@ -34,11 +36,19 @@ import (
 // benchSchema versions the baseline file format.
 const benchSchema = 1
 
-// batchBenchKey is the entry the regression gate checks: the
-// end-to-end batch throughput of the serving engine.
-const batchBenchKey = "engine/batch/64xN20"
+// batchBenchKey and parallelBenchKey are the entries the regression
+// gate checks: the end-to-end cold-cache batch throughput of the
+// serving engine, and the warm hit-dominated parallel path across the
+// sharded cache.
+const (
+	batchBenchKey    = "engine/batch/64xN20"
+	parallelBenchKey = "engine/parallel/8x64xN20"
+)
 
-// regressionTolerance is how much slower (fractionally) the gated
+// gatedBenchKeys lists every scenario -bench-against fails on.
+var gatedBenchKeys = []string{batchBenchKey, parallelBenchKey}
+
+// regressionTolerance is how much slower (fractionally) a gated
 // benchmark may get before -bench-against fails the run.
 const regressionTolerance = 0.25
 
@@ -154,6 +164,57 @@ func measureBaseline() (benchBaseline, error) {
 		}
 	}))
 
+	// Hit path: one request served from the warm canonical cache —
+	// key build, one shard-local lookup and the result rewrite.
+	warm := engine.New(engine.Options{Workers: 8})
+	defer warm.Close()
+	if res := warm.Run(context.Background(), jobs[0]); res.Err != nil {
+		return base, res.Err
+	}
+	record("engine/hit/N20", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := warm.Run(context.Background(), jobs[0])
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			if !res.CacheHit {
+				b.Fatal("expected a cache hit")
+			}
+		}
+	}))
+
+	// Parallel engine: 8 goroutines push the full 64-pattern batch
+	// through the pool concurrently, hit-dominated after warmup. This
+	// is the scenario that serialized on the old single cache mutex;
+	// it is gated alongside the cold batch.
+	par := engine.New(engine.Options{Workers: 8})
+	defer par.Close()
+	for _, res := range par.RunBatch(context.Background(), jobs) {
+		if res.Err != nil {
+			return base, res.Err
+		}
+	}
+	record(parallelBenchKey, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for _, res := range par.RunBatch(context.Background(), jobs) {
+						if res.Err != nil {
+							b.Error(res.Err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		}
+	}))
+
 	return base, nil
 }
 
@@ -167,7 +228,7 @@ func renderBaseline(out io.Writer, base benchBaseline) {
 	fmt.Fprintf(out, "baseline (%s %s/%s)\n", base.GoVersion, base.GOOS, base.GOARCH)
 	for _, name := range names {
 		e := base.Benchmarks[name]
-		fmt.Fprintf(out, "  %-22s %14.0f ns/op %8d allocs/op %10d B/op\n",
+		fmt.Fprintf(out, "  %-24s %14.0f ns/op %8d allocs/op %10d B/op\n",
 			name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
 	}
 }
@@ -188,8 +249,8 @@ func loadBaseline(path string) (benchBaseline, error) {
 	return base, nil
 }
 
-// compareBaselines reports per-benchmark deltas and fails when the
-// gated end-to-end benchmark regressed beyond the tolerance.
+// compareBaselines reports per-benchmark deltas and fails when any
+// gated benchmark regressed beyond the tolerance.
 func compareBaselines(out io.Writer, fresh, committed benchBaseline) error {
 	names := make([]string, 0, len(fresh.Benchmarks))
 	for name := range fresh.Benchmarks {
@@ -200,21 +261,23 @@ func compareBaselines(out io.Writer, fresh, committed benchBaseline) error {
 		got := fresh.Benchmarks[name]
 		was, ok := committed.Benchmarks[name]
 		if !ok || was.NsPerOp <= 0 {
-			fmt.Fprintf(out, "  %-22s %14.0f ns/op (no committed baseline)\n", name, got.NsPerOp)
+			fmt.Fprintf(out, "  %-24s %14.0f ns/op (no committed baseline)\n", name, got.NsPerOp)
 			continue
 		}
-		fmt.Fprintf(out, "  %-22s %14.0f ns/op vs %14.0f committed (%+.1f%%)\n",
+		fmt.Fprintf(out, "  %-24s %14.0f ns/op vs %14.0f committed (%+.1f%%)\n",
 			name, got.NsPerOp, was.NsPerOp, 100*(got.NsPerOp-was.NsPerOp)/was.NsPerOp)
 	}
-	got, ok := fresh.Benchmarks[batchBenchKey]
-	was, wasOK := committed.Benchmarks[batchBenchKey]
-	if !ok || !wasOK || was.NsPerOp <= 0 {
-		return fmt.Errorf("baseline gate: %q missing from fresh or committed baseline", batchBenchKey)
-	}
-	if got.NsPerOp > was.NsPerOp*(1+regressionTolerance) {
-		return fmt.Errorf("baseline gate: %s regressed %.1f%% (%.0f -> %.0f ns/op, tolerance %.0f%%)",
-			batchBenchKey, 100*(got.NsPerOp-was.NsPerOp)/was.NsPerOp,
-			was.NsPerOp, got.NsPerOp, 100*regressionTolerance)
+	for _, key := range gatedBenchKeys {
+		got, ok := fresh.Benchmarks[key]
+		was, wasOK := committed.Benchmarks[key]
+		if !ok || !wasOK || was.NsPerOp <= 0 {
+			return fmt.Errorf("baseline gate: %q missing from fresh or committed baseline", key)
+		}
+		if got.NsPerOp > was.NsPerOp*(1+regressionTolerance) {
+			return fmt.Errorf("baseline gate: %s regressed %.1f%% (%.0f -> %.0f ns/op, tolerance %.0f%%)",
+				key, 100*(got.NsPerOp-was.NsPerOp)/was.NsPerOp,
+				was.NsPerOp, got.NsPerOp, 100*regressionTolerance)
+		}
 	}
 	return nil
 }

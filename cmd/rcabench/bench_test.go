@@ -17,6 +17,7 @@ func testBaseline(ns float64) benchBaseline {
 		Benchmarks: map[string]benchEntry{
 			"cover/dag/N=50": {NsPerOp: 1000, AllocsPerOp: 10, BytesPerOp: 100},
 			batchBenchKey:    {NsPerOp: ns, AllocsPerOp: 500, BytesPerOp: 5000},
+			parallelBenchKey: {NsPerOp: 1000, AllocsPerOp: 400, BytesPerOp: 4000},
 		},
 	}
 }
@@ -50,12 +51,23 @@ func TestCompareBaselinesGate(t *testing.T) {
 	if err := compareBaselines(&out, testBaseline(500), committed); err != nil {
 		t.Fatalf("improvement failed the gate: %v", err)
 	}
-	// A committed baseline missing the gated entry is an error, not a
-	// silent pass.
-	broken := testBaseline(1000)
-	delete(broken.Benchmarks, batchBenchKey)
-	if err := compareBaselines(&out, testBaseline(1000), broken); err == nil {
-		t.Fatal("missing gated benchmark passed the gate")
+	// A committed baseline missing a gated entry is an error, not a
+	// silent pass — for either gated scenario.
+	for _, key := range gatedBenchKeys {
+		broken := testBaseline(1000)
+		delete(broken.Benchmarks, key)
+		if err := compareBaselines(&out, testBaseline(1000), broken); err == nil {
+			t.Fatalf("missing gated benchmark %q passed the gate", key)
+		}
+	}
+
+	// The parallel scenario is gated independently of the batch one.
+	slowPar := testBaseline(1000)
+	e := slowPar.Benchmarks[parallelBenchKey]
+	e.NsPerOp = 1300
+	slowPar.Benchmarks[parallelBenchKey] = e
+	if err := compareBaselines(&out, slowPar, committed); err == nil {
+		t.Fatal("30% parallel regression passed the gate")
 	}
 }
 
@@ -78,15 +90,16 @@ func TestLoadBaseline(t *testing.T) {
 	}
 }
 
-// TestCommittedBaselineParses guards the repo's committed BENCH_3.json
+// TestCommittedBaselineParses guards the repo's committed BENCH_5.json
 // against drift: it must parse and contain every benchmark the gate
 // and the README table rely on.
 func TestCommittedBaselineParses(t *testing.T) {
-	base, err := loadBaseline(filepath.Join("..", "..", "BENCH_3.json"))
+	base, err := loadBaseline(filepath.Join("..", "..", "BENCH_5.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"cover/dag/N=50", "cover/bb/N=20", "merge/greedy/R=48", batchBenchKey} {
+	for _, name := range []string{"cover/dag/N=50", "cover/bb/N=20", "merge/greedy/R=48",
+		"engine/hit/N20", batchBenchKey, parallelBenchKey} {
 		e, ok := base.Benchmarks[name]
 		if !ok {
 			t.Errorf("committed baseline missing %q", name)

@@ -17,13 +17,13 @@
 //
 //	bench  machine-readable hot-path baseline (see bench.go); with
 //	       -bench-out it writes BENCH_*.json, with -bench-against it
-//	       fails when end-to-end batch ns/op regresses >25% against a
+//	       fails when a gated engine scenario regresses >25% against a
 //	       committed baseline
 //
 // Usage:
 //
 //	rcabench -exp e2 -trials 100 -seed 1998
-//	rcabench -exp bench -bench-out BENCH_3.json -bench-against BENCH_3.json
+//	rcabench -exp bench -bench-out BENCH_5.json -bench-against BENCH_5.json
 package main
 
 import (
@@ -53,7 +53,7 @@ func run(args []string, out io.Writer) error {
 	dist := fs.String("dist", "uniform", "random pattern distribution for e2: uniform|clustered|walk")
 	markdown := fs.Bool("md", false, "emit markdown tables")
 	benchOut := fs.String("bench-out", "", "with -exp bench: write the baseline JSON to this file")
-	benchAgainst := fs.String("bench-against", "", "with -exp bench: fail if the end-to-end batch benchmark regresses >25% against this baseline file")
+	benchAgainst := fs.String("bench-against", "", "with -exp bench: fail if a gated engine benchmark regresses >25% against this baseline file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

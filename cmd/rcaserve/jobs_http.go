@@ -147,7 +147,10 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	ids, err := s.jobs.SubmitAll(payloads, sub.Priority)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		// Retry-After tracks the observed drain rate (median run time ×
+		// depth / runners) instead of a constant, so clients back off
+		// proportionally to the actual backlog.
+		w.Header().Set("Retry-After", strconv.Itoa(s.jobs.RetryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, "job queue full (%d jobs submitted against capacity %d); retry later or shrink the batch",
 			len(payloads), s.jobs.QueueCapacity())
 		return

@@ -376,7 +376,8 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	for _, name := range []string{
 		"rcaserve_engine_cache_hits_total", "rcaserve_engine_cache_misses_total",
-		"rcaserve_engine_deduped_total",
+		"rcaserve_engine_deduped_total", "rcaserve_engine_cache_entries",
+		"rcaserve_engine_cache_capacity", "rcaserve_engine_cache_shards",
 		`rcaserve_job_run_seconds{quantile="0.5"}`, `rcaserve_job_queue_wait_seconds{quantile="0.99"}`,
 		"rcaserve_store_evictions_total", "rcaserve_jobs_rejected_total",
 		"rcaserve_http_requests_total", "rcaserve_uptime_seconds",
@@ -388,6 +389,12 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if samples["rcaserve_engine_cache_hits_total"] < 1 {
 		t.Error("repeated pattern produced no engine cache hit")
+	}
+	if samples["rcaserve_engine_cache_capacity"] <= 0 {
+		t.Error("cache capacity gauge not positive")
+	}
+	if n := samples["rcaserve_engine_cache_shards"]; n < 1 || float64(int(n)) != n || int(n)&(int(n)-1) != 0 {
+		t.Errorf("cache shard gauge %g is not a positive power of two", n)
 	}
 }
 

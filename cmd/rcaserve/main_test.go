@@ -241,6 +241,12 @@ func TestBatchWithCacheHits(t *testing.T) {
 	if stats.Workers < 8 {
 		t.Fatalf("stats.Workers = %d, want >= 8", stats.Workers)
 	}
+	if stats.CacheEntries < 1 || stats.CacheCapacity < stats.CacheEntries {
+		t.Fatalf("cache occupancy/capacity off: entries=%d capacity=%d", stats.CacheEntries, stats.CacheCapacity)
+	}
+	if stats.CacheShards < 1 || stats.CacheShards&(stats.CacheShards-1) != 0 {
+		t.Fatalf("cache shard count %d is not a positive power of two", stats.CacheShards)
+	}
 }
 
 // TestBatchMixedJobs mixes good, bad and loop jobs in one batch and

@@ -72,7 +72,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("rcaserve_engine_errors_total", "Engine jobs failed by the allocator or a bad request.", float64(es.Errors))
 	counter("rcaserve_engine_timeouts_total", "Engine jobs abandoned past the per-job deadline.", float64(es.Timeouts))
 	counter("rcaserve_engine_canceled_total", "Engine jobs whose submitting context was canceled.", float64(es.Canceled))
-	gauge("rcaserve_engine_cache_entries", "Cached canonical results.", float64(es.CacheEntries))
+	gauge("rcaserve_engine_cache_entries", "Cached canonical results across all shards.", float64(es.CacheEntries))
+	gauge("rcaserve_engine_cache_capacity", "Total canonical result cache bound (0 when caching is disabled).", float64(es.CacheCapacity))
+	gauge("rcaserve_engine_cache_shards", "Result cache lock domains (power of two).", float64(es.CacheShards))
 	writeQuantiles(w, "rcaserve_engine_solve_seconds",
 		"Recent solve latency (cache misses only).",
 		es.SolveP50Micros, es.SolveP90Micros, es.SolveP99Micros)

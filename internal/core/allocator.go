@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -71,9 +72,29 @@ type Result struct {
 	Merged bool
 }
 
+// Solver runs the two-phase allocator with a private set of reusable
+// workspaces: the distance graph's adjacency storage, the phase-1
+// matcher and branch-and-bound scratch, and the phase-2 merge buffers.
+// A solver serving a stream of requests (one per engine worker) stops
+// rebuilding its model objects from heap on every solve; results never
+// alias the scratch. A Solver is not safe for concurrent use — give
+// each worker its own.
+type Solver struct {
+	dg    distgraph.Graph
+	cover pathcover.Scratch
+	merge merge.Scratch
+}
+
+// NewSolver returns a ready solver; its workspaces grow lazily to the
+// largest request seen.
+func NewSolver() *Solver { return &Solver{} }
+
 // Allocate runs the two-phase allocator on a single-array access
-// pattern.
-func Allocate(pat model.Pattern, cfg Config) (*Result, error) {
+// pattern. The solve is cooperatively cancelable: the phase-1
+// branch-and-bound checks ctx at node-expansion granularity and the
+// phase-2 greedy merge once per round, so a canceled ctx aborts with
+// its error instead of running the solve to completion.
+func (s *Solver) Allocate(ctx context.Context, pat model.Pattern, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := pat.Validate(); err != nil {
 		return nil, err
@@ -81,12 +102,14 @@ func Allocate(pat model.Pattern, cfg Config) (*Result, error) {
 	if err := cfg.AGU.Validate(); err != nil {
 		return nil, err
 	}
-	dg, err := distgraph.Build(pat, cfg.AGU.ModifyRange)
-	if err != nil {
+	if err := s.dg.Rebuild(pat, cfg.AGU.ModifyRange); err != nil {
 		return nil, err
 	}
 
-	cover := pathcover.MinCover(dg, cfg.InterIteration, cfg.CoverOptions)
+	cover, err := pathcover.MinCoverCtx(ctx, &s.dg, cfg.InterIteration, cfg.CoverOptions, &s.cover)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{
 		Pattern:          pat,
 		Config:           cfg,
@@ -99,8 +122,11 @@ func Allocate(pat model.Pattern, cfg Config) (*Result, error) {
 	if cover.K() <= k {
 		res.Assignment = cover.Assignment().Normalize()
 	} else {
-		a, err := merge.Reduce(cfg.Strategy, cover.Paths, pat, cfg.AGU.ModifyRange, cfg.InterIteration, k)
+		a, err := merge.ReduceContext(ctx, cfg.Strategy, cover.Paths, pat, cfg.AGU.ModifyRange, cfg.InterIteration, k, &s.merge)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
 			return nil, fmt.Errorf("core: phase 2 failed: %w", err)
 		}
 		res.Assignment = a
@@ -108,6 +134,18 @@ func Allocate(pat model.Pattern, cfg Config) (*Result, error) {
 	}
 	res.Cost = res.Assignment.Cost(pat, cfg.AGU.ModifyRange, cfg.InterIteration)
 	return res, nil
+}
+
+// Allocate runs the two-phase allocator on a single-array access
+// pattern with a transient solver.
+func Allocate(pat model.Pattern, cfg Config) (*Result, error) {
+	return AllocateContext(context.Background(), pat, cfg)
+}
+
+// AllocateContext is Allocate with cooperative cancellation (see
+// Solver.Allocate).
+func AllocateContext(ctx context.Context, pat model.Pattern, cfg Config) (*Result, error) {
+	return NewSolver().Allocate(ctx, pat, cfg)
 }
 
 // Report renders a human-readable allocation report.

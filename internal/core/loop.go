@@ -1,9 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
-	"dspaddr/internal/distgraph"
 	"dspaddr/internal/merge"
 	"dspaddr/internal/model"
 	"dspaddr/internal/pathcover"
@@ -40,11 +40,25 @@ type LoopResult struct {
 }
 
 // AllocateLoop allocates address registers for every array accessed by
-// the loop. Each array requires at least one private register; the
-// remaining budget is assigned greedily to the array with the largest
-// marginal cost reduction, then each array is allocated with its final
-// budget.
+// the loop, with a transient solver. Each array requires at least one
+// private register; the remaining budget is assigned greedily to the
+// array with the largest marginal cost reduction, then each array is
+// allocated with its final budget.
 func AllocateLoop(loop model.LoopSpec, cfg Config) (*LoopResult, error) {
+	return AllocateLoopContext(context.Background(), loop, cfg)
+}
+
+// AllocateLoopContext is AllocateLoop with cooperative cancellation
+// (see Solver.Allocate).
+func AllocateLoopContext(ctx context.Context, loop model.LoopSpec, cfg Config) (*LoopResult, error) {
+	return NewSolver().AllocateLoop(ctx, loop, cfg)
+}
+
+// AllocateLoop is AllocateLoop on the solver's reusable workspaces.
+// Covers are consumed array by array (the phase-1 scratch is recycled
+// between arrays), so only the small cost curves are retained across
+// the budget distribution.
+func (s *Solver) AllocateLoop(ctx context.Context, loop model.LoopSpec, cfg Config) (*LoopResult, error) {
 	cfg = cfg.withDefaults()
 	if err := loop.Validate(); err != nil {
 		return nil, err
@@ -59,25 +73,30 @@ func AllocateLoop(loop model.LoopSpec, cfg Config) (*LoopResult, error) {
 	}
 
 	// Per-array phase 1 plus the cost curve cost(k) for k = 1..K~.
-	covers := make([]pathcover.Cover, nArrays)
+	kts := make([]int, nArrays)      // kts[a] = K~ of array a
 	curves := make([][]int, nArrays) // curves[a][k-1] = cost with k registers
 	for a, pat := range pats {
-		dg, err := distgraph.Build(pat, cfg.AGU.ModifyRange)
+		if err := s.dg.Rebuild(pat, cfg.AGU.ModifyRange); err != nil {
+			return nil, err
+		}
+		cover, err := pathcover.MinCoverCtx(ctx, &s.dg, cfg.InterIteration, cfg.CoverOptions, &s.cover)
 		if err != nil {
 			return nil, err
 		}
-		covers[a] = pathcover.MinCover(dg, cfg.InterIteration, cfg.CoverOptions)
-		kt := covers[a].K()
+		kt := cover.K()
 		curve := make([]int, kt)
-		coverCost := covers[a].Assignment().Cost(pat, cfg.AGU.ModifyRange, cfg.InterIteration)
-		curve[kt-1] = coverCost
+		curve[kt-1] = cover.Assignment().Cost(pat, cfg.AGU.ModifyRange, cfg.InterIteration)
 		for k := 1; k < kt; k++ {
-			asg, err := merge.Reduce(cfg.Strategy, covers[a].Paths, pat, cfg.AGU.ModifyRange, cfg.InterIteration, k)
+			asg, err := merge.ReduceContext(ctx, cfg.Strategy, cover.Paths, pat, cfg.AGU.ModifyRange, cfg.InterIteration, k, &s.merge)
 			if err != nil {
+				if ctx.Err() != nil {
+					return nil, err
+				}
 				return nil, fmt.Errorf("core: cost curve for array %q at K=%d: %w", pat.Array, k, err)
 			}
 			curve[k-1] = asg.Cost(pat, cfg.AGU.ModifyRange, cfg.InterIteration)
 		}
+		kts[a] = kt
 		curves[a] = curve
 	}
 
@@ -97,7 +116,7 @@ func AllocateLoop(loop model.LoopSpec, cfg Config) (*LoopResult, error) {
 	for ; spare > 0; spare-- {
 		best, bestGain := -1, 0
 		for a := range budget {
-			if budget[a] >= covers[a].K() {
+			if budget[a] >= kts[a] {
 				continue // more registers cannot help this array
 			}
 			gain := costAt(a, budget[a]) - costAt(a, budget[a]+1)
@@ -117,7 +136,7 @@ func AllocateLoop(loop model.LoopSpec, cfg Config) (*LoopResult, error) {
 	for a, pat := range pats {
 		sub := cfg
 		sub.AGU.Registers = budget[a]
-		res, err := Allocate(pat, sub)
+		res, err := s.Allocate(ctx, pat, sub)
 		if err != nil {
 			return nil, err
 		}

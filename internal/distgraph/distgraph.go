@@ -45,27 +45,45 @@ func Build(pat model.Pattern, m int) (*Graph, error) {
 // model: updates within the modify range or matching ±(an index value)
 // are zero-cost edges.
 func BuildIndexed(pat model.Pattern, m int, index []int) (*Graph, error) {
-	if err := pat.Validate(); err != nil {
+	dg := &Graph{Index: append([]int(nil), index...)}
+	if err := dg.Rebuild(pat, m); err != nil {
 		return nil, err
 	}
+	return dg, nil
+}
+
+// Rebuild reconstructs the graph in place for a new pattern and modify
+// range, reusing the adjacency storage of the previous build (the
+// graph's Index set is kept). It is the allocation-lean form of Build
+// used by per-worker solver scratch: one Graph value serves a stream
+// of requests instead of being reallocated per solve. Node display
+// labels are not materialized — DOT derives them on demand.
+func (dg *Graph) Rebuild(pat model.Pattern, m int) error {
+	if err := pat.Validate(); err != nil {
+		return err
+	}
 	if m < 0 {
-		return nil, fmt.Errorf("distgraph: modify range must be non-negative, got %d", m)
+		return fmt.Errorf("distgraph: modify range must be non-negative, got %d", m)
 	}
 	n := pat.N()
-	g := graph.New(n)
-	dg := &Graph{Pattern: pat, M: m, Index: append([]int(nil), index...), Intra: g}
+	dg.Pattern = pat
+	dg.M = m
+	if dg.Intra == nil {
+		dg.Intra = graph.New(n)
+	} else {
+		dg.Intra.Reset(n)
+	}
 	for i := 0; i < n; i++ {
-		g.SetLabel(i, NodeLabel(pat, i))
 		for j := i + 1; j < n; j++ {
 			d := pat.Distance(i, j)
 			if dg.zeroDist(d) {
-				if err := g.AddEdge(i, j, d); err != nil {
-					return nil, err
+				if err := dg.Intra.AddEdge(i, j, d); err != nil {
+					return err
 				}
 			}
 		}
 	}
-	return dg, nil
+	return nil
 }
 
 // zeroDist reports whether an update by d is free under the graph's
@@ -136,7 +154,11 @@ func (dg *Graph) CoverIsZeroCost(a model.Assignment, wrap bool) bool {
 
 // DOT renders the intra-iteration distance graph in Graphviz syntax;
 // the output for the paper's example pattern reproduces Figure 1.
-func (dg *Graph) DOT(name string) string { return dg.Intra.DOT(name) }
+// Node labels are derived from the pattern on demand — the solve path
+// never pays for their formatting.
+func (dg *Graph) DOT(name string) string {
+	return dg.Intra.DOTFunc(name, func(i int) string { return NodeLabel(dg.Pattern, i) })
+}
 
 // EdgeCount returns the number of intra-iteration zero-cost edges.
 func (dg *Graph) EdgeCount() int { return dg.Intra.E() }

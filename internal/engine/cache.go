@@ -1,4 +1,5 @@
-// Canonicalized-pattern result cache.
+// Canonicalized-pattern result cache: binary keys, N-way sharding,
+// integrated single-flight.
 //
 // Every quantity the allocator computes — distance-graph edges, path
 // covers, merge costs, the final Assignment (which holds access
@@ -9,46 +10,126 @@
 // Pattern itself. The cache exploits this: keys normalize the pattern
 // so its first offset is zero (and drop the informational array name),
 // letting A[i], A[i+1] share an entry with B[i+7], B[i+8].
+//
+// Keys are fixed-size binary values, not strings: the normalized
+// offset sequence is folded into a 128-bit digest (two independent
+// 64-bit mix chains) and the allocation parameters are packed beside
+// it, so key construction allocates nothing even on the cache-hit
+// fast path. FuzzCanonicalKey guards the translation-iff property
+// against digest mistakes.
+//
+// The cache is sharded 2^k ways by digest, one mutex, one LRU list
+// and one single-flight table per shard, so concurrent hits on a warm
+// cache stop serializing on a single global lock and the former
+// separate flight mutex disappears entirely.
 
 package engine
 
 import (
-	"container/list"
-	"strconv"
-	"strings"
+	"errors"
+	"runtime"
 	"sync"
 
 	"dspaddr/internal/core"
 )
 
-// DefaultCacheSize is the entry cap used when Options.CacheSize is 0.
+// DefaultCacheSize is the total entry cap (across all shards) used
+// when Options.CacheSize is 0.
 const DefaultCacheSize = 4096
 
-// canonicalKey builds the cache key: the translation-normalized offset
-// sequence plus every allocation parameter that influences the result.
-func canonicalKey(req Request) string {
-	var b strings.Builder
+// cacheKey is the fixed-size binary canonical key: a 128-bit digest of
+// the translation-normalized access sequence (plus stride and job
+// kind) alongside the packed allocation parameters. Keys are
+// comparable and hash directly as map keys; building one performs no
+// allocation.
+type cacheKey struct {
+	h1, h2      uint64
+	registers   int32
+	modifyRange int32
+	flags       uint8
+	strategy    uint8
+}
+
+const (
+	// keyFlagWrap marks the inter-iteration objective.
+	keyFlagWrap uint8 = 1 << 0
+	// keyFlagLoop separates whole-loop keys from pattern keys.
+	keyFlagLoop uint8 = 1 << 1
+)
+
+// strategyCode packs the merge-strategy name into one byte. "" and
+// "greedy" deliberately share a code — they select the same solve, so
+// unlike the old string keys they now share a cache entry too. The
+// second result is false for unknown names (rejected before keys are
+// built).
+func strategyCode(name string) (uint8, bool) {
+	switch name {
+	case "", "greedy":
+		return 0, true
+	case "naive":
+		return 1, true
+	case "smallest":
+		return 2, true
+	case "optimal":
+		return 3, true
+	default:
+		return 0, false
+	}
+}
+
+// digest is a 128-bit running hash: two 64-bit splitmix chains seeded
+// differently and fed transformed copies of each value, so a pair
+// collision requires both independent chains to collide at once.
+type digest struct{ h1, h2 uint64 }
+
+func newDigest() digest {
+	return digest{h1: 0x9e3779b97f4a7c15, h2: 0xc2b2ae3d27d4eb4f}
+}
+
+// mix64 is the splitmix64 finalizer, a full-avalanche 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (d *digest) mixInt(v int) {
+	x := uint64(int64(v))
+	d.h1 = mix64(d.h1 ^ x)
+	d.h2 = mix64(d.h2 ^ x*0xff51afd7ed558ccd)
+}
+
+// canonicalKey builds the cache key of a pattern job: the
+// translation-normalized offset sequence digested with the stride,
+// plus every allocation parameter that influences the result.
+func canonicalKey(req Request) cacheKey {
+	d := newDigest()
+	offs := req.Pattern.Offsets
 	base := 0
-	if len(req.Pattern.Offsets) > 0 {
-		base = req.Pattern.Offsets[0]
+	if len(offs) > 0 {
+		base = offs[0]
 	}
-	for _, d := range req.Pattern.Offsets {
-		b.WriteString(strconv.Itoa(d - base))
-		b.WriteByte(',')
+	for _, o := range offs {
+		d.mixInt(o - base)
 	}
-	b.WriteByte('|')
-	b.WriteString(strconv.Itoa(req.Pattern.Stride))
-	b.WriteByte('|')
-	b.WriteString(strconv.Itoa(req.AGU.Registers))
-	b.WriteByte('|')
-	b.WriteString(strconv.Itoa(req.AGU.ModifyRange))
-	b.WriteByte('|')
+	d.mixInt(len(offs))
+	d.mixInt(req.Pattern.Stride)
+	code, _ := strategyCode(req.Strategy)
+	var flags uint8
 	if req.InterIteration {
-		b.WriteByte('w')
+		flags |= keyFlagWrap
 	}
-	b.WriteByte('|')
-	b.WriteString(req.Strategy)
-	return b.String()
+	return cacheKey{
+		h1:          d.h1,
+		h2:          d.h2,
+		registers:   int32(req.AGU.Registers),
+		modifyRange: int32(req.AGU.ModifyRange),
+		flags:       flags,
+		strategy:    code,
+	}
 }
 
 // rewrite adapts a cached canonical result to the requesting job:
@@ -62,81 +143,254 @@ func rewrite(cached *core.Result, req Request) *core.Result {
 	return &out
 }
 
-// resultCache is a mutex-guarded LRU map from canonical keys to solved
-// results. Entries are treated as immutable once inserted.
+// flight is one in-progress solve shared by a leader and any
+// concurrent followers with the same key. v and err are written by
+// complete before done is closed; the channel close publishes them.
+// A flight finished with errSolveAborted carries no result — its
+// leader abandoned the solve (cancellation or timeout) and followers
+// retry, one of them becoming the new leader.
+type flight struct {
+	done chan struct{}
+	v    any
+	err  error
+}
+
+// errSolveAborted marks a flight whose leader abandoned the solve; it
+// never escapes the engine.
+var errSolveAborted = errors.New("engine: solve abandoned by canceled leader")
+
+// cacheEntry is one intrusive LRU node.
+type cacheEntry struct {
+	key        cacheKey
+	res        any
+	prev, next *cacheEntry
+}
+
+// cacheShard is one lock domain: an LRU entry map plus the
+// single-flight table for the keys that hash here.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	flights map[cacheKey]*flight
+	head    *cacheEntry // most recently used
+	tail    *cacheEntry // least recently used
+	size    int
+	max     int
+}
+
+// resultCache is the sharded LRU of solved canonical results. Shard
+// selection uses the key digest's low bits; with caching disabled
+// (CacheSize < 0) the shards still run single-flight deduplication,
+// they just never retain results.
 type resultCache struct {
-	mu       sync.Mutex
-	max      int
-	entries  map[string]*list.Element
-	order    *list.List // front = most recently used
+	shards   []cacheShard
+	mask     uint64
+	capacity int
 	disabled bool
 }
 
-// cacheEntry is one LRU node.
-type cacheEntry struct {
-	key string
-	res any
-}
-
 // newResultCache sizes the cache: 0 means DefaultCacheSize, negative
-// disables caching entirely.
+// disables result retention (single-flight stays active). The shard
+// count is the power of two nearest above twice the CPU count,
+// clamped to [8, 64] — and halved down to the entry cap when the
+// configured size is smaller than that, so a tiny cache degrades to
+// fewer shards instead of rounding its capacity up. The per-shard
+// caps sum to exactly the configured size: the total entry bound is
+// never exceeded and CacheEntries can never pass CacheCapacity.
 func newResultCache(size int) *resultCache {
-	if size < 0 {
-		return &resultCache{disabled: true}
-	}
-	if size == 0 {
+	disabled := size < 0
+	if size <= 0 {
 		size = DefaultCacheSize
 	}
-	return &resultCache{
-		max:     size,
-		entries: make(map[string]*list.Element),
-		order:   list.New(),
+	n := shardCount()
+	for n > 1 && n > size {
+		n >>= 1
 	}
+	c := &resultCache{
+		shards:   make([]cacheShard, n),
+		mask:     uint64(n - 1),
+		capacity: size,
+		disabled: disabled,
+	}
+	if disabled {
+		c.capacity = 0
+	}
+	perShard, extra := size/n, size%n
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.max = perShard
+		if i < extra {
+			s.max++
+		}
+		s.flights = make(map[cacheKey]*flight)
+		if !disabled {
+			s.entries = make(map[cacheKey]*cacheEntry)
+		}
+	}
+	return c
 }
+
+func shardCount() int {
+	n := 1
+	for n < 2*runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	if n < 8 {
+		n = 8
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+func (c *resultCache) shard(k cacheKey) *cacheShard { return &c.shards[k.h1&c.mask] }
 
 // get returns the cached result for key, marking it most recently
 // used.
-func (c *resultCache) get(key string) (any, bool) {
+func (c *resultCache) get(k cacheKey) (any, bool) {
 	if c.disabled {
 		return nil, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+	s := c.shard(k)
+	s.mu.Lock()
+	e, ok := s.entries[k]
 	if !ok {
+		s.mu.Unlock()
 		return nil, false
 	}
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	s.moveToFront(e)
+	v := e.res
+	s.mu.Unlock()
+	return v, true
 }
 
-// put inserts a solved result, evicting the least recently used entry
-// past the cap. Re-inserting an existing key refreshes its recency.
-func (c *resultCache) put(key string, res any) {
+// join is the atomic miss path: under one shard lock it rechecks the
+// cache (a result may have landed since the caller's get), attaches
+// to an in-progress flight for the key, or — neither — opens a new
+// flight with the caller as leader. Exactly one of the return shapes
+// holds: (v, true, nil, false) cache hit; (nil, false, f, false)
+// follower of f; (nil, false, f, true) leader of the new flight f.
+func (c *resultCache) join(k cacheKey) (v any, hit bool, f *flight, leader bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	if !c.disabled {
+		if e, ok := s.entries[k]; ok {
+			s.moveToFront(e)
+			v = e.res
+			s.mu.Unlock()
+			return v, true, nil, false
+		}
+	}
+	if f = s.flights[k]; f != nil {
+		s.mu.Unlock()
+		return nil, false, f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	s.flights[k] = f
+	s.mu.Unlock()
+	return nil, false, f, true
+}
+
+// complete finishes a flight: the result is published to followers
+// via the done close, and a successful solve is inserted into the
+// shard's LRU (an aborted or failed one is not).
+func (c *resultCache) complete(k cacheKey, f *flight, v any, err error) {
+	s := c.shard(k)
+	s.mu.Lock()
+	delete(s.flights, k)
+	if err == nil && !c.disabled {
+		s.insert(k, v)
+	}
+	s.mu.Unlock()
+	f.v, f.err = v, err
+	close(f.done)
+}
+
+// put inserts a solved result directly, bypassing the flight
+// protocol; the engine caches through complete, put serves tests and
+// future warm-start loading.
+func (c *resultCache) put(k cacheKey, v any) {
 	if c.disabled {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).res = res
-		c.order.MoveToFront(el)
+	s := c.shard(k)
+	s.mu.Lock()
+	s.insert(k, v)
+	s.mu.Unlock()
+}
+
+// insert adds or refreshes an entry, evicting the shard's least
+// recently used entry past the cap. Callers hold the shard lock.
+func (s *cacheShard) insert(k cacheKey, v any) {
+	if e, ok := s.entries[k]; ok {
+		e.res = v
+		s.moveToFront(e)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
-	if c.order.Len() > c.max {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	e := &cacheEntry{key: k, res: v}
+	s.entries[k] = e
+	s.pushFront(e)
+	s.size++
+	if s.size > s.max {
+		oldest := s.tail
+		s.unlink(oldest)
+		delete(s.entries, oldest.key)
+		s.size--
 	}
 }
 
-// len returns the current entry count.
+func (s *cacheShard) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *cacheShard) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *cacheShard) moveToFront(e *cacheEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// len returns the current entry count across all shards.
 func (c *resultCache) len() int {
 	if c.disabled {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.size
+		s.mu.Unlock()
+	}
+	return total
 }
+
+// cap returns the configured total entry capacity (0 when disabled).
+func (c *resultCache) cap() int { return c.capacity }
+
+// shardsN returns the shard count.
+func (c *resultCache) shardsN() int { return len(c.shards) }

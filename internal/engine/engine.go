@@ -1,7 +1,7 @@
 // Package engine is the concurrent batch allocation engine layered on
 // top of the single-request allocator in package core.
 //
-// An Engine owns a bounded pool of worker goroutines, a
+// An Engine owns a bounded pool of worker goroutines, a sharded
 // canonicalized-pattern result cache and aggregate serving statistics.
 // Jobs — (pattern, configuration) pairs — are submitted one at a time
 // with Run or many at once with RunBatch; either way they funnel
@@ -12,13 +12,27 @@
 // Identical access patterns are common across the loops of real DSP
 // programs (the same FIR tap structure appears in every filter), so the
 // cache keys each job by a translation-normalized form of its pattern
-// together with the allocation parameters. A hit skips the path-cover
-// and merge phases entirely and costs one map lookup plus a shallow
-// result rewrite; see cache.go for the canonicalization argument.
+// together with the allocation parameters; keys are fixed-size binary
+// values built without allocation (see cache.go). A hit skips the
+// path-cover and merge phases entirely and costs one shard-local map
+// lookup plus a shallow result rewrite.
+//
+// The request hot path is engineered around three rules. Each worker
+// owns a reusable core.Solver, so a cache miss reuses the previous
+// solve's distance-graph, path-cover and merge workspaces instead of
+// rebuilding them from heap. A missing result is computed on the
+// worker that discovered the miss (the single-flight leader) rather
+// than on a spawned goroutine; concurrent identical jobs attach to
+// that flight as followers. And solves are cooperatively cancelable:
+// the worker threads its job context into the phase-1 branch-and-bound
+// and the merge loop, so a canceled or timed-out job releases its
+// worker within microseconds instead of occupying it until the full
+// solve completes.
 package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -100,15 +114,15 @@ var ErrTimeout = fmt.Errorf("engine: job timed out")
 type Options struct {
 	// Workers bounds solver concurrency; 0 means DefaultWorkers.
 	Workers int
-	// JobTimeout is the per-job solve deadline; 0 disables it. On
-	// timeout the waiting caller gives up immediately (ErrTimeout),
-	// but the worker stays occupied until the abandoned solve
-	// finishes — solver concurrency remains bounded by Workers even
-	// under a stream of pathological jobs — and the late result still
-	// populates the cache for future requests.
+	// JobTimeout is the per-job solve deadline; 0 disables it. The
+	// deadline is threaded into the solver as a context, so a job that
+	// outlives it abandons its solve cooperatively (within
+	// microseconds) and frees its worker — the late partial work is
+	// discarded, it does not populate the cache.
 	JobTimeout time.Duration
-	// CacheSize is the maximum number of cached canonical results;
-	// 0 means DefaultCacheSize, negative disables caching.
+	// CacheSize is the maximum number of cached canonical results
+	// across all shards; 0 means DefaultCacheSize, negative disables
+	// result retention (single-flight dedup stays active).
 	CacheSize int
 }
 
@@ -122,11 +136,27 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// task is one queued unit of work; run executes on a worker goroutine
-// and replies through a channel it captured.
+// taskKind discriminates the two job shapes a worker can run.
+type taskKind uint8
+
+const (
+	taskPattern taskKind = iota
+	taskLoop
+)
+
+// task is one queued unit of work, passed to a worker by value — no
+// per-job closure or goroutine is allocated. The worker writes the
+// result through out/loopOut, then signals wg (batches) or closes
+// done (single submissions).
 type task struct {
-	ctx context.Context
-	run func(ctx context.Context)
+	ctx     context.Context
+	kind    taskKind
+	req     Request
+	loop    LoopRequest
+	out     *JobResult
+	loopOut *LoopJobResult
+	wg      *sync.WaitGroup
+	done    chan struct{}
 }
 
 // Engine runs allocation jobs on a bounded worker pool with caching
@@ -139,16 +169,12 @@ type Engine struct {
 	cache *resultCache
 	stats collector
 
-	// flights dedups concurrent identical solves (single-flight): the
-	// first job with a given canonical key becomes the leader and runs
-	// the solver; concurrent followers wait for its result instead of
-	// solving again.
-	flightMu sync.Mutex
-	flights  map[string]*flight
-
-	// solve is the job executor, replaceable in tests to instrument
-	// concurrency without paying for real solves.
-	solve func(Request) (*core.Result, error)
+	// solve and solveLoop are the job executors, replaceable in tests
+	// to instrument concurrency without paying for real solves. They
+	// run on worker goroutines with the worker's own Solver and must
+	// honor ctx if the test wants cancellation semantics.
+	solve     func(ctx context.Context, s *core.Solver, r Request) (*core.Result, error)
+	solveLoop func(ctx context.Context, s *core.Solver, r LoopRequest) (*core.LoopResult, error)
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -159,13 +185,15 @@ type Engine struct {
 func New(opts Options) *Engine {
 	opts = opts.withDefaults()
 	e := &Engine{
-		opts:    opts,
-		jobs:    make(chan task),
-		cache:   newResultCache(opts.CacheSize),
-		flights: make(map[string]*flight),
-		closed:  make(chan struct{}),
-		solve: func(r Request) (*core.Result, error) {
-			return core.Allocate(r.Pattern, r.config())
+		opts:   opts,
+		jobs:   make(chan task),
+		cache:  newResultCache(opts.CacheSize),
+		closed: make(chan struct{}),
+		solve: func(ctx context.Context, s *core.Solver, r Request) (*core.Result, error) {
+			return s.Allocate(ctx, r.Pattern, r.config())
+		},
+		solveLoop: func(ctx context.Context, s *core.Solver, r LoopRequest) (*core.LoopResult, error) {
+			return s.AllocateLoop(ctx, r.Loop, r.config())
 		},
 	}
 	e.stats.workers = opts.Workers
@@ -184,32 +212,32 @@ func (e *Engine) Close() {
 	e.wg.Wait()
 }
 
-// enqueue hands run to a worker, failing fast if the engine is closed
-// or ctx canceled first.
-func (e *Engine) enqueue(ctx context.Context, run func(ctx context.Context)) error {
+// enqueue hands t to a worker, failing fast if the engine is closed
+// or t's context canceled first. The jobs channel is unbuffered, so a
+// successful send means a worker has committed to running the task.
+func (e *Engine) enqueue(t task) error {
 	select {
 	case <-e.closed:
 		return fmt.Errorf("engine: closed")
-	case <-ctx.Done():
-		return ctx.Err()
-	case e.jobs <- task{ctx: ctx, run: run}:
+	case <-t.ctx.Done():
+		return t.ctx.Err()
+	case e.jobs <- t:
 		return nil
 	}
 }
 
 // Run submits one job and waits for its result. It returns early with
-// an error result if ctx is canceled while the job is still queued.
+// an error result if ctx is canceled while the job is still queued or
+// solving (the abandoned worker frees itself cooperatively).
 func (e *Engine) Run(ctx context.Context, req Request) JobResult {
-	done := make(chan JobResult, 1)
-	err := e.enqueue(ctx, func(ctx context.Context) {
-		e.processPattern(ctx, req, func(r JobResult) { done <- r })
-	})
-	if err != nil {
+	res := new(JobResult)
+	done := make(chan struct{})
+	if err := e.enqueue(task{ctx: ctx, kind: taskPattern, req: req, out: res, done: done}); err != nil {
 		return JobResult{Err: err}
 	}
 	select {
-	case r := <-done:
-		return r
+	case <-done:
+		return *res
 	case <-ctx.Done():
 		return JobResult{Err: ctx.Err()}
 	}
@@ -217,16 +245,20 @@ func (e *Engine) Run(ctx context.Context, req Request) JobResult {
 
 // RunBatch submits every job and waits for all of them, returning
 // results in job order. Individual failures are reported per job; the
-// batch itself never fails.
+// batch itself never fails. Unlike Run, a canceled context does not
+// return before every accepted job has settled — workers settle
+// canceled jobs promptly via cooperative cancellation — so the
+// returned slice is always fully owned by the caller.
 func (e *Engine) RunBatch(ctx context.Context, reqs []Request) []JobResult {
 	out := make([]JobResult, len(reqs))
 	var wg sync.WaitGroup
-	for i, req := range reqs {
-		wg.Add(1)
-		go func(i int, req Request) {
-			defer wg.Done()
-			out[i] = e.Run(ctx, req)
-		}(i, req)
+	wg.Add(len(reqs))
+	for i := range reqs {
+		t := task{ctx: ctx, kind: taskPattern, req: reqs[i], out: &out[i], wg: &wg}
+		if err := e.enqueue(t); err != nil {
+			out[i] = JobResult{Err: err}
+			wg.Done()
+		}
 	}
 	wg.Wait()
 	return out
@@ -236,134 +268,170 @@ func (e *Engine) RunBatch(ctx context.Context, reqs []Request) []JobResult {
 func (e *Engine) Stats() Stats {
 	s := e.stats.snapshot()
 	s.CacheEntries = e.cache.len()
+	s.CacheCapacity = e.cache.cap()
+	s.CacheShards = e.cache.shardsN()
 	return s
 }
 
-// worker is the pool loop: dequeue, run, until Close. The jobs channel
-// itself is never closed — senders and workers both watch the closed
-// signal instead, so a Run racing with Close can never send on a
-// closed channel.
+// worker is the pool loop: dequeue, run, until Close. Each worker
+// owns one reusable core.Solver for the lifetime of the pool — the
+// per-solve scratch (distance graph, cover search, merge buffers)
+// warms up once and is reused by every subsequent cache miss. The
+// jobs channel itself is never closed — senders and workers both
+// watch the closed signal instead, so a Run racing with Close can
+// never send on a closed channel.
 func (e *Engine) worker() {
 	defer e.wg.Done()
+	solver := core.NewSolver()
 	for {
 		select {
 		case <-e.closed:
 			return
 		case t := <-e.jobs:
-			t.run(t.ctx)
+			e.runTask(solver, t)
 		}
+	}
+}
+
+// runTask executes one task on a worker and delivers its result.
+func (e *Engine) runTask(solver *core.Solver, t task) {
+	switch t.kind {
+	case taskPattern:
+		*t.out = e.processPattern(t.ctx, solver, t.req)
+	case taskLoop:
+		*t.loopOut = e.processLoop(t.ctx, solver, t.loop)
+	}
+	if t.wg != nil {
+		t.wg.Done()
+	}
+	if t.done != nil {
+		close(t.done)
 	}
 }
 
 // processPattern runs one single-pattern job on a worker goroutine:
-// validation, cache lookup, then a bounded solve on a miss. reply is
-// called exactly once.
-func (e *Engine) processPattern(ctx context.Context, req Request, reply func(JobResult)) {
+// validation, cache lookup, then a bounded solve on a miss.
+func (e *Engine) processPattern(ctx context.Context, solver *core.Solver, req Request) JobResult {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		e.stats.canceledJob()
-		reply(JobResult{Err: err, Elapsed: time.Since(start)})
-		return
+		return JobResult{Err: err, Elapsed: time.Since(start)}
 	}
 	if _, err := strategyFor(req.Strategy); err != nil {
 		e.stats.failed()
-		reply(JobResult{Err: err, Elapsed: time.Since(start)})
-		return
+		return JobResult{Err: err, Elapsed: time.Since(start)}
 	}
-	e.solveKeyed(ctx, canonicalKey(req),
-		func() (any, error) { return e.solve(req) },
-		func(v any, hit bool, err error, elapsed time.Duration) {
-			if err != nil {
-				reply(JobResult{Err: err, Elapsed: elapsed})
-				return
-			}
-			// Always hand out a rewritten copy — the solved value lives
-			// in the cache (and in concurrent followers), so the caller
-			// must never see the shared pointer.
-			reply(JobResult{Result: rewrite(v.(*core.Result), req), CacheHit: hit, Elapsed: elapsed})
-		})
-}
-
-// flight is one in-progress solve shared by a leader and any
-// concurrent followers. v and err are written once before done is
-// closed; the channel close publishes them.
-type flight struct {
-	done chan struct{}
-	v    any
-	err  error
+	v, hit, err, elapsed := e.solveKeyed(ctx, solver, canonicalKey(req), task{kind: taskPattern, req: req}, start)
+	if err != nil {
+		return JobResult{Err: err, Elapsed: elapsed}
+	}
+	// Always hand out a rewritten copy — the solved value lives in the
+	// cache (and in concurrent followers), so the caller must never
+	// see the shared pointer.
+	return JobResult{Result: rewrite(v.(*core.Result), req), CacheHit: hit, Elapsed: elapsed}
 }
 
 // solveKeyed is the shared cache-then-solve path of pattern and loop
-// jobs. It runs on a worker goroutine and calls reply exactly once —
-// possibly before returning: a timeout or cancellation answers the
-// caller immediately, but solveKeyed itself only returns once the
-// solve it is attached to has finished, so total solver concurrency
-// stays bounded by the worker pool. Concurrent jobs with the same key
-// share a single solve (single-flight); followers report as cache
-// hits. A successful solve populates the cache even if every waiter
-// has already given up.
-func (e *Engine) solveKeyed(ctx context.Context, key string, solve func() (any, error), reply func(v any, hit bool, err error, elapsed time.Duration)) {
-	start := time.Now()
-	if v, ok := e.cache.get(key); ok {
-		e.stats.hit()
-		reply(v, true, nil, time.Since(start))
-		return
-	}
-
-	e.flightMu.Lock()
-	f, follower := e.flights[key]
-	if !follower {
-		f = &flight{done: make(chan struct{})}
-		e.flights[key] = f
-		e.flightMu.Unlock()
-		go func() {
-			f.v, f.err = solve()
-			if f.err == nil {
-				e.cache.put(key, f.v)
-			}
-			e.flightMu.Lock()
-			delete(e.flights, key)
-			e.flightMu.Unlock()
-			close(f.done)
-		}()
-	} else {
-		e.flightMu.Unlock()
-	}
-
-	var deadline <-chan time.Time
-	if e.opts.JobTimeout > 0 {
-		timer := time.NewTimer(e.opts.JobTimeout)
-		defer timer.Stop()
-		deadline = timer.C
-	}
-	cancel := ctx.Done()
-	replied := false
+// jobs, running on a worker goroutine.
+//
+// The first job with a given canonical key becomes the flight's
+// leader and runs the solver on its own worker (no spawned
+// goroutine), under a context bounded by the job context and the
+// per-job timeout; concurrent followers wait for its result and
+// report as cache hits. A leader that abandons its solve
+// (cancellation or timeout — the solver unwinds cooperatively)
+// finishes the flight with an abort marker: followers that are still
+// interested retry, and one of them becomes the new leader. Followers
+// that give up (their own cancellation or timeout) simply leave —
+// solver concurrency stays bounded by the worker pool because solves
+// only ever run on leader workers.
+func (e *Engine) solveKeyed(ctx context.Context, solver *core.Solver, key cacheKey, t task, start time.Time) (any, bool, error, time.Duration) {
+	var timeout <-chan time.Time
+	var timer *time.Timer
 	for {
+		if err := ctx.Err(); err != nil {
+			e.stats.canceledJob()
+			return nil, false, err, time.Since(start)
+		}
+		v, hit, f, leader := e.cache.join(key)
+		if hit {
+			e.stats.hit()
+			return v, true, nil, time.Since(start)
+		}
+		if leader {
+			v, err := e.runLeader(ctx, solver, key, f, t, start)
+			elapsed := time.Since(start)
+			switch {
+			case err == nil:
+				e.stats.solved(elapsed)
+				return v, false, nil, elapsed
+			case errors.Is(err, errSolveAborted):
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					e.stats.canceledJob()
+					return nil, false, ctxErr, elapsed
+				}
+				e.stats.timedOut()
+				return nil, false, fmt.Errorf("%w after %v", ErrTimeout, e.opts.JobTimeout), elapsed
+			default:
+				e.stats.failed()
+				return nil, false, err, elapsed
+			}
+		}
+		// Follower: wait for the leader's result, our own deadline or
+		// our own cancellation, whichever first. Leaving early frees
+		// this worker; the flight lives on its leader's worker.
+		if timer == nil && e.opts.JobTimeout > 0 {
+			timer = time.NewTimer(e.opts.JobTimeout - time.Since(start))
+			defer timer.Stop()
+			timeout = timer.C
+		}
 		select {
 		case <-f.done:
-			if !replied {
-				elapsed := time.Since(start)
-				switch {
-				case f.err != nil:
-					e.stats.failed()
-					reply(nil, false, f.err, elapsed)
-				case follower:
-					e.stats.dedupedHit()
-					reply(f.v, true, nil, elapsed)
-				default:
-					e.stats.solved(elapsed)
-					reply(f.v, false, nil, elapsed)
-				}
+			if errors.Is(f.err, errSolveAborted) {
+				continue // leader gave up; retry, possibly as new leader
 			}
-			return
-		case <-deadline:
+			if f.err != nil {
+				e.stats.failed()
+				return nil, false, f.err, time.Since(start)
+			}
+			e.stats.dedupedHit()
+			return f.v, true, nil, time.Since(start)
+		case <-timeout:
 			e.stats.timedOut()
-			reply(nil, false, fmt.Errorf("%w after %v", ErrTimeout, e.opts.JobTimeout), time.Since(start))
-			replied, deadline, cancel = true, nil, nil
-		case <-cancel:
+			return nil, false, fmt.Errorf("%w after %v", ErrTimeout, e.opts.JobTimeout), time.Since(start)
+		case <-ctx.Done():
 			e.stats.canceledJob()
-			reply(nil, false, ctx.Err(), time.Since(start))
-			replied, deadline, cancel = true, nil, nil
+			return nil, false, ctx.Err(), time.Since(start)
 		}
 	}
+}
+
+// runLeader executes the flight's solve on the calling worker and
+// completes the flight. The solve context combines the job context
+// with the per-job deadline (measured from dequeue); a solve that
+// returns because that context fired is mapped to errSolveAborted so
+// followers know to retry rather than propagate a stranger's
+// cancellation.
+func (e *Engine) runLeader(ctx context.Context, solver *core.Solver, key cacheKey, f *flight, t task, start time.Time) (any, error) {
+	solveCtx := ctx
+	var cancel context.CancelFunc
+	if e.opts.JobTimeout > 0 {
+		solveCtx, cancel = context.WithDeadline(ctx, start.Add(e.opts.JobTimeout))
+	}
+	var v any
+	var err error
+	if t.kind == taskPattern {
+		v, err = e.solve(solveCtx, solver, t.req)
+	} else {
+		v, err = e.solveLoop(solveCtx, solver, t.loop)
+	}
+	if cancel != nil {
+		cancel()
+	}
+	if err != nil && solveCtx.Err() != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		err = errSolveAborted
+	}
+	e.cache.complete(key, f, v, err)
+	return v, err
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -54,7 +55,7 @@ func TestBoundedWorkers(t *testing.T) {
 	defer e.Close()
 
 	var inFlight, peak atomic.Int64
-	e.solve = func(r Request) (*core.Result, error) {
+	e.solve = func(ctx context.Context, s *core.Solver, r Request) (*core.Result, error) {
 		n := inFlight.Add(1)
 		for {
 			p := peak.Load()
@@ -64,7 +65,7 @@ func TestBoundedWorkers(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 		inFlight.Add(-1)
-		return core.Allocate(r.Pattern, r.config())
+		return s.Allocate(ctx, r.Pattern, r.config())
 	}
 
 	reqs := make([]Request, jobs)
@@ -191,10 +192,10 @@ func TestSingleFlight(t *testing.T) {
 	defer e.Close()
 
 	var solves atomic.Int64
-	e.solve = func(r Request) (*core.Result, error) {
+	e.solve = func(ctx context.Context, s *core.Solver, r Request) (*core.Result, error) {
 		solves.Add(1)
 		time.Sleep(20 * time.Millisecond) // hold the flight open
-		return core.Allocate(r.Pattern, r.config())
+		return s.Allocate(ctx, r.Pattern, r.config())
 	}
 
 	req := Request{Pattern: model.PaperExample(), AGU: model.AGUSpec{Registers: 2, ModifyRange: 1}}
@@ -388,17 +389,19 @@ func TestRunLoopErrors(t *testing.T) {
 }
 
 // TestJobTimeout checks that a slow solve is abandoned with ErrTimeout
-// and counted in the stats.
+// and counted in the stats. The per-job deadline reaches the solver as
+// its context (cooperative cancellation), so the cooperating fake here
+// returns promptly at the deadline and the worker is freed — the
+// pre-overhaul engine kept the worker occupied until the solve chose
+// to finish.
 func TestJobTimeout(t *testing.T) {
 	e := New(Options{Workers: 1, JobTimeout: 5 * time.Millisecond, CacheSize: -1})
 	defer e.Close()
-	release := make(chan struct{})
-	e.solve = func(r Request) (*core.Result, error) {
-		<-release
-		return nil, fmt.Errorf("never reached in time")
+	e.solve = func(ctx context.Context, s *core.Solver, r Request) (*core.Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
 	}
 	res := e.Run(context.Background(), testRequest(0, 1))
-	close(release)
 	if !errors.Is(res.Err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", res.Err)
 	}
@@ -408,13 +411,14 @@ func TestJobTimeout(t *testing.T) {
 }
 
 // TestTimeoutKeepsWorkerOccupied pins the bounded-concurrency rule
-// for timeouts: an abandoned solve keeps its worker busy, so later
-// jobs cannot pile extra solves on top of it.
+// for solves that ignore their cancellation context: such a solve
+// keeps its worker busy (solves only ever run on leader workers), so
+// later jobs cannot pile extra solves on top of it.
 func TestTimeoutKeepsWorkerOccupied(t *testing.T) {
 	e := New(Options{Workers: 1, JobTimeout: time.Millisecond, CacheSize: -1})
 	var concurrent, peak atomic.Int64
 	block := make(chan struct{})
-	e.solve = func(r Request) (*core.Result, error) {
+	e.solve = func(ctx context.Context, s *core.Solver, r Request) (*core.Result, error) {
 		n := concurrent.Add(1)
 		for {
 			p := peak.Load()
@@ -444,6 +448,124 @@ func TestTimeoutKeepsWorkerOccupied(t *testing.T) {
 	e.Close()
 	if p := peak.Load(); p != 1 {
 		t.Fatalf("peak concurrent solves %d, want 1 — timed-out jobs must not stack solves", p)
+	}
+}
+
+// pathologicalWrapRequest returns a wrap-objective request whose
+// phase-1 branch-and-bound provably exhausts its full node budget
+// (dense intra edges from a tight offset spread, infeasible wrap
+// constraints from a large stride), making the uncancelled solve take
+// on the order of 10^8 ns. The cancellation tests use it as the
+// "solve that would otherwise occupy a worker for a long time".
+func pathologicalWrapRequest() Request {
+	rng := rand.New(rand.NewSource(1))
+	offs := make([]int, 24)
+	for i := range offs {
+		offs[i] = rng.Intn(7) - 3
+	}
+	return Request{
+		Pattern:        model.Pattern{Array: "A", Stride: 9, Offsets: offs},
+		AGU:            model.AGUSpec{Registers: 3, ModifyRange: 2},
+		InterIteration: true,
+	}
+}
+
+// TestCancellationFreesWorker pins the tentpole cancellation property
+// end to end with the real solver: canceling a job whose pathological
+// phase-1 search is in flight frees its worker long before the full
+// solve would have completed, so a subsequent job on the same
+// single-worker engine is served promptly.
+func TestCancellationFreesWorker(t *testing.T) {
+	slow := pathologicalWrapRequest()
+
+	// Reference point: how long the full solve takes uncancelled.
+	full := New(Options{Workers: 1, CacheSize: -1})
+	fullStart := time.Now()
+	if res := full.Run(context.Background(), slow); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	fullDur := time.Since(fullStart)
+	full.Close()
+
+	e := New(Options{Workers: 1, CacheSize: -1})
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond) // let the solve start
+		cancel()
+	}()
+	canceledStart := time.Now()
+	res := e.Run(ctx, slow)
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", res.Err)
+	}
+	// The single worker must be free again: a quick job completes, and
+	// the whole canceled-plus-followup sequence beats the full solve
+	// by a wide margin (the search polls ctx every few hundred nodes).
+	quick := e.Run(context.Background(), testRequest(0, 1, 2))
+	if quick.Err != nil {
+		t.Fatalf("follow-up job after cancellation: %v", quick.Err)
+	}
+	if reclaimed := time.Since(canceledStart); reclaimed > fullDur/2 {
+		t.Fatalf("worker reclaimed after %v; full solve takes %v — cancellation did not free the worker early",
+			reclaimed, fullDur)
+	}
+	if s := e.Stats(); s.Canceled == 0 {
+		t.Fatalf("stats.Canceled = 0, want >0: %+v", s)
+	}
+}
+
+// TestShardedCacheSingleFlightRace hammers the sharded cache and its
+// folded-in single-flight tables from 64 goroutines with heavily
+// overlapping keys (including translated duplicates). Run under
+// -race this is the cache's data-race test; the counter identity
+// checked afterwards pins that every request was answered exactly
+// once — deduped followers included — with no outcome lost between
+// shards.
+func TestShardedCacheSingleFlightRace(t *testing.T) {
+	e := New(Options{Workers: 8})
+	defer e.Close()
+
+	const goroutines = 64
+	const perG = 32
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// 8 canonical identities; every other request is a
+				// translated duplicate, so hits, misses and dedups all
+				// occur concurrently.
+				base := (g + i) % 8
+				shift := (i % 2) * 10
+				res := e.Run(context.Background(), testRequest(base+shift, base+shift+1, shift))
+				if res.Err != nil {
+					failures.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if failures.Load() != 0 {
+		t.Fatalf("%d requests failed", failures.Load())
+	}
+	s := e.Stats()
+	const total = goroutines * perG
+	if s.Jobs != total {
+		t.Fatalf("stats.Jobs = %d, want %d", s.Jobs, total)
+	}
+	if s.CacheHits+s.CacheMisses != total {
+		t.Fatalf("hits %d + misses %d != %d requests (deduped %d)",
+			s.CacheHits, s.CacheMisses, total, s.Deduped)
+	}
+	if s.Deduped > s.CacheHits {
+		t.Fatalf("deduped %d exceeds hits %d", s.Deduped, s.CacheHits)
+	}
+	if s.Errors != 0 || s.Timeouts != 0 || s.Canceled != 0 {
+		t.Fatalf("unexpected failure counters: %+v", s)
 	}
 }
 
@@ -492,25 +614,61 @@ func TestClose(t *testing.T) {
 	}
 }
 
-// TestCacheEviction checks the LRU cap holds.
+// TestCacheEviction checks the per-shard LRU cap holds. Keys are
+// handcrafted with identical digest low bits so they all land in one
+// shard — the cap under test is that shard's slice of the total.
 func TestCacheEviction(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2 * shardCount()) // two entries per shard
+	key := func(i int) cacheKey {
+		// h1 = 0 pins shard 0; registers distinguishes the keys.
+		return cacheKey{h1: 0, h2: uint64(i), registers: int32(i)}
+	}
 	r := &core.Result{}
-	c.put("a", r)
-	c.put("b", r)
-	c.put("c", r) // evicts "a"
-	if _, ok := c.get("a"); ok {
+	c.put(key(1), r)
+	c.put(key(2), r)
+	c.put(key(3), r) // evicts key(1)
+	if _, ok := c.get(key(1)); ok {
 		t.Fatal("oldest entry not evicted")
 	}
-	if _, ok := c.get("b"); !ok {
-		t.Fatal("entry b missing")
+	if _, ok := c.get(key(2)); !ok {
+		t.Fatal("entry 2 missing")
 	}
-	c.put("d", r) // "c" older than "b" after the get above → evict "c"
-	if _, ok := c.get("c"); ok {
+	c.put(key(4), r) // 3 older than 2 after the get above → evict 3
+	if _, ok := c.get(key(3)); ok {
 		t.Fatal("LRU order ignored recency of get")
 	}
 	if c.len() != 2 {
 		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if c.cap() != 2*shardCount() || c.shardsN() != shardCount() {
+		t.Fatalf("cap/shards = %d/%d, want %d/%d", c.cap(), c.shardsN(), 2*shardCount(), shardCount())
+	}
+}
+
+// TestCacheCapacityExact pins that the per-shard caps sum to exactly
+// the configured size: no fill pattern can push the entry count past
+// CacheSize, and caches smaller than the default shard count shed
+// shards instead of rounding their capacity up.
+func TestCacheCapacityExact(t *testing.T) {
+	for _, size := range []int{1, 3, shardCount() - 1, shardCount() + 1, 100} {
+		c := newResultCache(size)
+		if c.cap() != size {
+			t.Fatalf("size %d: cap() = %d", size, c.cap())
+		}
+		total := 0
+		for i := range c.shards {
+			total += c.shards[i].max
+		}
+		if total != size {
+			t.Fatalf("size %d: shard caps sum to %d", size, total)
+		}
+		r := &core.Result{}
+		for i := 0; i < 4*size+16; i++ {
+			c.put(cacheKey{h1: uint64(i), h2: uint64(i), registers: int32(i)}, r)
+		}
+		if n := c.len(); n > size {
+			t.Fatalf("size %d: %d entries retained, exceeds configured bound", size, n)
+		}
 	}
 }
 

@@ -1,0 +1,113 @@
+// Fuzz property for the binary canonical key: two pattern requests
+// share a key if and only if one pattern is a pure translation of the
+// other (same stride, AGU, objective and strategy). The old string
+// key had this property by construction — it spelled out the
+// normalized offsets; the binary key compresses them into a 128-bit
+// digest, so a mixing mistake could silently merge distinct patterns.
+// The fuzzer searches for exactly that: any pair where digest equality
+// disagrees with semantic equivalence.
+
+package engine
+
+import (
+	"testing"
+
+	"dspaddr/internal/model"
+)
+
+// fuzzPattern decodes raw bytes into a pattern: each byte is one
+// signed offset, the stride is folded into a small positive range.
+func fuzzPattern(raw []byte, stride int) model.Pattern {
+	offs := make([]int, len(raw))
+	for i, b := range raw {
+		offs[i] = int(int8(b))
+	}
+	return model.Pattern{Array: "A", Stride: 1 + abs(stride)%7, Offsets: offs}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// translationEquivalent reports whether two patterns are pure
+// translations of each other with the same stride — the semantic
+// condition under which results transfer by rewriting, i.e. the
+// ground truth the cache key must reproduce.
+func translationEquivalent(a, b model.Pattern) bool {
+	if a.Stride != b.Stride || len(a.Offsets) != len(b.Offsets) {
+		return false
+	}
+	if len(a.Offsets) == 0 {
+		return true
+	}
+	delta := b.Offsets[0] - a.Offsets[0]
+	for i := range a.Offsets {
+		if b.Offsets[i]-a.Offsets[i] != delta {
+			return false
+		}
+	}
+	return true
+}
+
+func FuzzCanonicalKey(f *testing.F) {
+	f.Add([]byte{1, 0, 2, 255}, []byte{8, 7, 9, 6}, 1, 1, 5)
+	f.Add([]byte{1, 0, 2}, []byte{1, 0, 2}, 1, 2, -3)
+	f.Add([]byte{0}, []byte{0, 0}, 1, 1, 0)
+	f.Add([]byte{3, 3, 3, 3}, []byte{250, 250, 250, 250}, 2, 2, 100)
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte, strideA, strideB, shift int) {
+		a := fuzzPattern(rawA, strideA)
+		b := fuzzPattern(rawB, strideB)
+		if len(a.Offsets) == 0 || len(b.Offsets) == 0 ||
+			len(a.Offsets) > 64 || len(b.Offsets) > 64 {
+			t.Skip()
+		}
+		agu := model.AGUSpec{Registers: 2, ModifyRange: 1}
+		reqA := Request{Pattern: a, AGU: agu}
+		reqB := Request{Pattern: b, AGU: agu}
+
+		want := translationEquivalent(a, b)
+		got := canonicalKey(reqA) == canonicalKey(reqB)
+		if want != got {
+			t.Fatalf("key equality %v, translation equivalence %v\na=%v\nb=%v", got, want, a, b)
+		}
+
+		// Translation invariance directly: shifting every offset of a
+		// by the same constant must never change the key.
+		shifted := a
+		shifted.Offsets = make([]int, len(a.Offsets))
+		for i, o := range a.Offsets {
+			shifted.Offsets[i] = o + shift%1000
+		}
+		reqShifted := reqA
+		reqShifted.Pattern = shifted
+		if canonicalKey(reqA) != canonicalKey(reqShifted) {
+			t.Fatalf("translation by %d changed the key: %v", shift%1000, a)
+		}
+
+		// Every allocation parameter must separate keys on its own.
+		perturb := func(mut func(*Request)) Request {
+			r := reqA
+			mut(&r)
+			return r
+		}
+		for name, r := range map[string]Request{
+			"registers":   perturb(func(r *Request) { r.AGU.Registers++ }),
+			"modifyRange": perturb(func(r *Request) { r.AGU.ModifyRange++ }),
+			"wrap":        perturb(func(r *Request) { r.InterIteration = !r.InterIteration }),
+			"strategy":    perturb(func(r *Request) { r.Strategy = "optimal" }),
+		} {
+			if canonicalKey(r) == canonicalKey(reqA) {
+				t.Fatalf("perturbing %s did not change the key", name)
+			}
+		}
+		// The default strategy spellings are the same solve and must
+		// share an entry.
+		spelled := perturb(func(r *Request) { r.Strategy = "greedy" })
+		if canonicalKey(spelled) != canonicalKey(reqA) {
+			t.Fatal(`"" and "greedy" must share a key`)
+		}
+	})
+}

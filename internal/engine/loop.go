@@ -1,9 +1,9 @@
 // Whole-loop jobs. A loop referencing several arrays cannot give each
 // array the full register budget — the AGU's K registers are shared,
-// so the engine delegates to core.AllocateLoop, which distributes them
-// by marginal cost. Loop jobs ride the same worker pool, timeout
+// so the engine delegates to core's loop allocator, which distributes
+// them by marginal cost. Loop jobs ride the same worker pool, timeout
 // handling and statistics as pattern jobs, with their own
-// canonicalized cache entries: the key is the interleaved
+// canonicalized cache entries: the key digests the interleaved
 // (array, translated-offset) access sequence, which pins down every
 // allocation-relevant property of the loop body (per-array patterns
 // and the access-to-pattern back-mapping) while ignoring array names,
@@ -13,8 +13,6 @@ package engine
 
 import (
 	"context"
-	"strconv"
-	"strings"
 	"time"
 
 	"dspaddr/internal/core"
@@ -55,93 +53,92 @@ type LoopJobResult struct {
 
 // RunLoop submits one whole-loop job and waits for its result. It
 // returns early with an error result if ctx is canceled while the job
-// is still queued.
+// is still queued or solving.
 func (e *Engine) RunLoop(ctx context.Context, req LoopRequest) LoopJobResult {
-	done := make(chan LoopJobResult, 1)
-	err := e.enqueue(ctx, func(ctx context.Context) {
-		e.processLoop(ctx, req, func(r LoopJobResult) { done <- r })
-	})
-	if err != nil {
+	res := new(LoopJobResult)
+	done := make(chan struct{})
+	if err := e.enqueue(task{ctx: ctx, kind: taskLoop, loop: req, loopOut: res, done: done}); err != nil {
 		return LoopJobResult{Err: err}
 	}
 	select {
-	case r := <-done:
-		return r
+	case <-done:
+		return *res
 	case <-ctx.Done():
 		return LoopJobResult{Err: ctx.Err()}
 	}
 }
 
-// processLoop runs one whole-loop job on a worker goroutine; reply is
-// called exactly once.
-func (e *Engine) processLoop(ctx context.Context, req LoopRequest, reply func(LoopJobResult)) {
+// processLoop runs one whole-loop job on a worker goroutine.
+func (e *Engine) processLoop(ctx context.Context, solver *core.Solver, req LoopRequest) LoopJobResult {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		e.stats.canceledJob()
-		reply(LoopJobResult{Err: err, Elapsed: time.Since(start)})
-		return
+		return LoopJobResult{Err: err, Elapsed: time.Since(start)}
 	}
 	if _, err := strategyFor(req.Strategy); err != nil {
 		e.stats.failed()
-		reply(LoopJobResult{Err: err, Elapsed: time.Since(start)})
-		return
+		return LoopJobResult{Err: err, Elapsed: time.Since(start)}
 	}
 	if err := req.Loop.Validate(); err != nil {
 		e.stats.failed()
-		reply(LoopJobResult{Err: err, Elapsed: time.Since(start)})
-		return
+		return LoopJobResult{Err: err, Elapsed: time.Since(start)}
 	}
-	e.solveKeyed(ctx, loopCanonicalKey(req),
-		func() (any, error) { return core.AllocateLoop(req.Loop, req.config()) },
-		func(v any, hit bool, err error, elapsed time.Duration) {
-			if err != nil {
-				reply(LoopJobResult{Err: err, Elapsed: elapsed})
-				return
-			}
-			// Always hand out a rewritten copy — the solved value lives
-			// in the cache (and in concurrent followers), so the caller
-			// must never see the shared pointer.
-			reply(LoopJobResult{Result: rewriteLoop(v.(*core.LoopResult), req), CacheHit: hit, Elapsed: elapsed})
-		})
+	v, hit, err, elapsed := e.solveKeyed(ctx, solver, loopCanonicalKey(req), task{kind: taskLoop, loop: req}, start)
+	if err != nil {
+		return LoopJobResult{Err: err, Elapsed: elapsed}
+	}
+	// Always hand out a rewritten copy — the solved value lives in the
+	// cache (and in concurrent followers), so the caller must never
+	// see the shared pointer.
+	return LoopJobResult{Result: rewriteLoop(v.(*core.LoopResult), req), CacheHit: hit, Elapsed: elapsed}
 }
 
-// loopCanonicalKey renders the allocation-relevant identity of a loop
+// loopCanonicalKey digests the allocation-relevant identity of a loop
 // job: the interleaved access sequence as (array index, offset
 // translated by the array's first offset) pairs, plus stride and the
 // allocation parameters. Two loops with equal keys have identical
 // per-array canonical patterns AND identical access-to-pattern
 // back-mappings, so a cached core.LoopResult transfers between them
-// by pattern rewriting alone.
-func loopCanonicalKey(req LoopRequest) string {
-	var b strings.Builder
-	b.WriteString("loop:")
-	idx := make(map[string]int)
-	base := make([]int, 0, 4)
+// by pattern rewriting alone. Array names are interned into dense
+// indices through a small stack-resident table, so key construction
+// stays allocation-free for loops with up to 16 distinct arrays.
+func loopCanonicalKey(req LoopRequest) cacheKey {
+	d := newDigest()
+	var nameBuf [16]string
+	var baseBuf [16]int
+	names := nameBuf[:0]
+	bases := baseBuf[:0]
 	for _, a := range req.Loop.Accesses {
-		i, seen := idx[a.Array]
-		if !seen {
-			i = len(idx)
-			idx[a.Array] = i
-			base = append(base, a.Offset)
+		idx := -1
+		for i := range names {
+			if names[i] == a.Array {
+				idx = i
+				break
+			}
 		}
-		b.WriteString(strconv.Itoa(i))
-		b.WriteByte(':')
-		b.WriteString(strconv.Itoa(a.Offset - base[i]))
-		b.WriteByte(',')
+		if idx < 0 {
+			idx = len(names)
+			names = append(names, a.Array)
+			bases = append(bases, a.Offset)
+		}
+		d.mixInt(idx)
+		d.mixInt(a.Offset - bases[idx])
 	}
-	b.WriteByte('|')
-	b.WriteString(strconv.Itoa(req.Loop.Stride))
-	b.WriteByte('|')
-	b.WriteString(strconv.Itoa(req.AGU.Registers))
-	b.WriteByte('|')
-	b.WriteString(strconv.Itoa(req.AGU.ModifyRange))
-	b.WriteByte('|')
+	d.mixInt(len(req.Loop.Accesses))
+	d.mixInt(req.Loop.Stride)
+	code, _ := strategyCode(req.Strategy)
+	flags := keyFlagLoop
 	if req.InterIteration {
-		b.WriteByte('w')
+		flags |= keyFlagWrap
 	}
-	b.WriteByte('|')
-	b.WriteString(req.Strategy)
-	return b.String()
+	return cacheKey{
+		h1:          d.h1,
+		h2:          d.h2,
+		registers:   int32(req.AGU.Registers),
+		modifyRange: int32(req.AGU.ModifyRange),
+		flags:       flags,
+		strategy:    code,
+	}
 }
 
 // rewriteLoop adapts a cached loop result to the requesting job: same

@@ -1,11 +1,13 @@
-// Aggregate serving statistics: cheap counters on the hot path, solve
-// latency percentiles from a bounded ring of recent observations
-// (stats.LatencyRing, shared with the async jobs subsystem).
+// Aggregate serving statistics: lock-free atomic counters on the hot
+// path (the former single collector mutex serialized every job
+// completion across the pool), solve latency percentiles from a
+// bounded ring of recent observations (stats.LatencyRing, shared with
+// the async jobs subsystem).
 
 package engine
 
 import (
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"dspaddr/internal/stats"
@@ -37,8 +39,12 @@ type Stats struct {
 	Timeouts uint64 `json:"timeouts"`
 	// Canceled counts jobs whose submitting context was canceled.
 	Canceled uint64 `json:"canceled"`
-	// CacheEntries is the current number of cached canonical results.
-	CacheEntries int `json:"cacheEntries"`
+	// CacheEntries is the current number of cached canonical results
+	// across all shards; CacheCapacity is the configured total bound
+	// (0 with caching disabled) and CacheShards the lock-domain count.
+	CacheEntries  int `json:"cacheEntries"`
+	CacheCapacity int `json:"cacheCapacity"`
+	CacheShards   int `json:"cacheShards"`
 	// HitRate is CacheHits over (CacheHits+CacheMisses), 0 when idle.
 	HitRate float64 `json:"hitRate"`
 	// SolveP50Micros, SolveP90Micros and SolveP99Micros are latency
@@ -50,79 +56,67 @@ type Stats struct {
 }
 
 // collector accumulates statistics; all methods are concurrency-safe.
+// Counters are independent atomics — a snapshot is not a consistent
+// cut across them, which monitoring tolerates in exchange for jobs
+// not contending on a shared mutex.
 type collector struct {
-	mu       sync.Mutex
 	workers  int
-	jobs     uint64
-	hits     uint64
-	misses   uint64
-	deduped  uint64
-	errors   uint64
-	timeouts uint64
-	canceled uint64
+	jobs     atomic.Uint64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	deduped  atomic.Uint64
+	errors   atomic.Uint64
+	timeouts atomic.Uint64
+	canceled atomic.Uint64
 	lat      stats.LatencyRing
 }
 
 func (c *collector) hit() {
-	c.mu.Lock()
-	c.jobs++
-	c.hits++
-	c.mu.Unlock()
+	c.jobs.Add(1)
+	c.hits.Add(1)
 }
 
 // dedupedHit records a single-flight follower: answered like a cache
 // hit, counted separately so the dedupe rate is observable.
 func (c *collector) dedupedHit() {
-	c.mu.Lock()
-	c.jobs++
-	c.hits++
-	c.deduped++
-	c.mu.Unlock()
+	c.jobs.Add(1)
+	c.hits.Add(1)
+	c.deduped.Add(1)
 }
 
 func (c *collector) solved(d time.Duration) {
-	c.mu.Lock()
-	c.jobs++
-	c.misses++
-	c.mu.Unlock()
+	c.jobs.Add(1)
+	c.misses.Add(1)
 	c.lat.Observe(d)
 }
 
 func (c *collector) failed() {
-	c.mu.Lock()
-	c.jobs++
-	c.errors++
-	c.mu.Unlock()
+	c.jobs.Add(1)
+	c.errors.Add(1)
 }
 
 func (c *collector) timedOut() {
-	c.mu.Lock()
-	c.jobs++
-	c.timeouts++
-	c.mu.Unlock()
+	c.jobs.Add(1)
+	c.timeouts.Add(1)
 }
 
 func (c *collector) canceledJob() {
-	c.mu.Lock()
-	c.jobs++
-	c.canceled++
-	c.mu.Unlock()
+	c.jobs.Add(1)
+	c.canceled.Add(1)
 }
 
 // snapshot renders the current counters plus latency percentiles.
 func (c *collector) snapshot() Stats {
-	c.mu.Lock()
 	s := Stats{
 		Workers:     c.workers,
-		Jobs:        c.jobs,
-		CacheHits:   c.hits,
-		CacheMisses: c.misses,
-		Deduped:     c.deduped,
-		Errors:      c.errors,
-		Timeouts:    c.timeouts,
-		Canceled:    c.canceled,
+		Jobs:        c.jobs.Load(),
+		CacheHits:   c.hits.Load(),
+		CacheMisses: c.misses.Load(),
+		Deduped:     c.deduped.Load(),
+		Errors:      c.errors.Load(),
+		Timeouts:    c.timeouts.Load(),
+		Canceled:    c.canceled.Load(),
 	}
-	c.mu.Unlock()
 
 	if looked := s.CacheHits + s.CacheMisses; looked > 0 {
 		s.HitRate = float64(s.CacheHits) / float64(looked)

@@ -30,10 +30,30 @@ type Edge struct {
 // New returns a digraph with n unlabelled nodes.
 func New(n int) *Digraph {
 	g := &Digraph{}
-	for i := 0; i < n; i++ {
-		g.AddNode("")
-	}
+	g.Reset(n)
 	return g
+}
+
+// Reset reinitializes the graph to n unlabelled, edge-free nodes,
+// reusing the adjacency storage of previous builds. It lets hot paths
+// that construct one graph per request recycle a single Digraph
+// instead of reallocating node and edge slices every time.
+func (g *Digraph) Reset(n int) {
+	if cap(g.labels) >= n && cap(g.adj) >= n && cap(g.in) >= n {
+		g.labels = g.labels[:n]
+		g.adj = g.adj[:n]
+		g.in = g.in[:n]
+	} else {
+		g.labels = make([]string, n)
+		g.adj = make([][]Edge, n)
+		g.in = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		g.labels[i] = ""
+		g.adj[i] = g.adj[i][:0]
+		g.in[i] = 0
+	}
+	g.edges = 0
 }
 
 // AddNode appends a node with the given label and returns its index.
@@ -58,16 +78,23 @@ func (g *Digraph) SetLabel(i int, label string) { g.labels[i] = label }
 
 // AddEdge inserts a directed edge u->v with the given weight. Duplicate
 // edges (same u,v) are rejected with an error; self-loops are allowed
-// (they arise as wrap edges of singleton paths).
+// (they arise as wrap edges of singleton paths). The adjacency list
+// stays sorted by target via positional insertion, so builders that add
+// edges in ascending target order (the distance-graph construction)
+// pay a plain append and no sort.
 func (g *Digraph) AddEdge(u, v, weight int) error {
 	if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
 		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.N())
 	}
-	if g.HasEdge(u, v) {
+	es := g.adj[u]
+	k := sort.Search(len(es), func(i int) bool { return es[i].To >= v })
+	if k < len(es) && es[k].To == v {
 		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
 	}
-	g.adj[u] = append(g.adj[u], Edge{To: v, Weight: weight})
-	sort.Slice(g.adj[u], func(a, b int) bool { return g.adj[u][a].To < g.adj[u][b].To })
+	es = append(es, Edge{})
+	copy(es[k+1:], es[k:])
+	es[k] = Edge{To: v, Weight: weight}
+	g.adj[u] = es
 	g.in[v]++
 	g.edges++
 	return nil
@@ -192,15 +219,22 @@ func (g *Digraph) IsPath(nodes []int) bool {
 // DOT renders the graph in Graphviz DOT syntax with the given graph
 // name. Node labels default to the node index when empty.
 func (g *Digraph) DOT(name string) string {
+	return g.DOTFunc(name, g.Label)
+}
+
+// DOTFunc renders the graph like DOT but derives node labels from the
+// given function instead of the stored labels. Builders that skip
+// SetLabel on hot paths use it to render display labels on demand.
+func (g *Digraph) DOTFunc(name string, label func(i int) string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %s {\n", sanitizeDOTName(name))
 	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
 	for i := 0; i < g.N(); i++ {
-		label := g.labels[i]
-		if label == "" {
-			label = fmt.Sprintf("%d", i)
+		l := label(i)
+		if l == "" {
+			l = fmt.Sprintf("%d", i)
 		}
-		fmt.Fprintf(&b, "  n%d [label=%q];\n", i, label)
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", i, l)
 	}
 	for u := 0; u < g.N(); u++ {
 		for _, e := range g.adj[u] {

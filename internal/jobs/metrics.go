@@ -7,6 +7,8 @@
 
 package jobs
 
+import "math"
+
 // Metrics is a point-in-time snapshot of a Manager's counters; every
 // field maps onto a Prometheus sample in the serving layer.
 type Metrics struct {
@@ -42,6 +44,55 @@ type Metrics struct {
 	RunP50Micros       float64 `json:"runP50Micros"`
 	RunP90Micros       float64 `json:"runP90Micros"`
 	RunP99Micros       float64 `json:"runP99Micros"`
+}
+
+// Retry-After bounds: at least one second so clients never hot-loop,
+// at most a minute so a drained queue is rediscovered promptly even
+// after a pathological backlog estimate.
+const (
+	minRetryAfterSeconds = 1
+	maxRetryAfterSeconds = 60
+)
+
+// RetryAfterSeconds estimates how long a rejected submitter should
+// wait before retrying: the time the current backlog needs to drain,
+// i.e. the recent median job run time × queue depth / runner count
+// (the Prometheus identity rcaserve_job_run_seconds{quantile="0.5"} ×
+// rcaserve_queue_depth / rcaserve_job_runners), rounded up and clamped
+// to [1, 60] seconds. With no run-time observations yet (cold start)
+// it falls back to the minimum — there is nothing to wait for.
+func (m Metrics) RetryAfterSeconds() int {
+	runSeconds := m.RunP50Micros / 1e6
+	if runSeconds <= 0 || m.QueueDepth <= 0 {
+		return minRetryAfterSeconds
+	}
+	runners := m.Runners
+	if runners < 1 {
+		runners = 1
+	}
+	secs := int(math.Ceil(runSeconds * float64(m.QueueDepth) / float64(runners)))
+	if secs < minRetryAfterSeconds {
+		return minRetryAfterSeconds
+	}
+	if secs > maxRetryAfterSeconds {
+		return maxRetryAfterSeconds
+	}
+	return secs
+}
+
+// RetryAfterSeconds is the manager-level form of
+// Metrics.RetryAfterSeconds for the 429 rejection path: it reads only
+// the three inputs the estimate needs (run-time p50, queue depth,
+// runner count) instead of snapshotting every counter and both
+// latency rings — the rejection path runs hottest exactly when the
+// service is most loaded.
+func (m *Manager) RetryAfterSeconds() int {
+	qs := m.runLat.QuantilesMicros(0.50)
+	return Metrics{
+		RunP50Micros: qs[0],
+		QueueDepth:   int(m.depth.Load()),
+		Runners:      m.opts.Runners,
+	}.RetryAfterSeconds()
 }
 
 // Metrics returns a snapshot of the manager's aggregate state.

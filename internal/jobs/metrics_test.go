@@ -1,0 +1,27 @@
+package jobs
+
+import "testing"
+
+// TestRetryAfterSeconds pins the drain-rate estimate: median run time
+// × depth / runners, rounded up, clamped to [1, 60], with a 1s cold
+// floor when nothing has run yet.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Metrics
+		want int
+	}{
+		{"cold start", Metrics{QueueDepth: 50, Runners: 4}, 1},
+		{"empty queue", Metrics{RunP50Micros: 2e6, Runners: 4}, 1},
+		{"drains fast", Metrics{RunP50Micros: 100, QueueDepth: 1, Runners: 4}, 1},
+		{"typical backlog", Metrics{RunP50Micros: 500_000, QueueDepth: 10, Runners: 2}, 3},
+		{"rounds up", Metrics{RunP50Micros: 1e6, QueueDepth: 3, Runners: 2}, 2},
+		{"clamped", Metrics{RunP50Micros: 2e6, QueueDepth: 100, Runners: 1}, 60},
+		{"zero runners defends", Metrics{RunP50Micros: 1e6, QueueDepth: 2}, 2},
+	}
+	for _, c := range cases {
+		if got := c.m.RetryAfterSeconds(); got != c.want {
+			t.Errorf("%s: RetryAfterSeconds = %d, want %d", c.name, got, c.want)
+		}
+	}
+}

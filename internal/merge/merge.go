@@ -21,6 +21,7 @@
 package merge
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -131,6 +132,20 @@ func heapify[T lesser[T]](s minHeap[T]) {
 	}
 }
 
+// Scratch is the reusable phase-2 workspace of the incremental
+// strategies: slot headers and bookkeeping arrays, one path buffer per
+// slot (each with capacity for the fully merged path, so MergeInto
+// never grows mid-reduction) and the pair-cost heap's backing array.
+// A worker serving a stream of requests reuses one Scratch across
+// solves; the zero value is ready to use. Not safe for concurrent use.
+// Reduced paths are always copied out of the scratch before being
+// returned, so results never alias it.
+type Scratch struct {
+	state mergeState
+	bufs  []model.Path
+	heap  minHeap[pairItem]
+}
+
 // mergeState is the shared slot bookkeeping of the incremental
 // strategies: paths live in stable slots, a merge folds the higher
 // slot into the lower one (recycling the lower slot's old backing as
@@ -144,13 +159,56 @@ type mergeState struct {
 	scratch model.Path
 }
 
-func newMergeState(paths []model.Path) *mergeState {
-	return &mergeState{
-		ps:      clonePaths(paths),
-		alive:   allTrue(len(paths)),
-		version: make([]uint32, len(paths)),
-		live:    len(paths),
+// init loads the input paths into the scratch's slot buffers. Every
+// buffer is (re)grown to hold the total access count once, so all
+// later MergeInto calls recycle in place.
+func (sc *Scratch) init(paths []model.Path) *mergeState {
+	r := len(paths)
+	total := 0
+	for _, p := range paths {
+		total += len(p)
 	}
+	if cap(sc.bufs) >= r+1 {
+		sc.bufs = sc.bufs[:r+1]
+	} else {
+		old := sc.bufs
+		sc.bufs = make([]model.Path, r+1)
+		copy(sc.bufs, old)
+	}
+	for i := range sc.bufs {
+		if cap(sc.bufs[i]) < total {
+			sc.bufs[i] = make(model.Path, 0, total)
+		}
+	}
+
+	st := &sc.state
+	if cap(st.ps) >= r {
+		st.ps = st.ps[:r]
+		st.alive = st.alive[:r]
+		st.version = st.version[:r]
+	} else {
+		st.ps = make([]model.Path, r)
+		st.alive = make([]bool, r)
+		st.version = make([]uint32, r)
+	}
+	for i, p := range paths {
+		st.ps[i] = append(sc.bufs[i][:0], p...)
+		st.alive[i] = true
+		st.version[i] = 0
+	}
+	st.live = r
+	st.scratch = sc.bufs[r]
+	return st
+}
+
+// reclaim gathers the slot buffers (rotated among ps and scratch by
+// the merges) back into the scratch for the next reduction.
+func (sc *Scratch) reclaim() {
+	st := &sc.state
+	for i, p := range st.ps {
+		sc.bufs[i] = p[:0]
+	}
+	sc.bufs[len(st.ps)] = st.scratch[:0]
 }
 
 // merge commits the merge of slots i < j into slot i.
@@ -163,24 +221,17 @@ func (st *mergeState) merge(i, j int) {
 	st.live--
 }
 
-// result collects the surviving paths in slot order, which equals the
-// order the reference's splice-based list would have.
+// result copies the surviving paths — in slot order, which equals the
+// order the reference's splice-based list would have — out of the
+// scratch buffers into fresh storage owned by the caller.
 func (st *mergeState) result() []model.Path {
 	out := make([]model.Path, 0, st.live)
 	for i, p := range st.ps {
 		if st.alive[i] {
-			out = append(out, p)
+			out = append(out, p.Clone())
 		}
 	}
 	return out
-}
-
-func allTrue(n int) []bool {
-	b := make([]bool, n)
-	for i := range b {
-		b[i] = true
-	}
-	return b
 }
 
 // Greedy is the paper's phase-2 heuristic: merge the pair with minimal
@@ -195,16 +246,37 @@ func (Greedy) Name() string { return "greedy" }
 
 // Reduce implements Strategy.
 func (Greedy) Reduce(paths []model.Path, pat model.Pattern, m int, wrap bool, k int) []model.Path {
+	out, _ := greedyReduce(context.Background(), paths, pat, m, wrap, k, nil)
+	return out
+}
+
+// greedyReduce is the incremental greedy reduction behind
+// Greedy.Reduce and ReduceContext: identical selection logic, with all
+// working storage drawn from sc (nil for a transient scratch) and a
+// cancellation check per merge round. On cancellation it returns ctx's
+// error; the partial reduction is discarded.
+func greedyReduce(ctx context.Context, paths []model.Path, pat model.Pattern, m int, wrap bool, k int, sc *Scratch) ([]model.Path, error) {
 	if k < 1 {
 		k = 1
 	}
-	st := newMergeState(paths)
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	st := sc.init(paths)
+	defer sc.reclaim()
 	if st.live <= k || st.live <= 1 {
-		return st.result()
+		return st.result(), nil
 	}
 	r := len(st.ps)
-	h := make(minHeap[pairItem], 0, r*(r-1)/2)
+	h := sc.heap[:0]
+	if need := r * (r - 1) / 2; cap(h) < need {
+		h = make(minHeap[pairItem], 0, need)
+	}
 	for i := 0; i < r; i++ {
+		if err := ctx.Err(); err != nil {
+			sc.heap = h
+			return nil, err
+		}
 		for j := i + 1; j < r; j++ {
 			h = append(h, pairItem{
 				cost:   st.ps[i].MergeCost(st.ps[j], pat, m, wrap),
@@ -216,6 +288,10 @@ func (Greedy) Reduce(paths []model.Path, pat model.Pattern, m int, wrap bool, k 
 	}
 	heapify(h)
 	for st.live > k && st.live > 1 {
+		if err := ctx.Err(); err != nil {
+			sc.heap = h
+			return nil, err
+		}
 		var it pairItem
 		for {
 			it = h.pop()
@@ -243,7 +319,8 @@ func (Greedy) Reduce(paths []model.Path, pat model.Pattern, m int, wrap bool, k 
 			})
 		}
 	}
-	return st.result()
+	sc.heap = h
+	return st.result(), nil
 }
 
 // Naive is the paper's comparison baseline: repetitively merge two
@@ -259,7 +336,8 @@ func (Naive) Reduce(paths []model.Path, pat model.Pattern, m int, wrap bool, k i
 	if k < 1 {
 		k = 1
 	}
-	st := newMergeState(paths)
+	var sc Scratch
+	st := sc.init(paths)
 	for st.live > k && st.live > 1 {
 		second := 1
 		for !st.alive[second] {
@@ -351,10 +429,30 @@ func (SmallestTwo) Reduce(paths []model.Path, pat model.Pattern, m int, wrap boo
 
 // Reduce runs the strategy and wraps the result in an Assignment.
 func Reduce(s Strategy, paths []model.Path, pat model.Pattern, m int, wrap bool, k int) (model.Assignment, error) {
+	return ReduceContext(context.Background(), s, paths, pat, m, wrap, k, nil)
+}
+
+// ReduceContext is Reduce with cooperative cancellation and an
+// optional reusable scratch. The default (greedy) strategy checks ctx
+// once per merge round and abandons the reduction with ctx's error
+// when it fires; the other strategies complete regardless (their
+// reductions are short — the ablation-only exhaustive search is never
+// on the serving path). A nil scratch uses a transient one. On success
+// the assignment is byte-identical to Reduce's for the same inputs.
+func ReduceContext(ctx context.Context, s Strategy, paths []model.Path, pat model.Pattern, m int, wrap bool, k int, sc *Scratch) (model.Assignment, error) {
 	if k < 1 {
 		return model.Assignment{}, fmt.Errorf("merge: register constraint must be at least 1, got %d", k)
 	}
-	out := s.Reduce(paths, pat, m, wrap, k)
+	var out []model.Path
+	if _, greedy := s.(Greedy); greedy {
+		var err error
+		out, err = greedyReduce(ctx, paths, pat, m, wrap, k, sc)
+		if err != nil {
+			return model.Assignment{}, err
+		}
+	} else {
+		out = s.Reduce(paths, pat, m, wrap, k)
+	}
 	a := model.Assignment{Paths: out}.Normalize()
 	if err := a.Validate(pat); err != nil {
 		return model.Assignment{}, fmt.Errorf("merge: strategy %q produced invalid assignment: %w", s.Name(), err)

@@ -1,7 +1,8 @@
 package pathcover
 
 import (
-	"sort"
+	"context"
+	"slices"
 
 	"dspaddr/internal/distgraph"
 	"dspaddr/internal/model"
@@ -39,59 +40,11 @@ const DefaultNodeBudget = 2_000_000
 // a map, new paths draw from per-depth pooled buffers, and improved
 // covers are recorded into a reusable flat store. See bb_reference.go
 // for the retained pre-rewrite search the differential tests compare
-// against.
+// against. MinCoverCtx (scratch.go) is the same computation with
+// cooperative cancellation and a reusable cross-solve scratch.
 func MinCover(dg *distgraph.Graph, wrap bool, opts *Options) Cover {
-	if !wrap {
-		// Nodes counts one unit of search effort per access so the DAG
-		// case reports work comparably with the wrap search instead of
-		// a constant 0.
-		return Cover{Paths: sortPaths(MinCoverDAG(dg)), ZeroCost: true, Exact: true, Nodes: dg.N()}
-	}
-	budget := DefaultNodeBudget
-	if opts != nil && opts.NodeBudget > 0 {
-		budget = opts.NodeBudget
-	}
-
-	lb := LowerBound(dg)
-
-	// The greedy seed often already meets the matching lower bound;
-	// checking it before constructing the search skips the scratch
-	// allocation entirely on that fast path.
-	var seed []model.Path
-	if greedy := GreedyCover(dg, true); coverZeroCost(dg, greedy, true) {
-		seed = greedy
-		if len(greedy) == lb {
-			return Cover{Paths: sortPaths(seed), ZeroCost: true, Exact: true, Nodes: dg.N()}
-		}
-	}
-
-	s := newBBSearch(dg, budget)
-	if seed != nil {
-		s.best = len(seed)
-	}
-	s.run()
-
-	best := s.bestCover()
-	if best == nil {
-		best = seed // the search did not improve on the greedy seed
-	}
-	if best == nil {
-		// No zero-cost cover exists; fall back to the intra-iteration
-		// optimum. The search completing within budget proves
-		// infeasibility.
-		return Cover{
-			Paths:    sortPaths(MinCoverDAG(dg)),
-			ZeroCost: false,
-			Exact:    !s.exhausted,
-			Nodes:    s.nodes,
-		}
-	}
-	return Cover{
-		Paths:    sortPaths(best),
-		ZeroCost: true,
-		Exact:    !s.exhausted || s.best == lb,
-		Nodes:    s.nodes,
-	}
+	c, _ := MinCoverCtx(context.Background(), dg, wrap, opts, nil)
+	return c
 }
 
 // bbSearch carries the branch-and-bound state: accesses are placed in
@@ -109,7 +62,12 @@ type bbSearch struct {
 	nodes     int
 	exhausted bool
 	best      int
-	open      []model.Path
+	// ctxDone, when non-nil, is polled every ctxCheckMask+1 explored
+	// nodes; a fired channel sets aborted and unwinds the search
+	// without touching the explored-tree bookkeeping.
+	ctxDone <-chan struct{}
+	aborted bool
+	open    []model.Path
 	// badWrap tracks, per open path, whether its current (tail, head)
 	// wrap transition costs; such paths need at least one more access.
 	badWrap []bool
@@ -117,7 +75,10 @@ type bbSearch struct {
 
 	// offID maps each access to a dense id of its offset value; the
 	// symmetric-duplicate scratch below is keyed on (tail id, head id).
+	// offIDs is the persistent offset→id map, cleared (not dropped)
+	// between graphs so reuse stays allocation-free once warm.
 	offID  []int
+	offIDs map[int]int
 	numOff int
 	// tried is the flat offset-pair dedup scratch. An entry equal to
 	// the current node's generation means "already tried here"; stamps
@@ -149,24 +110,49 @@ type triedUndo struct {
 	prev uint64
 }
 
-// newBBSearch allocates the search plus all scratch state for dg.
+// newBBSearch allocates a search initialized for dg.
 func newBBSearch(dg *distgraph.Graph, budget int) *bbSearch {
+	s := &bbSearch{}
+	s.init(dg, budget, nil)
+	return s
+}
+
+// init (re)targets the search at dg, reusing every scratch buffer a
+// previous graph left behind. The dedup stamps are deliberately not
+// zeroed: the generation counter keeps increasing across graphs, so
+// stale stamps can never equal a fresh generation.
+func (s *bbSearch) init(dg *distgraph.Graph, budget int, ctxDone <-chan struct{}) {
 	n := dg.N()
-	s := &bbSearch{dg: dg, n: n, budget: budget, best: int(^uint(0) >> 1)}
-	ids := make(map[int]int, n)
-	s.offID = make([]int, n)
+	s.dg, s.n, s.budget = dg, n, budget
+	s.ctxDone = ctxDone
+	s.aborted = false
+	s.reset()
+	if s.offIDs == nil {
+		s.offIDs = make(map[int]int, n)
+	} else {
+		clear(s.offIDs)
+	}
+	s.offID = resizeInts(s.offID, n)
 	for i, d := range dg.Pattern.Offsets {
-		id, ok := ids[d]
+		id, ok := s.offIDs[d]
 		if !ok {
-			id = len(ids)
-			ids[d] = id
+			id = len(s.offIDs)
+			s.offIDs[d] = id
 		}
 		s.offID[i] = id
 	}
-	s.numOff = len(ids)
-	s.tried = make([]uint64, s.numOff*s.numOff)
-	s.undo = make([]triedUndo, 0, 2*n)
-	s.lastSucc = make([]int, n)
+	s.numOff = len(s.offIDs)
+	if need := s.numOff * s.numOff; cap(s.tried) >= need {
+		s.tried = s.tried[:need]
+	} else {
+		s.tried = make([]uint64, need)
+		s.gen = 0
+	}
+	if cap(s.undo) < 2*n {
+		s.undo = make([]triedUndo, 0, 2*n)
+	}
+	s.undo = s.undo[:0]
+	s.lastSucc = resizeInts(s.lastSucc, n)
 	for v := 0; v < n; v++ {
 		succ := dg.Intra.Out(v)
 		if len(succ) == 0 {
@@ -175,12 +161,25 @@ func newBBSearch(dg *distgraph.Graph, budget int) *bbSearch {
 			s.lastSucc[v] = succ[len(succ)-1].To
 		}
 	}
-	s.open = make([]model.Path, 0, n)
-	s.badWrap = make([]bool, 0, n)
-	s.pathBuf = make([]model.Path, n)
-	s.bestFlat = make([]int, 0, n)
-	s.bestLens = make([]int, 0, n)
-	return s
+	if cap(s.open) < n {
+		s.open = make([]model.Path, 0, n)
+	}
+	if cap(s.badWrap) < n {
+		s.badWrap = make([]bool, 0, n)
+	}
+	if cap(s.pathBuf) >= n {
+		s.pathBuf = s.pathBuf[:n]
+	} else {
+		old := s.pathBuf
+		s.pathBuf = make([]model.Path, n)
+		copy(s.pathBuf, old)
+	}
+	if cap(s.bestFlat) < n {
+		s.bestFlat = make([]int, 0, n)
+	}
+	if cap(s.bestLens) < n {
+		s.bestLens = make([]int, 0, n)
+	}
 }
 
 func (s *bbSearch) run() {
@@ -200,14 +199,27 @@ func (s *bbSearch) reset() {
 	s.haveBest = false
 }
 
+// ctxCheckMask throttles cancellation polling to every 256 explored
+// nodes: frequent enough that a canceled solve unwinds in microseconds,
+// cheap enough to vanish in the per-node work.
+const ctxCheckMask = 255
+
 func (s *bbSearch) place(i int) {
-	if s.exhausted {
+	if s.exhausted || s.aborted {
 		return
 	}
 	s.nodes++
 	if s.nodes > s.budget {
 		s.exhausted = true
 		return
+	}
+	if s.ctxDone != nil && s.nodes&ctxCheckMask == 0 {
+		select {
+		case <-s.ctxDone:
+			s.aborted = true
+			return
+		default:
+		}
 	}
 	if len(s.open) >= s.best {
 		return // cannot improve: path count never decreases
@@ -339,6 +351,9 @@ func clonePaths(paths []model.Path) []model.Path {
 }
 
 func sortPaths(paths []model.Path) []model.Path {
-	sort.Slice(paths, func(i, j int) bool { return paths[i][0] < paths[j][0] })
+	// Disjoint paths have distinct first elements, so this unstable
+	// sort is deterministic; slices.SortFunc avoids the interface
+	// boxing sort.Slice would pay per call.
+	slices.SortFunc(paths, func(a, b model.Path) int { return a[0] - b[0] })
 	return paths
 }

@@ -2,6 +2,7 @@ package pathcover
 
 import (
 	"dspaddr/internal/distgraph"
+	"dspaddr/internal/graph"
 	"dspaddr/internal/model"
 )
 
@@ -49,13 +50,21 @@ func LowerBound(dg *distgraph.Graph) int {
 	return n - size
 }
 
-func intraBipartite(dg *distgraph.Graph) bipartite {
+// fillBipartite views the intra-iteration distance graph as the
+// bipartite out/in-copy graph of the matcher, writing the adjacency
+// headers into adj (which must have length dg.N()). The headers alias
+// the digraph's own edge storage; nothing is copied.
+func fillBipartite(adj [][]graph.Edge, dg *distgraph.Graph) bipartite {
 	n := dg.N()
-	b := bipartite{nLeft: n, nRight: n, adj: make([][]int, n)}
 	for u := 0; u < n; u++ {
-		b.adj[u] = dg.Intra.Successors(u)
+		adj[u] = dg.Intra.Out(u)
 	}
-	return b
+	return bipartite{nLeft: n, nRight: n, adj: adj}
+}
+
+// intraBipartite is fillBipartite with transient header storage.
+func intraBipartite(dg *distgraph.Graph) bipartite {
+	return fillBipartite(make([][]graph.Edge, dg.N()), dg)
 }
 
 // MinCoverDAG computes an exact minimum path cover of the
@@ -63,20 +72,36 @@ func intraBipartite(dg *distgraph.Graph) bipartite {
 // bipartite matching. The result is always zero-cost intra-iteration
 // and its size equals LowerBound(dg).
 func MinCoverDAG(dg *distgraph.Graph) []model.Path {
+	var sc Scratch
+	return clonePaths(sc.minCoverDAG(dg))
+}
+
+// minCoverDAG is the scratch-backed core of MinCoverDAG: the matcher
+// state, the bipartite adjacency headers and the path store (one flat
+// index array plus headers) are all drawn from the scratch, so a warm
+// solve performs no allocation here. The returned paths are valid
+// until the scratch's next use.
+func (sc *Scratch) minCoverDAG(dg *distgraph.Graph) []model.Path {
 	n := dg.N()
-	matchL, matchR, _ := hopcroftKarp(intraBipartite(dg))
-	var paths []model.Path
+	matchL, matchR, _ := sc.match.run(sc.bipartite(dg))
+
+	sc.dagFlat = sc.dagFlat[:0]
+	if cap(sc.dagFlat) < n {
+		sc.dagFlat = make([]int, 0, n)
+	}
+	sc.dagPaths = sc.dagPaths[:0]
 	for v := 0; v < n; v++ {
 		if matchR[v] != -1 {
 			continue // v has a predecessor in its path
 		}
-		p := model.Path{v}
+		start := len(sc.dagFlat)
+		sc.dagFlat = append(sc.dagFlat, v)
 		for u := v; matchL[u] != -1; u = matchL[u] {
-			p = append(p, matchL[u])
+			sc.dagFlat = append(sc.dagFlat, matchL[u])
 		}
-		paths = append(paths, p)
+		sc.dagPaths = append(sc.dagPaths, model.Path(sc.dagFlat[start:len(sc.dagFlat):len(sc.dagFlat)]))
 	}
-	return paths
+	return sc.dagPaths
 }
 
 // GreedyCover computes a heuristic zero-cost cover by scanning the

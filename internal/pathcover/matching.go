@@ -12,75 +12,110 @@
 // companion ASP-DAC'98 paper [3]) closes the gap.
 package pathcover
 
+import "dspaddr/internal/graph"
+
 // bipartite is an adjacency-list bipartite graph with nLeft left nodes
-// and nRight right nodes used by the Hopcroft-Karp matcher.
+// and nRight right nodes used by the Hopcroft-Karp matcher. Adjacency
+// is expressed as edge slices (targets are the right nodes) so the
+// distance graph's own adjacency storage can be aliased directly
+// instead of copied per solve.
 type bipartite struct {
 	nLeft, nRight int
-	adj           [][]int // adj[u] lists right neighbours of left node u
+	adj           [][]graph.Edge // adj[u] lists right neighbours of left node u via Edge.To
 }
 
-// hopcroftKarp returns a maximum matching as matchL (left -> right or
-// -1) and matchR (right -> left or -1), plus its cardinality. It runs
-// in O(E * sqrt(V)).
-func hopcroftKarp(g bipartite) (matchL, matchR []int, size int) {
-	const inf = int(^uint(0) >> 1)
-	matchL = make([]int, g.nLeft)
-	matchR = make([]int, g.nRight)
-	for i := range matchL {
-		matchL[i] = -1
-	}
-	for i := range matchR {
-		matchR[i] = -1
-	}
-	dist := make([]int, g.nLeft)
-	queue := make([]int, 0, g.nLeft)
+// matcher carries the Hopcroft-Karp working state. Its backing slices
+// are reusable across runs (see matchScratch); methods replace the
+// former closure-based implementation so a solve performs no closure
+// allocations.
+type matcher struct {
+	g              bipartite
+	matchL, matchR []int
+	dist           []int
+	queue          []int
+}
 
-	bfs := func() bool {
-		queue = queue[:0]
+const matchInf = int(^uint(0) >> 1)
+
+// run computes a maximum matching, returning matchL (left -> right or
+// -1) and matchR (right -> left or -1) plus its cardinality, in
+// O(E * sqrt(V)). The returned slices alias the matcher's scratch and
+// are valid until its next run.
+func (mt *matcher) run(g bipartite) (matchL, matchR []int, size int) {
+	mt.g = g
+	mt.matchL = resizeInts(mt.matchL, g.nLeft)
+	mt.matchR = resizeInts(mt.matchR, g.nRight)
+	mt.dist = resizeInts(mt.dist, g.nLeft)
+	if cap(mt.queue) < g.nLeft {
+		mt.queue = make([]int, 0, g.nLeft)
+	}
+	for i := range mt.matchL {
+		mt.matchL[i] = -1
+	}
+	for i := range mt.matchR {
+		mt.matchR[i] = -1
+	}
+	for mt.bfs() {
 		for u := 0; u < g.nLeft; u++ {
-			if matchL[u] == -1 {
-				dist[u] = 0
-				queue = append(queue, u)
-			} else {
-				dist[u] = inf
-			}
-		}
-		found := false
-		for qi := 0; qi < len(queue); qi++ {
-			u := queue[qi]
-			for _, v := range g.adj[u] {
-				w := matchR[v]
-				if w == -1 {
-					found = true
-				} else if dist[w] == inf {
-					dist[w] = dist[u] + 1
-					queue = append(queue, w)
-				}
-			}
-		}
-		return found
-	}
-
-	var dfs func(u int) bool
-	dfs = func(u int) bool {
-		for _, v := range g.adj[u] {
-			w := matchR[v]
-			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
-				matchL[u] = v
-				matchR[v] = u
-				return true
-			}
-		}
-		dist[u] = inf
-		return false
-	}
-
-	for bfs() {
-		for u := 0; u < g.nLeft; u++ {
-			if matchL[u] == -1 && dfs(u) {
+			if mt.matchL[u] == -1 && mt.dfs(u) {
 				size++
 			}
 		}
 	}
-	return matchL, matchR, size
+	return mt.matchL, mt.matchR, size
+}
+
+func (mt *matcher) bfs() bool {
+	mt.queue = mt.queue[:0]
+	for u := 0; u < mt.g.nLeft; u++ {
+		if mt.matchL[u] == -1 {
+			mt.dist[u] = 0
+			mt.queue = append(mt.queue, u)
+		} else {
+			mt.dist[u] = matchInf
+		}
+	}
+	found := false
+	for qi := 0; qi < len(mt.queue); qi++ {
+		u := mt.queue[qi]
+		for _, e := range mt.g.adj[u] {
+			w := mt.matchR[e.To]
+			if w == -1 {
+				found = true
+			} else if mt.dist[w] == matchInf {
+				mt.dist[w] = mt.dist[u] + 1
+				mt.queue = append(mt.queue, w)
+			}
+		}
+	}
+	return found
+}
+
+func (mt *matcher) dfs(u int) bool {
+	for _, e := range mt.g.adj[u] {
+		w := mt.matchR[e.To]
+		if w == -1 || (mt.dist[w] == mt.dist[u]+1 && mt.dfs(w)) {
+			mt.matchL[u] = e.To
+			mt.matchR[e.To] = u
+			return true
+		}
+	}
+	mt.dist[u] = matchInf
+	return false
+}
+
+// hopcroftKarp is the transient-scratch form of matcher.run for
+// callers outside the solver hot path.
+func hopcroftKarp(g bipartite) (matchL, matchR []int, size int) {
+	var mt matcher
+	return mt.run(g)
+}
+
+// resizeInts returns a length-n int slice, reusing buf's backing array
+// when it is large enough.
+func resizeInts(buf []int, n int) []int {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int, n)
 }

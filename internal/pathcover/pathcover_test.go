@@ -1,10 +1,14 @@
 package pathcover
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
+	"time"
 
 	"dspaddr/internal/distgraph"
+	"dspaddr/internal/graph"
 	"dspaddr/internal/model"
 )
 
@@ -257,13 +261,20 @@ func TestMinCoverLargePatternTerminates(t *testing.T) {
 }
 
 func TestHopcroftKarpKnownCases(t *testing.T) {
+	edges := func(targets ...int) []graph.Edge {
+		out := make([]graph.Edge, len(targets))
+		for i, v := range targets {
+			out[i] = graph.Edge{To: v}
+		}
+		return out
+	}
 	// Perfect matching on K_{3,3}.
-	g := bipartite{nLeft: 3, nRight: 3, adj: [][]int{{0, 1, 2}, {0, 1, 2}, {0, 1, 2}}}
+	g := bipartite{nLeft: 3, nRight: 3, adj: [][]graph.Edge{edges(0, 1, 2), edges(0, 1, 2), edges(0, 1, 2)}}
 	if _, _, size := hopcroftKarp(g); size != 3 {
 		t.Fatalf("K33 matching = %d, want 3", size)
 	}
 	// Augmenting-path case: naive greedy (0-0, then 1 stuck) would find 1.
-	g = bipartite{nLeft: 2, nRight: 2, adj: [][]int{{0, 1}, {0}}}
+	g = bipartite{nLeft: 2, nRight: 2, adj: [][]graph.Edge{edges(0, 1), edges(0)}}
 	matchL, matchR, size := hopcroftKarp(g)
 	if size != 2 {
 		t.Fatalf("matching = %d, want 2", size)
@@ -272,7 +283,7 @@ func TestHopcroftKarpKnownCases(t *testing.T) {
 		t.Fatalf("expected 1-0 and 0-1: matchL=%v matchR=%v", matchL, matchR)
 	}
 	// Empty graph.
-	g = bipartite{nLeft: 2, nRight: 2, adj: [][]int{{}, {}}}
+	g = bipartite{nLeft: 2, nRight: 2, adj: [][]graph.Edge{edges(), edges()}}
 	if _, _, size := hopcroftKarp(g); size != 0 {
 		t.Fatal("empty graph should have empty matching")
 	}
@@ -305,5 +316,52 @@ func TestMonotoneDecreasingPattern(t *testing.T) {
 	cw := MinCover(dg, true, nil)
 	if cw.ZeroCost && cw.K() == 1 {
 		t.Fatal("wrap cover of descending pattern cannot be one register")
+	}
+}
+
+// TestMinCoverCtxCancellation checks the cooperative-cancellation
+// contract of MinCoverCtx: a pre-canceled context aborts before any
+// work, and a context canceled mid-search unwinds with its error
+// instead of running the full branch-and-bound.
+func TestMinCoverCtxCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	offs := make([]int, 24)
+	for i := range offs {
+		offs[i] = rng.Intn(7) - 3
+	}
+	pat := model.Pattern{Array: "A", Stride: 9, Offsets: offs}
+	dg := distgraph.MustBuild(pat, 2)
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MinCoverCtx(pre, dg, true, nil, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled ctx: err = %v, want context.Canceled", err)
+	}
+
+	mid, cancelMid := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancelMid()
+	}()
+	start := time.Now()
+	_, err := MinCoverCtx(mid, dg, true, nil, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-search cancel: err = %v, want context.Canceled", err)
+	}
+	// The uncancelled search exhausts its 2M-node budget (tens of
+	// milliseconds); the canceled one must unwind within the ctx poll
+	// granularity of a few hundred nodes.
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("canceled search took %v, want prompt unwind", d)
+	}
+
+	// A Background context must leave results byte-identical to
+	// MinCover (the check never alters the explored tree).
+	got, err := MinCoverCtx(context.Background(), dg, true, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := MinCover(dg, true, nil); !coversEqual(got, want) {
+		t.Fatalf("ctx search diverged from MinCover:\nctx  %+v\nplain %+v", got, want)
 	}
 }

@@ -1,0 +1,122 @@
+// Per-worker solve scratch for phase 1. A Scratch owns every reusable
+// workspace the cover computations need — the Hopcroft-Karp matcher
+// state, the bipartite adjacency headers, the flat DAG-cover path
+// store and the branch-and-bound search state — so a worker serving a
+// stream of requests stops paying a dozen heap allocations per solve.
+//
+// A Scratch is not safe for concurrent use. Covers produced through a
+// Scratch may alias its buffers and are valid only until its next use;
+// callers that retain paths must clone them (Cover.Assignment already
+// does).
+
+package pathcover
+
+import (
+	"context"
+
+	"dspaddr/internal/distgraph"
+	"dspaddr/internal/graph"
+	"dspaddr/internal/model"
+)
+
+// Scratch is the reusable phase-1 workspace. The zero value is ready
+// to use.
+type Scratch struct {
+	match    matcher
+	adj      [][]graph.Edge
+	dagFlat  []int
+	dagPaths []model.Path
+	bb       bbSearch
+}
+
+// bipartite is fillBipartite with the scratch's reusable header
+// storage.
+func (sc *Scratch) bipartite(dg *distgraph.Graph) bipartite {
+	n := dg.N()
+	if cap(sc.adj) >= n {
+		sc.adj = sc.adj[:n]
+	} else {
+		sc.adj = make([][]graph.Edge, n)
+	}
+	return fillBipartite(sc.adj, dg)
+}
+
+// lowerBound is LowerBound through the scratch-backed matcher.
+func (sc *Scratch) lowerBound(dg *distgraph.Graph) int {
+	_, _, size := sc.match.run(sc.bipartite(dg))
+	return dg.N() - size
+}
+
+// MinCoverCtx is MinCover with cooperative cancellation and an
+// optional reusable scratch. The branch-and-bound search checks ctx at
+// node-expansion granularity (every few hundred explored states) and
+// abandons the solve with ctx's error when it fires, so a canceled or
+// timed-out request releases its worker instead of occupying it until
+// the full search completes. A nil scratch uses a transient one.
+//
+// On success the returned cover is byte-identical to MinCover's for
+// the same inputs — the cancellation checks never alter the explored
+// tree or the node counts.
+func MinCoverCtx(ctx context.Context, dg *distgraph.Graph, wrap bool, opts *Options, sc *Scratch) (Cover, error) {
+	if err := ctx.Err(); err != nil {
+		return Cover{}, err
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	if !wrap {
+		// Nodes counts one unit of search effort per access so the DAG
+		// case reports work comparably with the wrap search instead of
+		// a constant 0.
+		return Cover{Paths: sortPaths(sc.minCoverDAG(dg)), ZeroCost: true, Exact: true, Nodes: dg.N()}, nil
+	}
+	budget := DefaultNodeBudget
+	if opts != nil && opts.NodeBudget > 0 {
+		budget = opts.NodeBudget
+	}
+
+	lb := sc.lowerBound(dg)
+
+	// The greedy seed often already meets the matching lower bound;
+	// checking it before constructing the search skips the search
+	// initialization entirely on that fast path.
+	var seed []model.Path
+	if greedy := GreedyCover(dg, true); coverZeroCost(dg, greedy, true) {
+		seed = greedy
+		if len(greedy) == lb {
+			return Cover{Paths: sortPaths(seed), ZeroCost: true, Exact: true, Nodes: dg.N()}, nil
+		}
+	}
+
+	s := &sc.bb
+	s.init(dg, budget, ctx.Done())
+	if seed != nil {
+		s.best = len(seed)
+	}
+	s.run()
+	if s.aborted {
+		return Cover{}, ctx.Err()
+	}
+
+	best := s.bestCover()
+	if best == nil {
+		best = seed // the search did not improve on the greedy seed
+	}
+	if best == nil {
+		// No zero-cost cover exists; fall back to the intra-iteration
+		// optimum. The search completing within budget proves
+		// infeasibility.
+		return Cover{
+			Paths:    sortPaths(sc.minCoverDAG(dg)),
+			ZeroCost: false,
+			Exact:    !s.exhausted,
+			Nodes:    s.nodes,
+		}, nil
+	}
+	return Cover{
+		Paths:    sortPaths(best),
+		ZeroCost: true,
+		Exact:    !s.exhausted || s.best == lb,
+		Nodes:    s.nodes,
+	}, nil
+}
