@@ -1,0 +1,120 @@
+// Fuzzing the HTTP request decoders end to end through the handlers:
+// arbitrary bytes POSTed at /v1/allocate and /v1/jobs — including the
+// loop-DSL frontend payloads — must produce an orderly HTTP answer.
+// Malformed input yields a 4xx; semantically valid input may succeed,
+// fail allocation (422), time out (504) or bounce off admission
+// (429); nothing may panic, and the generic 5xx failures (500/502/503)
+// that would signal an unhandled decoder or handler error must never
+// appear.
+
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dspaddr/internal/engine"
+)
+
+// decoderSeeds is the shared corpus: valid shapes, near-valid shapes
+// and hostile junk for both endpoints.
+var decoderSeeds = []string{
+	// Valid single-pattern job.
+	`{"pattern":{"offsets":[1,0,2,-1,1,0,-2]},"agu":{"registers":2,"modifyRange":1}}`,
+	// Valid loop-DSL job.
+	`{"loop":"for (i = 0; i <= N; i++) { y[i] = x[i] + x[i-1]; }","bindings":{"N":10},"agu":{"registers":2,"modifyRange":1}}`,
+	// Valid batch submission.
+	`{"jobs":[{"pattern":{"offsets":[1,2]},"agu":{"registers":1,"modifyRange":1}}],"priority":3}`,
+	// Shape errors.
+	`{}`,
+	`{"pattern":{"offsets":[]},"agu":{"registers":0,"modifyRange":0}}`,
+	`{"pattern":{"offsets":[1]},"loop":"for(;;){}","agu":{"registers":1,"modifyRange":1}}`,
+	`{"jobs":[],"priority":1}`,
+	`{"jobs":[{}]}`,
+	// Unknown fields, trailing garbage, truncation, wrong types.
+	`{"pattern":{"offsets":[1,2]},"agu":{"registers":1,"modifyRange":1},"zzz":true}`,
+	`{"pattern":{"offsets":[1,2]},"agu":{"registers":1,"modifyRange":1}} trailing`,
+	`{"pattern":{"offsets":[1,2]`,
+	`{"pattern":{"offsets":"not-an-array"},"agu":{"registers":1}}`,
+	`{"pattern":{"offsets":[1,2]},"agu":"nope"}`,
+	// Hostile values: huge numbers, deep nesting, control bytes.
+	`{"pattern":{"offsets":[9999999999999999999999]},"agu":{"registers":1,"modifyRange":1}}`,
+	`{"pattern":{"offsets":[1e308,-1e308]},"agu":{"registers":2147483647,"modifyRange":-2147483648}}`,
+	`[[[[[[[[[[[[[[[[[[[[]]]]]]]]]]]]]]]]]]]]`,
+	"{\"loop\":\"for (i = 0; i <= N; i++) { y\x00[i]; }\",\"agu\":{\"registers\":1,\"modifyRange\":1}}`",
+	`null`, `true`, `42`, `"str"`, ``, `   `, "\xff\xfe\xfd",
+	strings.Repeat("[", 4096),
+	`{"loop":"` + strings.Repeat("x+", 512) + `","agu":{"registers":1,"modifyRange":1}}`,
+}
+
+// newFuzzServer builds a small real server. The tight per-job timeout
+// bounds adversarial solve blowups (large-N patterns from the fuzzer)
+// so iterations stay fast; 504 is an accepted outcome.
+func newFuzzServer(f *testing.F) *httptest.Server {
+	f.Helper()
+	eng := engine.New(engine.Options{Workers: 2, JobTimeout: 250 * time.Millisecond})
+	s := newServer(eng, serverOptions{version: "fuzz", queueCapacity: 64, storeCapacity: 256})
+	ts := httptest.NewServer(s.handler())
+	f.Cleanup(func() {
+		ts.Close()
+		s.close()
+		eng.Close()
+	})
+	return ts
+}
+
+// postRaw POSTs body bytes and returns the status; transport-level
+// failures fail the test (the server must always answer).
+func postRaw(t *testing.T, url string, body []byte) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// assertOrderly is the shared oracle: no generic 5xx, i.e. nothing
+// escaped the decoders or handlers as an internal error. (504 is the
+// deliberate per-job-timeout answer; everything else 5xx is a bug. A
+// handler panic would kill the test process outright.)
+func assertOrderly(t *testing.T, endpoint string, body []byte, status int) {
+	t.Helper()
+	switch status {
+	case http.StatusInternalServerError, http.StatusBadGateway, http.StatusServiceUnavailable:
+		t.Fatalf("%s answered %d for body %q", endpoint, status, body)
+	}
+}
+
+func FuzzAllocateDecoder(f *testing.F) {
+	for _, s := range decoderSeeds {
+		f.Add([]byte(s))
+	}
+	ts := newFuzzServer(f)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		status := postRaw(t, ts.URL+"/v1/allocate", body)
+		assertOrderly(t, "/v1/allocate", body, status)
+	})
+}
+
+func FuzzJobsSubmitDecoder(f *testing.F) {
+	for _, s := range decoderSeeds {
+		f.Add([]byte(s))
+	}
+	ts := newFuzzServer(f)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		status := postRaw(t, ts.URL+"/v1/jobs", body)
+		assertOrderly(t, "/v1/jobs", body, status)
+		// The async path must never accept a job it cannot route: a
+		// 202 here is only legal for bodies that parsed into at least
+		// one pattern/loop job, which is exactly what the decoder
+		// promises. Spot-check the complement: non-JSON bytes never 202.
+		if status == http.StatusAccepted && len(body) > 0 && (body[0] != '{') {
+			t.Fatalf("/v1/jobs accepted non-object body %q", body)
+		}
+	})
+}

@@ -33,6 +33,7 @@
 //	-queue int          async job queue capacity (default 1024)
 //	-store int          async results retained before eviction (default 16384)
 //	-ttl duration       async result retention after completion (default 15m)
+//	-faults string      arm chaos fault injection + /debug/soak (soak builds only)
 //	-version            print the build version and exit
 //
 // Example:
@@ -62,6 +63,7 @@ import (
 	"time"
 
 	"dspaddr/internal/engine"
+	"dspaddr/internal/faults"
 	"dspaddr/internal/jobs"
 )
 
@@ -87,6 +89,7 @@ func run(args []string) error {
 	queueCap := fs.Int("queue", jobs.DefaultQueueCapacity, "async job queue capacity")
 	storeCap := fs.Int("store", jobs.DefaultStoreCapacity, "async results retained before eviction")
 	ttl := fs.Duration("ttl", jobs.DefaultTTL, "async result retention after completion")
+	faultSpec := fs.String("faults", "", "arm chaos fault injection and /debug/soak (e.g. \"delay=20ms:4,error=128\"; \"none\" = endpoint only); soak builds only")
 	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,10 +99,20 @@ func run(args []string) error {
 		return nil
 	}
 
+	var injector *faults.Injector
+	if *faultSpec != "" {
+		var err error
+		if injector, err = faults.Parse(*faultSpec); err != nil {
+			return err
+		}
+		log.Printf("rcaserve: FAULT INJECTION ARMED (%s) — this is a soak/chaos build, not a production configuration", injector)
+	}
+
 	eng := engine.New(engine.Options{
 		Workers:    *workers,
 		JobTimeout: *timeout,
 		CacheSize:  *cacheSize,
+		Faults:     injector,
 	})
 	defer eng.Close()
 
@@ -108,6 +121,7 @@ func run(args []string) error {
 		storeCapacity: *storeCap,
 		ttl:           *ttl,
 		version:       buildVersion(),
+		faults:        injector,
 	})
 	defer s.close()
 
@@ -139,6 +153,12 @@ func run(args []string) error {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	// Drain the async backlog inside the same grace window: in-flight
+	// jobs finish (or are aborted with ErrShutdown as their recorded
+	// reason) before the manager closes, so an exiting process never
+	// strands a job in a non-terminal state — the property the soak
+	// harness's restart cycles assert from outside.
+	s.drain(shutdownCtx)
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

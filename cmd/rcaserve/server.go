@@ -13,6 +13,7 @@ import (
 
 	"dspaddr/internal/core"
 	"dspaddr/internal/engine"
+	"dspaddr/internal/faults"
 	"dspaddr/internal/frontend"
 	"dspaddr/internal/jobs"
 	"dspaddr/internal/model"
@@ -44,6 +45,11 @@ type serverOptions struct {
 	// version is the build identity reported by /healthz, /v1/stats
 	// and /metrics.
 	version string
+	// faults, when non-nil, is the armed chaos injector shared with
+	// the engine; it turns on the /debug/soak endpoint (process
+	// introspection + live re-arming) and accelerates the job store
+	// TTL if the spec says so. Production runs leave it nil.
+	faults *faults.Injector
 }
 
 // server wires the batch allocation engine and the async job manager
@@ -54,12 +60,13 @@ type server struct {
 	version  string
 	started  time.Time
 	requests atomic.Uint64
+	faults   *faults.Injector // nil outside soak builds
 }
 
 // newServer builds a server around a running engine and starts its
 // async job manager; the caller must close() it when done.
 func newServer(e *engine.Engine, opts serverOptions) *server {
-	s := &server{engine: e, version: opts.version, started: time.Now()}
+	s := &server{engine: e, version: opts.version, started: time.Now(), faults: opts.faults}
 	if s.version == "" {
 		s.version = "unknown"
 	}
@@ -78,6 +85,7 @@ func newServer(e *engine.Engine, opts serverOptions) *server {
 		Runners:       runners,
 		Run:           run,
 		FailState:     jobFailState,
+		Faults:        opts.faults,
 	})
 	return s
 }
@@ -85,6 +93,13 @@ func newServer(e *engine.Engine, opts serverOptions) *server {
 // close releases the async job manager (the engine is owned by the
 // caller).
 func (s *server) close() { s.jobs.Close() }
+
+// drain gracefully winds down the async job manager: admission stops
+// immediately, queued and running jobs get until ctx expires to reach
+// a terminal state, and whatever is left is aborted with a recorded
+// reason — so a process that drains before exit never leaves a job
+// observable as queued or running.
+func (s *server) drain(ctx context.Context) { s.jobs.Shutdown(ctx) }
 
 // jobFailState maps engine timeouts to the jobs subsystem's timeout
 // state; everything else falls through to the default classification.
@@ -105,6 +120,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.faults != nil {
+		mux.HandleFunc("/debug/soak", s.handleDebugSoak)
+	}
 	return mux
 }
 

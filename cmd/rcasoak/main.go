@@ -1,0 +1,620 @@
+// Command rcasoak is the soak & chaos harness for rcaserve. It builds
+// the real server binary, execs it, drives an hours-compressed mixed
+// workload against it from independent client driver processes
+// (rcasoak re-execs itself with -driver), injects faults through the
+// server's -faults hook, SIGTERMs and restarts the server mid-load,
+// and finally runs an invariant oracle over everything observed: zero
+// lost or duplicated jobs, results matching local reference solves,
+// p99 latency and RSS under their ceilings, no goroutine or fd leaks,
+// and clean signal-initiated exits. The verdict is a machine-readable
+// JSON report plus the process exit code (0 pass, 1 invariant
+// violations, 2 harness error).
+//
+// Usage:
+//
+//	rcasoak [flags]
+//
+// Flags:
+//
+//	-duration duration   total load duration for the builtin scenario (default 60s)
+//	-clients int         driver processes per phase (default 8)
+//	-seed int            base seed for the deterministic traffic streams (default 1)
+//	-scenario string     "mixed" (builtin, scaled to -duration) or a scenario file path
+//	-report string       JSON report path (default "soak-report.json")
+//	-server-bin string   prebuilt rcaserve binary (default: go build it)
+//	-faults string       base fault spec armed at server start (default "delay=20ms:4,error=128")
+//	-queue int           server async queue capacity (default 128; small → real 429 waves)
+//	-timeout duration    server per-job solve deadline (default 2s)
+//	-grace duration      post-phase polling grace for async jobs (default 10s)
+//	-p99 duration        per-class p99 HTTP round-trip ceiling (default 5s)
+//	-rss int             server peak RSS ceiling in MiB (default 512)
+//	-keep                keep the work directory (server logs) even on success
+//
+// Example:
+//
+//	go run ./cmd/rcasoak -duration 60s -clients 8 -seed 1
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"dspaddr/internal/workload"
+)
+
+func main() { os.Exit(realMain(os.Args[1:])) }
+
+func realMain(args []string) int {
+	fs := flag.NewFlagSet("rcasoak", flag.ContinueOnError)
+	duration := fs.Duration("duration", 60*time.Second, "total load duration (builtin scenario)")
+	clients := fs.Int("clients", 8, "driver processes per phase")
+	seed := fs.Int64("seed", 1, "base traffic seed")
+	scenarioFlag := fs.String("scenario", "mixed", `"mixed" or a scenario file path`)
+	reportPath := fs.String("report", "soak-report.json", "JSON report path")
+	serverBin := fs.String("server-bin", "", "prebuilt rcaserve binary (default: go build)")
+	faultsSpec := fs.String("faults", "delay=20ms:4,error=128", "base fault spec for the server")
+	queueCap := fs.Int("queue", 128, "server async queue capacity")
+	solveTimeout := fs.Duration("timeout", 2*time.Second, "server per-job solve deadline")
+	grace := fs.Duration("grace", 10*time.Second, "post-phase async polling grace")
+	p99Ceiling := fs.Duration("p99", 5*time.Second, "p99 round-trip ceiling per class")
+	rssCeilingMiB := fs.Int64("rss", 512, "server peak RSS ceiling (MiB)")
+	race := fs.Bool("race", false, "build the server with the race detector")
+	keep := fs.Bool("keep", false, "keep the work directory on success")
+
+	// -driver mode flags (internal; the parent passes them).
+	driverMode := fs.Bool("driver", false, "run as a client driver (internal)")
+	dBase := fs.String("base", "", "server base URL (driver mode)")
+	dIndex := fs.Int("index", 0, "driver ordinal (driver mode)")
+	dRate := fs.Int("rate", 10, "ops/second (driver mode)")
+	dMix := fs.String("mix", "sync:1", "traffic mix (driver mode)")
+	dFresh := fs.Int("fresh", 0, "unique-pattern permil (driver mode)")
+	dBurst := fs.Int("burst", 32, "jobs per burst (driver mode)")
+	dRunFor := fs.Duration("run-for", time.Second, "issuing window (driver mode)")
+
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *driverMode {
+		mix, err := workload.ParseMix(*dMix)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rcasoak driver:", err)
+			return 2
+		}
+		err = runDriver(driverConfig{
+			base:        *dBase,
+			index:       *dIndex,
+			seed:        *seed,
+			rate:        *dRate,
+			mix:         mix,
+			freshPermil: *dFresh,
+			burst:       *dBurst,
+			runFor:      *dRunFor,
+			grace:       *grace,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rcasoak driver:", err)
+			return 2
+		}
+		return 0
+	}
+
+	h := &harness{
+		clients:    *clients,
+		seed:       *seed,
+		baseFaults: *faultsSpec,
+		queueCap:   *queueCap,
+		timeout:    *solveTimeout,
+		grace:      *grace,
+		keep:       *keep,
+		bin:        *serverBin,
+		race:       *race,
+	}
+	sc, err := loadScenario(*scenarioFlag, *duration)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rcasoak:", err)
+		return 2
+	}
+	rep, err := h.run(sc, *p99Ceiling, *rssCeilingMiB<<20)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rcasoak:", err)
+		return 2
+	}
+	if err := writeReport(rep, *reportPath); err != nil {
+		fmt.Fprintln(os.Stderr, "rcasoak:", err)
+		return 2
+	}
+	if !rep.Passed {
+		return 1
+	}
+	return 0
+}
+
+// loadScenario resolves the -scenario flag.
+func loadScenario(name string, total time.Duration) (*scenario, error) {
+	if name == "mixed" {
+		return builtinMixed(total), nil
+	}
+	text, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return parseScenario(filepath.Base(name), string(text))
+}
+
+// harness owns the server process and the run-wide observations.
+type harness struct {
+	clients    int
+	seed       int64
+	baseFaults string
+	queueCap   int
+	timeout    time.Duration
+	grace      time.Duration
+	keep       bool
+	race       bool
+
+	workDir string
+	bin     string
+	port    int
+	base    string // http://127.0.0.1:port
+	client  *http.Client
+
+	mu       sync.Mutex
+	srv      *serverProc
+	exits    []int
+	restarts []restartWindow
+	maxRSS   atomic.Int64
+
+	collected  []ledger // driver ledgers across all phases
+	serverLogs int      // serial for log file names
+}
+
+// serverProc is one exec'd rcaserve.
+type serverProc struct {
+	cmd  *exec.Cmd
+	done chan struct{} // closed when Wait returns
+	code int
+}
+
+// run executes the scenario end to end and returns the oracle report.
+func (h *harness) run(sc *scenario, p99Ceiling time.Duration, rssCeiling int64) (rep *soakReport, err error) {
+	start := time.Now()
+	h.client = &http.Client{Timeout: 5 * time.Second}
+
+	h.workDir, err = os.MkdirTemp("", "rcasoak-*")
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if err == nil && rep != nil && rep.Passed && !h.keep {
+			os.RemoveAll(h.workDir)
+		} else {
+			fmt.Fprintf(os.Stderr, "rcasoak: work directory kept at %s\n", h.workDir)
+		}
+	}()
+
+	if err := h.buildServer(); err != nil {
+		return nil, err
+	}
+	if h.port, err = pickPort(); err != nil {
+		return nil, err
+	}
+	h.base = fmt.Sprintf("http://127.0.0.1:%d", h.port)
+
+	if err := h.startServer(); err != nil {
+		return nil, err
+	}
+	defer h.killServer() // belt and braces; normally already exited
+
+	// RSS sampler follows the current server process across restarts.
+	samplerStop := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		t := time.NewTicker(250 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-samplerStop:
+				return
+			case <-t.C:
+				h.sampleRSS()
+			}
+		}
+	}()
+	defer func() { close(samplerStop); samplerWG.Wait() }()
+
+	time.Sleep(300 * time.Millisecond) // settle before the baseline
+	baseline, _ := h.debugSnapshot()
+
+	for i, st := range sc.Steps {
+		switch {
+		case st.Restart:
+			fmt.Fprintf(os.Stderr, "rcasoak: restart (between phases)\n")
+			if err := h.restartServer(); err != nil {
+				return nil, err
+			}
+		case st.Phase != nil:
+			fmt.Fprintf(os.Stderr, "rcasoak: phase %q (%v, rate %d, mix %s)\n",
+				st.Phase.Name, st.Phase.Duration, st.Phase.Rate, st.Phase.Mix)
+			if err := h.runPhase(st.Phase, i); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Load has stopped; settle, close our own keepalive conns and take
+	// the final leak snapshot from the surviving server process.
+	time.Sleep(500 * time.Millisecond)
+	h.client.CloseIdleConnections()
+	time.Sleep(200 * time.Millisecond)
+	final, _ := h.debugSnapshot()
+	stats, statsOK := h.finalStats()
+
+	code, err := h.stopServer()
+	if err != nil {
+		return nil, err
+	}
+	h.exits = append(h.exits, code)
+
+	in := oracleInput{
+		scenario:           sc,
+		seed:               h.seed,
+		clients:            h.clients,
+		elapsed:            time.Since(start),
+		ledgers:            h.collected,
+		restarts:           h.restarts,
+		serverExits:        h.exits,
+		maxRSS:             h.maxRSS.Load(),
+		baselineGoroutines: baseline.Goroutines,
+		finalGoroutines:    final.Goroutines,
+		baselineFDs:        baseline.OpenFDs,
+		finalFDs:           final.OpenFDs,
+		statsFetched:       statsOK,
+		p99Ceiling:         p99Ceiling,
+		rssCeiling:         rssCeiling,
+	}
+	if statsOK {
+		in.statsSubmitted = stats.AsyncJobs.Submitted
+		in.statsTerminalPlusLive = stats.AsyncJobs.Done + stats.AsyncJobs.Failed +
+			stats.AsyncJobs.TimedOut + stats.AsyncJobs.Canceled +
+			uint64(stats.AsyncJobs.QueueDepth) + uint64(stats.AsyncJobs.Running)
+	}
+	return runOracle(in), nil
+}
+
+// buildServer compiles cmd/rcaserve unless a prebuilt binary was given.
+func (h *harness) buildServer() error {
+	if h.bin != "" {
+		return nil
+	}
+	if prebuilt := os.Getenv("RCASOAK_SERVER_BIN"); prebuilt != "" {
+		h.bin = prebuilt
+		return nil
+	}
+	h.bin = filepath.Join(h.workDir, "rcaserve")
+	buildArgs := []string{"build"}
+	if h.race {
+		buildArgs = append(buildArgs, "-race")
+	}
+	buildArgs = append(buildArgs, "-o", h.bin, "dspaddr/cmd/rcaserve")
+	cmd := exec.Command("go", buildArgs...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("building rcaserve: %v\n%s", err, out)
+	}
+	return nil
+}
+
+// pickPort grabs a free localhost port.
+func pickPort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}
+
+// startServer execs rcaserve and waits for /healthz.
+func (h *harness) startServer() error {
+	h.serverLogs++
+	logPath := filepath.Join(h.workDir, fmt.Sprintf("server-%d.log", h.serverLogs))
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(h.bin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", h.port),
+		"-faults", h.baseFaults,
+		"-queue", strconv.Itoa(h.queueCap),
+		"-timeout", h.timeout.String(),
+		"-ttl", "2m",
+	)
+	cmd.Stdout = logFile
+	cmd.Stderr = logFile
+	if err := cmd.Start(); err != nil {
+		logFile.Close()
+		return fmt.Errorf("starting rcaserve: %w", err)
+	}
+	p := &serverProc{cmd: cmd, done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		defer logFile.Close()
+		err := cmd.Wait()
+		p.code = cmd.ProcessState.ExitCode()
+		_ = err
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := h.client.Get(h.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		select {
+		case <-p.done:
+			return fmt.Errorf("rcaserve exited during startup (code %d); log: %s", p.code, logPath)
+		default:
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill() //nolint:errcheck
+			return fmt.Errorf("rcaserve never became healthy; log: %s", logPath)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	h.mu.Lock()
+	h.srv = p
+	h.mu.Unlock()
+	return nil
+}
+
+// stopServer SIGTERMs the current server and waits for a clean exit.
+func (h *harness) stopServer() (int, error) {
+	h.mu.Lock()
+	p := h.srv
+	h.srv = nil
+	h.mu.Unlock()
+	if p == nil {
+		return -1, fmt.Errorf("no server to stop")
+	}
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return -1, fmt.Errorf("SIGTERM: %w", err)
+	}
+	select {
+	case <-p.done:
+		return p.code, nil
+	case <-time.After(20 * time.Second):
+		p.cmd.Process.Kill() //nolint:errcheck
+		<-p.done
+		return p.code, fmt.Errorf("server ignored SIGTERM for 20s (exit %d after SIGKILL)", p.code)
+	}
+}
+
+// killServer force-stops any leftover server (cleanup path only).
+func (h *harness) killServer() {
+	h.mu.Lock()
+	p := h.srv
+	h.srv = nil
+	h.mu.Unlock()
+	if p != nil {
+		p.cmd.Process.Kill() //nolint:errcheck
+		<-p.done
+	}
+}
+
+// restartServer performs one SIGTERM + re-exec cycle and records the
+// window during which job state could legitimately be lost.
+func (h *harness) restartServer() error {
+	w := restartWindow{Start: time.Now()}
+	code, err := h.stopServer()
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	h.exits = append(h.exits, code)
+	h.mu.Unlock()
+	if err := h.startServer(); err != nil {
+		return err
+	}
+	w.End = time.Now()
+	h.mu.Lock()
+	h.restarts = append(h.restarts, w)
+	h.mu.Unlock()
+	return nil
+}
+
+// sampleRSS reads the current server's /proc/<pid>/statm.
+func (h *harness) sampleRSS() {
+	h.mu.Lock()
+	p := h.srv
+	h.mu.Unlock()
+	if p == nil || p.cmd.Process == nil {
+		return
+	}
+	raw, err := os.ReadFile(fmt.Sprintf("/proc/%d/statm", p.cmd.Process.Pid))
+	if err != nil {
+		return
+	}
+	fields := strings.Fields(string(raw))
+	if len(fields) < 2 {
+		return
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return
+	}
+	rss := pages * int64(os.Getpagesize())
+	for {
+		cur := h.maxRSS.Load()
+		if rss <= cur || h.maxRSS.CompareAndSwap(cur, rss) {
+			return
+		}
+	}
+}
+
+// debugSnapshot reads /debug/soak (zero snapshot on failure — the
+// oracle skips leak checks it has no baseline for).
+type debugSnapshot struct {
+	Goroutines int `json:"goroutines"`
+	OpenFDs    int `json:"openFDs"`
+}
+
+func (h *harness) debugSnapshot() (debugSnapshot, bool) {
+	var snap debugSnapshot
+	resp, err := h.client.Get(h.base + "/debug/soak")
+	if err != nil {
+		return snap, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, false
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, false
+	}
+	return snap, true
+}
+
+// rearm POSTs a new fault spec to /debug/soak.
+func (h *harness) rearm(spec string) error {
+	body, _ := json.Marshal(map[string]string{"faults": spec})
+	resp, err := h.client.Post(h.base+"/debug/soak", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("re-arming faults: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("re-arming faults: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// finalStats fetches /v1/stats for the accounting identity.
+type finalStatsJSON struct {
+	AsyncJobs struct {
+		QueueDepth int    `json:"queueDepth"`
+		Running    int    `json:"running"`
+		Submitted  uint64 `json:"submitted"`
+		Done       uint64 `json:"done"`
+		Failed     uint64 `json:"failed"`
+		TimedOut   uint64 `json:"timedOut"`
+		Canceled   uint64 `json:"canceled"`
+	} `json:"asyncJobs"`
+}
+
+func (h *harness) finalStats() (finalStatsJSON, bool) {
+	var st finalStatsJSON
+	resp, err := h.client.Get(h.base + "/v1/stats")
+	if err != nil {
+		return st, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, false
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, false
+	}
+	return st, true
+}
+
+// runPhase spawns the phase's driver wave (and the mid-phase restart,
+// when scheduled) and collects the ledgers.
+func (h *harness) runPhase(p *phaseSpec, phaseIdx int) error {
+	if p.Faults != "" {
+		if err := h.rearm(p.Faults); err != nil {
+			return err
+		}
+		defer func() {
+			if err := h.rearm(h.baseFaults); err != nil {
+				fmt.Fprintf(os.Stderr, "rcasoak: restoring base faults: %v\n", err)
+			}
+		}()
+	}
+
+	perDriver := p.Rate / h.clients
+	if perDriver < 1 {
+		perDriver = 1
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+
+	type driverRun struct {
+		cmd *exec.Cmd
+		out *bytes.Buffer
+	}
+	runs := make([]driverRun, h.clients)
+	for c := 0; c < h.clients; c++ {
+		args := []string{
+			"-driver",
+			"-base", h.base,
+			"-index", strconv.Itoa(phaseIdx*1000 + c),
+			"-seed", strconv.FormatInt(h.seed*1_000_003+int64(phaseIdx)*1009+int64(c), 10),
+			"-rate", strconv.Itoa(perDriver),
+			"-mix", p.Mix.String(),
+			"-burst", "32",
+			"-run-for", p.Duration.String(),
+			"-grace", h.grace.String(),
+		}
+		if p.FreshPermil > 0 {
+			args = append(args, "-fresh", strconv.Itoa(p.FreshPermil))
+		}
+		cmd := exec.Command(self, args...)
+		out := &bytes.Buffer{}
+		cmd.Stdout = out
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("starting driver %d: %w", c, err)
+		}
+		runs[c] = driverRun{cmd: cmd, out: out}
+	}
+
+	// Mid-phase restart under load.
+	restartErr := make(chan error, 1)
+	if p.RestartMid {
+		go func() {
+			time.Sleep(p.Duration / 2)
+			fmt.Fprintf(os.Stderr, "rcasoak: restart (mid-phase, under load)\n")
+			restartErr <- h.restartServer()
+		}()
+	} else {
+		restartErr <- nil
+	}
+
+	for c, r := range runs {
+		if err := r.cmd.Wait(); err != nil {
+			return fmt.Errorf("driver %d (phase %s) failed: %v\nstdout: %s",
+				c, p.Name, err, r.out.String())
+		}
+		var led ledger
+		if err := json.Unmarshal(r.out.Bytes(), &led); err != nil {
+			return fmt.Errorf("driver %d (phase %s): bad ledger: %v", c, p.Name, err)
+		}
+		h.collected = append(h.collected, led)
+	}
+	if err := <-restartErr; err != nil {
+		return fmt.Errorf("mid-phase restart: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,329 @@
+// The invariant oracle: after the scenario completes, every claim the
+// harness makes is checked here, over the union of the driver ledgers
+// and the parent's own observations (restart windows, server exit
+// codes, RSS samples, /debug/soak snapshots, final /v1/stats).
+//
+// Invariants:
+//
+//  1. No lost jobs — every 202-accepted job reaches exactly one
+//     terminal observation; a job that vanished (404 / still pending)
+//     is excused only if a restart window overlaps its observation
+//     interval (the server keeps no durable job log, so a process
+//     replacement legitimately forgets in-flight work).
+//  2. No duplicated jobs — job IDs are globally unique across every
+//     accepted submission of every driver.
+//  3. No aliased or wrong results — drivers compare each result's
+//     echoed offsets and cost against a local reference solve; any
+//     divergence was recorded as a driver violation.
+//  4. Latency — the p99 HTTP round trip per op class stays under the
+//     ceiling.
+//  5. Memory — the server's peak RSS stays under the ceiling.
+//  6. No leaks — goroutine and fd counts from /debug/soak return to
+//     near their post-warmup baseline once load stops.
+//  7. Clean shutdown — every server exit (mid-scenario restarts and
+//     the final stop) is signal-initiated and exits 0.
+//  8. Accounting — final /v1/stats obeys
+//     submitted == done+failed+timedOut+canceled+queueDepth+running.
+//  9. Coverage — every op class the scenario weights actually ran,
+//     429s appeared if an overload wave was scheduled, restarts
+//     happened if scheduled.
+
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"dspaddr/internal/workload"
+)
+
+// restartWindow brackets one server replacement: state submitted
+// before End and unresolved by Start may have died with the process.
+type restartWindow struct {
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+}
+
+// overlaps reports whether a job observed over [submit, resolve]
+// (unix millis) could have lost state to this window.
+func (w restartWindow) overlaps(submitMs, resolveMs int64) bool {
+	return submitMs <= w.End.UnixMilli() && resolveMs >= w.Start.UnixMilli()
+}
+
+// soakReport is the machine-readable run outcome (-report file).
+type soakReport struct {
+	Scenario        string         `json:"scenario"`
+	Seed            int64          `json:"seed"`
+	Clients         int            `json:"clients"`
+	DurationSeconds float64        `json:"durationSeconds"`
+	Ops             map[string]int `json:"ops"`
+	Outcomes        map[string]int `json:"outcomes"`
+
+	JobsAccepted int `json:"jobsAccepted"`
+	JobsResolved int `json:"jobsResolved"`
+	JobsExcused  int `json:"jobsExcused"`
+	JobsLost     int `json:"jobsLost"`
+
+	P99Micros   map[string]int64 `json:"p99Micros"`
+	MaxRSSBytes int64            `json:"maxRSSBytes"`
+
+	Restarts    int   `json:"restarts"`
+	ServerExits []int `json:"serverExits"`
+
+	GoroutinesBaseline int `json:"goroutinesBaseline"`
+	GoroutinesFinal    int `json:"goroutinesFinal"`
+	FDsBaseline        int `json:"fdsBaseline"`
+	FDsFinal           int `json:"fdsFinal"`
+
+	StatsIdentityOK bool `json:"statsIdentityOK"`
+
+	Violations []string `json:"violations"`
+	Passed     bool     `json:"passed"`
+}
+
+// oracleInput is everything the checks consume.
+type oracleInput struct {
+	scenario *scenario
+	seed     int64
+	clients  int
+	elapsed  time.Duration
+
+	ledgers  []ledger
+	restarts []restartWindow
+	// serverExits collects the exit codes of every server process the
+	// harness stopped (restarts + final shutdown).
+	serverExits []int
+
+	maxRSS int64
+
+	// baseline/final are /debug/soak snapshots taken after warm
+	// startup and after load stopped (final server process only).
+	baselineGoroutines, finalGoroutines int
+	baselineFDs, finalFDs               int
+
+	// stats identity inputs from the final /v1/stats.
+	statsSubmitted, statsTerminalPlusLive uint64
+	statsFetched                          bool
+
+	p99Ceiling time.Duration
+	rssCeiling int64
+}
+
+// leak-check slack: the final snapshot may legitimately sit a little
+// above baseline (keepalive readers, timer goroutines mid-sweep).
+const (
+	goroutineSlack = 64
+	fdSlack        = 32
+)
+
+// runOracle evaluates every invariant and builds the report.
+func runOracle(in oracleInput) *soakReport {
+	rep := &soakReport{
+		Scenario:           in.scenario.Name,
+		Seed:               in.seed,
+		Clients:            in.clients,
+		DurationSeconds:    in.elapsed.Seconds(),
+		Ops:                map[string]int{},
+		Outcomes:           map[string]int{},
+		P99Micros:          map[string]int64{},
+		MaxRSSBytes:        in.maxRSS,
+		Restarts:           len(in.restarts),
+		ServerExits:        in.serverExits,
+		GoroutinesBaseline: in.baselineGoroutines,
+		GoroutinesFinal:    in.finalGoroutines,
+		FDsBaseline:        in.baselineFDs,
+		FDsFinal:           in.finalFDs,
+		Violations:         []string{},
+	}
+	violate := func(format string, args ...any) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+	}
+
+	// Merge ledgers; driver-side violations (aliasing, reference
+	// divergence, 5xx) carry over verbatim.
+	latencies := map[string][]int64{}
+	seenIDs := map[string]int{}
+	for _, led := range in.ledgers {
+		for k, v := range led.Ops {
+			rep.Ops[k] += v
+		}
+		for k, v := range led.Outcomes {
+			rep.Outcomes[k] += v
+		}
+		for k, v := range led.LatencyMicros {
+			latencies[k] = append(latencies[k], v...)
+		}
+		rep.Violations = append(rep.Violations, led.Violations...)
+
+		for _, j := range led.Jobs {
+			rep.JobsAccepted++
+			seenIDs[j.ID]++
+			switch j.State {
+			case "done", "failed", "timeout", "canceled", "evicted":
+				rep.JobsResolved++
+				if j.RefChecked && !j.RefOK {
+					violate("job %s (%s): cost diverges from reference", j.ID, j.Class)
+				}
+				if j.State == "done" && !j.EchoOK {
+					violate("job %s (%s): result echoes foreign offsets (aliasing)", j.ID, j.Class)
+				}
+			case "lost":
+				if excusedByRestart(in.restarts, j) {
+					rep.JobsExcused++
+				} else {
+					rep.JobsLost++
+					violate("job %s (%s) lost with no restart to blame: %s", j.ID, j.Class, j.Err)
+				}
+			default:
+				violate("job %s (%s): unknown ledger state %q", j.ID, j.Class, j.State)
+			}
+		}
+	}
+
+	// 2. Duplicated IDs.
+	for id, n := range seenIDs {
+		if n > 1 {
+			violate("job ID %s issued %d times (duplication)", id, n)
+		}
+	}
+
+	// 4. p99 ceilings per class.
+	for class, vals := range latencies {
+		p := p99(vals)
+		rep.P99Micros[class] = p
+		if time.Duration(p)*time.Microsecond > in.p99Ceiling {
+			violate("%s p99 %.1fms exceeds ceiling %v", class,
+				float64(p)/1000, in.p99Ceiling)
+		}
+	}
+
+	// 5. RSS ceiling.
+	if in.maxRSS > in.rssCeiling {
+		violate("server peak RSS %d MiB exceeds ceiling %d MiB",
+			in.maxRSS>>20, in.rssCeiling>>20)
+	}
+
+	// 6. Leak checks (skipped where the snapshot was unavailable).
+	if in.baselineGoroutines > 0 && in.finalGoroutines > in.baselineGoroutines+goroutineSlack {
+		violate("goroutines grew %d → %d (leak)", in.baselineGoroutines, in.finalGoroutines)
+	}
+	if in.baselineFDs > 0 && in.finalFDs > in.baselineFDs+fdSlack {
+		violate("open fds grew %d → %d (leak)", in.baselineFDs, in.finalFDs)
+	}
+
+	// 7. Clean shutdowns.
+	for i, code := range in.serverExits {
+		if code != 0 {
+			violate("server exit %d of %d: code %d (want 0)", i+1, len(in.serverExits), code)
+		}
+	}
+
+	// 8. Stats accounting identity.
+	rep.StatsIdentityOK = in.statsFetched && in.statsSubmitted == in.statsTerminalPlusLive
+	if in.statsFetched && !rep.StatsIdentityOK {
+		violate("final stats identity broken: submitted %d != terminal+live %d",
+			in.statsSubmitted, in.statsTerminalPlusLive)
+	}
+	if !in.statsFetched {
+		violate("final /v1/stats unavailable")
+	}
+
+	// 9. Coverage.
+	exp := in.scenario.expect()
+	for _, class := range exp.Classes {
+		if rep.Ops[class.String()] == 0 {
+			violate("coverage: op class %s never ran", class)
+		}
+	}
+	if exp.Expect429 && count429(rep.Outcomes) == 0 {
+		violate("coverage: overload wave scheduled but no 429 observed")
+	}
+	if exp.Restarts != len(in.restarts) {
+		violate("coverage: %d restarts scheduled, %d performed", exp.Restarts, len(in.restarts))
+	}
+
+	rep.Passed = len(rep.Violations) == 0
+	return rep
+}
+
+// excusedByRestart reports whether any restart window overlaps the
+// job's observation interval.
+func excusedByRestart(windows []restartWindow, j jobRecord) bool {
+	for _, w := range windows {
+		if w.overlaps(j.SubmitMs, j.ResolveMs) {
+			return true
+		}
+	}
+	return false
+}
+
+// count429 sums the 429 outcomes across classes.
+func count429(outcomes map[string]int) int {
+	n := 0
+	for k, v := range outcomes {
+		if len(k) > 4 && k[len(k)-4:] == ".429" {
+			n += v
+		}
+	}
+	return n
+}
+
+// p99 computes the 99th percentile of a latency sample (0 for empty).
+func p99(vals []int64) int64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := make([]int64, len(vals))
+	copy(sorted, vals)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := len(sorted) * 99 / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// writeReport writes the JSON report and prints the human summary.
+func writeReport(rep *soakReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("rcasoak: scenario %q seed %d clients %d ran %.1fs\n",
+		rep.Scenario, rep.Seed, rep.Clients, rep.DurationSeconds)
+	classes := make([]string, 0, len(rep.Ops))
+	for k := range rep.Ops {
+		classes = append(classes, k)
+	}
+	sort.Strings(classes)
+	for _, k := range classes {
+		fmt.Printf("  ops %-7s %6d\n", k, rep.Ops[k])
+	}
+	fmt.Printf("  jobs: %d accepted, %d resolved, %d excused by restart, %d lost\n",
+		rep.JobsAccepted, rep.JobsResolved, rep.JobsExcused, rep.JobsLost)
+	fmt.Printf("  429s: %d   restarts: %d   peak RSS: %d MiB\n",
+		count429(rep.Outcomes), rep.Restarts, rep.MaxRSSBytes>>20)
+	for _, v := range rep.Violations {
+		fmt.Printf("  VIOLATION: %s\n", v)
+	}
+	if rep.Passed {
+		fmt.Printf("  PASS — zero lost or duplicated jobs, report at %s\n", path)
+	} else {
+		fmt.Printf("  FAIL — %d violation(s), report at %s\n", len(rep.Violations), path)
+	}
+	return nil
+}
+
+// opKindNames is referenced by tests to keep the report keys and the
+// workload enum in sync.
+var opKindNames = []workload.OpKind{
+	workload.OpSync, workload.OpBatch, workload.OpAsync,
+	workload.OpAsyncBurst, workload.OpCancel, workload.OpBigN,
+}

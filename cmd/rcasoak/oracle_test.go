@@ -1,0 +1,250 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testInput builds a clean-run oracle input the individual tests then
+// perturb: one driver, all jobs resolved, everything within ceilings.
+func testInput(t *testing.T) oracleInput {
+	t.Helper()
+	sc, err := parseScenario("t", "phase p 1s rate=10 mix=sync:1,async:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return oracleInput{
+		scenario: sc,
+		seed:     1,
+		clients:  1,
+		elapsed:  time.Second,
+		ledgers: []ledger{{
+			Driver: 0,
+			Ops:    map[string]int{"sync": 10, "async": 5},
+			Outcomes: map[string]int{
+				"sync.ok": 10, "async.accepted": 5,
+			},
+			LatencyMicros: map[string][]int64{"sync": {100, 200, 300}},
+			Jobs: []jobRecord{
+				{ID: "a", Class: "async", State: "done", SubmitMs: 1000, ResolveMs: 1100,
+					RefChecked: true, RefOK: true, EchoOK: true},
+				{ID: "b", Class: "async", State: "failed", SubmitMs: 1000, ResolveMs: 1200},
+				{ID: "c", Class: "async", State: "canceled", SubmitMs: 1100, ResolveMs: 1300},
+				{ID: "d", Class: "async", State: "timeout", SubmitMs: 1100, ResolveMs: 1400},
+				{ID: "e", Class: "async", State: "evicted", SubmitMs: 1200, ResolveMs: 1500},
+			},
+			Violations: []string{},
+		}},
+		serverExits:           []int{0},
+		maxRSS:                100 << 20,
+		baselineGoroutines:    40,
+		finalGoroutines:       45,
+		baselineFDs:           12,
+		finalFDs:              13,
+		statsFetched:          true,
+		statsSubmitted:        5,
+		statsTerminalPlusLive: 5,
+		p99Ceiling:            time.Second,
+		rssCeiling:            512 << 20,
+	}
+}
+
+func TestOracleCleanRunPasses(t *testing.T) {
+	rep := runOracle(testInput(t))
+	if !rep.Passed {
+		t.Fatalf("clean run failed: %v", rep.Violations)
+	}
+	if rep.JobsAccepted != 5 || rep.JobsResolved != 5 || rep.JobsLost != 0 {
+		t.Fatalf("job accounting: %+v", rep)
+	}
+}
+
+func violationMatching(rep *soakReport, substr string) bool {
+	for _, v := range rep.Violations {
+		if strings.Contains(v, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestOracleFlagsLostJob(t *testing.T) {
+	in := testInput(t)
+	in.ledgers[0].Jobs = append(in.ledgers[0].Jobs,
+		jobRecord{ID: "x", Class: "async", State: "lost", SubmitMs: 2000, ResolveMs: 2500,
+			Err: "404 for an accepted ID"})
+	rep := runOracle(in)
+	if rep.Passed || rep.JobsLost != 1 || !violationMatching(rep, "lost") {
+		t.Fatalf("lost job not flagged: %+v", rep.Violations)
+	}
+}
+
+func TestOracleExcusesRestartLoss(t *testing.T) {
+	in := testInput(t)
+	in.ledgers[0].Jobs = append(in.ledgers[0].Jobs,
+		jobRecord{ID: "x", Class: "async", State: "lost", SubmitMs: 2000, ResolveMs: 2500})
+	in.restarts = []restartWindow{{
+		Start: time.UnixMilli(2200), End: time.UnixMilli(2400),
+	}}
+	// A restart obligates coverage; declare it in the scenario.
+	sc, err := parseScenario("t", "phase p 1s rate=10 mix=sync:1,async:1 restart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.scenario = sc
+	rep := runOracle(in)
+	if !rep.Passed {
+		t.Fatalf("restart-overlapped loss not excused: %v", rep.Violations)
+	}
+	if rep.JobsExcused != 1 || rep.JobsLost != 0 {
+		t.Fatalf("excuse accounting: %+v", rep)
+	}
+
+	// A window that does NOT overlap the job's interval excuses nothing.
+	in.restarts = []restartWindow{{
+		Start: time.UnixMilli(3000), End: time.UnixMilli(3100),
+	}}
+	if rep := runOracle(in); rep.Passed {
+		t.Fatal("non-overlapping restart excused a lost job")
+	}
+}
+
+func TestOracleFlagsDuplicateIDs(t *testing.T) {
+	in := testInput(t)
+	in.ledgers[0].Jobs = append(in.ledgers[0].Jobs,
+		jobRecord{ID: "a", Class: "async", State: "done", SubmitMs: 1000, ResolveMs: 1100,
+			EchoOK: true})
+	rep := runOracle(in)
+	if rep.Passed || !violationMatching(rep, "duplication") {
+		t.Fatalf("duplicate ID not flagged: %v", rep.Violations)
+	}
+}
+
+func TestOracleFlagsReferenceDivergence(t *testing.T) {
+	in := testInput(t)
+	in.ledgers[0].Jobs[0].RefOK = false
+	rep := runOracle(in)
+	if rep.Passed || !violationMatching(rep, "diverges") {
+		t.Fatalf("reference divergence not flagged: %v", rep.Violations)
+	}
+}
+
+func TestOracleFlagsAliasing(t *testing.T) {
+	in := testInput(t)
+	in.ledgers[0].Jobs[0].EchoOK = false
+	rep := runOracle(in)
+	if rep.Passed || !violationMatching(rep, "aliasing") {
+		t.Fatalf("aliasing not flagged: %v", rep.Violations)
+	}
+}
+
+func TestOracleCeilings(t *testing.T) {
+	in := testInput(t)
+	in.ledgers[0].LatencyMicros["sync"] = []int64{100, 200, 5_000_000}
+	rep := runOracle(in)
+	if rep.Passed || !violationMatching(rep, "p99") {
+		t.Fatalf("p99 breach not flagged: %v", rep.Violations)
+	}
+
+	in = testInput(t)
+	in.maxRSS = 1 << 30
+	rep = runOracle(in)
+	if rep.Passed || !violationMatching(rep, "RSS") {
+		t.Fatalf("RSS breach not flagged: %v", rep.Violations)
+	}
+}
+
+func TestOracleLeaksAndExits(t *testing.T) {
+	in := testInput(t)
+	in.finalGoroutines = in.baselineGoroutines + goroutineSlack + 1
+	rep := runOracle(in)
+	if rep.Passed || !violationMatching(rep, "goroutines") {
+		t.Fatalf("goroutine leak not flagged: %v", rep.Violations)
+	}
+
+	in = testInput(t)
+	in.serverExits = []int{0, 137}
+	rep = runOracle(in)
+	if rep.Passed || !violationMatching(rep, "code 137") {
+		t.Fatalf("dirty exit not flagged: %v", rep.Violations)
+	}
+}
+
+func TestOracleStatsIdentity(t *testing.T) {
+	in := testInput(t)
+	in.statsSubmitted = 7 // != terminal+live 5
+	rep := runOracle(in)
+	if rep.Passed || !violationMatching(rep, "identity") {
+		t.Fatalf("broken identity not flagged: %v", rep.Violations)
+	}
+}
+
+func TestOracleCoverage(t *testing.T) {
+	in := testInput(t)
+	delete(in.ledgers[0].Ops, "async") // scheduled class never ran
+	rep := runOracle(in)
+	if rep.Passed || !violationMatching(rep, "never ran") {
+		t.Fatalf("missing class not flagged: %v", rep.Violations)
+	}
+
+	// Burst weight obligates at least one observed 429.
+	sc, err := parseScenario("t", "phase p 1s rate=10 mix=sync:1,async:1,burst:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in = testInput(t)
+	in.scenario = sc
+	in.ledgers[0].Ops["burst"] = 3
+	rep = runOracle(in)
+	if rep.Passed || !violationMatching(rep, "429") {
+		t.Fatalf("missing 429 coverage not flagged: %v", rep.Violations)
+	}
+	in.ledgers[0].Outcomes["burst.429"] = 2
+	if rep := runOracle(in); !rep.Passed {
+		t.Fatalf("429 coverage satisfied but still failing: %v", rep.Violations)
+	}
+}
+
+func TestP99(t *testing.T) {
+	if got := p99(nil); got != 0 {
+		t.Fatalf("p99(nil) = %d", got)
+	}
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = int64(i + 1)
+	}
+	if got := p99(vals); got != 100 {
+		t.Fatalf("p99(1..100) = %d", got)
+	}
+	if got := p99([]int64{5}); got != 5 {
+		t.Fatalf("p99([5]) = %d", got)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	rep := runOracle(testInput(t))
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := writeReport(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := filepath.Glob(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpKindNamesCoverEnum pins the report keys to the workload enum.
+func TestOpKindNamesCoverEnum(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range opKindNames {
+		name := k.String()
+		if strings.HasPrefix(name, "OpKind(") {
+			t.Fatalf("enum value %d has no name", int(k))
+		}
+		if seen[name] {
+			t.Fatalf("duplicate op kind name %q", name)
+		}
+		seen[name] = true
+	}
+}

@@ -1,0 +1,257 @@
+// The scenario DSL: a soak run is a sequence of timed phases, each
+// with a target op rate and a traffic mix, interleaved with server
+// restart directives. Scenarios come from a file or from the builtin
+// "mixed" scenario scaled to the -duration flag.
+//
+// Grammar (line-oriented; '#' starts a comment):
+//
+//	phase <name> <duration> rate=<ops/s> mix=<class:w,...> \
+//	      [fresh=<permil>] [faults=<spec>] [restart]
+//	restart
+//
+// A trailing `restart` on a phase line restarts the server at the
+// phase midpoint while the drivers keep hammering — the chaos case. A
+// standalone `restart` line restarts between phases — the orderly
+// case. `faults=` re-arms the server's fault injector for the phase
+// (via POST /debug/soak) and restores the base spec afterwards;
+// `fresh=` sets the permil of unique (cache-cold) patterns, which is
+// how an overload phase defeats the result cache to provoke 429s.
+
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"dspaddr/internal/faults"
+	"dspaddr/internal/workload"
+)
+
+// phaseSpec is one timed load phase.
+type phaseSpec struct {
+	Name     string
+	Duration time.Duration
+	// Rate is the target op rate across all clients (ops/second).
+	Rate int
+	Mix  workload.Mix
+	// FreshPermil overrides the generator's unique-pattern fraction
+	// (0 = generator default).
+	FreshPermil int
+	// Faults re-arms the injector for this phase ("" = leave as is).
+	Faults string
+	// RestartMid restarts the server at the phase midpoint, under load.
+	RestartMid bool
+}
+
+// step is one scenario element: a phase or a between-phase restart.
+type step struct {
+	Phase   *phaseSpec
+	Restart bool
+}
+
+// scenario is a full soak run description.
+type scenario struct {
+	Name  string
+	Steps []step
+}
+
+// phases lists the scenario's phases in order.
+func (s *scenario) phases() []*phaseSpec {
+	var out []*phaseSpec
+	for _, st := range s.Steps {
+		if st.Phase != nil {
+			out = append(out, st.Phase)
+		}
+	}
+	return out
+}
+
+// totalDuration sums the phase durations.
+func (s *scenario) totalDuration() time.Duration {
+	var d time.Duration
+	for _, p := range s.phases() {
+		d += p.Duration
+	}
+	return d
+}
+
+// expectations derives what the oracle must see from what the
+// scenario promises to generate.
+type expectations struct {
+	// Classes that must appear in the op counts.
+	Classes []workload.OpKind
+	// Expect429 when any phase carries burst weight: the overload wave
+	// must actually bounce off admission at least once.
+	Expect429 bool
+	// Restarts is the number of restart directives (mid-phase and
+	// between-phase); the harness must observe that many clean exits
+	// before the final one.
+	Restarts int
+}
+
+// expect derives the oracle's coverage obligations.
+func (s *scenario) expect() expectations {
+	var e expectations
+	var mix workload.Mix
+	for _, st := range s.Steps {
+		if st.Restart {
+			e.Restarts++
+		}
+		if st.Phase == nil {
+			continue
+		}
+		if st.Phase.RestartMid {
+			e.Restarts++
+		}
+		m := st.Phase.Mix
+		mix.Sync += m.Sync
+		mix.Batch += m.Batch
+		mix.Async += m.Async
+		mix.Burst += m.Burst
+		mix.Cancel += m.Cancel
+		mix.BigN += m.BigN
+	}
+	add := func(k workload.OpKind, w int) {
+		if w > 0 {
+			e.Classes = append(e.Classes, k)
+		}
+	}
+	add(workload.OpSync, mix.Sync)
+	add(workload.OpBatch, mix.Batch)
+	add(workload.OpAsync, mix.Async)
+	add(workload.OpAsyncBurst, mix.Burst)
+	add(workload.OpCancel, mix.Cancel)
+	add(workload.OpBigN, mix.BigN)
+	e.Expect429 = mix.Burst > 0
+	return e
+}
+
+// parseScenario reads the DSL.
+func parseScenario(name, text string) (*scenario, error) {
+	sc := &scenario{Name: name}
+	for lineno, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "restart":
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("scenario line %d: restart takes no arguments", lineno+1)
+			}
+			sc.Steps = append(sc.Steps, step{Restart: true})
+		case "phase":
+			p, err := parsePhase(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("scenario line %d: %w", lineno+1, err)
+			}
+			sc.Steps = append(sc.Steps, step{Phase: p})
+		default:
+			return nil, fmt.Errorf("scenario line %d: unknown directive %q", lineno+1, fields[0])
+		}
+	}
+	if len(sc.phases()) == 0 {
+		return nil, fmt.Errorf("scenario %q has no phases", name)
+	}
+	return sc, nil
+}
+
+// parsePhase reads the fields after the "phase" keyword.
+func parsePhase(fields []string) (*phaseSpec, error) {
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("phase needs a name and a duration")
+	}
+	p := &phaseSpec{Name: fields[0]}
+	dur, err := time.ParseDuration(fields[1])
+	if err != nil || dur <= 0 {
+		return nil, fmt.Errorf("bad phase duration %q", fields[1])
+	}
+	p.Duration = dur
+	sawMix, sawRate := false, false
+	for _, f := range fields[2:] {
+		if f == "restart" {
+			p.RestartMid = true
+			continue
+		}
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad phase option %q (want key=value or restart)", f)
+		}
+		switch key {
+		case "rate":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad rate %q", val)
+			}
+			p.Rate, sawRate = n, true
+		case "mix":
+			m, err := workload.ParseMix(val)
+			if err != nil {
+				return nil, err
+			}
+			p.Mix, sawMix = m, true
+		case "fresh":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 || n > 1000 {
+				return nil, fmt.Errorf("bad fresh permil %q (want 1..1000)", val)
+			}
+			p.FreshPermil = n
+		case "faults":
+			if _, err := faults.Parse(val); err != nil {
+				return nil, fmt.Errorf("bad phase faults spec: %w", err)
+			}
+			p.Faults = val
+		default:
+			return nil, fmt.Errorf("unknown phase option %q", key)
+		}
+	}
+	if !sawRate || !sawMix {
+		return nil, fmt.Errorf("phase %q needs rate= and mix=", p.Name)
+	}
+	return p, nil
+}
+
+// builtinMixed is the default scenario scaled to a total duration: a
+// warmup, a deliberate 429 overload wave (cache-cold traffic against
+// slowed solves), a chaos phase with a mid-phase restart under load, a
+// steady full mix with cancels and pathological large-N jobs, and a
+// cooldown. Phases never shrink below one second, so very short total
+// durations stretch slightly rather than degenerate.
+func builtinMixed(total time.Duration) *scenario {
+	slice := func(permil int) time.Duration {
+		d := total * time.Duration(permil) / 1000
+		if d < time.Second {
+			d = time.Second
+		}
+		return d.Round(10 * time.Millisecond)
+	}
+	mustMix := func(s string) workload.Mix {
+		m, err := workload.ParseMix(s)
+		if err != nil {
+			panic(err) // fixture specs
+		}
+		return m
+	}
+	return &scenario{
+		Name: "mixed",
+		Steps: []step{
+			{Phase: &phaseSpec{Name: "warmup", Duration: slice(150), Rate: 40,
+				Mix: mustMix("sync:3,async:5")}},
+			{Phase: &phaseSpec{Name: "overload", Duration: slice(200), Rate: 120,
+				Mix: mustMix("async:2,burst:3"), FreshPermil: 1000,
+				Faults: "delay=60ms"}},
+			{Phase: &phaseSpec{Name: "chaos", Duration: slice(300), Rate: 60,
+				Mix: mustMix("sync:3,async:4,cancel:2,bign:1"), RestartMid: true}},
+			{Phase: &phaseSpec{Name: "steady", Duration: slice(250), Rate: 60,
+				Mix: mustMix("sync:3,batch:1,async:4,cancel:1,bign:1")}},
+			{Phase: &phaseSpec{Name: "cooldown", Duration: slice(100), Rate: 20,
+				Mix: mustMix("sync:1")}},
+		},
+	}
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dspaddr/internal/workload"
+)
+
+func TestParseScenario(t *testing.T) {
+	text := `
+# a comment
+phase warmup 5s rate=40 mix=sync:3,async:5
+phase overload 10s rate=120 mix=async:2,burst:3 fresh=1000 faults=delay=60ms
+restart
+phase chaos 20s rate=60 mix=sync:3,async:4,cancel:2,bign:1 restart
+`
+	sc, err := parseScenario("t", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := sc.phases()
+	if len(phases) != 3 || len(sc.Steps) != 4 {
+		t.Fatalf("parsed %d phases / %d steps", len(phases), len(sc.Steps))
+	}
+	if phases[0].Name != "warmup" || phases[0].Duration != 5*time.Second || phases[0].Rate != 40 {
+		t.Fatalf("warmup parsed as %+v", phases[0])
+	}
+	if phases[1].FreshPermil != 1000 || phases[1].Faults != "delay=60ms" {
+		t.Fatalf("overload parsed as %+v", phases[1])
+	}
+	if !phases[2].RestartMid {
+		t.Fatal("chaos restart flag lost")
+	}
+	if got := sc.totalDuration(); got != 35*time.Second {
+		t.Fatalf("total duration %v", got)
+	}
+
+	exp := sc.expect()
+	if !exp.Expect429 {
+		t.Error("burst weight present but Expect429 false")
+	}
+	if exp.Restarts != 2 {
+		t.Errorf("restarts %d, want 2 (one standalone + one mid-phase)", exp.Restarts)
+	}
+	want := map[workload.OpKind]bool{
+		workload.OpSync: true, workload.OpAsync: true, workload.OpAsyncBurst: true,
+		workload.OpCancel: true, workload.OpBigN: true,
+	}
+	if len(exp.Classes) != len(want) {
+		t.Fatalf("expected classes %v", exp.Classes)
+	}
+	for _, c := range exp.Classes {
+		if !want[c] {
+			t.Errorf("unexpected class %s", c)
+		}
+	}
+}
+
+func TestParseScenarioRejects(t *testing.T) {
+	for _, bad := range []string{
+		"",                                   // no phases
+		"restart",                            // restarts only
+		"phase p 5s mix=sync:1",              // missing rate
+		"phase p 5s rate=10",                 // missing mix
+		"phase p 0s rate=10 mix=sync:1",      // zero duration
+		"phase p 5s rate=10 mix=warp:1",      // bad mix class
+		"phase p 5s rate=10 mix=sync:1 x=1",  // unknown option
+		"phase p 5s rate=10 mix=sync:1 junk", // non-option token
+		"phase p 5s rate=10 mix=sync:1 faults=zzz=1", // bad faults spec
+		"teleport now",                       // unknown directive
+		"restart please",                     // restart with args
+		"phase p 5s rate=10 mix=sync:1 fresh=2000", // permil out of range
+	} {
+		if _, err := parseScenario("bad", bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestBuiltinMixedScales(t *testing.T) {
+	sc := builtinMixed(60 * time.Second)
+	if len(sc.phases()) != 5 {
+		t.Fatalf("builtin has %d phases", len(sc.phases()))
+	}
+	total := sc.totalDuration()
+	if total < 55*time.Second || total > 65*time.Second {
+		t.Fatalf("builtin at 60s scales to %v", total)
+	}
+	exp := sc.expect()
+	if !exp.Expect429 || exp.Restarts != 1 {
+		t.Fatalf("builtin expectations %+v", exp)
+	}
+	// The overload wave must defeat the cache (all-fresh traffic) and
+	// slow the solver, or the 429 coverage obligation is unmeetable.
+	var overload *phaseSpec
+	for _, p := range sc.phases() {
+		if p.Name == "overload" {
+			overload = p
+		}
+	}
+	if overload == nil || overload.FreshPermil != 1000 || overload.Faults == "" {
+		t.Fatalf("overload phase not cache-defeating: %+v", overload)
+	}
+
+	// Very short totals must not degenerate below 1s phases.
+	for _, p := range builtinMixed(3 * time.Second).phases() {
+		if p.Duration < time.Second {
+			t.Fatalf("phase %s shrank to %v", p.Name, p.Duration)
+		}
+	}
+}
+
+func TestScenarioCommentsAndBlanks(t *testing.T) {
+	sc, err := parseScenario("c", "\n\n# only\nphase p 1s rate=1 mix=sync:1 # trailing\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Steps) != 1 {
+		t.Fatalf("steps %d", len(sc.Steps))
+	}
+	if strings.Contains(sc.phases()[0].Name, "#") {
+		t.Fatal("comment leaked into phase name")
+	}
+}

@@ -1,0 +1,87 @@
+//go:build soak_smoke
+
+// The out-of-process integration smoke: run the whole harness — which
+// builds and execs the real rcaserve binary, drives one short mixed
+// burst from real driver subprocesses, SIGTERMs the server — and
+// assert the machine-readable verdict: exit 0, clean server exits,
+// zero lost or duplicated jobs, final /v1/stats consistent. Gated
+// behind the soak_smoke build tag because it compiles two binaries
+// and runs ~10s of wall clock:
+//
+//	go test -tags soak_smoke -run TestSoakSmoke ./cmd/rcasoak
+
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestSoakSmoke(t *testing.T) {
+	dir := t.TempDir()
+	scenarioPath := filepath.Join(dir, "smoke.scenario")
+	// One mixed burst: sync, async and cancel traffic with faults armed
+	// (delay + forced errors), no overload wave (a 6s run cannot
+	// guarantee a 429, and the oracle would hold us to it).
+	scenario := "phase smoke 6s rate=40 mix=sync:3,async:5,cancel:1 faults=delay=10ms:2,error=64\n"
+	if err := os.WriteFile(scenarioPath, []byte(scenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reportPath := filepath.Join(dir, "report.json")
+
+	// The driver subprocesses re-exec the harness binary itself, so the
+	// harness must run as a real process — `go run`, not an in-test
+	// call (the test binary's main is the test runner).
+	cmd := exec.Command("go", "run", "dspaddr/cmd/rcasoak",
+		"-scenario", scenarioPath,
+		"-clients", "2",
+		"-seed", "7",
+		"-grace", "5s",
+		"-report", reportPath,
+	)
+	out, err := cmd.CombinedOutput()
+	t.Logf("rcasoak output:\n%s", out)
+	if err != nil {
+		t.Fatalf("rcasoak exited non-zero: %v", err)
+	}
+
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatalf("reading report: %v", err)
+	}
+	var rep soakReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("parsing report: %v", err)
+	}
+
+	if !rep.Passed {
+		t.Fatalf("report failed: %v", rep.Violations)
+	}
+	if rep.JobsLost != 0 {
+		t.Fatalf("%d jobs lost", rep.JobsLost)
+	}
+	if rep.JobsAccepted == 0 || rep.JobsResolved != rep.JobsAccepted {
+		t.Fatalf("job accounting: accepted %d resolved %d", rep.JobsAccepted, rep.JobsResolved)
+	}
+	for _, class := range []string{"sync", "async", "cancel"} {
+		if rep.Ops[class] == 0 {
+			t.Errorf("op class %s never ran", class)
+		}
+	}
+	// The SIGTERM shutdown must have been clean (exit 0) and the final
+	// /v1/stats identity must have held.
+	if len(rep.ServerExits) == 0 {
+		t.Fatal("no server exits recorded")
+	}
+	for i, code := range rep.ServerExits {
+		if code != 0 {
+			t.Errorf("server exit %d: code %d", i, code)
+		}
+	}
+	if !rep.StatsIdentityOK {
+		t.Error("final /v1/stats accounting identity broken")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"dspaddr/internal/core"
+	"dspaddr/internal/faults"
 	"dspaddr/internal/merge"
 	"dspaddr/internal/model"
 )
@@ -124,6 +125,11 @@ type Options struct {
 	// across all shards; 0 means DefaultCacheSize, negative disables
 	// result retention (single-flight dedup stays active).
 	CacheSize int
+	// Faults is the opt-in chaos hook for soak builds: an armed
+	// injector can stall or fail solves on the single-flight leader
+	// (see internal/faults). nil — the production default — costs one
+	// pointer compare per solve and nothing else.
+	Faults *faults.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -420,10 +426,18 @@ func (e *Engine) runLeader(ctx context.Context, solver *core.Solver, key cacheKe
 	}
 	var v any
 	var err error
-	if t.kind == taskPattern {
-		v, err = e.solve(solveCtx, solver, t.req)
-	} else {
-		v, err = e.solveLoop(solveCtx, solver, t.loop)
+	// Soak builds may arm a fault injector; it runs on the leader so
+	// an injected stall or failure is shared by the whole flight,
+	// exactly like an organic slow or failing solve.
+	if inj := e.opts.Faults; inj != nil {
+		err = inj.BeforeSolve(solveCtx)
+	}
+	if err == nil {
+		if t.kind == taskPattern {
+			v, err = e.solve(solveCtx, solver, t.req)
+		} else {
+			v, err = e.solveLoop(solveCtx, solver, t.loop)
+		}
 	}
 	if cancel != nil {
 		cancel()

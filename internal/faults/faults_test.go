@@ -1,0 +1,135 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		spec, want string
+	}{
+		{"none", "none"},
+		{"delay=20ms:4", "delay=20ms:4"},
+		{"delay=5ms", "delay=5ms:1"},
+		{"error=128", "error=128"},
+		{"ttl-div=100", "ttl-div=100"},
+		{"delay=20ms:4,error=128,ttl-div=10", "delay=20ms:4,error=128,ttl-div=10"},
+		{" delay=1ms:2 , error=3 ", "delay=1ms:2,error=3"},
+	}
+	for _, c := range cases {
+		inj, err := Parse(c.spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.spec, err)
+		}
+		if got := inj.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, spec := range []string{
+		"", "delay", "delay=", "delay=-5ms", "delay=5ms:0", "delay=5ms:x",
+		"error=0", "error=-1", "error=x", "ttl-div=0", "bogus=1", "delay=5ms,,",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", spec)
+		}
+	}
+}
+
+// TestErrorSchedule pins the counter-based determinism: error=4 fires
+// on exactly every 4th call.
+func TestErrorSchedule(t *testing.T) {
+	inj, err := Parse("error=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if err := inj.BeforeSolve(context.Background()); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("call %d: unexpected error %v", i, err)
+			}
+			fired = append(fired, i)
+		}
+	}
+	want := []int{4, 8, 12}
+	if len(fired) != len(want) {
+		t.Fatalf("errors fired on calls %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("errors fired on calls %v, want %v", fired, want)
+		}
+	}
+	if st := inj.Snapshot(); st.Errors != 3 || st.Calls != 12 {
+		t.Errorf("snapshot %+v, want 3 errors over 12 calls", st)
+	}
+}
+
+// TestDelayHonorsContext asserts an injected stall unwinds as soon as
+// the solve context is canceled — fault injection must not defeat
+// cooperative cancellation.
+func TestDelayHonorsContext(t *testing.T) {
+	inj, err := Parse("delay=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if err := inj.BeforeSolve(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BeforeSolve = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("injected delay ignored cancellation (%v)", elapsed)
+	}
+}
+
+func TestTTLDivision(t *testing.T) {
+	inj, err := Parse("ttl-div=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.TTL(15 * time.Minute); got != 9*time.Second {
+		t.Errorf("TTL(15m) with div 100 = %v, want 9s", got)
+	}
+	// Floored so results stay fetchable at least briefly.
+	if got := inj.TTL(10 * time.Millisecond); got != time.Millisecond {
+		t.Errorf("TTL floor = %v, want 1ms", got)
+	}
+	idle, _ := Parse("none")
+	if got := idle.TTL(time.Minute); got != time.Minute {
+		t.Errorf("idle injector changed TTL: %v", got)
+	}
+}
+
+func TestRearm(t *testing.T) {
+	inj, err := Parse("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.BeforeSolve(context.Background()); err != nil {
+		t.Fatalf("idle injector errored: %v", err)
+	}
+	if err := inj.Rearm("error=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.BeforeSolve(context.Background()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rearmed injector did not fire: %v", err)
+	}
+	if err := inj.Rearm("not-a-spec"); err == nil {
+		t.Fatal("Rearm accepted a bad spec")
+	}
+	// A failed rearm leaves the old schedule in place.
+	if got := inj.String(); got != "error=1" {
+		t.Errorf("schedule after failed rearm: %q", got)
+	}
+}

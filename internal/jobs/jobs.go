@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dspaddr/internal/faults"
 	"dspaddr/internal/stats"
 )
 
@@ -76,6 +77,11 @@ var (
 	ErrClosed = errors.New("jobs: manager closed")
 	// ErrFinished is returned by Cancel for an already-terminal job.
 	ErrFinished = errors.New("jobs: job already finished")
+	// ErrShutdown is the failure reason recorded on jobs the manager
+	// aborted because it was shutting down — distinguishable from a
+	// client-requested cancel, so a poller (or a soak oracle) can tell
+	// "the server stopped" from "someone canceled me".
+	ErrShutdown = errors.New("jobs: aborted by shutdown")
 )
 
 // Runner executes one job payload. The context is canceled when the
@@ -113,6 +119,11 @@ type Options struct {
 	// contexts map to StateCanceled, deadline errors to StateTimeout,
 	// everything else to StateFailed).
 	FailState func(error) State
+	// Faults is the opt-in chaos hook for soak builds: an armed
+	// injector's ttl-div clause accelerates result-store expiry (the
+	// effective TTL is Faults.TTL(TTL)). nil — the production default
+	// — is free.
+	Faults *faults.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -124,6 +135,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.TTL <= 0 {
 		o.TTL = DefaultTTL
+	}
+	if o.Faults != nil {
+		o.TTL = o.Faults.TTL(o.TTL)
 	}
 	if o.Runners <= 0 {
 		o.Runners = DefaultRunners
@@ -176,8 +190,9 @@ type Status struct {
 	RunTime time.Duration
 	// Result is the Runner's return value; non-nil only in StateDone.
 	Result any
-	// Err is the failure; non-nil only in the failed/timeout states
-	// and for canceled jobs that had started running.
+	// Err is the failure; non-nil in the failed/timeout states, for
+	// canceled jobs that had started running, and for jobs aborted by
+	// shutdown (ErrShutdown).
 	Err error
 }
 
@@ -253,6 +268,13 @@ type Manager struct {
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 	closed    chan struct{}
+
+	// draining closes before closed during a graceful Shutdown: it
+	// stops admission (submitters see ErrClosed) while the dispatchers
+	// keep working the backlog, so in-flight jobs finish instead of
+	// being canceled the instant the listener stops.
+	drainOnce sync.Once
+	draining  chan struct{}
 }
 
 // New starts a manager with its dispatcher pool and TTL janitor. The
@@ -270,8 +292,9 @@ func New(opts Options) *Manager {
 		opts:   opts,
 		queue:  newQueue(opts.QueueCapacity),
 		store:  newStore(opts.StoreCapacity, opts.TTL),
-		prefix: hex.EncodeToString(pfx[:]),
-		closed: make(chan struct{}),
+		prefix:   hex.EncodeToString(pfx[:]),
+		closed:   make(chan struct{}),
+		draining: make(chan struct{}),
 	}
 	m.baseCtx, m.baseCancel = context.WithCancel(context.Background())
 	for i := 0; i < opts.Runners; i++ {
@@ -284,20 +307,53 @@ func New(opts Options) *Manager {
 }
 
 // Close stops accepting submissions, cancels running jobs, marks
-// still-queued jobs canceled and waits for the dispatchers to drain.
-// Idempotent.
+// still-queued jobs canceled with ErrShutdown as the reason and waits
+// for the dispatchers to drain. Idempotent.
 func (m *Manager) Close() {
-	m.closeOnce.Do(func() {
+	m.drainOnce.Do(func() {
 		m.closeMu.Lock()
-		close(m.closed)
+		close(m.draining)
 		m.closeMu.Unlock()
+	})
+	m.closeOnce.Do(func() {
+		close(m.closed)
 		m.baseCancel()
 	})
 	now := time.Now()
 	for _, rec := range m.queue.drain() {
-		m.finishCanceled(rec, now)
+		m.finishAborted(rec, now, ErrShutdown)
 	}
 	m.wg.Wait()
+}
+
+// Shutdown is the graceful form of Close: it stops admission
+// immediately, then lets the dispatchers keep draining queued and
+// running jobs until everything is terminal or ctx expires, and only
+// then force-closes (canceling whatever is left, which is recorded
+// with ErrShutdown / a canceled context as its reason). A process
+// that calls Shutdown before exiting never leaves a job observable in
+// a non-terminal state: every admitted job has resolved by the time
+// Shutdown returns.
+func (m *Manager) Shutdown(ctx context.Context) {
+	m.drainOnce.Do(func() {
+		m.closeMu.Lock()
+		close(m.draining)
+		m.closeMu.Unlock()
+	})
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	for m.depth.Load()+m.running.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			m.Close()
+			return
+		case <-m.closed: // concurrent Close wins
+			m.wg.Wait()
+			return
+		case <-ticker.C:
+		}
+	}
+	m.Close()
 }
 
 // Submit admits one job at the given priority (higher runs first) and
@@ -321,7 +377,7 @@ func (m *Manager) SubmitAll(payloads []any, priority int) ([]string, error) {
 	m.closeMu.RLock()
 	defer m.closeMu.RUnlock()
 	select {
-	case <-m.closed:
+	case <-m.draining: // closed by Shutdown and Close alike
 		return nil, ErrClosed
 	default:
 	}
@@ -393,9 +449,16 @@ func (m *Manager) Cancel(id string) (Status, error) {
 }
 
 // finishCanceled moves a queued record straight to canceled (Cancel
-// on a queued job, or Close draining the queue). The record stays in
-// the heap until a dispatcher pops and skips it.
+// on a queued job). The record stays in the heap until a dispatcher
+// pops and skips it.
 func (m *Manager) finishCanceled(rec *record, now time.Time) {
+	m.finishAborted(rec, now, nil)
+}
+
+// finishAborted is finishCanceled with a recorded reason; the
+// shutdown paths use it so a job killed by the server stopping says
+// so instead of looking like a client cancel.
+func (m *Manager) finishAborted(rec *record, now time.Time, reason error) {
 	rec.mu.Lock()
 	if rec.state != StateQueued {
 		rec.mu.Unlock()
@@ -403,6 +466,7 @@ func (m *Manager) finishCanceled(rec *record, now time.Time) {
 	}
 	rec.state = StateCanceled
 	rec.finished = now
+	rec.err = reason
 	rec.mu.Unlock()
 	m.depth.Add(-1)
 	m.canceled.Add(1)
@@ -462,8 +526,11 @@ func (m *Manager) dispatch() {
 		payload := rec.payload
 		rec.mu.Unlock()
 
-		m.depth.Add(-1)
+		// running rises before depth falls so the depth+running sum —
+		// Shutdown's "work left" probe — never transiently reads zero
+		// while a job is changing hands.
 		m.running.Add(1)
+		m.depth.Add(-1)
 		m.waitLat.Observe(now.Sub(rec.submitted))
 
 		out, err := m.opts.Run(ctx, payload)

@@ -1,0 +1,143 @@
+// Graceful-drain semantics: Shutdown must leave every admitted job in
+// a terminal state — finished naturally inside the grace window, or
+// aborted with a recorded reason — so a restarting process never
+// strands a job observable as queued or running. These are the
+// invariants the soak harness's SIGTERM/restart cycles assert from
+// outside the process boundary.
+
+package jobs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestShutdownDrainsBacklog: jobs that can finish inside the grace
+// window do, with their results intact — Shutdown is not Close.
+func TestShutdownDrainsBacklog(t *testing.T) {
+	slowEcho := func(ctx context.Context, payload any) (any, error) {
+		select {
+		case <-time.After(5 * time.Millisecond):
+			return payload, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	m := New(Options{Run: slowEcho, Runners: 2})
+	ids := make([]string, 0, 8)
+	for i := 0; i < 8; i++ {
+		id, err := m.Submit(i, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	m.Shutdown(ctx)
+
+	for i, id := range ids {
+		st, err := m.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s) after drain: %v", id, err)
+		}
+		if st.State != StateDone {
+			t.Errorf("job %d: state %s after graceful drain, want done", i, st.State)
+		}
+		if st.Result != i {
+			t.Errorf("job %d: result %v", i, st.Result)
+		}
+	}
+	if mt := m.Metrics(); mt.QueueDepth != 0 || mt.Running != 0 || mt.Done != 8 {
+		t.Errorf("metrics after drain: %+v", mt)
+	}
+}
+
+// TestShutdownAbortsWithReason: work that cannot finish inside the
+// grace window is aborted, and both queued and running victims carry
+// a shutdown reason — never a silent cancel, never a non-terminal
+// state.
+func TestShutdownAbortsWithReason(t *testing.T) {
+	g := newGatedRunner() // never released: jobs block until canceled
+	m := New(Options{Run: g.run, Runners: 1})
+	var ids []string
+	for i := 0; i < 4; i++ { // 1 will be running, 3 queued
+		id, err := m.Submit(i, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	m.Shutdown(ctx)
+
+	for i, id := range ids {
+		st, err := m.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s) after shutdown: %v", id, err)
+		}
+		if !st.State.Terminal() {
+			t.Fatalf("job %d stuck in %s after Shutdown", i, st.State)
+		}
+		if st.State != StateCanceled {
+			t.Errorf("job %d: state %s, want canceled", i, st.State)
+		}
+		if st.Err == nil {
+			t.Errorf("job %d: aborted without a recorded reason", i)
+		} else if !errors.Is(st.Err, ErrShutdown) && !errors.Is(st.Err, context.Canceled) {
+			t.Errorf("job %d: reason %v, want ErrShutdown or context.Canceled", i, st.Err)
+		}
+	}
+}
+
+// TestShutdownStopsAdmission: the first effect of Shutdown is
+// ErrClosed for new submitters, even while the backlog is still
+// draining.
+func TestShutdownStopsAdmission(t *testing.T) {
+	g := newGatedRunner()
+	m := New(Options{Run: g.run, Runners: 1})
+	if _, err := m.Submit("held", 0); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	}()
+	// Admission must close promptly, long before the drain completes.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := m.Submit("late", 0); errors.Is(err, ErrClosed) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Submit still admitted during drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(g.release)
+	<-done
+}
+
+// TestShutdownThenCloseIdempotent: the shutdown paths can overlap —
+// rcaserve calls drain then its deferred close — without panics or
+// deadlocks.
+func TestShutdownThenCloseIdempotent(t *testing.T) {
+	m := New(Options{Run: echoRunner, Runners: 2})
+	if _, err := m.Submit("x", 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	m.Shutdown(ctx)
+	m.Close()
+	m.Close()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel2()
+	m.Shutdown(ctx2)
+}

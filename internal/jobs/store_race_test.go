@@ -1,0 +1,224 @@
+// Expiry/tombstone races in the result store, exercised under -race
+// with accelerated clocks. The store takes explicit `now` values, so
+// these tests drive it with a synthetic clock running arbitrarily
+// faster than real time: lookups, finishes, janitor sweeps and
+// capacity evictions interleave across goroutines while the clock
+// leaps past TTL horizons. The invariants:
+//
+//   - expiry is terminal: once an ID has answered ErrEvicted, it
+//     never resurrects to a live record or to ErrNotFound-then-found;
+//   - an expired record answers ErrEvicted (the HTTP 410), not
+//     ErrNotFound, while its tombstone lives;
+//   - a canceled job's ID behaves identically — cancellation plus
+//     expiry never revives it.
+
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// syntheticClock hands out monotonically increasing times, advancing
+// a configurable stride per reading — hours of TTL traffic in
+// milliseconds of wall time, shared race-safely across goroutines.
+type syntheticClock struct {
+	base   time.Time
+	nanos  atomic.Int64
+	stride int64
+}
+
+func newSyntheticClock(stride time.Duration) *syntheticClock {
+	return &syntheticClock{base: time.Now(), stride: int64(stride)}
+}
+
+func (c *syntheticClock) now() time.Time {
+	return c.base.Add(time.Duration(c.nanos.Add(c.stride)))
+}
+
+// TestStoreExpiryRaceAcceleratedClock hammers one store from writer,
+// reader and sweeper goroutines on a fast synthetic clock and asserts
+// eviction is irreversible and always distinguishable from
+// never-existed while tombstoned.
+func TestStoreExpiryRaceAcceleratedClock(t *testing.T) {
+	const (
+		writers   = 4
+		perWriter = 300
+		ttl       = 50 * time.Millisecond // synthetic; crossed every few readings
+		storeCap  = 64
+	)
+	s := newStore(storeCap, ttl)
+	clock := newSyntheticClock(time.Millisecond)
+
+	// evicted flips exactly once per ID; a get that succeeds after the
+	// flip is a resurrection.
+	var evicted sync.Map // id -> struct{}
+
+	ids := make(chan string, writers*perWriter)
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				id := fmt.Sprintf("j-%d-%d", w, i)
+				rec := &record{id: id, state: StateDone}
+				s.put(rec)
+				now := clock.now()
+				s.finish(rec, now.Add(ttl))
+				ids <- id
+			}
+		}(w)
+	}
+
+	var readErr atomic.Value
+	fail := func(format string, args ...any) {
+		readErr.CompareAndSwap(nil, fmt.Sprintf(format, args...))
+	}
+	var readerWG sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for id := range ids {
+				// Poll each ID a few times across an expiry horizon.
+				for k := 0; k < 6; k++ {
+					now := clock.now()
+					rec, err := s.get(id, now)
+					switch {
+					case err == nil:
+						if _, dead := evicted.Load(id); dead {
+							fail("id %s resurrected after eviction", id)
+							return
+						}
+						if rec.id != id {
+							fail("get(%s) returned record %s (aliasing)", id, rec.id)
+							return
+						}
+					case errors.Is(err, ErrEvicted):
+						evicted.Store(id, struct{}{})
+					case errors.Is(err, ErrNotFound):
+						// Legal only once the tombstone ring recycled the
+						// ID — which also means it was evicted first.
+						evicted.Store(id, struct{}{})
+					default:
+						fail("get(%s): unexpected error %v", id, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Janitor stand-in: sweep concurrently on the same fast clock.
+	sweepCtx, stopSweep := context.WithCancel(context.Background())
+	var sweepWG sync.WaitGroup
+	sweepWG.Add(1)
+	go func() {
+		defer sweepWG.Done()
+		for sweepCtx.Err() == nil {
+			s.sweep(clock.now())
+		}
+	}()
+
+	writerWG.Wait()
+	close(ids) // readers drain the backlog and exit
+	readerWG.Wait()
+	stopSweep()
+	sweepWG.Wait()
+	if msg := readErr.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+
+	// Every record is now long past its TTL on the synthetic clock:
+	// one final sweep must leave the store empty, and recent IDs must
+	// answer ErrEvicted (410), not ErrNotFound.
+	far := clock.now().Add(time.Hour)
+	s.sweep(far)
+	if n := s.size.Load(); n != 0 {
+		t.Fatalf("store holds %d records after full expiry", n)
+	}
+	recent := fmt.Sprintf("j-%d-%d", writers-1, perWriter-1)
+	if _, err := s.get(recent, far); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("get(%s) after expiry = %v, want ErrEvicted", recent, err)
+	}
+}
+
+// TestManagerExpiryLifecycleAccelerated runs the full manager with a
+// fault-accelerated TTL: finished and canceled jobs must answer 410
+// (ErrEvicted) after expiry and never resurrect — the canceled-ID
+// case guards the cancel/expire interleaving the soak cancel storms
+// exercise.
+func TestManagerExpiryLifecycleAccelerated(t *testing.T) {
+	g := newGatedRunner()
+	m := New(Options{Run: g.run, Runners: 1, TTL: 20 * time.Millisecond})
+	defer m.Close()
+
+	// One job runs (gated), one sits queued behind it and is canceled.
+	runID, err := m.Submit("run", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelID, err := m.Submit("cancel-me", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the first job is actually running so the second is
+	// genuinely canceled-from-queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := m.Get(runID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := m.Cancel(cancelID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	close(g.release)
+	if st := waitState(t, m, runID); st.State != StateDone {
+		t.Fatalf("run job state %s", st.State)
+	}
+
+	// Both IDs expire; polls race the janitor. Every post-expiry
+	// answer must be ErrEvicted, and once evicted an ID stays evicted.
+	for _, id := range []string{runID, cancelID} {
+		sawEvicted := false
+		pollDeadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(pollDeadline) {
+			_, err := m.Get(id)
+			switch {
+			case err == nil:
+				if sawEvicted {
+					t.Fatalf("id %s resurrected after 410", id)
+				}
+			case errors.Is(err, ErrEvicted):
+				sawEvicted = true
+			default:
+				t.Fatalf("Get(%s): %v", id, err)
+			}
+			if sawEvicted {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if !sawEvicted {
+			t.Fatalf("id %s never expired to 410", id)
+		}
+		// Cancel on an expired ID must also answer evicted, not revive.
+		if _, err := m.Cancel(id); !errors.Is(err, ErrEvicted) {
+			t.Fatalf("Cancel(%s) after expiry = %v, want ErrEvicted", id, err)
+		}
+	}
+}
