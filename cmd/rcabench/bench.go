@@ -29,6 +29,7 @@ import (
 	"dspaddr/internal/engine"
 	"dspaddr/internal/merge"
 	"dspaddr/internal/model"
+	"dspaddr/internal/obs"
 	"dspaddr/internal/pathcover"
 	"dspaddr/internal/workload"
 )
@@ -39,18 +40,33 @@ const benchSchema = 1
 // batchBenchKey and parallelBenchKey are the entries the regression
 // gate checks: the end-to-end cold-cache batch throughput of the
 // serving engine, and the warm hit-dominated parallel path across the
-// sharded cache.
+// sharded cache. batchObsBenchKey is the same cold batch run under a
+// per-request trace with the solve histogram attached — the
+// instrumented request path.
 const (
 	batchBenchKey    = "engine/batch/64xN20"
 	parallelBenchKey = "engine/parallel/8x64xN20"
+	batchObsBenchKey = "engine/batch-obs/64xN20"
 )
 
 // gatedBenchKeys lists every scenario -bench-against fails on.
-var gatedBenchKeys = []string{batchBenchKey, parallelBenchKey}
+var gatedBenchKeys = []string{batchBenchKey, parallelBenchKey, batchObsBenchKey}
 
 // regressionTolerance is how much slower (fractionally) a gated
 // benchmark may get before -bench-against fails the run.
 const regressionTolerance = 0.25
+
+// obsOverheadTolerance bounds the instrumented batch against the
+// SAME run's untraced batch (a within-run ratio, so machine speed
+// cancels out): tracing every phase of 64 jobs may cost at most this
+// fraction extra.
+const obsOverheadTolerance = 0.10
+
+// allocSlack is how many allocs/op the untraced batch may drift above
+// the committed baseline before the gate fails — the "observability
+// hooks disabled = zero extra allocations" guarantee, with a little
+// room for scheduler-dependent map growth.
+const allocSlack = 8
 
 // benchEntry is one benchmark's measured costs.
 type benchEntry struct {
@@ -161,6 +177,31 @@ func measureBaseline() (benchBaseline, error) {
 					b.Fatal(res.Err)
 				}
 			}
+		}
+	}))
+
+	// The same cold batch with full observability on: every iteration
+	// runs under a request trace (phase spans record throughout the
+	// engine and solver) and the solve histogram observes each miss.
+	// compareBaselines holds this within obsOverheadTolerance of the
+	// untraced batch above.
+	obsEng := engine.New(engine.Options{
+		Workers:   8,
+		CacheSize: -1,
+		SolveHist: obs.NewHistogram("bench_solve_seconds", "bench-only sink", nil),
+	})
+	defer obsEng.Close()
+	record(batchObsBenchKey, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := obs.NewTrace("bench")
+			ctx := obs.NewContext(context.Background(), tr)
+			for _, res := range obsEng.RunBatch(ctx, jobs) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+			tr.Release()
 		}
 	}))
 
@@ -277,6 +318,28 @@ func compareBaselines(out io.Writer, fresh, committed benchBaseline) error {
 			return fmt.Errorf("baseline gate: %s regressed %.1f%% (%.0f -> %.0f ns/op, tolerance %.0f%%)",
 				key, 100*(got.NsPerOp-was.NsPerOp)/was.NsPerOp,
 				was.NsPerOp, got.NsPerOp, 100*regressionTolerance)
+		}
+	}
+
+	// Instrumented-path overhead: traced vs untraced batch within the
+	// SAME fresh run, so the bound is machine-independent.
+	plain, obsRun := fresh.Benchmarks[batchBenchKey], fresh.Benchmarks[batchObsBenchKey]
+	if plain.NsPerOp > 0 && obsRun.NsPerOp > 0 {
+		overhead := (obsRun.NsPerOp - plain.NsPerOp) / plain.NsPerOp
+		fmt.Fprintf(out, "  tracing overhead: %+.1f%% (%s vs %s, tolerance %.0f%%)\n",
+			100*overhead, batchObsBenchKey, batchBenchKey, 100*obsOverheadTolerance)
+		if overhead > obsOverheadTolerance {
+			return fmt.Errorf("baseline gate: tracing overhead %.1f%% exceeds %.0f%% (%s %.0f ns/op vs %s %.0f ns/op)",
+				100*overhead, 100*obsOverheadTolerance,
+				batchObsBenchKey, obsRun.NsPerOp, batchBenchKey, plain.NsPerOp)
+		}
+	}
+
+	// Untraced path must not pick up allocations from the hooks.
+	if was, ok := committed.Benchmarks[batchBenchKey]; ok && was.AllocsPerOp > 0 {
+		if plain.AllocsPerOp > was.AllocsPerOp+allocSlack {
+			return fmt.Errorf("baseline gate: %s allocates %d/op vs committed %d/op — the disabled-hook path must stay allocation-free",
+				batchBenchKey, plain.AllocsPerOp, was.AllocsPerOp)
 		}
 	}
 	return nil

@@ -18,6 +18,7 @@ func testBaseline(ns float64) benchBaseline {
 			"cover/dag/N=50": {NsPerOp: 1000, AllocsPerOp: 10, BytesPerOp: 100},
 			batchBenchKey:    {NsPerOp: ns, AllocsPerOp: 500, BytesPerOp: 5000},
 			parallelBenchKey: {NsPerOp: 1000, AllocsPerOp: 400, BytesPerOp: 4000},
+			batchObsBenchKey: {NsPerOp: ns, AllocsPerOp: 501, BytesPerOp: 5050},
 		},
 	}
 }
@@ -68,6 +69,32 @@ func TestCompareBaselinesGate(t *testing.T) {
 	slowPar.Benchmarks[parallelBenchKey] = e
 	if err := compareBaselines(&out, slowPar, committed); err == nil {
 		t.Fatal("30% parallel regression passed the gate")
+	}
+
+	// Tracing overhead is a same-run ratio: an instrumented batch more
+	// than obsOverheadTolerance slower than the fresh untraced batch
+	// fails even when both are within the vs-committed tolerance.
+	slowObs := testBaseline(1000)
+	e = slowObs.Benchmarks[batchObsBenchKey]
+	e.NsPerOp = 1000 * (1 + obsOverheadTolerance + 0.05)
+	slowObs.Benchmarks[batchObsBenchKey] = e
+	if err := compareBaselines(&out, slowObs, committed); err == nil {
+		t.Fatal("excess tracing overhead passed the gate")
+	}
+
+	// The untraced batch may not gain allocations beyond allocSlack —
+	// the hooks-disabled path must stay allocation-free.
+	leaky := testBaseline(1000)
+	e = leaky.Benchmarks[batchBenchKey]
+	e.AllocsPerOp = committed.Benchmarks[batchBenchKey].AllocsPerOp + allocSlack + 1
+	leaky.Benchmarks[batchBenchKey] = e
+	if err := compareBaselines(&out, leaky, committed); err == nil {
+		t.Fatal("alloc growth on the untraced batch passed the gate")
+	}
+	e.AllocsPerOp = committed.Benchmarks[batchBenchKey].AllocsPerOp + allocSlack
+	leaky.Benchmarks[batchBenchKey] = e
+	if err := compareBaselines(&out, leaky, committed); err != nil {
+		t.Fatalf("alloc drift within slack failed the gate: %v", err)
 	}
 }
 

@@ -47,7 +47,6 @@ type rearmJSON struct {
 
 // handleDebugSoak serves the soak introspection endpoint.
 func (s *server) handleDebugSoak(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	switch r.Method {
 	case http.MethodGet:
 		writeJSON(w, http.StatusOK, debugSoakJSON{

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"dspaddr/internal/jobs"
+	"dspaddr/internal/obs"
 )
 
 // submitJSON is the POST /v1/jobs request body: either one inline job
@@ -57,6 +58,9 @@ type jobStatusJSON struct {
 	RunMicros       int64            `json:"runMicros"`
 	Error           string           `json:"error,omitempty"`
 	Result          *jobResponseJSON `json:"result,omitempty"`
+	// TraceID links the job back to the submitting request (and to
+	// its own slow-trace entry under /debug/requests).
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // listResponseJSON is the GET /v1/jobs body.
@@ -76,6 +80,7 @@ func toStatusJSON(st jobs.Status) jobStatusJSON {
 		SubmittedAt:     st.SubmittedAt,
 		QueueWaitMicros: st.QueueWait.Microseconds(),
 		RunMicros:       st.RunTime.Microseconds(),
+		TraceID:         st.TraceID,
 	}
 	if !st.StartedAt.IsZero() {
 		t := st.StartedAt
@@ -96,7 +101,6 @@ func toStatusJSON(st jobs.Status) jobStatusJSON {
 
 // handleJobsCollection routes /v1/jobs: POST submits, GET lists.
 func (s *server) handleJobsCollection(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	switch r.Method {
 	case http.MethodPost:
 		s.handleJobSubmit(w, r)
@@ -144,7 +148,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		payloads[i] = job
 	}
-	ids, err := s.jobs.SubmitAll(payloads, sub.Priority)
+	ids, err := s.jobs.SubmitTraced(payloads, sub.Priority, obs.FromContext(r.Context()).ID())
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		// Retry-After tracks the observed drain rate (median run time ×
@@ -214,7 +218,6 @@ func queryInt(raw string, def int) (int, error) {
 
 // handleJobByID routes /v1/jobs/{id}: GET polls, DELETE cancels.
 func (s *server) handleJobByID(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	if id == "" || strings.Contains(id, "/") {
 		writeError(w, http.StatusNotFound, "no such resource")

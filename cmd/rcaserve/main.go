@@ -19,6 +19,13 @@
 //	GET    /v1/stats       engine + async-job + HTTP statistics
 //	GET    /metrics        Prometheus text exposition
 //	GET    /healthz        liveness probe (GET/HEAD)
+//	GET    /debug/requests retained slow/error traces with phase breakdowns (?min_ms=&limit=)
+//
+// Every request carries a trace ID: a well-formed client-supplied
+// X-Request-Id is honored, anything else gets a generated one; the ID
+// is echoed in the X-Request-Id response header, attached to async
+// job records, threaded through the engine's phase spans and reported
+// by /debug/requests for requests that were slow or failed.
 //
 // Usage:
 //
@@ -33,6 +40,11 @@
 //	-queue int          async job queue capacity (default 1024)
 //	-store int          async results retained before eviction (default 16384)
 //	-ttl duration       async result retention after completion (default 15m)
+//	-log-format string  structured log encoding: text or json (default "text")
+//	-trace-min duration slow-trace capture threshold for /debug/requests
+//	                    (default 10ms; negative captures every request)
+//	-debug-addr string  optional second listener with net/http/pprof and
+//	                    /debug/runtime (off by default; bind loopback only)
 //	-faults string      arm chaos fault injection + /debug/soak (soak builds only)
 //	-version            print the build version and exit
 //
@@ -55,10 +67,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -89,6 +103,9 @@ func run(args []string) error {
 	queueCap := fs.Int("queue", jobs.DefaultQueueCapacity, "async job queue capacity")
 	storeCap := fs.Int("store", jobs.DefaultStoreCapacity, "async results retained before eviction")
 	ttl := fs.Duration("ttl", jobs.DefaultTTL, "async result retention after completion")
+	logFormat := fs.String("log-format", "text", "structured log encoding: text or json")
+	traceMin := fs.Duration("trace-min", 0, "slow-trace capture threshold for /debug/requests (0 = 10ms default, negative captures everything)")
+	debugAddr := fs.String("debug-addr", "", "optional second listener exposing net/http/pprof and /debug/runtime (bind loopback only)")
 	faultSpec := fs.String("faults", "", "arm chaos fault injection and /debug/soak (e.g. \"delay=20ms:4,error=128\"; \"none\" = endpoint only); soak builds only")
 	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
@@ -99,20 +116,31 @@ func run(args []string) error {
 		return nil
 	}
 
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		return err
+	}
+
 	var injector *faults.Injector
 	if *faultSpec != "" {
 		var err error
 		if injector, err = faults.Parse(*faultSpec); err != nil {
 			return err
 		}
-		log.Printf("rcaserve: FAULT INJECTION ARMED (%s) — this is a soak/chaos build, not a production configuration", injector)
+		logger.Warn("FAULT INJECTION ARMED — this is a soak/chaos build, not a production configuration",
+			"faults", injector.String())
 	}
+
+	// The bundle exists before the engine so the solve-latency
+	// histogram can be observed from inside the worker pool.
+	ob := newObservability(logger, *traceMin, 0)
 
 	eng := engine.New(engine.Options{
 		Workers:    *workers,
 		JobTimeout: *timeout,
 		CacheSize:  *cacheSize,
 		Faults:     injector,
+		SolveHist:  ob.solveHist,
 	})
 	defer eng.Close()
 
@@ -122,8 +150,13 @@ func run(args []string) error {
 		ttl:           *ttl,
 		version:       buildVersion(),
 		faults:        injector,
+		obs:           ob,
 	})
 	defer s.close()
+
+	if *debugAddr != "" {
+		startDebugListener(*debugAddr, logger)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -136,8 +169,10 @@ func run(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("rcaserve %s: listening on %s (workers=%d, timeout=%v, queue=%d, ttl=%v)",
-			buildVersion(), *addr, eng.Stats().Workers, *timeout, *queueCap, *ttl)
+		logger.Info("listening",
+			"version", buildVersion(), "addr", *addr,
+			"workers", eng.Stats().Workers, "timeout", *timeout,
+			"queue", *queueCap, "ttl", *ttl)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -147,7 +182,7 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 
-	log.Printf("rcaserve: shutting down (%v grace)", shutdownGrace)
+	logger.Info("shutting down", "grace", shutdownGrace)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -163,4 +198,49 @@ func run(args []string) error {
 		return err
 	}
 	return nil
+}
+
+// newLogger builds the process logger from the -log-format flag.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// startDebugListener serves net/http/pprof plus a runtime snapshot on
+// a second address, kept off the serving listener so profiling can be
+// firewalled separately. Routes are registered explicitly rather than
+// importing pprof for its DefaultServeMux side effect.
+func startDebugListener(addr string, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/runtime", func(w http.ResponseWriter, r *http.Request) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"goroutines":        runtime.NumGoroutine(),
+			"heapAllocBytes":    ms.HeapAlloc,
+			"heapSysBytes":      ms.HeapSys,
+			"gcPauseTotalNanos": ms.PauseTotalNs,
+			"numGC":             ms.NumGC,
+			"openFDs":           countOpenFDs(),
+			"rssBytes":          readRSSBytes(),
+		})
+	})
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		logger.Info("debug listener on", "addr", addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Warn("debug listener failed", "err", err)
+		}
+	}()
 }

@@ -23,6 +23,14 @@ func newTestServer(t *testing.T, opts engine.Options) *httptest.Server {
 // the async queue, store or executor.
 func newTestServerWith(t *testing.T, opts engine.Options, sopts serverOptions) *httptest.Server {
 	t.Helper()
+	// Tests get a capture-everything trace ring (traceMin < 0) so any
+	// request's phase breakdown can be asserted via /debug/requests.
+	if sopts.obs == nil {
+		sopts.obs = newObservability(nil, -1, 0)
+	}
+	if opts.SolveHist == nil {
+		opts.SolveHist = sopts.obs.solveHist
+	}
 	eng := engine.New(opts)
 	s := newServer(eng, sopts)
 	ts := httptest.NewServer(s.handler())

@@ -4,9 +4,11 @@
 //
 // Exported families cover the async pipeline stage by stage (queue
 // depth and rejections, running jobs, store size and evictions,
-// queue-wait/run latency quantiles), the engine underneath (cache
-// hits/misses, solve latency quantiles, terminal outcome counters)
-// and the process (requests, uptime, build info).
+// queue-wait/run latency quantiles AND native histograms), the engine
+// underneath (cache hits/misses, solve latency quantiles and
+// histogram, terminal outcome counters), HTTP serving (total plus
+// by-route/status counts and latency histograms) and the process
+// (uptime, build info, goroutines, GC pause, heap, open fds).
 
 package main
 
@@ -14,13 +16,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
 	"time"
 )
 
 // handleMetrics serves GET /metrics.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
@@ -63,6 +65,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeQuantiles(w, "rcaserve_job_run_seconds",
 		"Recent async job run time (dispatch to completion).",
 		jm.RunP50Micros, jm.RunP90Micros, jm.RunP99Micros)
+	s.obs.queueWaitHist.Expose(w)
+	s.obs.runHist.Expose(w)
 
 	gauge("rcaserve_engine_workers", "Solver worker pool size.", float64(es.Workers))
 	counter("rcaserve_engine_jobs_total", "Engine jobs completed, any outcome.", float64(es.Jobs))
@@ -78,11 +82,24 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeQuantiles(w, "rcaserve_engine_solve_seconds",
 		"Recent solve latency (cache misses only).",
 		es.SolveP50Micros, es.SolveP90Micros, es.SolveP99Micros)
+	s.obs.solveHist.Expose(w)
 
 	counter("rcaserve_http_requests_total", "HTTP requests served.", float64(s.requests.Load()))
+	s.obs.httpReqs.Expose(w)
+	s.obs.httpHist.Expose(w)
+
 	gauge("rcaserve_uptime_seconds", "Seconds since process start.", time.Since(s.started).Seconds())
 	writeHeader(w, "rcaserve_build_info", "Build identity; the value is always 1.", "gauge")
 	fmt.Fprintf(w, "rcaserve_build_info{version=%q} 1\n", s.version)
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge("rcaserve_goroutines", "Live goroutines.", float64(runtime.NumGoroutine()))
+	counter("rcaserve_gc_pause_seconds_total", "Cumulative stop-the-world GC pause.", float64(ms.PauseTotalNs)/1e9)
+	gauge("rcaserve_heap_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	if fds := countOpenFDs(); fds >= 0 {
+		gauge("rcaserve_open_fds", "Open file descriptors (procfs; absent elsewhere).", float64(fds))
+	}
 }
 
 // writeHeader emits one family's HELP/TYPE preamble.

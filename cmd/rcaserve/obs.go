@@ -1,0 +1,222 @@
+// The serving layer's observability bundle: per-request trace IDs and
+// span recording (internal/obs), native latency histograms, the
+// slow/error trace ring behind GET /debug/requests and the structured
+// request log. One middleware wraps the whole routing table, so
+// request counting, latency observation and trace capture happen in
+// exactly one place — per-handler counters (which used to tick before
+// method validation) are gone.
+
+package main
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"dspaddr/internal/obs"
+)
+
+// defaultTraceMin is the slow-trace capture threshold when the
+// -trace-min flag (or test option) leaves it zero: requests and async
+// jobs at least this slow are retained in the debug ring. Error
+// responses are retained regardless of duration.
+const defaultTraceMin = 10 * time.Millisecond
+
+// observability bundles the obs surfaces one server instance owns.
+// Construct it before the engine so the solve histogram can be handed
+// to engine.Options.SolveHist.
+type observability struct {
+	logger   *slog.Logger
+	ring     *obs.TraceRing
+	traceMin time.Duration // <0 captures everything, 0 = defaultTraceMin
+
+	httpReqs      *obs.CounterVec
+	httpHist      *obs.HistogramVec
+	queueWaitHist *obs.Histogram
+	runHist       *obs.Histogram
+	solveHist     *obs.Histogram
+}
+
+// newObservability builds the bundle. A nil logger discards (tests);
+// ringSize <= 0 selects obs.DefaultRingSize.
+func newObservability(logger *slog.Logger, traceMin time.Duration, ringSize int) *observability {
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &observability{
+		logger:   logger,
+		ring:     obs.NewTraceRing(ringSize),
+		traceMin: traceMin,
+		httpReqs: obs.NewCounterVec("rcaserve_http_route_requests_total",
+			"HTTP requests served, by route and status.", []string{"route", "status"}),
+		httpHist: obs.NewHistogramVec("rcaserve_http_request_duration_seconds",
+			"HTTP handler latency, by route and status.", []string{"route", "status"}, nil),
+		queueWaitHist: obs.NewHistogram("rcaserve_job_queue_wait_duration_seconds",
+			"Async job queue wait (submission to dispatch).", nil),
+		runHist: obs.NewHistogram("rcaserve_job_run_duration_seconds",
+			"Async job run time (dispatch to completion).", nil),
+		solveHist: obs.NewHistogram("rcaserve_engine_solve_duration_seconds",
+			"Engine solve latency (cache misses only).", nil),
+	}
+}
+
+// threshold resolves the effective slow-trace capture bound.
+func (ob *observability) threshold() time.Duration {
+	switch {
+	case ob.traceMin < 0:
+		return 0
+	case ob.traceMin == 0:
+		return defaultTraceMin
+	default:
+		return ob.traceMin
+	}
+}
+
+// statusWriter captures the response status for labeling.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument is the single request wrapper: it assigns (or accepts)
+// the trace ID, threads a span recorder through the request context,
+// counts the request by route+status after the handler ran, observes
+// the latency histogram, retains slow and failed traces in the debug
+// ring and logs failures with their trace ID.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := requestID(r)
+		tr := obs.NewTrace(id)
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(obs.NewContext(r.Context(), tr)))
+		dur := time.Since(start)
+
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		route := routeOf(r.URL.Path)
+		statusText := strconv.Itoa(status)
+		s.requests.Add(1)
+		s.obs.httpReqs.Add(1, route, statusText)
+		s.obs.httpHist.Observe(dur, route, statusText)
+
+		if captureTrace(status, dur, s.obs.threshold()) {
+			s.obs.ring.Add(tr.Snapshot(route, status, "", dur))
+		}
+		if status >= http.StatusInternalServerError {
+			s.obs.logger.Warn("request failed",
+				"traceId", id, "route", route, "status", status, "durMs", dur.Milliseconds())
+		}
+		// A canceled request may have abandoned a solve that is still
+		// unwinding on a worker holding this trace; leak it to the GC
+		// instead of recycling storage another goroutine can write to.
+		if r.Context().Err() == nil {
+			tr.Release()
+		}
+	})
+}
+
+// captureTrace decides retention: server errors always, solve-level
+// failures (422/504) always, anything at or above the slow threshold.
+func captureTrace(status int, dur, min time.Duration) bool {
+	return status >= http.StatusInternalServerError ||
+		status == http.StatusUnprocessableEntity ||
+		status == http.StatusGatewayTimeout ||
+		dur >= min
+}
+
+// requestID accepts a well-formed client-supplied X-Request-Id or
+// generates one.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); validRequestID(id) {
+		return id
+	}
+	return fmt.Sprintf("r-%016x", rand.Uint64())
+}
+
+// validRequestID bounds what we echo back into headers, logs and
+// JSON: non-empty, at most 128 bytes, printable ASCII without quotes.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if c := id[i]; c <= ' ' || c > '~' || c == '"' {
+			return false
+		}
+	}
+	return true
+}
+
+// routeOf normalizes a request path to a bounded label set, so the
+// by-route families can't grow cardinality from scanner traffic.
+func routeOf(path string) string {
+	switch path {
+	case "/v1/allocate", "/v1/batch", "/v1/jobs", "/v1/stats",
+		"/metrics", "/healthz", "/debug/soak", "/debug/requests":
+		return path
+	}
+	if strings.HasPrefix(path, "/v1/jobs/") {
+		return "/v1/jobs/{id}"
+	}
+	return "other"
+}
+
+// debugRequestsJSON is the GET /debug/requests body.
+type debugRequestsJSON struct {
+	// Count is the number of traces returned after filtering.
+	Count int `json:"count"`
+	// Traces are the retained slow/error traces, newest first, each
+	// with its phase breakdown.
+	Traces []*obs.TraceSnapshot `json:"traces"`
+}
+
+// handleDebugRequests serves GET /debug/requests?min_ms=&limit=: the
+// retained slow/error traces, newest first.
+func (s *server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	minMS := 0.0
+	if raw := q.Get("min_ms"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad min_ms")
+			return
+		}
+		minMS = v
+	}
+	limit, err := queryInt(q.Get("limit"), 0)
+	if err != nil || limit < 0 {
+		writeError(w, http.StatusBadRequest, "bad limit")
+		return
+	}
+	all := s.obs.ring.Snapshots()
+	out := make([]*obs.TraceSnapshot, 0, len(all))
+	for _, snap := range all {
+		if float64(snap.DurationMicros) >= minMS*1000 {
+			out = append(out, snap)
+		}
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	writeJSON(w, http.StatusOK, debugRequestsJSON{Count: len(out), Traces: out})
+}

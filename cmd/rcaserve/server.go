@@ -17,6 +17,7 @@ import (
 	"dspaddr/internal/frontend"
 	"dspaddr/internal/jobs"
 	"dspaddr/internal/model"
+	"dspaddr/internal/obs"
 )
 
 // maxBodyBytes caps request bodies; allocation requests are tiny, so
@@ -50,6 +51,10 @@ type serverOptions struct {
 	// introspection + live re-arming) and accelerates the job store
 	// TTL if the spec says so. Production runs leave it nil.
 	faults *faults.Injector
+	// obs is the observability bundle (trace ring, histograms,
+	// logger). Build it before the engine so Options.SolveHist can
+	// point at the same bundle; nil gets a silent default.
+	obs *observability
 }
 
 // server wires the batch allocation engine and the async job manager
@@ -61,12 +66,16 @@ type server struct {
 	started  time.Time
 	requests atomic.Uint64
 	faults   *faults.Injector // nil outside soak builds
+	obs      *observability
 }
 
 // newServer builds a server around a running engine and starts its
 // async job manager; the caller must close() it when done.
 func newServer(e *engine.Engine, opts serverOptions) *server {
-	s := &server{engine: e, version: opts.version, started: time.Now(), faults: opts.faults}
+	s := &server{engine: e, version: opts.version, started: time.Now(), faults: opts.faults, obs: opts.obs}
+	if s.obs == nil {
+		s.obs = newObservability(nil, 0, 0)
+	}
 	if s.version == "" {
 		s.version = "unknown"
 	}
@@ -86,6 +95,8 @@ func newServer(e *engine.Engine, opts serverOptions) *server {
 		Run:           run,
 		FailState:     jobFailState,
 		Faults:        opts.faults,
+		QueueWaitHist: s.obs.queueWaitHist,
+		RunHist:       s.obs.runHist,
 	})
 	return s
 }
@@ -120,10 +131,11 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
 	if s.faults != nil {
 		mux.HandleFunc("/debug/soak", s.handleDebugSoak)
 	}
-	return mux
+	return s.instrument(mux)
 }
 
 // aguJSON is the wire form of model.AGUSpec.
@@ -254,9 +266,33 @@ func toAllocJSON(res *core.Result, cacheHit bool, elapsedMicros int64) allocJSON
 
 // runPayload is the async executor: the jobs.Manager hands back the
 // submitted wire job and this runs it on the engine exactly like the
-// synchronous path, so polled results match /v1/batch answers.
+// synchronous path, so polled results match /v1/batch answers. When
+// the job record carries the submitting request's trace ID, the run
+// gets its own span recorder under that ID, and slow or failed runs
+// land in the same debug ring as slow HTTP requests (route "job").
 func (s *server) runPayload(ctx context.Context, payload any) (any, error) {
+	var tr *obs.Trace
+	if tid := jobs.ContextTraceID(ctx); tid != "" {
+		tr = obs.NewTrace(tid)
+		ctx = obs.NewContext(ctx, tr)
+	}
 	resp, err := s.runJob(ctx, payload.(jobJSON))
+	if tr != nil {
+		dur := tr.Elapsed()
+		if err != nil || dur >= s.obs.threshold() {
+			errText := ""
+			if err != nil {
+				errText = err.Error()
+			}
+			s.obs.ring.Add(tr.Snapshot("job", 0, errText, dur))
+		}
+		// Same rule as the HTTP middleware: a canceled run may leave a
+		// worker still recording into this trace, so only recycle it
+		// when the context is intact.
+		if ctx.Err() == nil {
+			tr.Release()
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -324,7 +360,6 @@ func (s *server) runJob(ctx context.Context, job jobJSON) (jobResponseJSON, erro
 // handleAllocate serves POST /v1/allocate: one job, one response.
 // Allocator-level failures map to 422, per-job timeouts to 504.
 func (s *server) handleAllocate(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
@@ -347,7 +382,6 @@ func (s *server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 // reported inline; the batch response itself is always 200 once the
 // body parses.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
@@ -388,7 +422,6 @@ type statsJSON struct {
 
 // handleStats serves GET /v1/stats.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return

@@ -52,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"dspaddr/internal/obs"
 	"dspaddr/internal/workload"
 )
 
@@ -240,6 +241,7 @@ func (h *harness) run(sc *scenario, p99Ceiling time.Duration, rssCeiling int64) 
 
 	time.Sleep(300 * time.Millisecond) // settle before the baseline
 	baseline, _ := h.debugSnapshot()
+	metricsBaseline, _ := h.scrapeMetrics()
 
 	for i, st := range sc.Steps {
 		switch {
@@ -264,6 +266,8 @@ func (h *harness) run(sc *scenario, p99Ceiling time.Duration, rssCeiling int64) 
 	time.Sleep(200 * time.Millisecond)
 	final, _ := h.debugSnapshot()
 	stats, statsOK := h.finalStats()
+	metricsFinal, metricsOK := h.scrapeMetrics()
+	slowTraces, slowOK := h.scrapeSlowTraces()
 
 	code, err := h.stopServer()
 	if err != nil {
@@ -287,6 +291,12 @@ func (h *harness) run(sc *scenario, p99Ceiling time.Duration, rssCeiling int64) 
 		statsFetched:       statsOK,
 		p99Ceiling:         p99Ceiling,
 		rssCeiling:         rssCeiling,
+		metricsBaseline:    metricsBaseline,
+		metricsFinal:       metricsFinal,
+		metricsFetched:     metricsOK,
+		slowTraces:         slowTraces,
+		slowTracesFetched:  slowOK,
+		delayFaultsArmed:   scenarioArmsDelay(h.baseFaults, sc),
 	}
 	if statsOK {
 		in.statsSubmitted = stats.AsyncJobs.Submitted
@@ -492,6 +502,80 @@ func (h *harness) debugSnapshot() (debugSnapshot, bool) {
 		return snap, false
 	}
 	return snap, true
+}
+
+// metricsFamilies are the exposition families the harness records at
+// baseline and at the end of the run (counters and histogram _count
+// sums; restarts reset them, so deltas are per-final-process).
+var metricsFamilies = []string{
+	"rcaserve_http_requests_total",
+	"rcaserve_jobs_submitted_total",
+	"rcaserve_engine_jobs_total",
+	"rcaserve_engine_cache_hits_total",
+	"rcaserve_http_request_duration_seconds",
+	"rcaserve_engine_solve_duration_seconds",
+	"rcaserve_job_queue_wait_duration_seconds",
+	"rcaserve_job_run_duration_seconds",
+	"rcaserve_goroutines",
+	"rcaserve_heap_bytes",
+}
+
+// scrapeMetrics fetches /metrics and folds the tracked families into
+// scalars (counter sums; histogram families contribute their _count).
+func (h *harness) scrapeMetrics() (map[string]float64, bool) {
+	resp, err := h.client.Get(h.base + "/metrics")
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	fams, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		return nil, false
+	}
+	out := make(map[string]float64, len(metricsFamilies))
+	for _, name := range metricsFamilies {
+		if fams[name] != nil {
+			out[name] = obs.SumFamily(fams, name)
+		}
+	}
+	return out, true
+}
+
+// scrapeSlowTraces pulls the slow/error traces the server retained,
+// phase breakdowns included, capped so the report stays readable.
+func (h *harness) scrapeSlowTraces() ([]obs.TraceSnapshot, bool) {
+	resp, err := h.client.Get(h.base + "/debug/requests?min_ms=1&limit=8")
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	var body struct {
+		Traces []obs.TraceSnapshot `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, false
+	}
+	return body.Traces, true
+}
+
+// scenarioArmsDelay reports whether any fault spec in play injects
+// solve delays — the precondition for expecting slow traces.
+func scenarioArmsDelay(baseFaults string, sc *scenario) bool {
+	if strings.Contains(baseFaults, "delay=") {
+		return true
+	}
+	for _, st := range sc.Steps {
+		if st.Phase != nil && strings.Contains(st.Phase.Faults, "delay=") {
+			return true
+		}
+	}
+	return false
 }
 
 // rearm POSTs a new fault spec to /debug/soak.

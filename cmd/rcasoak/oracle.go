@@ -27,6 +27,10 @@
 //  9. Coverage — every op class the scenario weights actually ran,
 //     429s appeared if an overload wave was scheduled, restarts
 //     happened if scheduled.
+// 10. Observability — the final /metrics scrape parses and shows the
+//     serving-path counters moving, and when solve-delay faults were
+//     armed, /debug/requests retained at least one slow trace with a
+//     phase breakdown.
 
 package main
 
@@ -37,6 +41,7 @@ import (
 	"sort"
 	"time"
 
+	"dspaddr/internal/obs"
 	"dspaddr/internal/workload"
 )
 
@@ -80,6 +85,16 @@ type soakReport struct {
 
 	StatsIdentityOK bool `json:"statsIdentityOK"`
 
+	// MetricsBaseline/Final are the tracked /metrics families folded
+	// to scalars at warm startup and just before shutdown; Delta is
+	// final minus baseline (per final process — restarts reset it).
+	MetricsBaseline map[string]float64 `json:"metricsBaseline,omitempty"`
+	MetricsFinal    map[string]float64 `json:"metricsFinal,omitempty"`
+	MetricsDelta    map[string]float64 `json:"metricsDelta,omitempty"`
+	// SlowTraces are the retained slow/error traces scraped from
+	// /debug/requests before shutdown, phase spans included.
+	SlowTraces []obs.TraceSnapshot `json:"slowTraces,omitempty"`
+
 	Violations []string `json:"violations"`
 	Passed     bool     `json:"passed"`
 }
@@ -110,6 +125,16 @@ type oracleInput struct {
 
 	p99Ceiling time.Duration
 	rssCeiling int64
+
+	// observability scrapes: tracked /metrics scalars at baseline and
+	// end of run, and the slow traces retained by /debug/requests.
+	metricsBaseline, metricsFinal map[string]float64
+	metricsFetched                bool
+	slowTraces                    []obs.TraceSnapshot
+	slowTracesFetched             bool
+	// delayFaultsArmed gates the slow-trace coverage check: only a
+	// run that injected solve delays is guaranteed slow requests.
+	delayFaultsArmed bool
 }
 
 // leak-check slack: the final snapshot may legitimately sit a little
@@ -245,6 +270,38 @@ func runOracle(in oracleInput) *soakReport {
 		violate("coverage: %d restarts scheduled, %d performed", exp.Restarts, len(in.restarts))
 	}
 
+	// 10. Observability.
+	rep.MetricsBaseline = in.metricsBaseline
+	rep.MetricsFinal = in.metricsFinal
+	rep.SlowTraces = in.slowTraces
+	if !in.metricsFetched {
+		violate("final /metrics scrape unavailable or unparseable")
+	} else {
+		rep.MetricsDelta = map[string]float64{}
+		for k, v := range in.metricsFinal {
+			rep.MetricsDelta[k] = v - in.metricsBaseline[k]
+		}
+		if in.metricsFinal["rcaserve_http_requests_total"] <= 0 {
+			violate("observability: rcaserve_http_requests_total never moved")
+		}
+		if in.metricsFinal["rcaserve_http_request_duration_seconds"] <= 0 {
+			violate("observability: HTTP latency histogram observed nothing")
+		}
+	}
+	if !in.slowTracesFetched {
+		violate("final /debug/requests scrape unavailable")
+	} else if in.delayFaultsArmed {
+		withPhases := 0
+		for _, tr := range in.slowTraces {
+			if len(tr.Spans) > 0 {
+				withPhases++
+			}
+		}
+		if withPhases == 0 {
+			violate("observability: delay faults armed but no slow trace with a phase breakdown was retained")
+		}
+	}
+
 	rep.Passed = len(rep.Violations) == 0
 	return rep
 }
@@ -310,6 +367,14 @@ func writeReport(rep *soakReport, path string) error {
 		rep.JobsAccepted, rep.JobsResolved, rep.JobsExcused, rep.JobsLost)
 	fmt.Printf("  429s: %d   restarts: %d   peak RSS: %d MiB\n",
 		count429(rep.Outcomes), rep.Restarts, rep.MaxRSSBytes>>20)
+	fmt.Printf("  scraped: %d metric families, %d slow trace(s)",
+		len(rep.MetricsFinal), len(rep.SlowTraces))
+	if len(rep.SlowTraces) > 0 {
+		tr := rep.SlowTraces[0]
+		fmt.Printf(" — slowest retained %s %.1fms, %d phase span(s)",
+			tr.Route, float64(tr.DurationMicros)/1000, len(tr.Spans))
+	}
+	fmt.Println()
 	for _, v := range rep.Violations {
 		fmt.Printf("  VIOLATION: %s\n", v)
 	}

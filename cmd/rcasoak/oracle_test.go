@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"dspaddr/internal/obs"
 )
 
 // testInput builds a clean-run oracle input the individual tests then
@@ -48,6 +50,16 @@ func testInput(t *testing.T) oracleInput {
 		statsTerminalPlusLive: 5,
 		p99Ceiling:            time.Second,
 		rssCeiling:            512 << 20,
+		metricsFetched:        true,
+		metricsBaseline: map[string]float64{
+			"rcaserve_http_requests_total":           3,
+			"rcaserve_http_request_duration_seconds": 3,
+		},
+		metricsFinal: map[string]float64{
+			"rcaserve_http_requests_total":           40,
+			"rcaserve_http_request_duration_seconds": 40,
+		},
+		slowTracesFetched: true,
 	}
 }
 
@@ -246,5 +258,39 @@ func TestOpKindNamesCoverEnum(t *testing.T) {
 			t.Fatalf("duplicate op kind name %q", name)
 		}
 		seen[name] = true
+	}
+}
+
+// TestOracleObservability covers invariant 10: a failed scrape is a
+// violation, armed delay faults demand a retained slow trace with a
+// phase breakdown, and a trace with spans satisfies the check.
+func TestOracleObservability(t *testing.T) {
+	in := testInput(t)
+	in.metricsFetched = false
+	if rep := runOracle(in); rep.Passed {
+		t.Fatal("missing /metrics scrape should fail the run")
+	}
+
+	in = testInput(t)
+	in.delayFaultsArmed = true
+	if rep := runOracle(in); rep.Passed {
+		t.Fatal("delay faults with no slow trace should fail the run")
+	}
+
+	in = testInput(t)
+	in.delayFaultsArmed = true
+	in.slowTraces = []obs.TraceSnapshot{{
+		ID: "t1", Route: "/v1/allocate", DurationMicros: 25_000,
+		Spans: []obs.SpanSnapshot{{Name: "solve", DurMicros: 20_000}},
+	}}
+	rep := runOracle(in)
+	if !rep.Passed {
+		t.Fatalf("slow trace with spans should pass: %v", rep.Violations)
+	}
+	if len(rep.SlowTraces) != 1 || rep.SlowTraces[0].ID != "t1" {
+		t.Fatalf("slow traces not carried into the report: %+v", rep.SlowTraces)
+	}
+	if rep.MetricsDelta["rcaserve_http_requests_total"] != 37 {
+		t.Fatalf("metrics delta off: %+v", rep.MetricsDelta)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"dspaddr/internal/distgraph"
 	"dspaddr/internal/merge"
 	"dspaddr/internal/model"
+	"dspaddr/internal/obs"
 	"dspaddr/internal/pathcover"
 )
 
@@ -102,9 +103,13 @@ func (s *Solver) Allocate(ctx context.Context, pat model.Pattern, cfg Config) (*
 	if err := cfg.AGU.Validate(); err != nil {
 		return nil, err
 	}
+	tr := obs.FromContext(ctx)
+	sp := tr.StartSpan("graph.build")
 	if err := s.dg.Rebuild(pat, cfg.AGU.ModifyRange); err != nil {
+		sp.Note("error").End()
 		return nil, err
 	}
+	sp.Attr("accesses", int64(s.dg.N())).End()
 
 	cover, err := pathcover.MinCoverCtx(ctx, &s.dg, cfg.InterIteration, cfg.CoverOptions, &s.cover)
 	if err != nil {
@@ -132,7 +137,9 @@ func (s *Solver) Allocate(ctx context.Context, pat model.Pattern, cfg Config) (*
 		res.Assignment = a
 		res.Merged = true
 	}
+	sp = tr.StartSpan("assign.commit")
 	res.Cost = res.Assignment.Cost(pat, cfg.AGU.ModifyRange, cfg.InterIteration)
+	sp.Attr("cost", int64(res.Cost)).Attr("registers", int64(res.Assignment.Registers())).End()
 	return res, nil
 }
 

@@ -246,6 +246,9 @@ func shardCount() int {
 
 func (c *resultCache) shard(k cacheKey) *cacheShard { return &c.shards[k.h1&c.mask] }
 
+// shardIndex exposes the shard a key maps to, for trace annotation.
+func (c *resultCache) shardIndex(k cacheKey) int { return int(k.h1 & c.mask) }
+
 // get returns the cached result for key, marking it most recently
 // used.
 func (c *resultCache) get(k cacheKey) (any, bool) {

@@ -42,6 +42,7 @@ import (
 	"dspaddr/internal/faults"
 	"dspaddr/internal/merge"
 	"dspaddr/internal/model"
+	"dspaddr/internal/obs"
 )
 
 // DefaultWorkers is the worker-pool size used when Options.Workers is
@@ -130,6 +131,10 @@ type Options struct {
 	// (see internal/faults). nil — the production default — costs one
 	// pointer compare per solve and nothing else.
 	Faults *faults.Injector
+	// SolveHist, when non-nil, receives the latency of every
+	// successful leader solve (cache misses only, matching the
+	// percentile ring). nil costs one nil check per solve.
+	SolveHist *obs.Histogram
 }
 
 func (o Options) withDefaults() Options {
@@ -163,6 +168,11 @@ type task struct {
 	loopOut *LoopJobResult
 	wg      *sync.WaitGroup
 	done    chan struct{}
+	// enqueued is the submission time, set only when ctx carries an
+	// obs.Trace (the only consumer); the worker turns it into an
+	// "engine.queue" span. Zero on the untraced path, so tracing
+	// disabled never reads the clock here.
+	enqueued time.Time
 }
 
 // Engine runs allocation jobs on a bounded worker pool with caching
@@ -203,6 +213,7 @@ func New(opts Options) *Engine {
 		},
 	}
 	e.stats.workers = opts.Workers
+	e.stats.solveHist = opts.SolveHist
 	for i := 0; i < opts.Workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -238,7 +249,11 @@ func (e *Engine) enqueue(t task) error {
 func (e *Engine) Run(ctx context.Context, req Request) JobResult {
 	res := new(JobResult)
 	done := make(chan struct{})
-	if err := e.enqueue(task{ctx: ctx, kind: taskPattern, req: req, out: res, done: done}); err != nil {
+	t := task{ctx: ctx, kind: taskPattern, req: req, out: res, done: done}
+	if obs.FromContext(ctx) != nil {
+		t.enqueued = time.Now()
+	}
+	if err := e.enqueue(t); err != nil {
 		return JobResult{Err: err}
 	}
 	select {
@@ -259,8 +274,12 @@ func (e *Engine) RunBatch(ctx context.Context, reqs []Request) []JobResult {
 	out := make([]JobResult, len(reqs))
 	var wg sync.WaitGroup
 	wg.Add(len(reqs))
+	traced := obs.FromContext(ctx) != nil
 	for i := range reqs {
 		t := task{ctx: ctx, kind: taskPattern, req: reqs[i], out: &out[i], wg: &wg}
+		if traced {
+			t.enqueued = time.Now()
+		}
 		if err := e.enqueue(t); err != nil {
 			out[i] = JobResult{Err: err}
 			wg.Done()
@@ -301,6 +320,9 @@ func (e *Engine) worker() {
 
 // runTask executes one task on a worker and delivers its result.
 func (e *Engine) runTask(solver *core.Solver, t task) {
+	if !t.enqueued.IsZero() {
+		obs.FromContext(t.ctx).AddSpan("engine.queue", t.enqueued, time.Now())
+	}
 	switch t.kind {
 	case taskPattern:
 		*t.out = e.processPattern(t.ctx, solver, t.req)
@@ -327,14 +349,21 @@ func (e *Engine) processPattern(ctx context.Context, solver *core.Solver, req Re
 		e.stats.failed()
 		return JobResult{Err: err, Elapsed: time.Since(start)}
 	}
-	v, hit, err, elapsed := e.solveKeyed(ctx, solver, canonicalKey(req), task{kind: taskPattern, req: req}, start)
+	tr := obs.FromContext(ctx)
+	sp := tr.StartSpan("key.build")
+	key := canonicalKey(req)
+	sp.End()
+	v, hit, err, elapsed := e.solveKeyed(ctx, solver, key, task{kind: taskPattern, req: req}, start)
 	if err != nil {
 		return JobResult{Err: err, Elapsed: elapsed}
 	}
 	// Always hand out a rewritten copy — the solved value lives in the
 	// cache (and in concurrent followers), so the caller must never
 	// see the shared pointer.
-	return JobResult{Result: rewrite(v.(*core.Result), req), CacheHit: hit, Elapsed: elapsed}
+	sp = tr.StartSpan("result.rewrite")
+	out := rewrite(v.(*core.Result), req)
+	sp.End()
+	return JobResult{Result: out, CacheHit: hit, Elapsed: elapsed}
 }
 
 // solveKeyed is the shared cache-then-solve path of pattern and loop
@@ -354,17 +383,22 @@ func (e *Engine) processPattern(ctx context.Context, solver *core.Solver, req Re
 func (e *Engine) solveKeyed(ctx context.Context, solver *core.Solver, key cacheKey, t task, start time.Time) (any, bool, error, time.Duration) {
 	var timeout <-chan time.Time
 	var timer *time.Timer
+	tr := obs.FromContext(ctx)
 	for {
 		if err := ctx.Err(); err != nil {
 			e.stats.canceledJob()
 			return nil, false, err, time.Since(start)
 		}
+		sp := tr.StartSpan("cache.lookup")
 		v, hit, f, leader := e.cache.join(key)
+		sp.Attr("shard", int64(e.cache.shardIndex(key)))
 		if hit {
+			sp.Note("hit").End()
 			e.stats.hit()
 			return v, true, nil, time.Since(start)
 		}
 		if leader {
+			sp.Note("miss-leader").End()
 			v, err := e.runLeader(ctx, solver, key, f, t, start)
 			elapsed := time.Since(start)
 			switch {
@@ -386,26 +420,33 @@ func (e *Engine) solveKeyed(ctx context.Context, solver *core.Solver, key cacheK
 		// Follower: wait for the leader's result, our own deadline or
 		// our own cancellation, whichever first. Leaving early frees
 		// this worker; the flight lives on its leader's worker.
+		sp.Note("follower").End()
 		if timer == nil && e.opts.JobTimeout > 0 {
 			timer = time.NewTimer(e.opts.JobTimeout - time.Since(start))
 			defer timer.Stop()
 			timeout = timer.C
 		}
+		wait := tr.StartSpan("flight.wait")
 		select {
 		case <-f.done:
 			if errors.Is(f.err, errSolveAborted) {
+				wait.Note("retry").End()
 				continue // leader gave up; retry, possibly as new leader
 			}
 			if f.err != nil {
+				wait.Note("error").End()
 				e.stats.failed()
 				return nil, false, f.err, time.Since(start)
 			}
+			wait.Note("dedup").End()
 			e.stats.dedupedHit()
 			return f.v, true, nil, time.Since(start)
 		case <-timeout:
+			wait.Note("timeout").End()
 			e.stats.timedOut()
 			return nil, false, fmt.Errorf("%w after %v", ErrTimeout, e.opts.JobTimeout), time.Since(start)
 		case <-ctx.Done():
+			wait.Note("canceled").End()
 			e.stats.canceledJob()
 			return nil, false, ctx.Err(), time.Since(start)
 		}
@@ -424,6 +465,7 @@ func (e *Engine) runLeader(ctx context.Context, solver *core.Solver, key cacheKe
 	if e.opts.JobTimeout > 0 {
 		solveCtx, cancel = context.WithDeadline(ctx, start.Add(e.opts.JobTimeout))
 	}
+	sp := obs.FromContext(ctx).StartSpan("solve")
 	var v any
 	var err error
 	// Soak builds may arm a fault injector; it runs on the leader so
@@ -446,6 +488,15 @@ func (e *Engine) runLeader(ctx context.Context, solver *core.Solver, key cacheKe
 		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		err = errSolveAborted
 	}
+	switch {
+	case err == nil:
+		sp.Note("ok")
+	case errors.Is(err, errSolveAborted):
+		sp.Note("aborted")
+	default:
+		sp.Note("error")
+	}
+	sp.End()
 	e.cache.complete(key, f, v, err)
 	return v, err
 }

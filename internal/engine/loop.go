@@ -17,6 +17,7 @@ import (
 
 	"dspaddr/internal/core"
 	"dspaddr/internal/model"
+	"dspaddr/internal/obs"
 )
 
 // LoopRequest is one whole-loop allocation job: the K registers are
@@ -57,7 +58,11 @@ type LoopJobResult struct {
 func (e *Engine) RunLoop(ctx context.Context, req LoopRequest) LoopJobResult {
 	res := new(LoopJobResult)
 	done := make(chan struct{})
-	if err := e.enqueue(task{ctx: ctx, kind: taskLoop, loop: req, loopOut: res, done: done}); err != nil {
+	t := task{ctx: ctx, kind: taskLoop, loop: req, loopOut: res, done: done}
+	if obs.FromContext(ctx) != nil {
+		t.enqueued = time.Now()
+	}
+	if err := e.enqueue(t); err != nil {
 		return LoopJobResult{Err: err}
 	}
 	select {
@@ -83,14 +88,21 @@ func (e *Engine) processLoop(ctx context.Context, solver *core.Solver, req LoopR
 		e.stats.failed()
 		return LoopJobResult{Err: err, Elapsed: time.Since(start)}
 	}
-	v, hit, err, elapsed := e.solveKeyed(ctx, solver, loopCanonicalKey(req), task{kind: taskLoop, loop: req}, start)
+	tr := obs.FromContext(ctx)
+	sp := tr.StartSpan("key.build")
+	key := loopCanonicalKey(req)
+	sp.End()
+	v, hit, err, elapsed := e.solveKeyed(ctx, solver, key, task{kind: taskLoop, loop: req}, start)
 	if err != nil {
 		return LoopJobResult{Err: err, Elapsed: elapsed}
 	}
 	// Always hand out a rewritten copy — the solved value lives in the
 	// cache (and in concurrent followers), so the caller must never
 	// see the shared pointer.
-	return LoopJobResult{Result: rewriteLoop(v.(*core.LoopResult), req), CacheHit: hit, Elapsed: elapsed}
+	sp = tr.StartSpan("result.rewrite")
+	out := rewriteLoop(v.(*core.LoopResult), req)
+	sp.End()
+	return LoopJobResult{Result: out, CacheHit: hit, Elapsed: elapsed}
 }
 
 // loopCanonicalKey digests the allocation-relevant identity of a loop

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dspaddr/internal/obs"
 	"dspaddr/internal/stats"
 )
 
@@ -69,6 +70,9 @@ type collector struct {
 	timeouts atomic.Uint64
 	canceled atomic.Uint64
 	lat      stats.LatencyRing
+	// solveHist optionally mirrors the latency ring into a native
+	// Prometheus histogram (Options.SolveHist); nil-safe.
+	solveHist *obs.Histogram
 }
 
 func (c *collector) hit() {
@@ -88,6 +92,7 @@ func (c *collector) solved(d time.Duration) {
 	c.jobs.Add(1)
 	c.misses.Add(1)
 	c.lat.Observe(d)
+	c.solveHist.Observe(d)
 }
 
 func (c *collector) failed() {

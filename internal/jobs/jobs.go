@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"dspaddr/internal/faults"
+	"dspaddr/internal/obs"
 	"dspaddr/internal/stats"
 )
 
@@ -86,8 +87,25 @@ var (
 
 // Runner executes one job payload. The context is canceled when the
 // job is canceled or the manager shuts down; a Runner that honors it
-// makes DELETE effective against running work.
+// makes DELETE effective against running work. When the job was
+// admitted with a trace ID (SubmitTraced), ContextTraceID recovers it
+// from the Runner's context.
 type Runner func(ctx context.Context, payload any) (any, error)
+
+// traceIDKey keys the submitting request's trace ID in a runner
+// context.
+type traceIDKey struct{}
+
+func withTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// ContextTraceID returns the trace ID the job was submitted with, ""
+// when none.
+func ContextTraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
 
 // Defaults for zero Options fields.
 const (
@@ -124,6 +142,11 @@ type Options struct {
 	// effective TTL is Faults.TTL(TTL)). nil — the production default
 	// — is free.
 	Faults *faults.Injector
+	// QueueWaitHist and RunHist, when non-nil, mirror the queue-wait
+	// and run latency rings into native Prometheus histograms; nil is
+	// one nil check per dispatch.
+	QueueWaitHist *obs.Histogram
+	RunHist       *obs.Histogram
 }
 
 func (o Options) withDefaults() Options {
@@ -155,6 +178,9 @@ type record struct {
 	priority  int
 	payload   any
 	submitted time.Time
+	// traceID links the job back to the HTTP request that submitted
+	// it ("" when the submitter carried no trace). Immutable.
+	traceID string
 
 	mu       sync.Mutex
 	state    State
@@ -194,6 +220,9 @@ type Status struct {
 	// canceled jobs that had started running, and for jobs aborted by
 	// shutdown (ErrShutdown).
 	Err error
+	// TraceID is the trace identifier of the submitting request, ""
+	// when none was carried.
+	TraceID string
 }
 
 // snapshot renders the record at time now.
@@ -209,6 +238,7 @@ func (r *record) snapshot(now time.Time) Status {
 		FinishedAt:  r.finished,
 		Result:      r.result,
 		Err:         r.err,
+		TraceID:     r.traceID,
 	}
 	switch {
 	case !r.started.IsZero():
@@ -371,6 +401,14 @@ func (m *Manager) Submit(payload any, priority int) (string, error) {
 // caller never has to track a partially admitted batch. IDs are
 // returned in payload order.
 func (m *Manager) SubmitAll(payloads []any, priority int) ([]string, error) {
+	return m.SubmitTraced(payloads, priority, "")
+}
+
+// SubmitTraced is SubmitAll with a trace ID stamped on every admitted
+// record: it is surfaced in Status.TraceID and delivered to the
+// Runner's context (ContextTraceID), linking the async execution back
+// to the request that submitted it.
+func (m *Manager) SubmitTraced(payloads []any, priority int, traceID string) ([]string, error) {
 	if len(payloads) == 0 {
 		return nil, errors.New("jobs: empty submission")
 	}
@@ -392,6 +430,7 @@ func (m *Manager) SubmitAll(payloads []any, priority int) ([]string, error) {
 			priority:  priority,
 			payload:   p,
 			submitted: now,
+			traceID:   traceID,
 			state:     StateQueued,
 		}
 		ids[i] = recs[i].id
@@ -525,6 +564,9 @@ func (m *Manager) dispatch() {
 		rec.cancel = cancel
 		payload := rec.payload
 		rec.mu.Unlock()
+		if rec.traceID != "" {
+			ctx = withTraceID(ctx, rec.traceID)
+		}
 
 		// running rises before depth falls so the depth+running sum —
 		// Shutdown's "work left" probe — never transiently reads zero
@@ -532,6 +574,7 @@ func (m *Manager) dispatch() {
 		m.running.Add(1)
 		m.depth.Add(-1)
 		m.waitLat.Observe(now.Sub(rec.submitted))
+		m.opts.QueueWaitHist.Observe(now.Sub(rec.submitted))
 
 		out, err := m.opts.Run(ctx, payload)
 		cancel()
@@ -552,6 +595,7 @@ func (m *Manager) dispatch() {
 
 		m.running.Add(-1)
 		m.runLat.Observe(finish.Sub(now))
+		m.opts.RunHist.Observe(finish.Sub(now))
 		switch state {
 		case StateDone:
 			m.done.Add(1)

@@ -26,6 +26,7 @@ import (
 	"math/rand"
 
 	"dspaddr/internal/model"
+	"dspaddr/internal/obs"
 )
 
 // Strategy reduces a path set to at most k paths. Implementations must
@@ -439,15 +440,21 @@ func Reduce(s Strategy, paths []model.Path, pat model.Pattern, m int, wrap bool,
 // reductions are short — the ablation-only exhaustive search is never
 // on the serving path). A nil scratch uses a transient one. On success
 // the assignment is byte-identical to Reduce's for the same inputs.
+//
+// When ctx carries an obs.Trace, a "merge" span is recorded with the
+// input path count, the number of merge rounds committed and the
+// register constraint; without one the extra cost is a nil check.
 func ReduceContext(ctx context.Context, s Strategy, paths []model.Path, pat model.Pattern, m int, wrap bool, k int, sc *Scratch) (model.Assignment, error) {
 	if k < 1 {
 		return model.Assignment{}, fmt.Errorf("merge: register constraint must be at least 1, got %d", k)
 	}
+	sp := obs.FromContext(ctx).StartSpan("merge")
 	var out []model.Path
 	if _, greedy := s.(Greedy); greedy {
 		var err error
 		out, err = greedyReduce(ctx, paths, pat, m, wrap, k, sc)
 		if err != nil {
+			sp.Note("aborted").End()
 			return model.Assignment{}, err
 		}
 	} else {
@@ -455,11 +462,17 @@ func ReduceContext(ctx context.Context, s Strategy, paths []model.Path, pat mode
 	}
 	a := model.Assignment{Paths: out}.Normalize()
 	if err := a.Validate(pat); err != nil {
+		sp.Note("error").End()
 		return model.Assignment{}, fmt.Errorf("merge: strategy %q produced invalid assignment: %w", s.Name(), err)
 	}
 	if a.Registers() > k {
+		sp.Note("error").End()
 		return model.Assignment{}, fmt.Errorf("merge: strategy %q left %d paths, constraint is %d", s.Name(), a.Registers(), k)
 	}
+	sp.Attr("paths", int64(len(paths))).
+		Attr("rounds", int64(len(paths)-a.Registers())).
+		Attr("k", int64(k)).
+		End()
 	return a, nil
 }
 

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// TraceRing retains the last N captured trace snapshots. Writers are
+// lock-free: a ticket from one atomic counter picks the slot, and the
+// snapshot pointer is stored atomically, so a burst of slow requests
+// never serializes on the debug surface. Readers copy out whatever
+// pointers are present; a torn view across a concurrent write is
+// acceptable (a debug endpoint, not an accounting one).
+type TraceRing struct {
+	slots []atomic.Pointer[TraceSnapshot]
+	seq   atomic.Uint64
+}
+
+// DefaultRingSize is the retention depth when none is configured.
+const DefaultRingSize = 256
+
+// NewTraceRing builds a ring keeping the last n snapshots (n <= 0
+// selects DefaultRingSize).
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &TraceRing{slots: make([]atomic.Pointer[TraceSnapshot], n)}
+}
+
+// Add retains s, evicting the oldest snapshot once the ring is full.
+// Nil-safe on both receiver and argument.
+func (r *TraceRing) Add(s *TraceSnapshot) {
+	if r == nil || s == nil {
+		return
+	}
+	s.seq = r.seq.Add(1)
+	r.slots[s.seq%uint64(len(r.slots))].Store(s)
+}
+
+// Len reports how many snapshots are currently retained.
+func (r *TraceRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for i := range r.slots {
+		if r.slots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshots returns the retained traces, newest first.
+func (r *TraceRing) Snapshots() []*TraceSnapshot {
+	if r == nil {
+		return nil
+	}
+	out := make([]*TraceSnapshot, 0, len(r.slots))
+	for i := range r.slots {
+		if s := r.slots[i].Load(); s != nil {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq > out[j].seq })
+	return out
+}

@@ -60,6 +60,7 @@ type bbSearch struct {
 	n         int
 	budget    int
 	nodes     int
+	pruned    int
 	exhausted bool
 	best      int
 	// ctxDone, when non-nil, is polled every ctxCheckMask+1 explored
@@ -194,6 +195,7 @@ func (s *bbSearch) run() {
 // test and benchmark).
 func (s *bbSearch) reset() {
 	s.nodes = 0
+	s.pruned = 0
 	s.exhausted = false
 	s.best = int(^uint(0) >> 1)
 	s.haveBest = false
@@ -222,10 +224,12 @@ func (s *bbSearch) place(i int) {
 		}
 	}
 	if len(s.open) >= s.best {
+		s.pruned++
 		return // cannot improve: path count never decreases
 	}
 	remaining := s.n - i
 	if s.numBad > remaining {
+		s.pruned++
 		return // each bad-wrap path needs at least one future access
 	}
 	if i == s.n {
@@ -240,6 +244,7 @@ func (s *bbSearch) place(i int) {
 	// never be repaired; prune the whole branch.
 	for pi, p := range s.open {
 		if s.badWrap[pi] && s.lastSucc[p[len(p)-1]] < i {
+			s.pruned++
 			return
 		}
 	}

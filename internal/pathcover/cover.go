@@ -24,6 +24,10 @@ type Cover struct {
 	// polynomial DAG case (and for a greedy seed that already meets
 	// the lower bound), so work counters stay comparable across modes.
 	Nodes int
+	// Pruned counts branch-and-bound subtrees cut by the bound, the
+	// bad-wrap feasibility count and the reachability prune (0 for the
+	// polynomial DAG case and the greedy fast path).
+	Pruned int
 }
 
 // K returns the number of paths, the paper's K~ when the cover is a

@@ -17,6 +17,7 @@ import (
 	"dspaddr/internal/distgraph"
 	"dspaddr/internal/graph"
 	"dspaddr/internal/model"
+	"dspaddr/internal/obs"
 )
 
 // Scratch is the reusable phase-1 workspace. The zero value is ready
@@ -57,7 +58,28 @@ func (sc *Scratch) lowerBound(dg *distgraph.Graph) int {
 // On success the returned cover is byte-identical to MinCover's for
 // the same inputs — the cancellation checks never alter the explored
 // tree or the node counts.
+//
+// When ctx carries an obs.Trace, the computation records a "cover"
+// span with node/prune/path counts and an exact/truncated outcome;
+// without one the extra cost is a nil check.
 func MinCoverCtx(ctx context.Context, dg *distgraph.Graph, wrap bool, opts *Options, sc *Scratch) (Cover, error) {
+	sp := obs.FromContext(ctx).StartSpan("cover")
+	c, err := minCoverCtx(ctx, dg, wrap, opts, sc)
+	if err != nil {
+		sp.Note("aborted").End()
+		return c, err
+	}
+	sp.Attr("nodes", int64(c.Nodes)).Attr("pruned", int64(c.Pruned)).Attr("paths", int64(len(c.Paths)))
+	if c.Exact {
+		sp.Note("exact")
+	} else {
+		sp.Note("truncated")
+	}
+	sp.End()
+	return c, err
+}
+
+func minCoverCtx(ctx context.Context, dg *distgraph.Graph, wrap bool, opts *Options, sc *Scratch) (Cover, error) {
 	if err := ctx.Err(); err != nil {
 		return Cover{}, err
 	}
@@ -111,6 +133,7 @@ func MinCoverCtx(ctx context.Context, dg *distgraph.Graph, wrap bool, opts *Opti
 			ZeroCost: false,
 			Exact:    !s.exhausted,
 			Nodes:    s.nodes,
+			Pruned:   s.pruned,
 		}, nil
 	}
 	return Cover{
@@ -118,5 +141,6 @@ func MinCoverCtx(ctx context.Context, dg *distgraph.Graph, wrap bool, opts *Opti
 		ZeroCost: true,
 		Exact:    !s.exhausted || s.best == lb,
 		Nodes:    s.nodes,
+		Pruned:   s.pruned,
 	}, nil
 }
