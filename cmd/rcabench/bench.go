@@ -68,11 +68,18 @@ const obsOverheadTolerance = 0.10
 // room for scheduler-dependent map growth.
 const allocSlack = 8
 
-// benchEntry is one benchmark's measured costs.
+// benchEntry is one benchmark's measured costs. P99NsPerOp is only
+// populated by the hand-timed jobs/submit-* scenarios (bench_wal.go);
+// testing.Benchmark reports means only. P99OverheadPct appears on the
+// gated WAL scenario alone: the median paired-round p99 overhead
+// against the no-WAL twin from the same run, which is the statistic
+// the durability gate enforces.
 type benchEntry struct {
-	NsPerOp     float64 `json:"nsPerOp"`
-	AllocsPerOp int64   `json:"allocsPerOp"`
-	BytesPerOp  int64   `json:"bytesPerOp"`
+	NsPerOp        float64 `json:"nsPerOp"`
+	AllocsPerOp    int64   `json:"allocsPerOp"`
+	BytesPerOp     int64   `json:"bytesPerOp"`
+	P99NsPerOp     float64 `json:"p99NsPerOp,omitempty"`
+	P99OverheadPct float64 `json:"p99OverheadPct,omitempty"`
 }
 
 // benchBaseline is the BENCH_*.json document.
@@ -256,6 +263,14 @@ func measureBaseline() (benchBaseline, error) {
 		}
 	}))
 
+	// Async admission with and without the write-ahead log — the
+	// durability tax on the submit path, gated at p99 (bench_wal.go).
+	if err := measureSubmitScenarios(func(name string, e benchEntry) {
+		base.Benchmarks[name] = e
+	}); err != nil {
+		return base, err
+	}
+
 	return base, nil
 }
 
@@ -269,8 +284,15 @@ func renderBaseline(out io.Writer, base benchBaseline) {
 	fmt.Fprintf(out, "baseline (%s %s/%s)\n", base.GoVersion, base.GOOS, base.GOARCH)
 	for _, name := range names {
 		e := base.Benchmarks[name]
-		fmt.Fprintf(out, "  %-24s %14.0f ns/op %8d allocs/op %10d B/op\n",
+		fmt.Fprintf(out, "  %-26s %14.0f ns/op %8d allocs/op %10d B/op",
 			name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+		if e.P99NsPerOp > 0 {
+			fmt.Fprintf(out, " %14.0f p99 ns/op", e.P99NsPerOp)
+		}
+		if e.P99OverheadPct != 0 {
+			fmt.Fprintf(out, " %+6.1f%% p99 paired", e.P99OverheadPct)
+		}
+		fmt.Fprintln(out)
 	}
 }
 
@@ -340,6 +362,21 @@ func compareBaselines(out io.Writer, fresh, committed benchBaseline) error {
 		if plain.AllocsPerOp > was.AllocsPerOp+allocSlack {
 			return fmt.Errorf("baseline gate: %s allocates %d/op vs committed %d/op — the disabled-hook path must stay allocation-free",
 				batchBenchKey, plain.AllocsPerOp, was.AllocsPerOp)
+		}
+	}
+
+	// Durability tax: the WAL'd submit path (production fsync=interval
+	// policy) against the same fresh run's in-memory submit path, at
+	// the 99th percentile. The statistic is the median of paired
+	// interleaved-round p99 ratios computed by measureSubmitScenarios —
+	// a within-run ratio, so disk and CPU speed cancel out, and a
+	// paired one, so environment drift mid-run cancels too.
+	if durable, ok := fresh.Benchmarks[submitWALBenchKey]; ok && durable.P99NsPerOp > 0 {
+		fmt.Fprintf(out, "  wal submit p99 overhead: %+.1f%% (median paired-round ratio, %s vs %s, tolerance %.0f%%)\n",
+			durable.P99OverheadPct, submitWALBenchKey, submitNoWALBenchKey, 100*walOverheadTolerance)
+		if durable.P99OverheadPct > 100*walOverheadTolerance {
+			return fmt.Errorf("baseline gate: wal submit p99 overhead %+.1f%% exceeds %.0f%% — fsync=interval durability must stay within %.0f%% of the in-memory submit path",
+				durable.P99OverheadPct, 100*walOverheadTolerance, 100*walOverheadTolerance)
 		}
 	}
 	return nil

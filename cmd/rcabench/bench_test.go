@@ -96,6 +96,23 @@ func TestCompareBaselinesGate(t *testing.T) {
 	if err := compareBaselines(&out, leaky, committed); err != nil {
 		t.Fatalf("alloc drift within slack failed the gate: %v", err)
 	}
+
+	// The durability gate reads the within-run statistic carried on
+	// the fresh WAL scenario entry — the median paired-round p99
+	// overhead — and fails past walOverheadTolerance.
+	walFresh := func(pct float64) benchBaseline {
+		b := testBaseline(1000)
+		b.Benchmarks[submitWALBenchKey] = benchEntry{
+			NsPerOp: 1100, P99NsPerOp: 2000, P99OverheadPct: pct,
+		}
+		return b
+	}
+	if err := compareBaselines(&out, walFresh(100*walOverheadTolerance), committed); err != nil {
+		t.Fatalf("wal overhead at tolerance failed the gate: %v", err)
+	}
+	if err := compareBaselines(&out, walFresh(100*walOverheadTolerance+0.1), committed); err == nil {
+		t.Fatal("excess wal submit p99 overhead passed the gate")
+	}
 }
 
 func TestLoadBaseline(t *testing.T) {
@@ -117,21 +134,40 @@ func TestLoadBaseline(t *testing.T) {
 	}
 }
 
-// TestCommittedBaselineParses guards the repo's committed BENCH_5.json
-// against drift: it must parse and contain every benchmark the gate
-// and the README table rely on.
+// TestCommittedBaselineParses guards the repo's committed baselines
+// against drift: each must parse and contain every benchmark the gate
+// and the README table rely on. BENCH_8.json — the one CI gates
+// against — additionally carries the durable-submit scenarios, and
+// its recorded WAL overhead must itself be inside the gate it
+// documents.
 func TestCommittedBaselineParses(t *testing.T) {
-	base, err := loadBaseline(filepath.Join("..", "..", "BENCH_5.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, name := range []string{"cover/dag/N=50", "cover/bb/N=20", "merge/greedy/R=48",
-		"engine/hit/N20", batchBenchKey, parallelBenchKey} {
-		e, ok := base.Benchmarks[name]
-		if !ok {
-			t.Errorf("committed baseline missing %q", name)
-		} else if e.NsPerOp <= 0 {
-			t.Errorf("committed baseline %q has ns/op %v", name, e.NsPerOp)
+	core := []string{"cover/dag/N=50", "cover/bb/N=20", "merge/greedy/R=48",
+		"engine/hit/N20", batchBenchKey, parallelBenchKey}
+	for _, tc := range []struct {
+		file string
+		keys []string
+	}{
+		{"BENCH_5.json", core},
+		{"BENCH_8.json", append(append([]string{}, core...),
+			submitNoWALBenchKey, submitWALBenchKey, submitWALAlwaysBenchKey)},
+	} {
+		base, err := loadBaseline(filepath.Join("..", "..", tc.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range tc.keys {
+			e, ok := base.Benchmarks[name]
+			if !ok {
+				t.Errorf("%s missing %q", tc.file, name)
+			} else if e.NsPerOp <= 0 {
+				t.Errorf("%s %q has ns/op %v", tc.file, name, e.NsPerOp)
+			}
+		}
+		if tc.file == "BENCH_8.json" {
+			wal := base.Benchmarks[submitWALBenchKey]
+			if wal.P99NsPerOp <= 0 || wal.P99OverheadPct > 100*walOverheadTolerance {
+				t.Errorf("committed wal scenario outside its own gate: %+v", wal)
+			}
 		}
 	}
 }

@@ -148,7 +148,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		payloads[i] = job
 	}
-	ids, err := s.jobs.SubmitTraced(payloads, sub.Priority, obs.FromContext(r.Context()).ID())
+	ids, err := s.jobs.SubmitTraced(r.Context(), payloads, sub.Priority, obs.FromContext(r.Context()).ID())
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		// Retry-After tracks the observed drain rate (median run time ×
@@ -157,6 +157,13 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", strconv.Itoa(s.jobs.RetryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, "job queue full (%d jobs submitted against capacity %d); retry later or shrink the batch",
 			len(payloads), s.jobs.QueueCapacity())
+		return
+	case errors.Is(err, jobs.ErrShuttingDown):
+		// A graceful drain (or a restart) is in progress: deterministic
+		// 503 with a short Retry-After, so well-behaved clients resubmit
+		// against the replacement process instead of erroring out.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "server is draining; retry shortly")
 		return
 	case err != nil:
 		writeError(w, http.StatusServiceUnavailable, "submission failed: %v", err)

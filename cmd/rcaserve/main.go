@@ -40,6 +40,13 @@
 //	-queue int          async job queue capacity (default 1024)
 //	-store int          async results retained before eviction (default 16384)
 //	-ttl duration       async result retention after completion (default 15m)
+//	-wal-dir string     write-ahead log directory for durable async jobs
+//	                    (empty disables durability; on boot the log is
+//	                    replayed: finished jobs restore their results,
+//	                    unfinished ones re-enter the queue)
+//	-wal-fsync string   WAL fsync policy: always, interval or off (default "interval")
+//	-wal-fsync-interval duration  background fsync cadence under interval (default 100ms)
+//	-wal-segment-bytes int        WAL segment rotation threshold (default 4MiB)
 //	-log-format string  structured log encoding: text or json (default "text")
 //	-trace-min duration slow-trace capture threshold for /debug/requests
 //	                    (default 10ms; negative captures every request)
@@ -79,6 +86,7 @@ import (
 	"dspaddr/internal/engine"
 	"dspaddr/internal/faults"
 	"dspaddr/internal/jobs"
+	"dspaddr/internal/wal"
 )
 
 // shutdownGrace is how long in-flight requests get to finish after a
@@ -103,6 +111,10 @@ func run(args []string) error {
 	queueCap := fs.Int("queue", jobs.DefaultQueueCapacity, "async job queue capacity")
 	storeCap := fs.Int("store", jobs.DefaultStoreCapacity, "async results retained before eviction")
 	ttl := fs.Duration("ttl", jobs.DefaultTTL, "async result retention after completion")
+	walDir := fs.String("wal-dir", "", "write-ahead log directory for durable async jobs (empty = durability off)")
+	walFsync := fs.String("wal-fsync", "interval", "WAL fsync policy: always, interval or off")
+	walFsyncInterval := fs.Duration("wal-fsync-interval", 0, "background fsync cadence under -wal-fsync interval (0 = 100ms default)")
+	walSegmentBytes := fs.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = 4MiB default)")
 	logFormat := fs.String("log-format", "text", "structured log encoding: text or json")
 	traceMin := fs.Duration("trace-min", 0, "slow-trace capture threshold for /debug/requests (0 = 10ms default, negative captures everything)")
 	debugAddr := fs.String("debug-addr", "", "optional second listener exposing net/http/pprof and /debug/runtime (bind loopback only)")
@@ -144,6 +156,42 @@ func run(args []string) error {
 	})
 	defer eng.Close()
 
+	// The WAL opens (and replays) before the server exists: recovered
+	// jobs must be queued ahead of the listener accepting new ones.
+	var walLog *wal.Log
+	var recovered []wal.JobState
+	if *walDir != "" {
+		policy, err := wal.ParseFsyncPolicy(*walFsync)
+		if err != nil {
+			return err
+		}
+		var rep *wal.Replay
+		walLog, rep, err = wal.Open(*walDir, wal.Options{
+			SegmentBytes:  *walSegmentBytes,
+			Fsync:         policy,
+			FsyncInterval: *walFsyncInterval,
+			Retention:     *ttl,
+			Faults:        injector,
+			AppendHist:    ob.walAppendHist,
+			FsyncHist:     ob.walFsyncHist,
+			ReplayHist:    ob.walReplayHist,
+		})
+		if err != nil {
+			return fmt.Errorf("wal: open %s: %w", *walDir, err)
+		}
+		recovered = rep.Jobs
+		logger.Info("wal replayed",
+			"dir", *walDir, "fsync", policy.String(),
+			"segments", rep.Segments, "records", rep.Records,
+			"requeued", rep.JobsRequeued, "terminal", rep.JobsTerminal,
+			"tornBytes", rep.TornBytes, "segmentsDropped", rep.SegmentsDropped,
+			"elapsedMicros", rep.ElapsedMicros)
+		if rep.TornBytes > 0 || rep.SegmentsDropped > 0 {
+			logger.Warn("wal recovered from damage by truncation",
+				"tornBytes", rep.TornBytes, "segmentsDropped", rep.SegmentsDropped)
+		}
+	}
+
 	s := newServer(eng, serverOptions{
 		queueCapacity: *queueCap,
 		storeCapacity: *storeCap,
@@ -151,6 +199,8 @@ func run(args []string) error {
 		version:       buildVersion(),
 		faults:        injector,
 		obs:           ob,
+		wal:           walLog,
+		recovered:     recovered,
 	})
 	defer s.close()
 

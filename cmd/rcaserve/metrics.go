@@ -59,6 +59,27 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "rcaserve_jobs_finished_total{state=%q} %v\n", st.label, st.v)
 	}
 
+	if s.wal != nil {
+		counter("rcaserve_jobs_recovered_total", "Jobs restored from the write-ahead log at boot.", float64(jm.Recovered))
+		counter("rcaserve_jobs_wal_append_errors_total", "WAL appends that failed after the job was admitted (durability degraded).", float64(jm.WALAppendErrors))
+		ws := s.wal.Stats()
+		gauge("rcaserve_wal_segments", "Write-ahead log segment files on disk.", float64(ws.Segments))
+		gauge("rcaserve_wal_size_bytes", "Write-ahead log bytes on disk across segments.", float64(ws.SizeBytes))
+		counter("rcaserve_wal_records_appended_total", "Records appended to the write-ahead log.", float64(ws.Appends))
+		counter("rcaserve_wal_append_errors_total", "Write-ahead log append failures (rolled back; the submission was rejected).", float64(ws.AppendErrors))
+		counter("rcaserve_wal_fsyncs_total", "Write-ahead log fsync calls.", float64(ws.Fsyncs))
+		counter("rcaserve_wal_fsync_errors_total", "Write-ahead log fsync failures.", float64(ws.FsyncErrors))
+		counter("rcaserve_wal_compact_runs_total", "Checkpoint/compaction passes over the write-ahead log.", float64(ws.CompactRuns))
+		counter("rcaserve_wal_segments_rewritten_total", "Sealed segments rewritten by compaction.", float64(ws.SegmentsRewritten))
+		counter("rcaserve_wal_segments_deleted_total", "Fully expired segments deleted by compaction.", float64(ws.SegmentsDeleted))
+		counter("rcaserve_wal_records_dropped_total", "Expired records dropped by compaction.", float64(ws.RecordsDropped))
+		counter("rcaserve_wal_replay_torn_bytes", "Bytes truncated off damaged segments at boot replay.", float64(ws.Replay.TornBytes))
+		counter("rcaserve_wal_replay_segments_dropped", "Whole segments discarded at boot replay (prefix semantics).", float64(ws.Replay.SegmentsDropped))
+		s.obs.walAppendHist.Expose(w)
+		s.obs.walFsyncHist.Expose(w)
+		s.obs.walReplayHist.Expose(w)
+	}
+
 	writeQuantiles(w, "rcaserve_job_queue_wait_seconds",
 		"Recent async job queue wait (submission to dispatch).",
 		jm.QueueWaitP50Micros, jm.QueueWaitP90Micros, jm.QueueWaitP99Micros)

@@ -40,6 +40,12 @@ type observability struct {
 	queueWaitHist *obs.Histogram
 	runHist       *obs.Histogram
 	solveHist     *obs.Histogram
+
+	// WAL durability timings; populated only when -wal-dir is set but
+	// constructed unconditionally so the bundle exists before the log.
+	walAppendHist *obs.Histogram
+	walFsyncHist  *obs.Histogram
+	walReplayHist *obs.Histogram
 }
 
 // newObservability builds the bundle. A nil logger discards (tests);
@@ -62,6 +68,12 @@ func newObservability(logger *slog.Logger, traceMin time.Duration, ringSize int)
 			"Async job run time (dispatch to completion).", nil),
 		solveHist: obs.NewHistogram("rcaserve_engine_solve_duration_seconds",
 			"Engine solve latency (cache misses only).", nil),
+		walAppendHist: obs.NewHistogram("rcaserve_wal_append_duration_seconds",
+			"WAL record append latency (build + write + inline fsync under the always policy).", nil),
+		walFsyncHist: obs.NewHistogram("rcaserve_wal_fsync_duration_seconds",
+			"WAL segment fsync latency.", nil),
+		walReplayHist: obs.NewHistogram("rcaserve_wal_replay_duration_seconds",
+			"WAL boot replay duration.", nil),
 	}
 }
 

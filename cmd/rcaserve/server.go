@@ -18,6 +18,7 @@ import (
 	"dspaddr/internal/jobs"
 	"dspaddr/internal/model"
 	"dspaddr/internal/obs"
+	"dspaddr/internal/wal"
 )
 
 // maxBodyBytes caps request bodies; allocation requests are tiny, so
@@ -55,6 +56,11 @@ type serverOptions struct {
 	// logger). Build it before the engine so Options.SolveHist can
 	// point at the same bundle; nil gets a silent default.
 	obs *observability
+	// wal, when non-nil, is the opened write-ahead log making the
+	// async job lifecycle crash-safe; recovered is its boot replay.
+	// The job manager takes ownership and closes the log.
+	wal       *wal.Log
+	recovered []wal.JobState
 }
 
 // server wires the batch allocation engine and the async job manager
@@ -67,12 +73,13 @@ type server struct {
 	requests atomic.Uint64
 	faults   *faults.Injector // nil outside soak builds
 	obs      *observability
+	wal      *wal.Log // nil when durability is off
 }
 
 // newServer builds a server around a running engine and starts its
 // async job manager; the caller must close() it when done.
 func newServer(e *engine.Engine, opts serverOptions) *server {
-	s := &server{engine: e, version: opts.version, started: time.Now(), faults: opts.faults, obs: opts.obs}
+	s := &server{engine: e, version: opts.version, started: time.Now(), faults: opts.faults, obs: opts.obs, wal: opts.wal}
 	if s.obs == nil {
 		s.obs = newObservability(nil, 0, 0)
 	}
@@ -87,7 +94,7 @@ func newServer(e *engine.Engine, opts serverOptions) *server {
 	if run == nil {
 		run = s.runPayload
 	}
-	s.jobs = jobs.New(jobs.Options{
+	jo := jobs.Options{
 		QueueCapacity: opts.queueCapacity,
 		StoreCapacity: opts.storeCapacity,
 		TTL:           opts.ttl,
@@ -97,8 +104,40 @@ func newServer(e *engine.Engine, opts serverOptions) *server {
 		Faults:        opts.faults,
 		QueueWaitHist: s.obs.queueWaitHist,
 		RunHist:       s.obs.runHist,
-	})
+	}
+	if opts.wal != nil {
+		jo.WAL = opts.wal
+		jo.Recovered = opts.recovered
+		jo.EncodePayload = encodeJobPayload
+		jo.DecodePayload = decodeJobPayload
+		jo.EncodeResult = encodeJobResult
+		jo.DecodeResult = decodeJobResult
+	}
+	s.jobs = jobs.New(jo)
 	return s
+}
+
+// The WAL codecs: payloads and results travel as their wire JSON, so
+// a replayed job is byte-for-byte the job the client submitted and a
+// recovered result renders exactly as it would have before the crash.
+func encodeJobPayload(v any) ([]byte, error) { return json.Marshal(v) }
+
+func decodeJobPayload(b []byte) (any, error) {
+	var job jobJSON
+	if err := json.Unmarshal(b, &job); err != nil {
+		return nil, err
+	}
+	return job, nil
+}
+
+func encodeJobResult(v any) ([]byte, error) { return json.Marshal(v) }
+
+func decodeJobResult(b []byte) (any, error) {
+	var resp jobResponseJSON
+	if err := json.Unmarshal(b, &resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
 }
 
 // close releases the async job manager (the engine is owned by the
@@ -414,10 +453,13 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // job metrics, build version, process uptime and HTTP request count.
 type statsJSON struct {
 	engine.Stats
-	AsyncJobs     jobs.Metrics `json:"asyncJobs"`
-	Version       string       `json:"version"`
-	UptimeSeconds float64      `json:"uptimeSeconds"`
-	HTTPRequests  uint64       `json:"httpRequests"`
+	AsyncJobs jobs.Metrics `json:"asyncJobs"`
+	// WAL reports write-ahead log health (segments, appends, fsyncs,
+	// compaction, boot replay); absent when durability is off.
+	WAL           *wal.Stats `json:"wal,omitempty"`
+	Version       string     `json:"version"`
+	UptimeSeconds float64    `json:"uptimeSeconds"`
+	HTTPRequests  uint64     `json:"httpRequests"`
 }
 
 // handleStats serves GET /v1/stats.
@@ -426,13 +468,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, statsJSON{
+	out := statsJSON{
 		Stats:         s.engine.Stats(),
 		AsyncJobs:     s.jobs.Metrics(),
 		Version:       s.version,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		HTTPRequests:  s.requests.Load(),
-	})
+	}
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		out.WAL = &ws
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleHealthz serves GET/HEAD /healthz for load-balancer probes.

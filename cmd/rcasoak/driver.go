@@ -548,6 +548,12 @@ func (d *driver) doAsync(op workload.Op, cancel bool, pollDeadline time.Time) {
 	case http.StatusTooManyRequests:
 		d.outcome(class, "429")
 		return
+	case http.StatusServiceUnavailable:
+		// A draining server refuses new submissions with 503 +
+		// Retry-After instead of accepting work it will never run; no
+		// 202 was issued, so nothing is owed. Benign during restarts.
+		d.outcome(class, "draining")
+		return
 	default:
 		if status >= 500 {
 			d.violate("%s: /v1/jobs answered %d", class, status)

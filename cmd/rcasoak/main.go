@@ -2,13 +2,17 @@
 // the real server binary, execs it, drives an hours-compressed mixed
 // workload against it from independent client driver processes
 // (rcasoak re-execs itself with -driver), injects faults through the
-// server's -faults hook, SIGTERMs and restarts the server mid-load,
-// and finally runs an invariant oracle over everything observed: zero
-// lost or duplicated jobs, results matching local reference solves,
-// p99 latency and RSS under their ceilings, no goroutine or fd leaks,
-// and clean signal-initiated exits. The verdict is a machine-readable
-// JSON report plus the process exit code (0 pass, 1 invariant
-// violations, 2 harness error).
+// server's -faults hook, SIGTERMs and restarts — or SIGKILLs, when
+// the scenario says kill — the server mid-load, and finally runs an
+// invariant oracle over everything observed: zero lost or duplicated
+// jobs, results matching local reference solves, p99 latency and RSS
+// under their ceilings, no goroutine or fd leaks, and clean
+// signal-initiated exits. With -wal-dir the server runs its
+// write-ahead log and the oracle hardens: no loss is excused by any
+// restart or kill window — every accepted job must resurface after
+// replay. The verdict is a machine-readable JSON report plus the
+// process exit code (0 pass, 1 invariant violations, 2 harness
+// error).
 //
 // Usage:
 //
@@ -19,9 +23,10 @@
 //	-duration duration   total load duration for the builtin scenario (default 60s)
 //	-clients int         driver processes per phase (default 8)
 //	-seed int            base seed for the deterministic traffic streams (default 1)
-//	-scenario string     "mixed" (builtin, scaled to -duration) or a scenario file path
+//	-scenario string     "mixed" or "crash" (builtin, scaled to -duration) or a scenario file path
 //	-report string       JSON report path (default "soak-report.json")
 //	-server-bin string   prebuilt rcaserve binary (default: go build it)
+//	-wal-dir string      server WAL directory: durability on, loss never excused (default off)
 //	-faults string       base fault spec armed at server start (default "delay=20ms:4,error=128")
 //	-queue int           server async queue capacity (default 128; small → real 429 waves)
 //	-timeout duration    server per-job solve deadline (default 2s)
@@ -63,9 +68,11 @@ func realMain(args []string) int {
 	duration := fs.Duration("duration", 60*time.Second, "total load duration (builtin scenario)")
 	clients := fs.Int("clients", 8, "driver processes per phase")
 	seed := fs.Int64("seed", 1, "base traffic seed")
-	scenarioFlag := fs.String("scenario", "mixed", `"mixed" or a scenario file path`)
+	scenarioFlag := fs.String("scenario", "mixed", `"mixed", "crash" or a scenario file path`)
 	reportPath := fs.String("report", "soak-report.json", "JSON report path")
 	serverBin := fs.String("server-bin", "", "prebuilt rcaserve binary (default: go build)")
+	walDir := fs.String("wal-dir", "",
+		"server WAL directory (durability on; the oracle then excuses no lost jobs; removed on a clean pass unless it pre-existed)")
 	faultsSpec := fs.String("faults", "delay=20ms:4,error=128", "base fault spec for the server")
 	queueCap := fs.Int("queue", 128, "server async queue capacity")
 	solveTimeout := fs.Duration("timeout", 2*time.Second, "server per-job solve deadline")
@@ -123,6 +130,7 @@ func realMain(args []string) int {
 		keep:       *keep,
 		bin:        *serverBin,
 		race:       *race,
+		walDir:     *walDir,
 	}
 	sc, err := loadScenario(*scenarioFlag, *duration)
 	if err != nil {
@@ -146,8 +154,11 @@ func realMain(args []string) int {
 
 // loadScenario resolves the -scenario flag.
 func loadScenario(name string, total time.Duration) (*scenario, error) {
-	if name == "mixed" {
+	switch name {
+	case "mixed":
 		return builtinMixed(total), nil
+	case "crash":
+		return builtinCrash(total), nil
 	}
 	text, err := os.ReadFile(name)
 	if err != nil {
@@ -166,6 +177,11 @@ type harness struct {
 	grace      time.Duration
 	keep       bool
 	race       bool
+	// walDir, when set, is passed to every server start as -wal-dir
+	// (fsync=interval); it persists across restarts AND kills — replay
+	// continuity is the whole point.
+	walDir        string
+	walDirCreated bool
 
 	workDir string
 	bin     string
@@ -177,6 +193,7 @@ type harness struct {
 	srv      *serverProc
 	exits    []int
 	restarts []restartWindow
+	kills    []restartWindow
 	maxRSS   atomic.Int64
 
 	collected  []ledger // driver ledgers across all phases
@@ -199,11 +216,27 @@ func (h *harness) run(sc *scenario, p99Ceiling time.Duration, rssCeiling int64) 
 	if err != nil {
 		return nil, err
 	}
+	if h.walDir != "" {
+		if _, statErr := os.Stat(h.walDir); os.IsNotExist(statErr) {
+			h.walDirCreated = true
+		}
+		if err := os.MkdirAll(h.walDir, 0o755); err != nil {
+			return nil, fmt.Errorf("creating WAL directory: %w", err)
+		}
+	}
 	defer func() {
 		if err == nil && rep != nil && rep.Passed && !h.keep {
 			os.RemoveAll(h.workDir)
+			// The WAL dir is evidence on failure (CI uploads it); on a
+			// clean pass remove it if this run created it.
+			if h.walDirCreated {
+				os.RemoveAll(h.walDir)
+			}
 		} else {
 			fmt.Fprintf(os.Stderr, "rcasoak: work directory kept at %s\n", h.workDir)
+			if h.walDir != "" {
+				fmt.Fprintf(os.Stderr, "rcasoak: WAL directory kept at %s\n", h.walDir)
+			}
 		}
 	}()
 
@@ -250,6 +283,11 @@ func (h *harness) run(sc *scenario, p99Ceiling time.Duration, rssCeiling int64) 
 			if err := h.restartServer(); err != nil {
 				return nil, err
 			}
+		case st.Kill:
+			fmt.Fprintf(os.Stderr, "rcasoak: SIGKILL (between phases)\n")
+			if err := h.crashServer(); err != nil {
+				return nil, err
+			}
 		case st.Phase != nil:
 			fmt.Fprintf(os.Stderr, "rcasoak: phase %q (%v, rate %d, mix %s)\n",
 				st.Phase.Name, st.Phase.Duration, st.Phase.Rate, st.Phase.Mix)
@@ -282,6 +320,8 @@ func (h *harness) run(sc *scenario, p99Ceiling time.Duration, rssCeiling int64) 
 		elapsed:            time.Since(start),
 		ledgers:            h.collected,
 		restarts:           h.restarts,
+		kills:              h.kills,
+		walEnabled:         h.walDir != "",
 		serverExits:        h.exits,
 		maxRSS:             h.maxRSS.Load(),
 		baselineGoroutines: baseline.Goroutines,
@@ -303,6 +343,7 @@ func (h *harness) run(sc *scenario, p99Ceiling time.Duration, rssCeiling int64) 
 		in.statsTerminalPlusLive = stats.AsyncJobs.Done + stats.AsyncJobs.Failed +
 			stats.AsyncJobs.TimedOut + stats.AsyncJobs.Canceled +
 			uint64(stats.AsyncJobs.QueueDepth) + uint64(stats.AsyncJobs.Running)
+		in.statsRecovered = stats.AsyncJobs.Recovered
 	}
 	return runOracle(in), nil
 }
@@ -348,13 +389,17 @@ func (h *harness) startServer() error {
 	if err != nil {
 		return err
 	}
-	cmd := exec.Command(h.bin,
+	args := []string{
 		"-addr", fmt.Sprintf("127.0.0.1:%d", h.port),
 		"-faults", h.baseFaults,
 		"-queue", strconv.Itoa(h.queueCap),
 		"-timeout", h.timeout.String(),
 		"-ttl", "2m",
-	)
+	}
+	if h.walDir != "" {
+		args = append(args, "-wal-dir", h.walDir, "-wal-fsync", "interval")
+	}
+	cmd := exec.Command(h.bin, args...)
 	cmd.Stdout = logFile
 	cmd.Stderr = logFile
 	if err := cmd.Start(); err != nil {
@@ -448,6 +493,35 @@ func (h *harness) restartServer() error {
 	w.End = time.Now()
 	h.mu.Lock()
 	h.restarts = append(h.restarts, w)
+	h.mu.Unlock()
+	return nil
+}
+
+// crashServer SIGKILLs the current server — no drain, no WAL flush,
+// the exit code is the signal's and deliberately kept out of the
+// clean-exit ledger — then starts a replacement against the same WAL
+// directory and records the outage window. With durability on the
+// oracle ignores these windows: a kill is exactly the crash the WAL
+// must survive.
+func (h *harness) crashServer() error {
+	w := restartWindow{Start: time.Now()}
+	h.mu.Lock()
+	p := h.srv
+	h.srv = nil
+	h.mu.Unlock()
+	if p == nil {
+		return fmt.Errorf("no server to crash")
+	}
+	if err := p.cmd.Process.Kill(); err != nil {
+		return fmt.Errorf("SIGKILL: %w", err)
+	}
+	<-p.done
+	if err := h.startServer(); err != nil {
+		return err
+	}
+	w.End = time.Now()
+	h.mu.Lock()
+	h.kills = append(h.kills, w)
 	h.mu.Unlock()
 	return nil
 }
@@ -602,6 +676,7 @@ type finalStatsJSON struct {
 		Failed     uint64 `json:"failed"`
 		TimedOut   uint64 `json:"timedOut"`
 		Canceled   uint64 `json:"canceled"`
+		Recovered  uint64 `json:"recovered"`
 	} `json:"asyncJobs"`
 }
 
@@ -674,15 +749,22 @@ func (h *harness) runPhase(p *phaseSpec, phaseIdx int) error {
 		runs[c] = driverRun{cmd: cmd, out: out}
 	}
 
-	// Mid-phase restart under load.
+	// Mid-phase restart or SIGKILL under load.
 	restartErr := make(chan error, 1)
-	if p.RestartMid {
+	switch {
+	case p.RestartMid:
 		go func() {
 			time.Sleep(p.Duration / 2)
 			fmt.Fprintf(os.Stderr, "rcasoak: restart (mid-phase, under load)\n")
 			restartErr <- h.restartServer()
 		}()
-	} else {
+	case p.KillMid:
+		go func() {
+			time.Sleep(p.Duration / 2)
+			fmt.Fprintf(os.Stderr, "rcasoak: SIGKILL (mid-phase, under load)\n")
+			restartErr <- h.crashServer()
+		}()
+	default:
 		restartErr <- nil
 	}
 

@@ -7,9 +7,13 @@
 //
 //  1. No lost jobs — every 202-accepted job reaches exactly one
 //     terminal observation; a job that vanished (404 / still pending)
-//     is excused only if a restart window overlaps its observation
-//     interval (the server keeps no durable job log, so a process
-//     replacement legitimately forgets in-flight work).
+//     is excused only if a restart or kill window overlaps its
+//     observation interval (a server without a durable job log
+//     legitimately forgets in-flight work across a process
+//     replacement). When the run has a WAL (-wal-dir) there are NO
+//     excusals of any kind: the log's contract is that every
+//     acknowledged submission survives any crash, SIGKILL included,
+//     so a lost job is a violation no window can explain away.
 //  2. No duplicated jobs — job IDs are globally unique across every
 //     accepted submission of every driver.
 //  3. No aliased or wrong results — drivers compare each result's
@@ -21,12 +25,16 @@
 //  6. No leaks — goroutine and fd counts from /debug/soak return to
 //     near their post-warmup baseline once load stops.
 //  7. Clean shutdown — every server exit (mid-scenario restarts and
-//     the final stop) is signal-initiated and exits 0.
+//     the final stop) is signal-initiated and exits 0. Deliberate
+//     SIGKILLs are excluded by construction: the harness keeps their
+//     exit codes out of this ledger and accounts them under kills.
 //  8. Accounting — final /v1/stats obeys
-//     submitted == done+failed+timedOut+canceled+queueDepth+running.
+//     submitted == done+failed+timedOut+canceled+queueDepth+running
+//     (WAL recovery seeds both sides, so the identity survives
+//     crash-replay cycles too).
 //  9. Coverage — every op class the scenario weights actually ran,
-//     429s appeared if an overload wave was scheduled, restarts
-//     happened if scheduled.
+//     429s appeared if an overload wave was scheduled, restarts and
+//     kills happened if scheduled.
 // 10. Observability — the final /metrics scrape parses and shows the
 //     serving-path counters moving, and when solve-delay faults were
 //     armed, /debug/requests retained at least one slow trace with a
@@ -76,7 +84,14 @@ type soakReport struct {
 	MaxRSSBytes int64            `json:"maxRSSBytes"`
 
 	Restarts    int   `json:"restarts"`
+	Kills       int   `json:"kills"`
 	ServerExits []int `json:"serverExits"`
+
+	// WALEnabled records that the servers ran with -wal-dir — the mode
+	// in which JobsExcused must be 0 by rule; JobsRecovered is the
+	// final process's boot-replay count from /v1/stats.
+	WALEnabled    bool   `json:"walEnabled"`
+	JobsRecovered uint64 `json:"jobsRecovered"`
 
 	GoroutinesBaseline int `json:"goroutinesBaseline"`
 	GoroutinesFinal    int `json:"goroutinesFinal"`
@@ -108,8 +123,15 @@ type oracleInput struct {
 
 	ledgers  []ledger
 	restarts []restartWindow
+	// kills brackets the scenario's deliberate SIGKILL cycles; their
+	// windows excuse losses only when the run had no WAL.
+	kills []restartWindow
+	// walEnabled: the servers ran with -wal-dir, so no loss — restart,
+	// kill or otherwise — is excusable.
+	walEnabled bool
 	// serverExits collects the exit codes of every server process the
-	// harness stopped (restarts + final shutdown).
+	// harness stopped gracefully (restarts + final shutdown); SIGKILLed
+	// processes are deliberately absent.
 	serverExits []int
 
 	maxRSS int64
@@ -121,6 +143,7 @@ type oracleInput struct {
 
 	// stats identity inputs from the final /v1/stats.
 	statsSubmitted, statsTerminalPlusLive uint64
+	statsRecovered                        uint64
 	statsFetched                          bool
 
 	p99Ceiling time.Duration
@@ -156,7 +179,10 @@ func runOracle(in oracleInput) *soakReport {
 		P99Micros:          map[string]int64{},
 		MaxRSSBytes:        in.maxRSS,
 		Restarts:           len(in.restarts),
+		Kills:              len(in.kills),
 		ServerExits:        in.serverExits,
+		WALEnabled:         in.walEnabled,
+		JobsRecovered:      in.statsRecovered,
 		GoroutinesBaseline: in.baselineGoroutines,
 		GoroutinesFinal:    in.finalGoroutines,
 		FDsBaseline:        in.baselineFDs,
@@ -165,6 +191,13 @@ func runOracle(in oracleInput) *soakReport {
 	}
 	violate := func(format string, args ...any) {
 		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+	}
+
+	// Excusal windows for lost jobs: restarts and kills when the run
+	// had no durable log; nothing at all when it did (invariant 1).
+	var excusals []restartWindow
+	if !in.walEnabled {
+		excusals = append(append(excusals, in.restarts...), in.kills...)
 	}
 
 	// Merge ledgers; driver-side violations (aliasing, reference
@@ -196,9 +229,14 @@ func runOracle(in oracleInput) *soakReport {
 					violate("job %s (%s): result echoes foreign offsets (aliasing)", j.ID, j.Class)
 				}
 			case "lost":
-				if excusedByRestart(in.restarts, j) {
+				switch {
+				case excusedByRestart(excusals, j):
 					rep.JobsExcused++
-				} else {
+				case in.walEnabled:
+					rep.JobsLost++
+					violate("job %s (%s) lost despite the WAL (no window excuses a durable job): %s",
+						j.ID, j.Class, j.Err)
+				default:
 					rep.JobsLost++
 					violate("job %s (%s) lost with no restart to blame: %s", j.ID, j.Class, j.Err)
 				}
@@ -269,6 +307,9 @@ func runOracle(in oracleInput) *soakReport {
 	if exp.Restarts != len(in.restarts) {
 		violate("coverage: %d restarts scheduled, %d performed", exp.Restarts, len(in.restarts))
 	}
+	if exp.Kills != len(in.kills) {
+		violate("coverage: %d kills scheduled, %d performed", exp.Kills, len(in.kills))
+	}
 
 	// 10. Observability.
 	rep.MetricsBaseline = in.metricsBaseline
@@ -306,7 +347,8 @@ func runOracle(in oracleInput) *soakReport {
 	return rep
 }
 
-// excusedByRestart reports whether any restart window overlaps the
+// excusedByRestart reports whether any of the given replacement
+// windows (restarts, plus kills on non-durable runs) overlaps the
 // job's observation interval.
 func excusedByRestart(windows []restartWindow, j jobRecord) bool {
 	for _, w := range windows {
@@ -365,8 +407,12 @@ func writeReport(rep *soakReport, path string) error {
 	}
 	fmt.Printf("  jobs: %d accepted, %d resolved, %d excused by restart, %d lost\n",
 		rep.JobsAccepted, rep.JobsResolved, rep.JobsExcused, rep.JobsLost)
-	fmt.Printf("  429s: %d   restarts: %d   peak RSS: %d MiB\n",
-		count429(rep.Outcomes), rep.Restarts, rep.MaxRSSBytes>>20)
+	fmt.Printf("  429s: %d   restarts: %d   kills: %d   peak RSS: %d MiB\n",
+		count429(rep.Outcomes), rep.Restarts, rep.Kills, rep.MaxRSSBytes>>20)
+	if rep.WALEnabled {
+		fmt.Printf("  wal: durable mode — no loss excusals; final process replayed %d job(s) at boot\n",
+			rep.JobsRecovered)
+	}
 	fmt.Printf("  scraped: %d metric families, %d slow trace(s)",
 		len(rep.MetricsFinal), len(rep.SlowTraces))
 	if len(rep.SlowTraces) > 0 {

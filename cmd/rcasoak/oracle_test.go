@@ -123,6 +123,95 @@ func TestOracleExcusesRestartLoss(t *testing.T) {
 	}
 }
 
+// TestOracleKillWindowExcuses: without a WAL, a SIGKILL window excuses
+// overlapped losses exactly like a restart window does.
+func TestOracleKillWindowExcuses(t *testing.T) {
+	in := testInput(t)
+	in.ledgers[0].Jobs = append(in.ledgers[0].Jobs,
+		jobRecord{ID: "x", Class: "async", State: "lost", SubmitMs: 2000, ResolveMs: 2500})
+	in.kills = []restartWindow{{
+		Start: time.UnixMilli(2200), End: time.UnixMilli(2400),
+	}}
+	sc, err := parseScenario("t", "phase p 1s rate=10 mix=sync:1,async:1 kill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.scenario = sc
+	rep := runOracle(in)
+	if !rep.Passed || rep.JobsExcused != 1 {
+		t.Fatalf("kill-overlapped loss not excused: %+v %v", rep, rep.Violations)
+	}
+}
+
+// TestOracleWALForbidsExcusal is the acceptance rule: with -wal-dir
+// set, a lost job fails the run even when restart AND kill windows
+// overlap its whole observation interval.
+func TestOracleWALForbidsExcusal(t *testing.T) {
+	in := testInput(t)
+	in.walEnabled = true
+	in.ledgers[0].Jobs = append(in.ledgers[0].Jobs,
+		jobRecord{ID: "x", Class: "async", State: "lost", SubmitMs: 2000, ResolveMs: 2500,
+			Err: "404 for an accepted ID"})
+	in.restarts = []restartWindow{{Start: time.UnixMilli(2100), End: time.UnixMilli(2200)}}
+	in.kills = []restartWindow{{Start: time.UnixMilli(2300), End: time.UnixMilli(2400)}}
+	sc, err := parseScenario("t", "phase p 1s rate=10 mix=sync:1,async:1 restart\nkill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.scenario = sc
+	rep := runOracle(in)
+	if rep.Passed || rep.JobsLost != 1 || rep.JobsExcused != 0 {
+		t.Fatalf("WAL run excused a lost job: %+v %v", rep, rep.Violations)
+	}
+	if !violationMatching(rep, "despite the WAL") {
+		t.Fatalf("wrong violation wording: %v", rep.Violations)
+	}
+	if !rep.WALEnabled {
+		t.Fatal("report does not record durable mode")
+	}
+
+	// The same durable run with every job resolved passes — the rule
+	// forbids excusals, not kills.
+	in = testInput(t)
+	in.walEnabled = true
+	in.kills = []restartWindow{{Start: time.UnixMilli(2300), End: time.UnixMilli(2400)}}
+	in.statsRecovered = 3
+	sc, err = parseScenario("t", "phase p 1s rate=10 mix=sync:1,async:1 kill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.scenario = sc
+	rep = runOracle(in)
+	if !rep.Passed {
+		t.Fatalf("clean durable crash run failed: %v", rep.Violations)
+	}
+	if rep.Kills != 1 || rep.JobsRecovered != 3 {
+		t.Fatalf("kill/recovery accounting: %+v", rep)
+	}
+}
+
+// TestOracleKillCoverage: a scheduled kill that never happened (or an
+// unscheduled one that did) is a coverage violation.
+func TestOracleKillCoverage(t *testing.T) {
+	in := testInput(t)
+	sc, err := parseScenario("t", "phase p 1s rate=10 mix=sync:1,async:1 kill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.scenario = sc
+	rep := runOracle(in)
+	if rep.Passed || !violationMatching(rep, "kills scheduled") {
+		t.Fatalf("missing kill not flagged: %v", rep.Violations)
+	}
+
+	in = testInput(t)
+	in.kills = []restartWindow{{Start: time.UnixMilli(2300), End: time.UnixMilli(2400)}}
+	rep = runOracle(in)
+	if rep.Passed || !violationMatching(rep, "kills scheduled") {
+		t.Fatalf("unscheduled kill not flagged: %v", rep.Violations)
+	}
+}
+
 func TestOracleFlagsDuplicateIDs(t *testing.T) {
 	in := testInput(t)
 	in.ledgers[0].Jobs = append(in.ledgers[0].Jobs,

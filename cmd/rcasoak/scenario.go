@@ -1,21 +1,24 @@
 // The scenario DSL: a soak run is a sequence of timed phases, each
 // with a target op rate and a traffic mix, interleaved with server
-// restart directives. Scenarios come from a file or from the builtin
-// "mixed" scenario scaled to the -duration flag.
+// restart and kill directives. Scenarios come from a file or from the
+// builtin "mixed" or "crash" scenarios scaled to the -duration flag.
 //
 // Grammar (line-oriented; '#' starts a comment):
 //
 //	phase <name> <duration> rate=<ops/s> mix=<class:w,...> \
-//	      [fresh=<permil>] [faults=<spec>] [restart]
+//	      [fresh=<permil>] [faults=<spec>] [restart|kill]
 //	restart
+//	kill
 //
 // A trailing `restart` on a phase line restarts the server at the
 // phase midpoint while the drivers keep hammering — the chaos case. A
 // standalone `restart` line restarts between phases — the orderly
-// case. `faults=` re-arms the server's fault injector for the phase
-// (via POST /debug/soak) and restores the base spec afterwards;
-// `fresh=` sets the permil of unique (cache-cold) patterns, which is
-// how an overload phase defeats the result cache to provoke 429s.
+// case. `kill` is the violent variant: SIGKILL instead of SIGTERM, no
+// drain, no flush — the crash a WAL exists to survive. `faults=`
+// re-arms the server's fault injector for the phase (via POST
+// /debug/soak) and restores the base spec afterwards; `fresh=` sets
+// the permil of unique (cache-cold) patterns, which is how an
+// overload phase defeats the result cache to provoke 429s.
 
 package main
 
@@ -43,12 +46,17 @@ type phaseSpec struct {
 	Faults string
 	// RestartMid restarts the server at the phase midpoint, under load.
 	RestartMid bool
+	// KillMid SIGKILLs the server at the phase midpoint, under load —
+	// no drain, no WAL flush; recovery is the replay path's problem.
+	KillMid bool
 }
 
-// step is one scenario element: a phase or a between-phase restart.
+// step is one scenario element: a phase, a between-phase restart, or
+// a between-phase SIGKILL.
 type step struct {
 	Phase   *phaseSpec
 	Restart bool
+	Kill    bool
 }
 
 // scenario is a full soak run description.
@@ -89,6 +97,9 @@ type expectations struct {
 	// between-phase); the harness must observe that many clean exits
 	// before the final one.
 	Restarts int
+	// Kills is the number of kill directives; the harness must have
+	// SIGKILLed and replaced the server that many times.
+	Kills int
 }
 
 // expect derives the oracle's coverage obligations.
@@ -99,11 +110,17 @@ func (s *scenario) expect() expectations {
 		if st.Restart {
 			e.Restarts++
 		}
+		if st.Kill {
+			e.Kills++
+		}
 		if st.Phase == nil {
 			continue
 		}
 		if st.Phase.RestartMid {
 			e.Restarts++
+		}
+		if st.Phase.KillMid {
+			e.Kills++
 		}
 		m := st.Phase.Mix
 		mix.Sync += m.Sync
@@ -146,6 +163,11 @@ func parseScenario(name, text string) (*scenario, error) {
 				return nil, fmt.Errorf("scenario line %d: restart takes no arguments", lineno+1)
 			}
 			sc.Steps = append(sc.Steps, step{Restart: true})
+		case "kill":
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("scenario line %d: kill takes no arguments", lineno+1)
+			}
+			sc.Steps = append(sc.Steps, step{Kill: true})
 		case "phase":
 			p, err := parsePhase(fields[1:])
 			if err != nil {
@@ -179,9 +201,13 @@ func parsePhase(fields []string) (*phaseSpec, error) {
 			p.RestartMid = true
 			continue
 		}
+		if f == "kill" {
+			p.KillMid = true
+			continue
+		}
 		key, val, ok := strings.Cut(f, "=")
 		if !ok {
-			return nil, fmt.Errorf("bad phase option %q (want key=value or restart)", f)
+			return nil, fmt.Errorf("bad phase option %q (want key=value, restart or kill)", f)
 		}
 		switch key {
 		case "rate":
@@ -214,6 +240,9 @@ func parsePhase(fields []string) (*phaseSpec, error) {
 	if !sawRate || !sawMix {
 		return nil, fmt.Errorf("phase %q needs rate= and mix=", p.Name)
 	}
+	if p.RestartMid && p.KillMid {
+		return nil, fmt.Errorf("phase %q: restart and kill share the midpoint; pick one", p.Name)
+	}
 	return p, nil
 }
 
@@ -221,23 +250,9 @@ func parsePhase(fields []string) (*phaseSpec, error) {
 // warmup, a deliberate 429 overload wave (cache-cold traffic against
 // slowed solves), a chaos phase with a mid-phase restart under load, a
 // steady full mix with cancels and pathological large-N jobs, and a
-// cooldown. Phases never shrink below one second, so very short total
-// durations stretch slightly rather than degenerate.
+// cooldown.
 func builtinMixed(total time.Duration) *scenario {
-	slice := func(permil int) time.Duration {
-		d := total * time.Duration(permil) / 1000
-		if d < time.Second {
-			d = time.Second
-		}
-		return d.Round(10 * time.Millisecond)
-	}
-	mustMix := func(s string) workload.Mix {
-		m, err := workload.ParseMix(s)
-		if err != nil {
-			panic(err) // fixture specs
-		}
-		return m
-	}
+	slice, mustMix := scenarioHelpers(total)
 	return &scenario{
 		Name: "mixed",
 		Steps: []step{
@@ -254,4 +269,56 @@ func builtinMixed(total time.Duration) *scenario {
 				Mix: mustMix("sync:1")}},
 		},
 	}
+}
+
+// builtinCrash is the durability scenario scaled to a total duration:
+// async-heavy waves SIGKILLed three times at phase midpoints, so every
+// kill lands with accepted jobs queued, running, finishing and being
+// canceled. Run with -wal-dir it is the ISSUE's acceptance case — the
+// oracle excuses nothing, so every 202 must survive the crash via WAL
+// replay; without -wal-dir the kill windows excuse the inevitable
+// losses and the scenario degrades to a restart-robustness check. No
+// burst weight: a replay wave refilling the queue makes 429 timing
+// non-deterministic, and overload coverage belongs to "mixed".
+func builtinCrash(total time.Duration) *scenario {
+	slice, mustMix := scenarioHelpers(total)
+	crashMix := mustMix("sync:1,async:6,cancel:2,bign:1")
+	return &scenario{
+		Name: "crash",
+		Steps: []step{
+			{Phase: &phaseSpec{Name: "warmup", Duration: slice(120), Rate: 40,
+				Mix: mustMix("sync:2,async:6")}},
+			{Phase: &phaseSpec{Name: "crash1", Duration: slice(200), Rate: 60,
+				Mix: crashMix, KillMid: true}},
+			{Phase: &phaseSpec{Name: "crash2", Duration: slice(200), Rate: 60,
+				Mix: mustMix("async:6,batch:1,cancel:1"), KillMid: true}},
+			{Phase: &phaseSpec{Name: "crash3", Duration: slice(200), Rate: 60,
+				Mix: crashMix, KillMid: true}},
+			{Phase: &phaseSpec{Name: "steady", Duration: slice(180), Rate: 40,
+				Mix: mustMix("sync:2,batch:1,async:4,cancel:1")}},
+			{Phase: &phaseSpec{Name: "cooldown", Duration: slice(100), Rate: 20,
+				Mix: mustMix("sync:1")}},
+		},
+	}
+}
+
+// scenarioHelpers builds the builtin scenarios' shared scaling and
+// mix-parsing closures. Phases never shrink below one second, so very
+// short total durations stretch slightly rather than degenerate.
+func scenarioHelpers(total time.Duration) (func(int) time.Duration, func(string) workload.Mix) {
+	slice := func(permil int) time.Duration {
+		d := total * time.Duration(permil) / 1000
+		if d < time.Second {
+			d = time.Second
+		}
+		return d.Round(10 * time.Millisecond)
+	}
+	mustMix := func(s string) workload.Mix {
+		m, err := workload.ParseMix(s)
+		if err != nil {
+			panic(err) // fixture specs
+		}
+		return m
+	}
+	return slice, mustMix
 }

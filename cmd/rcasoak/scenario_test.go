@@ -15,13 +15,15 @@ phase warmup 5s rate=40 mix=sync:3,async:5
 phase overload 10s rate=120 mix=async:2,burst:3 fresh=1000 faults=delay=60ms
 restart
 phase chaos 20s rate=60 mix=sync:3,async:4,cancel:2,bign:1 restart
+kill
+phase crash 5s rate=30 mix=async:5 kill
 `
 	sc, err := parseScenario("t", text)
 	if err != nil {
 		t.Fatal(err)
 	}
 	phases := sc.phases()
-	if len(phases) != 3 || len(sc.Steps) != 4 {
+	if len(phases) != 4 || len(sc.Steps) != 6 {
 		t.Fatalf("parsed %d phases / %d steps", len(phases), len(sc.Steps))
 	}
 	if phases[0].Name != "warmup" || phases[0].Duration != 5*time.Second || phases[0].Rate != 40 {
@@ -33,7 +35,10 @@ phase chaos 20s rate=60 mix=sync:3,async:4,cancel:2,bign:1 restart
 	if !phases[2].RestartMid {
 		t.Fatal("chaos restart flag lost")
 	}
-	if got := sc.totalDuration(); got != 35*time.Second {
+	if phases[2].KillMid || !phases[3].KillMid {
+		t.Fatalf("kill flags wrong: chaos %v crash %v", phases[2].KillMid, phases[3].KillMid)
+	}
+	if got := sc.totalDuration(); got != 40*time.Second {
 		t.Fatalf("total duration %v", got)
 	}
 
@@ -43,6 +48,9 @@ phase chaos 20s rate=60 mix=sync:3,async:4,cancel:2,bign:1 restart
 	}
 	if exp.Restarts != 2 {
 		t.Errorf("restarts %d, want 2 (one standalone + one mid-phase)", exp.Restarts)
+	}
+	if exp.Kills != 2 {
+		t.Errorf("kills %d, want 2 (one standalone + one mid-phase)", exp.Kills)
 	}
 	want := map[workload.OpKind]bool{
 		workload.OpSync: true, workload.OpAsync: true, workload.OpAsyncBurst: true,
@@ -60,18 +68,20 @@ phase chaos 20s rate=60 mix=sync:3,async:4,cancel:2,bign:1 restart
 
 func TestParseScenarioRejects(t *testing.T) {
 	for _, bad := range []string{
-		"",                                   // no phases
-		"restart",                            // restarts only
-		"phase p 5s mix=sync:1",              // missing rate
-		"phase p 5s rate=10",                 // missing mix
-		"phase p 0s rate=10 mix=sync:1",      // zero duration
-		"phase p 5s rate=10 mix=warp:1",      // bad mix class
-		"phase p 5s rate=10 mix=sync:1 x=1",  // unknown option
-		"phase p 5s rate=10 mix=sync:1 junk", // non-option token
+		"",                                           // no phases
+		"restart",                                    // restarts only
+		"phase p 5s mix=sync:1",                      // missing rate
+		"phase p 5s rate=10",                         // missing mix
+		"phase p 0s rate=10 mix=sync:1",              // zero duration
+		"phase p 5s rate=10 mix=warp:1",              // bad mix class
+		"phase p 5s rate=10 mix=sync:1 x=1",          // unknown option
+		"phase p 5s rate=10 mix=sync:1 junk",         // non-option token
 		"phase p 5s rate=10 mix=sync:1 faults=zzz=1", // bad faults spec
-		"teleport now",                       // unknown directive
-		"restart please",                     // restart with args
-		"phase p 5s rate=10 mix=sync:1 fresh=2000", // permil out of range
+		"teleport now",                               // unknown directive
+		"restart please",                             // restart with args
+		"kill -9",                                    // kill with args
+		"phase p 5s rate=10 mix=sync:1 fresh=2000",   // permil out of range
+		"phase p 5s rate=10 mix=sync:1 restart kill", // midpoint conflict
 	} {
 		if _, err := parseScenario("bad", bad); err == nil {
 			t.Errorf("accepted %q", bad)
@@ -106,6 +116,35 @@ func TestBuiltinMixedScales(t *testing.T) {
 
 	// Very short totals must not degenerate below 1s phases.
 	for _, p := range builtinMixed(3 * time.Second).phases() {
+		if p.Duration < time.Second {
+			t.Fatalf("phase %s shrank to %v", p.Name, p.Duration)
+		}
+	}
+}
+
+// TestBuiltinCrash pins the durability scenario's shape: three
+// mid-phase SIGKILLs, no SIGTERM restarts, no burst weight (a replay
+// wave makes 429 timing non-deterministic), and every kill landing in
+// an async-carrying phase so there is state to lose.
+func TestBuiltinCrash(t *testing.T) {
+	sc := builtinCrash(60 * time.Second)
+	total := sc.totalDuration()
+	if total < 55*time.Second || total > 65*time.Second {
+		t.Fatalf("crash at 60s scales to %v", total)
+	}
+	exp := sc.expect()
+	if exp.Kills != 3 || exp.Restarts != 0 {
+		t.Fatalf("crash expectations %+v, want 3 kills and no restarts", exp)
+	}
+	if exp.Expect429 {
+		t.Fatal("crash scenario must not owe the oracle a 429")
+	}
+	for _, p := range sc.phases() {
+		if p.KillMid && p.Mix.Async == 0 {
+			t.Errorf("phase %s kills without async load in flight", p.Name)
+		}
+	}
+	for _, p := range builtinCrash(3 * time.Second).phases() {
 		if p.Duration < time.Second {
 			t.Fatalf("phase %s shrank to %v", p.Name, p.Duration)
 		}

@@ -85,3 +85,60 @@ func TestSoakSmoke(t *testing.T) {
 		t.Error("final /v1/stats accounting identity broken")
 	}
 }
+
+// TestSoakSmokeCrashWAL is the durable crash smoke: one mid-phase
+// SIGKILL under async load with -wal-dir set. The oracle excuses
+// nothing in this mode, so a pass means every accepted job survived
+// the kill via WAL replay. (The full three-kill scenario is CI's
+// `-scenario crash` run; this keeps the contract checked in ~10s.)
+func TestSoakSmokeCrashWAL(t *testing.T) {
+	dir := t.TempDir()
+	scenarioPath := filepath.Join(dir, "crash.scenario")
+	// Async-heavy so jobs are queued and running when the kill lands;
+	// no cancel class (nothing extra proven in 6s) and gentle faults.
+	scenario := "phase crash 6s rate=40 mix=sync:1,async:6 faults=delay=10ms:2 kill\n"
+	if err := os.WriteFile(scenarioPath, []byte(scenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reportPath := filepath.Join(dir, "report.json")
+	walDir := filepath.Join(dir, "wal")
+
+	cmd := exec.Command("go", "run", "dspaddr/cmd/rcasoak",
+		"-scenario", scenarioPath,
+		"-clients", "2",
+		"-seed", "11",
+		"-grace", "8s",
+		"-wal-dir", walDir,
+		"-report", reportPath,
+	)
+	out, err := cmd.CombinedOutput()
+	t.Logf("rcasoak output:\n%s", out)
+	if err != nil {
+		t.Fatalf("rcasoak exited non-zero: %v", err)
+	}
+
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatalf("reading report: %v", err)
+	}
+	var rep soakReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("parsing report: %v", err)
+	}
+
+	if !rep.Passed {
+		t.Fatalf("report failed: %v", rep.Violations)
+	}
+	if !rep.WALEnabled || rep.Kills != 1 {
+		t.Fatalf("crash coverage: walEnabled=%v kills=%d", rep.WALEnabled, rep.Kills)
+	}
+	if rep.JobsLost != 0 || rep.JobsExcused != 0 {
+		t.Fatalf("durable run leaked jobs: %d lost, %d excused", rep.JobsLost, rep.JobsExcused)
+	}
+	if rep.JobsAccepted == 0 || rep.JobsResolved != rep.JobsAccepted {
+		t.Fatalf("job accounting: accepted %d resolved %d", rep.JobsAccepted, rep.JobsResolved)
+	}
+	if !rep.StatsIdentityOK {
+		t.Error("final /v1/stats accounting identity broken across the crash")
+	}
+}

@@ -55,18 +55,35 @@ type Injector struct {
 	// built.
 	ttlDiv atomic.Int64
 
+	// walWriteEvery forces a write-ahead-log append failure on every
+	// Nth BeforeWALWrite call (0 = off); walFsyncDelayNanos and
+	// walFsyncEvery stretch every Nth WAL fsync, modeling a disk whose
+	// write cache is flushing. Separate counters from the solve hooks,
+	// so the WAL fault schedule is deterministic regardless of solve
+	// traffic.
+	walWriteEvery      atomic.Int64
+	walFsyncDelayNanos atomic.Int64
+	walFsyncEvery      atomic.Int64
+
 	calls  atomic.Uint64 // BeforeSolve invocations
 	delays atomic.Uint64 // injected latencies fired
 	errs   atomic.Uint64 // injected errors fired
+
+	walWrites     atomic.Uint64 // BeforeWALWrite invocations
+	walWriteErrs  atomic.Uint64 // injected WAL append failures
+	walFsyncCalls atomic.Uint64 // WALFsyncDelay invocations
+	walDelays     atomic.Uint64 // injected WAL fsync stalls
 }
 
 // Parse builds an injector from a comma-separated spec:
 //
-//	delay=20ms:4   inject 20ms of solve latency on every 4th solve
-//	delay=5ms      inject 5ms on every solve
-//	error=128      force an error on every 128th solve
-//	ttl-div=100    divide the async result TTL by 100
-//	none           arm the injector with nothing scheduled
+//	delay=20ms:4          inject 20ms of solve latency on every 4th solve
+//	delay=5ms             inject 5ms on every solve
+//	error=128             force an error on every 128th solve
+//	ttl-div=100           divide the async result TTL by 100
+//	wal-write-error=64    fail every 64th WAL append
+//	wal-fsync-delay=5ms:8 stall every 8th WAL fsync by 5ms
+//	none                  arm the injector with nothing scheduled
 //
 // An empty spec is an error — callers express "no injection" by not
 // arming an injector at all (nil), or with the explicit "none".
@@ -112,6 +129,27 @@ func Parse(spec string) (*Injector, error) {
 				return nil, fmt.Errorf("faults: bad ttl divisor %q", val)
 			}
 			inj.ttlDiv.Store(int64(div))
+		case "wal-write-error":
+			every, err := strconv.Atoi(val)
+			if err != nil || every < 1 {
+				return nil, fmt.Errorf("faults: bad wal-write-error period %q", val)
+			}
+			inj.walWriteEvery.Store(int64(every))
+		case "wal-fsync-delay":
+			durStr, everyStr, hasEvery := strings.Cut(val, ":")
+			d, err := time.ParseDuration(durStr)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("faults: bad wal-fsync-delay %q", val)
+			}
+			every := 1
+			if hasEvery {
+				every, err = strconv.Atoi(everyStr)
+				if err != nil || every < 1 {
+					return nil, fmt.Errorf("faults: bad wal-fsync-delay period %q", everyStr)
+				}
+			}
+			inj.walFsyncDelayNanos.Store(int64(d))
+			inj.walFsyncEvery.Store(int64(every))
 		default:
 			return nil, fmt.Errorf("faults: unknown clause key %q", key)
 		}
@@ -131,6 +169,9 @@ func (inj *Injector) Rearm(spec string) error {
 	inj.delayEvery.Store(next.delayEvery.Load())
 	inj.errorEvery.Store(next.errorEvery.Load())
 	inj.ttlDiv.Store(next.ttlDiv.Load())
+	inj.walWriteEvery.Store(next.walWriteEvery.Load())
+	inj.walFsyncDelayNanos.Store(next.walFsyncDelayNanos.Load())
+	inj.walFsyncEvery.Store(next.walFsyncEvery.Load())
 	return nil
 }
 
@@ -159,6 +200,33 @@ func (inj *Injector) BeforeSolve(ctx context.Context) error {
 	return nil
 }
 
+// BeforeWALWrite is the write-ahead-log hook, called immediately
+// before an append reaches the segment file. It returns ErrInjected
+// on every Nth call when a wal-write-error clause is armed, modeling
+// a full or failing disk; the caller must surface the failure to the
+// submitter (the record was never durable).
+func (inj *Injector) BeforeWALWrite() error {
+	n := inj.walWrites.Add(1)
+	if every := inj.walWriteEvery.Load(); every > 0 && n%uint64(every) == 0 {
+		inj.walWriteErrs.Add(1)
+		return fmt.Errorf("%w (wal write %d)", ErrInjected, n)
+	}
+	return nil
+}
+
+// WALFsyncDelay stalls the caller on every Nth WAL fsync when a
+// wal-fsync-delay clause is armed — the "disk flushing its cache"
+// fault that stretches the fsync tail without failing anything.
+func (inj *Injector) WALFsyncDelay() {
+	n := inj.walFsyncCalls.Add(1)
+	if every := inj.walFsyncEvery.Load(); every > 0 && n%uint64(every) == 0 {
+		if d := time.Duration(inj.walFsyncDelayNanos.Load()); d > 0 {
+			inj.walDelays.Add(1)
+			time.Sleep(d)
+		}
+	}
+}
+
 // TTL returns the store retention the manager should use: the
 // configured TTL divided by the armed ttl-div, floored at 1ms so an
 // aggressive divisor accelerates expiry without making results
@@ -182,15 +250,23 @@ type Stats struct {
 	Calls  uint64 `json:"calls"`
 	Delays uint64 `json:"delays"`
 	Errors uint64 `json:"errors"`
+	// WAL hook activity; zero unless wal-* clauses are armed and a
+	// write-ahead log is running.
+	WALWrites      uint64 `json:"walWrites"`
+	WALWriteErrors uint64 `json:"walWriteErrors"`
+	WALFsyncDelays uint64 `json:"walFsyncDelays"`
 }
 
 // Snapshot reports the current schedule and counters.
 func (inj *Injector) Snapshot() Stats {
 	return Stats{
-		Spec:   inj.String(),
-		Calls:  inj.calls.Load(),
-		Delays: inj.delays.Load(),
-		Errors: inj.errs.Load(),
+		Spec:           inj.String(),
+		Calls:          inj.calls.Load(),
+		Delays:         inj.delays.Load(),
+		Errors:         inj.errs.Load(),
+		WALWrites:      inj.walWrites.Load(),
+		WALWriteErrors: inj.walWriteErrs.Load(),
+		WALFsyncDelays: inj.walDelays.Load(),
 	}
 }
 
@@ -205,6 +281,12 @@ func (inj *Injector) String() string {
 	}
 	if div := inj.ttlDiv.Load(); div > 1 {
 		parts = append(parts, fmt.Sprintf("ttl-div=%d", div))
+	}
+	if every := inj.walWriteEvery.Load(); every > 0 {
+		parts = append(parts, fmt.Sprintf("wal-write-error=%d", every))
+	}
+	if every := inj.walFsyncEvery.Load(); every > 0 && inj.walFsyncDelayNanos.Load() > 0 {
+		parts = append(parts, fmt.Sprintf("wal-fsync-delay=%v:%d", time.Duration(inj.walFsyncDelayNanos.Load()), every))
 	}
 	if len(parts) == 0 {
 		return "none"

@@ -18,6 +18,10 @@ func TestParseRoundTrip(t *testing.T) {
 		{"ttl-div=100", "ttl-div=100"},
 		{"delay=20ms:4,error=128,ttl-div=10", "delay=20ms:4,error=128,ttl-div=10"},
 		{" delay=1ms:2 , error=3 ", "delay=1ms:2,error=3"},
+		{"wal-write-error=64", "wal-write-error=64"},
+		{"wal-fsync-delay=5ms:8", "wal-fsync-delay=5ms:8"},
+		{"wal-fsync-delay=5ms", "wal-fsync-delay=5ms:1"},
+		{"error=128,wal-write-error=64,wal-fsync-delay=2ms:4", "error=128,wal-fsync-delay=2ms:4,wal-write-error=64"},
 	}
 	for _, c := range cases {
 		inj, err := Parse(c.spec)
@@ -34,6 +38,7 @@ func TestParseRejects(t *testing.T) {
 	for _, spec := range []string{
 		"", "delay", "delay=", "delay=-5ms", "delay=5ms:0", "delay=5ms:x",
 		"error=0", "error=-1", "error=x", "ttl-div=0", "bogus=1", "delay=5ms,,",
+		"wal-write-error=0", "wal-write-error=x", "wal-fsync-delay=", "wal-fsync-delay=5ms:0",
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) accepted, want error", spec)
@@ -68,6 +73,56 @@ func TestErrorSchedule(t *testing.T) {
 	}
 	if st := inj.Snapshot(); st.Errors != 3 || st.Calls != 12 {
 		t.Errorf("snapshot %+v, want 3 errors over 12 calls", st)
+	}
+}
+
+// TestWALWriteErrorSchedule pins the WAL append fault: independent
+// counter, deterministic every-Nth firing, tracked in the snapshot.
+func TestWALWriteErrorSchedule(t *testing.T) {
+	inj, err := Parse("wal-write-error=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for i := 1; i <= 9; i++ {
+		if err := inj.BeforeWALWrite(); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("wal write %d: unexpected error %v", i, err)
+			}
+			fired = append(fired, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(fired) != len(want) {
+		t.Fatalf("wal write errors fired on %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("wal write errors fired on %v, want %v", fired, want)
+		}
+	}
+	// The solve-side error counter must not see WAL traffic.
+	if st := inj.Snapshot(); st.WALWriteErrors != 3 || st.WALWrites != 9 || st.Errors != 0 {
+		t.Errorf("snapshot %+v, want 3 wal write errors over 9 wal writes and 0 solve errors", st)
+	}
+}
+
+// TestWALFsyncDelaySchedule verifies the fsync stall fires on its own
+// counter and is recorded.
+func TestWALFsyncDelaySchedule(t *testing.T) {
+	inj, err := Parse("wal-fsync-delay=1ms:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		inj.WALFsyncDelay()
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("4 fsyncs with delay=1ms:2 took %v, want >= 2ms", elapsed)
+	}
+	if st := inj.Snapshot(); st.WALFsyncDelays != 2 {
+		t.Errorf("snapshot %+v, want 2 wal fsync delays", st)
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"dspaddr/internal/faults"
 	"dspaddr/internal/obs"
 	"dspaddr/internal/stats"
+	"dspaddr/internal/wal"
 )
 
 // State is a job's position in the lifecycle.
@@ -76,6 +77,12 @@ func ValidState(s State) bool {
 var (
 	// ErrClosed is returned by Submit after Close.
 	ErrClosed = errors.New("jobs: manager closed")
+	// ErrShuttingDown is returned by Submit during a graceful drain:
+	// the manager still finishes admitted work but accepts no more. It
+	// wraps ErrClosed so errors.Is(err, ErrClosed) keeps matching both;
+	// the serving layer distinguishes them to answer 503 + Retry-After
+	// (come back after the restart) instead of a bare refusal.
+	ErrShuttingDown = fmt.Errorf("jobs: shutting down: %w", ErrClosed)
 	// ErrFinished is returned by Cancel for an already-terminal job.
 	ErrFinished = errors.New("jobs: job already finished")
 	// ErrShutdown is the failure reason recorded on jobs the manager
@@ -147,6 +154,27 @@ type Options struct {
 	// one nil check per dispatch.
 	QueueWaitHist *obs.Histogram
 	RunHist       *obs.Histogram
+
+	// WAL, when non-nil, makes every admission and terminal transition
+	// durable: a submission is appended to the log before it is
+	// queued (and before the caller gets its IDs back), and a finish
+	// is appended before the terminal state becomes visible wherever
+	// the transition ordering allows it. The manager takes ownership
+	// and closes the log in Close. Requires all four codecs below.
+	WAL *wal.Log
+	// Recovered is the job set replayed from the WAL at boot (see
+	// wal.Open): terminal jobs are restored straight into the result
+	// store, still-queued ones are re-enqueued — above QueueCapacity
+	// if need be, since they were admitted before the crash — ahead of
+	// the dispatchers starting.
+	Recovered []wal.JobState
+	// The codecs translate between the manager's opaque payload/result
+	// values and the WAL's durable bytes. Required when WAL is set
+	// (New panics otherwise); unused without it.
+	EncodePayload func(any) ([]byte, error)
+	DecodePayload func([]byte) (any, error)
+	EncodeResult  func(any) ([]byte, error)
+	DecodeResult  func([]byte) (any, error)
 }
 
 func (o Options) withDefaults() Options {
@@ -280,6 +308,13 @@ type Manager struct {
 	failed    atomic.Uint64
 	timedOut  atomic.Uint64
 	canceled  atomic.Uint64
+	// recovered counts jobs restored from the WAL at boot (each also
+	// counted into submitted and, when terminal, its state counter, so
+	// the submitted == terminals + queued + running identity holds
+	// across a restart). walErrs counts WAL appends that failed after
+	// the job was already admitted — durability degraded, service up.
+	recovered atomic.Uint64
+	walErrs   atomic.Uint64
 
 	// baseCtx parents every job context, so Close cancels all
 	// running work with one call — including a job a dispatcher is
@@ -315,18 +350,37 @@ func New(opts Options) *Manager {
 	if opts.Run == nil {
 		panic("jobs: Options.Run is required")
 	}
+	if opts.WAL != nil && (opts.EncodePayload == nil || opts.DecodePayload == nil ||
+		opts.EncodeResult == nil || opts.DecodeResult == nil) {
+		panic("jobs: Options.WAL requires the payload and result codecs")
+	}
 	opts = opts.withDefaults()
+	// Recovered queued jobs re-enter above the admission bound (they
+	// were admitted before the crash); the ready channel needs a slot
+	// for each or the recovery pushes would block.
+	extraReady := 0
+	for i := range opts.Recovered {
+		if !opts.Recovered[i].State.Terminal() {
+			extraReady++
+		}
+	}
 	var pfx [4]byte
 	rand.Read(pfx[:]) //nolint:errcheck // crypto/rand never fails
 	m := &Manager{
-		opts:   opts,
-		queue:  newQueue(opts.QueueCapacity),
-		store:  newStore(opts.StoreCapacity, opts.TTL),
+		opts:     opts,
+		queue:    newQueue(opts.QueueCapacity, extraReady),
+		store:    newStore(opts.StoreCapacity, opts.TTL),
 		prefix:   hex.EncodeToString(pfx[:]),
 		closed:   make(chan struct{}),
 		draining: make(chan struct{}),
 	}
 	m.baseCtx, m.baseCancel = context.WithCancel(context.Background())
+	// Recovery runs before the dispatchers exist, so replayed jobs are
+	// queued (and findable) before the first new submission can race
+	// them.
+	if len(opts.Recovered) > 0 {
+		m.recover(opts.Recovered)
+	}
 	for i := 0; i < opts.Runners; i++ {
 		m.wg.Add(1)
 		go m.dispatch()
@@ -334,6 +388,116 @@ func New(opts Options) *Manager {
 	m.wg.Add(1)
 	go m.janitor()
 	return m
+}
+
+// recover restores WAL-replayed jobs: terminal ones go straight into
+// the result store under their original IDs and expiries, live ones
+// are re-enqueued in replay (= original submit) order. Every restored
+// job counts into submitted and its state counter, so the aggregate
+// identity a monitor checks (submitted == terminals + queued +
+// running) survives the restart.
+func (m *Manager) recover(states []wal.JobState) {
+	now := time.Now()
+	var requeue []*record
+	for i := range states {
+		js := &states[i]
+		rec := &record{
+			id:        js.ID,
+			seq:       m.seq.Add(1),
+			priority:  js.Priority,
+			payload:   nil,
+			submitted: js.SubmittedAt,
+			traceID:   js.TraceID,
+		}
+		if js.State.Terminal() {
+			expire := js.ExpireAt
+			if expire.IsZero() {
+				// A cancel logged without its finish (the process died in
+				// between) has no recorded expiry; stamp a fresh TTL.
+				expire = now.Add(m.opts.TTL)
+			}
+			if !expire.After(now) {
+				continue // result already expired; nothing to restore
+			}
+			rec.state = recoveredState(js.State)
+			rec.finished = js.FinishedAt
+			if rec.finished.IsZero() {
+				rec.finished = now
+			}
+			if js.Err != "" {
+				rec.err = recoveredError(js.Err)
+			}
+			if js.State == wal.StateDone && len(js.Result) > 0 {
+				if v, err := m.opts.DecodeResult(js.Result); err == nil {
+					rec.result = v
+				} else {
+					m.walErrs.Add(1) // keep the state, drop the undecodable body
+				}
+			}
+			m.store.put(rec)
+			m.store.finish(rec, expire)
+			m.submitted.Add(1)
+			m.recovered.Add(1)
+			switch rec.state {
+			case StateDone:
+				m.done.Add(1)
+			case StateTimeout:
+				m.timedOut.Add(1)
+			case StateCanceled:
+				m.canceled.Add(1)
+			default:
+				m.failed.Add(1)
+			}
+			continue
+		}
+		payload, err := m.opts.DecodePayload(js.Payload)
+		if err != nil {
+			// A durable submission whose payload no longer decodes cannot
+			// run; fail it visibly (and durably) rather than drop it.
+			rec.state = StateFailed
+			rec.finished = now
+			rec.err = fmt.Errorf("jobs: recovered payload undecodable: %w", err)
+			m.store.put(rec)
+			m.store.finish(rec, now.Add(m.opts.TTL))
+			m.submitted.Add(1)
+			m.recovered.Add(1)
+			m.failed.Add(1)
+			m.walFinish(m.buildFinish(rec.id, StateFailed, now, now.Add(m.opts.TTL), rec.err, nil))
+			continue
+		}
+		rec.payload = payload
+		rec.state = StateQueued
+		requeue = append(requeue, rec)
+	}
+	if len(requeue) > 0 {
+		m.queue.pushRecovered(requeue, m.store.put)
+		m.depth.Add(int64(len(requeue)))
+		m.submitted.Add(uint64(len(requeue)))
+		m.recovered.Add(uint64(len(requeue)))
+	}
+}
+
+// recoveredState maps a WAL terminal state onto the manager's.
+func recoveredState(s wal.State) State {
+	switch s {
+	case wal.StateDone:
+		return StateDone
+	case wal.StateTimeout:
+		return StateTimeout
+	case wal.StateCanceled:
+		return StateCanceled
+	}
+	return StateFailed
+}
+
+// recoveredError rehydrates a logged failure reason, mapping the
+// shutdown sentinel's text back onto the sentinel so errors.Is keeps
+// working across a restart.
+func recoveredError(text string) error {
+	if text == ErrShutdown.Error() {
+		return ErrShutdown
+	}
+	return errors.New(text)
 }
 
 // Close stops accepting submissions, cancels running jobs, marks
@@ -350,10 +514,22 @@ func (m *Manager) Close() {
 		m.baseCancel()
 	})
 	now := time.Now()
+	// Drained records transition first, then their finish records go to
+	// the WAL in one batch — one append (and at most one fsync) instead
+	// of a per-job storm for a deep queue.
+	var frs []wal.FinishRecord
 	for _, rec := range m.queue.drain() {
-		m.finishAborted(rec, now, ErrShutdown)
+		if m.abortQueued(rec, now, ErrShutdown) && m.opts.WAL != nil {
+			frs = append(frs, m.buildFinish(rec.id, StateCanceled, now, now.Add(m.opts.TTL), ErrShutdown, nil))
+		}
+	}
+	if len(frs) > 0 {
+		m.walFinish(frs...)
 	}
 	m.wg.Wait()
+	if m.opts.WAL != nil {
+		m.opts.WAL.Close() //nolint:errcheck // final sync failure has no recourse here
+	}
 }
 
 // Shutdown is the graceful form of Close: it stops admission
@@ -387,7 +563,7 @@ func (m *Manager) Shutdown(ctx context.Context) {
 }
 
 // Submit admits one job at the given priority (higher runs first) and
-// returns its ID, or ErrQueueFull / ErrClosed.
+// returns its ID, or ErrQueueFull / ErrShuttingDown / ErrClosed.
 func (m *Manager) Submit(payload any, priority int) (string, error) {
 	ids, err := m.SubmitAll([]any{payload}, priority)
 	if err != nil {
@@ -401,22 +577,33 @@ func (m *Manager) Submit(payload any, priority int) (string, error) {
 // caller never has to track a partially admitted batch. IDs are
 // returned in payload order.
 func (m *Manager) SubmitAll(payloads []any, priority int) ([]string, error) {
-	return m.SubmitTraced(payloads, priority, "")
+	return m.SubmitTraced(context.Background(), payloads, priority, "")
 }
 
 // SubmitTraced is SubmitAll with a trace ID stamped on every admitted
 // record: it is surfaced in Status.TraceID and delivered to the
 // Runner's context (ContextTraceID), linking the async execution back
-// to the request that submitted it.
-func (m *Manager) SubmitTraced(payloads []any, priority int, traceID string) ([]string, error) {
+// to the request that submitted it. The context scopes the WAL append
+// (tracing; the append itself is not cancelable once started).
+//
+// With a WAL configured, admission is write-ahead: queue slots are
+// reserved, the submit records are appended (and, under the always
+// policy, fsynced), and only then do the jobs become visible — so an
+// ID this method returns names a job that survives a crash.
+func (m *Manager) SubmitTraced(ctx context.Context, payloads []any, priority int, traceID string) ([]string, error) {
 	if len(payloads) == 0 {
 		return nil, errors.New("jobs: empty submission")
 	}
 	m.closeMu.RLock()
 	defer m.closeMu.RUnlock()
 	select {
-	case <-m.draining: // closed by Shutdown and Close alike
+	case <-m.closed:
 		return nil, ErrClosed
+	default:
+	}
+	select {
+	case <-m.draining: // graceful drain: still working, not admitting
+		return nil, ErrShuttingDown
 	default:
 	}
 	now := time.Now()
@@ -435,12 +622,38 @@ func (m *Manager) SubmitTraced(payloads []any, priority int, traceID string) ([]
 		}
 		ids[i] = recs[i].id
 	}
-	// Records enter the store inside the queue's admission section:
-	// a rejected batch is never visible to Get/List/metrics.
-	if err := m.queue.pushAll(recs, m.store.put); err != nil {
+	// Two-phase admission: reserve the slots, make the batch durable,
+	// then commit (which registers the records in the store, so a batch
+	// that never commits is never visible to Get/List/metrics).
+	if err := m.queue.reserve(len(recs)); err != nil {
 		m.rejected.Add(1)
 		return nil, err
 	}
+	if m.opts.WAL != nil {
+		wrecs := make([]wal.SubmitRecord, len(recs))
+		for i, r := range recs {
+			b, err := m.opts.EncodePayload(r.payload)
+			if err != nil {
+				m.queue.release(len(recs))
+				m.rejected.Add(1)
+				return nil, fmt.Errorf("jobs: encode payload: %w", err)
+			}
+			wrecs[i] = wal.SubmitRecord{
+				ID:          r.id,
+				TraceID:     r.traceID,
+				Priority:    r.priority,
+				SubmittedAt: r.submitted,
+				Payload:     b,
+			}
+		}
+		if err := m.opts.WAL.AppendSubmit(ctx, wrecs); err != nil {
+			m.queue.release(len(recs))
+			m.rejected.Add(1)
+			m.walErrs.Add(1)
+			return nil, fmt.Errorf("jobs: wal append: %w", err)
+		}
+	}
+	m.queue.commit(recs, m.store.put)
 	m.depth.Add(int64(len(recs)))
 	m.submitted.Add(uint64(len(recs)))
 	return ids, nil
@@ -480,6 +693,14 @@ func (m *Manager) Cancel(id string) (Status, error) {
 	case StateRunning:
 		rec.cancel()
 		rec.mu.Unlock()
+		// Log the cancel intent: if the process dies before the Runner
+		// honors the canceled context, replay still knows this job was
+		// canceled instead of re-running it as a zombie.
+		if m.opts.WAL != nil {
+			if err := m.opts.WAL.AppendCancel(context.Background(), id); err != nil {
+				m.walErrs.Add(1)
+			}
+		}
 		return rec.snapshot(now), nil
 	default:
 		rec.mu.Unlock()
@@ -498,10 +719,21 @@ func (m *Manager) finishCanceled(rec *record, now time.Time) {
 // shutdown paths use it so a job killed by the server stopping says
 // so instead of looking like a client cancel.
 func (m *Manager) finishAborted(rec *record, now time.Time, reason error) {
+	if m.abortQueued(rec, now, reason) && m.opts.WAL != nil {
+		m.walFinish(m.buildFinish(rec.id, StateCanceled, now, now.Add(m.opts.TTL), reason, nil))
+	}
+}
+
+// abortQueued makes the queued→canceled transition, reporting whether
+// this call won it (a dispatcher may have started the job first — the
+// transition, not the WAL append, decides the race, which is why the
+// abort path logs after transitioning while the dispatch path logs
+// before: the dispatcher is the unique owner of running→terminal).
+func (m *Manager) abortQueued(rec *record, now time.Time, reason error) bool {
 	rec.mu.Lock()
 	if rec.state != StateQueued {
 		rec.mu.Unlock()
-		return
+		return false
 	}
 	rec.state = StateCanceled
 	rec.finished = now
@@ -510,6 +742,56 @@ func (m *Manager) finishAborted(rec *record, now time.Time, reason error) {
 	m.depth.Add(-1)
 	m.canceled.Add(1)
 	m.store.finish(rec, now.Add(m.opts.TTL))
+	return true
+}
+
+// buildFinish renders a terminal transition as a WAL record. Result
+// encoding failures degrade to a result-less done record (counted in
+// walErrs) — the job's outcome survives, its body does not.
+func (m *Manager) buildFinish(id string, state State, finished, expire time.Time, reason error, result any) wal.FinishRecord {
+	fr := wal.FinishRecord{
+		ID:         id,
+		State:      walState(state),
+		FinishedAt: finished,
+		ExpireAt:   expire,
+	}
+	if reason != nil {
+		fr.Err = reason.Error()
+	}
+	if state == StateDone && result != nil {
+		if b, err := m.opts.EncodeResult(result); err == nil {
+			fr.Result = b
+		} else {
+			m.walErrs.Add(1)
+		}
+	}
+	return fr
+}
+
+// walFinish appends finish records, counting (not propagating)
+// failures: by the time a finish exists the job already ran, and
+// refusing to surface its outcome over a log error would turn a
+// durability degradation into an availability loss.
+func (m *Manager) walFinish(frs ...wal.FinishRecord) {
+	if m.opts.WAL == nil {
+		return
+	}
+	if err := m.opts.WAL.AppendFinish(context.Background(), frs...); err != nil {
+		m.walErrs.Add(1)
+	}
+}
+
+// walState maps a terminal manager state onto the WAL's.
+func walState(s State) wal.State {
+	switch s {
+	case StateDone:
+		return wal.StateDone
+	case StateTimeout:
+		return wal.StateTimeout
+	case StateCanceled:
+		return wal.StateCanceled
+	}
+	return wal.StateFailed
 }
 
 // List returns a page of job statuses, newest submission first,
@@ -579,18 +861,28 @@ func (m *Manager) dispatch() {
 		out, err := m.opts.Run(ctx, payload)
 		cancel()
 		finish := time.Now()
+		state := StateDone
+		if err != nil {
+			state = m.classify(err)
+		}
+		expire := finish.Add(m.opts.TTL)
+		// Write-ahead for the terminal transition too: the finish record
+		// is durable (to the policy's degree) before the state becomes
+		// observable. Safe without the record lock — the dispatcher is
+		// the unique owner of the running→terminal transition.
+		if m.opts.WAL != nil {
+			m.walFinish(m.buildFinish(rec.id, state, finish, expire, err, out))
+		}
 
 		rec.mu.Lock()
 		rec.finished = finish
 		rec.cancel = nil
+		rec.state = state
 		if err != nil {
-			rec.state = m.classify(err)
 			rec.err = err
 		} else {
-			rec.state = StateDone
 			rec.result = out
 		}
-		state := rec.state
 		rec.mu.Unlock()
 
 		m.running.Add(-1)
@@ -606,7 +898,7 @@ func (m *Manager) dispatch() {
 		default:
 			m.failed.Add(1)
 		}
-		m.store.finish(rec, finish.Add(m.opts.TTL))
+		m.store.finish(rec, expire)
 	}
 }
 
@@ -628,7 +920,9 @@ func (m *Manager) classify(err error) State {
 }
 
 // janitor periodically sweeps expired results so idle managers shed
-// memory without waiting for lookups to trip the lazy expiry.
+// memory without waiting for lookups to trip the lazy expiry, and
+// drives WAL checkpointing on the same cadence (an ineligible log
+// costs a few comparisons per tick).
 func (m *Manager) janitor() {
 	defer m.wg.Done()
 	interval := m.opts.TTL / 4
@@ -645,7 +939,11 @@ func (m *Manager) janitor() {
 		case <-m.closed:
 			return
 		case <-ticker.C:
-			m.store.sweep(time.Now())
+			now := time.Now()
+			m.store.sweep(now)
+			if m.opts.WAL != nil {
+				m.opts.WAL.Compact(now)
+			}
 		}
 	}
 }

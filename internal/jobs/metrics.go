@@ -35,6 +35,12 @@ type Metrics struct {
 	Failed   uint64 `json:"failed"`
 	TimedOut uint64 `json:"timedOut"`
 	Canceled uint64 `json:"canceled"`
+	// Recovered counts jobs restored from the write-ahead log at boot
+	// (also included in Submitted and the per-state counters);
+	// WALAppendErrors counts log appends that failed after the job was
+	// admitted — non-zero means durability is degraded.
+	Recovered       uint64 `json:"recovered"`
+	WALAppendErrors uint64 `json:"walAppendErrors"`
 	// Stage latency percentiles in microseconds over the recent
 	// window: queue wait (submission → dispatch) and run time
 	// (dispatch → completion).
@@ -98,19 +104,21 @@ func (m *Manager) RetryAfterSeconds() int {
 // Metrics returns a snapshot of the manager's aggregate state.
 func (m *Manager) Metrics() Metrics {
 	out := Metrics{
-		QueueDepth:    int(m.depth.Load()),
-		QueueCapacity: m.opts.QueueCapacity,
-		Running:       int(m.running.Load()),
-		Runners:       m.opts.Runners,
-		StoreSize:     int(m.store.size.Load()),
-		StoreCapacity: m.opts.StoreCapacity,
-		Submitted:     m.submitted.Load(),
-		Rejected:      m.rejected.Load(),
-		Evicted:       m.store.evictions.Load(),
-		Done:          m.done.Load(),
-		Failed:        m.failed.Load(),
-		TimedOut:      m.timedOut.Load(),
-		Canceled:      m.canceled.Load(),
+		QueueDepth:      int(m.depth.Load()),
+		QueueCapacity:   m.opts.QueueCapacity,
+		Running:         int(m.running.Load()),
+		Runners:         m.opts.Runners,
+		StoreSize:       int(m.store.size.Load()),
+		StoreCapacity:   m.opts.StoreCapacity,
+		Submitted:       m.submitted.Load(),
+		Rejected:        m.rejected.Load(),
+		Evicted:         m.store.evictions.Load(),
+		Done:            m.done.Load(),
+		Failed:          m.failed.Load(),
+		TimedOut:        m.timedOut.Load(),
+		Canceled:        m.canceled.Load(),
+		Recovered:       m.recovered.Load(),
+		WALAppendErrors: m.walErrs.Load(),
 	}
 	qs := m.waitLat.QuantilesMicros(0.50, 0.90, 0.99)
 	out.QueueWaitP50Micros, out.QueueWaitP90Micros, out.QueueWaitP99Micros = qs[0], qs[1], qs[2]

@@ -30,30 +30,51 @@ var ErrQueueFull = errors.New("jobs: queue full")
 
 // queue is the bounded priority queue feeding the dispatchers.
 type queue struct {
-	mu    sync.Mutex
-	cap   int
-	heap  recHeap
-	ready chan struct{} // one token per heap item
+	mu       sync.Mutex
+	cap      int
+	reserved int // slots held by in-flight two-phase submissions
+	heap     recHeap
+	ready    chan struct{} // one token per heap item
 }
 
-func newQueue(capacity int) *queue {
-	return &queue{cap: capacity, ready: make(chan struct{}, capacity)}
+// newQueue sizes the ready channel for capacity plus extra recovered
+// records: WAL replay re-enqueues jobs above the admission bound (they
+// were admitted before the crash), and every heap item needs a token
+// slot for the sends to stay non-blocking.
+func newQueue(capacity, extra int) *queue {
+	return &queue{cap: capacity, ready: make(chan struct{}, capacity+extra)}
 }
 
-// pushAll admits every record or none: if the batch does not fit
-// under the capacity it returns ErrQueueFull without enqueueing
-// anything. admit runs per record inside the critical section, after
-// the capacity check — the manager registers records in its store
-// there, so a rejected batch is never visible anywhere and an
-// admitted record is always findable before a dispatcher can pop it.
-// The token sends after the critical section never block — the heap
-// holds at most cap items and ready has cap slots.
-func (q *queue) pushAll(recs []*record, admit func(*record)) error {
+// Admission is two-phase so the manager can make a job durable
+// between the capacity decision and its becoming runnable: reserve
+// holds slots, then either commit (after the WAL append succeeded)
+// publishes the records, or release (append failed) returns the
+// slots. Without a WAL the manager calls reserve+commit back to back;
+// the cost over the old single-step push is one extra lock hop on a
+// path that already takes several.
+
+// reserve claims n queue slots or rejects the whole batch with
+// ErrQueueFull. Reserved slots count against capacity exactly like
+// queued records, so concurrent submissions cannot overshoot the
+// bound while one of them is writing the WAL.
+func (q *queue) reserve(n int) error {
 	q.mu.Lock()
-	if len(q.heap)+len(recs) > q.cap {
-		q.mu.Unlock()
+	defer q.mu.Unlock()
+	if len(q.heap)+q.reserved+n > q.cap {
 		return ErrQueueFull
 	}
+	q.reserved += n
+	return nil
+}
+
+// commit converts reserved slots into queued records. admit runs per
+// record inside the critical section — the manager registers records
+// in its store there, so an admitted record is always findable before
+// a dispatcher can pop it. The token sends after the critical section
+// never block: the heap never exceeds cap (+ recovery extra) items.
+func (q *queue) commit(recs []*record, admit func(*record)) {
+	q.mu.Lock()
+	q.reserved -= len(recs)
 	for _, r := range recs {
 		admit(r)
 		heap.Push(&q.heap, r)
@@ -62,7 +83,30 @@ func (q *queue) pushAll(recs []*record, admit func(*record)) error {
 	for range recs {
 		q.ready <- struct{}{}
 	}
-	return nil
+}
+
+// release returns reserved slots without enqueueing (the WAL append
+// failed; the submission was never acknowledged).
+func (q *queue) release(n int) {
+	q.mu.Lock()
+	q.reserved -= n
+	q.mu.Unlock()
+}
+
+// pushRecovered enqueues WAL-replayed records, bypassing the capacity
+// check: they were admitted (and acknowledged) before the crash, so
+// bouncing them now would drop durable jobs. Only called from New,
+// before the dispatchers start.
+func (q *queue) pushRecovered(recs []*record, admit func(*record)) {
+	q.mu.Lock()
+	for _, r := range recs {
+		admit(r)
+		heap.Push(&q.heap, r)
+	}
+	q.mu.Unlock()
+	for range recs {
+		q.ready <- struct{}{}
+	}
 }
 
 // pop removes the best (highest priority, then oldest) record, or nil

@@ -1,0 +1,173 @@
+// Checkpoint/compaction: the pass that keeps the log bounded.
+//
+// A sealed segment becomes compactable once every job whose submit
+// record lives in it is terminal (open == 0). Compaction then rewrites
+// the segment keeping only records of unexpired jobs — a job's records
+// are kept or dropped as a unit across all segments, so an unexpired
+// finish never loses its submit — and deletes the segment outright
+// when nothing survives. Rewrites go through a temp file, rename and
+// directory fsync, so a crash mid-compaction leaves either the old or
+// the new segment, never a half one. Each scan records the earliest
+// expiry it kept, so segments are not rescanned until that horizon
+// passes.
+
+package wal
+
+import (
+	"context"
+	"os"
+	"time"
+)
+
+// Compact runs one checkpoint pass at the given time (injectable so
+// tests can accelerate the clock). The job manager's janitor calls it
+// on every sweep tick; an ineligible log costs a few comparisons.
+func (l *Log) Compact(now time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	// Land any coalesced finish frames first: the scan below may delete
+	// a segment whose jobs' terminal records would otherwise exist only
+	// in memory.
+	l.flushPendingLocked(context.Background())
+	l.compactRuns.Add(1)
+	nowN := now.UnixNano()
+
+	// Prune expired jobs from the index first: a pruned entry is what
+	// lets the per-segment scan drop their records.
+	for id, e := range l.index {
+		if e.terminal && e.expire <= nowN {
+			delete(l.index, id)
+		}
+	}
+
+	kept := l.sealed[:0]
+	for _, seg := range l.sealed {
+		if seg.open > 0 || (seg.nextCompact != 0 && seg.nextCompact > nowN) {
+			kept = append(kept, seg)
+			continue
+		}
+		if l.compactSegmentLocked(seg, nowN) {
+			kept = append(kept, seg)
+		}
+	}
+	// Zero the dropped tail so deleted segments don't leak.
+	for i := len(kept); i < len(l.sealed); i++ {
+		l.sealed[i] = nil
+	}
+	l.sealed = kept
+}
+
+// compactSegmentLocked scans one sealed segment, dropping records of
+// jobs no longer in the index. It returns false when the segment was
+// deleted. The log mutex is held throughout — a rewrite briefly
+// stalls appends, which is acceptable for a pass that runs on janitor
+// ticks, not the submit path.
+func (l *Log) compactSegmentLocked(seg *segment, nowN int64) bool {
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		// Unreadable sealed segment: leave it for replay to judge, and
+		// back off so the janitor doesn't spin on it.
+		seg.nextCompact = nowN + int64(l.opts.Retention)
+		return true
+	}
+	out := make([]byte, 0, len(data))
+	out = append(out, segMagic...)
+	var dropped int
+	var minExpire int64
+	off := len(segMagic)
+	end, _ := scanFrames(data, nil)
+	for off < end {
+		n := int(le32(data[off:off+4])) + frameHeaderBytes
+		frame := data[off : off+n]
+		rec, derr := decodeRecord(frame[frameHeaderBytes:])
+		off += n
+		if derr != nil {
+			continue // unreachable: scanFrames bounded end at the first bad frame
+		}
+		e := l.index[recordJobID(rec)]
+		if e == nil {
+			dropped++
+			continue
+		}
+		out = append(out, frame...)
+		exp := e.expire
+		if exp == 0 { // live job (a cancel record can precede its finish)
+			exp = nowN + int64(l.opts.Retention)
+		}
+		if minExpire == 0 || exp < minExpire {
+			minExpire = exp
+		}
+	}
+
+	if len(out) <= len(segMagic) {
+		if os.Remove(seg.path) != nil {
+			seg.nextCompact = nowN + int64(l.opts.Retention)
+			return true
+		}
+		if l.opts.Fsync != FsyncOff {
+			syncDir(l.dir)
+		}
+		l.size.Add(-seg.size)
+		l.segCount.Add(-1)
+		delete(l.segOf, seg.seq)
+		l.segDeletes.Add(1)
+		l.recsDropped.Add(uint64(dropped))
+		return false
+	}
+
+	if dropped > 0 {
+		tmp := seg.path + ".tmp"
+		if werr := writeFileSync(tmp, out, l.opts.Fsync != FsyncOff); werr != nil {
+			os.Remove(tmp) //nolint:errcheck // best effort
+			seg.nextCompact = nowN + int64(l.opts.Retention)
+			return true
+		}
+		if rerr := os.Rename(tmp, seg.path); rerr != nil {
+			os.Remove(tmp) //nolint:errcheck // best effort
+			seg.nextCompact = nowN + int64(l.opts.Retention)
+			return true
+		}
+		if l.opts.Fsync != FsyncOff {
+			syncDir(l.dir)
+		}
+		l.size.Add(int64(len(out)) - seg.size)
+		seg.size = int64(len(out))
+		l.segRewrites.Add(1)
+		l.recsDropped.Add(uint64(dropped))
+	}
+	seg.nextCompact = minExpire
+	return true
+}
+
+// recordJobID extracts the job a record belongs to.
+func recordJobID(rec record) string {
+	switch rec.kind {
+	case kindSubmit:
+		return rec.submit.ID
+	case kindCancel:
+		return rec.id
+	}
+	return rec.finish.ID
+}
+
+// writeFileSync writes data to path, optionally fsyncing before close.
+func writeFileSync(path string, data []byte, sync bool) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}

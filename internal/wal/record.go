@@ -1,0 +1,333 @@
+// Binary record framing.
+//
+// Every record is one frame on disk:
+//
+//	[ length uint32 LE ][ crc32c(payload) uint32 LE ][ payload ]
+//
+// and every payload starts with a one-byte record kind followed by
+// kind-specific fields (little-endian fixed-width integers,
+// length-prefixed strings and byte slices). The CRC is Castagnoli —
+// hardware-accelerated on the platforms this runs on — and covers the
+// payload only; the length field is validated structurally (bounded
+// by maxRecordBytes and by the bytes actually present in the
+// segment), so a corrupted length can tear the tail of a segment but
+// never drives an allocation or a read past it.
+//
+// Decoding is deliberately paranoid: every field read checks the
+// remaining length, unknown kinds and trailing payload bytes are
+// errors, and the only outcome of arbitrary input is (record, ok) or
+// a decode error — never a panic. FuzzWALDecode holds the package to
+// that.
+
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"time"
+)
+
+// frameHeaderBytes is the per-record framing overhead: length + CRC.
+const frameHeaderBytes = 8
+
+// maxRecordBytes bounds a single record's payload. A length prefix
+// above it is treated as corruption, so a flipped high bit cannot ask
+// the replayer to allocate gigabytes.
+const maxRecordBytes = 16 << 20
+
+// castagnoli is the CRC-32C table shared by encode and decode.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record kinds.
+const (
+	kindSubmit byte = 1
+	kindCancel byte = 2
+	kindFinish byte = 3
+)
+
+// State is a job's lifecycle state as the log records it. It mirrors
+// the jobs package's states without importing it — the WAL is below
+// the job manager in the dependency order.
+type State uint8
+
+// The recorded states. StateQueued marks a job whose submit record
+// has no terminal record yet; the others come from finish records.
+const (
+	StateQueued State = iota + 1
+	StateDone
+	StateFailed
+	StateTimeout
+	StateCanceled
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s != StateQueued }
+
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateTimeout:
+		return "timeout"
+	case StateCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("wal.State(%d)", uint8(s))
+}
+
+// SubmitRecord is the durable form of one admitted job.
+type SubmitRecord struct {
+	ID          string
+	TraceID     string
+	Priority    int
+	SubmittedAt time.Time
+	// Payload is the caller-encoded job payload; the WAL treats it as
+	// opaque bytes.
+	Payload []byte
+}
+
+// FinishRecord is the durable form of one job reaching a terminal
+// state.
+type FinishRecord struct {
+	ID         string
+	State      State
+	FinishedAt time.Time
+	// ExpireAt is when the result stops being fetchable; replay skips
+	// terminal jobs already past it.
+	ExpireAt time.Time
+	Err      string
+	// Result is the caller-encoded result; set only for StateDone.
+	Result []byte
+}
+
+// record is the decoded union of the three record kinds.
+type record struct {
+	kind   byte
+	submit SubmitRecord // kindSubmit
+	id     string       // kindCancel
+	finish FinishRecord // kindFinish
+}
+
+// errBadRecord is the decode failure; replay treats it exactly like a
+// CRC mismatch (truncate here).
+var errBadRecord = errors.New("wal: malformed record")
+
+// appendFrame appends the framed form of payload to buf.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// appendSubmit appends a framed submit record to buf.
+func appendSubmit(buf []byte, r SubmitRecord) []byte {
+	p := make([]byte, 0, 1+2+len(r.ID)+2+len(r.TraceID)+4+8+4+len(r.Payload))
+	p = append(p, kindSubmit)
+	p = appendString16(p, r.ID)
+	p = appendString16(p, r.TraceID)
+	p = binary.LittleEndian.AppendUint32(p, uint32(int32(r.Priority)))
+	p = binary.LittleEndian.AppendUint64(p, uint64(r.SubmittedAt.UnixNano()))
+	p = appendBytes32(p, r.Payload)
+	return appendFrame(buf, p)
+}
+
+// appendCancel appends a framed cancel record to buf.
+func appendCancel(buf []byte, id string) []byte {
+	p := make([]byte, 0, 1+2+len(id))
+	p = append(p, kindCancel)
+	p = appendString16(p, id)
+	return appendFrame(buf, p)
+}
+
+// appendFinish appends a framed finish record to buf.
+func appendFinish(buf []byte, r FinishRecord) []byte {
+	p := make([]byte, 0, 1+2+len(r.ID)+1+8+8+4+len(r.Err)+4+len(r.Result))
+	p = append(p, kindFinish)
+	p = appendString16(p, r.ID)
+	p = append(p, byte(r.State))
+	p = binary.LittleEndian.AppendUint64(p, uint64(r.FinishedAt.UnixNano()))
+	p = binary.LittleEndian.AppendUint64(p, uint64(r.ExpireAt.UnixNano()))
+	p = appendBytes32(p, []byte(r.Err))
+	p = appendBytes32(p, r.Result)
+	return appendFrame(buf, p)
+}
+
+func appendString16(p []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16] // IDs and trace IDs are far shorter; never triggers
+	}
+	p = binary.LittleEndian.AppendUint16(p, uint16(len(s)))
+	return append(p, s...)
+}
+
+func appendBytes32(p, b []byte) []byte {
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(b)))
+	return append(p, b...)
+}
+
+// decodeRecord parses one CRC-validated payload. Trailing bytes after
+// the last field are corruption, not forward compatibility — a
+// version bump changes the segment magic instead.
+func decodeRecord(p []byte) (record, error) {
+	d := decoder{buf: p}
+	kind, err := d.byte()
+	if err != nil {
+		return record{}, err
+	}
+	var rec record
+	rec.kind = kind
+	switch kind {
+	case kindSubmit:
+		if rec.submit.ID, err = d.string16(); err != nil {
+			return record{}, err
+		}
+		if rec.submit.TraceID, err = d.string16(); err != nil {
+			return record{}, err
+		}
+		pri, err := d.uint32()
+		if err != nil {
+			return record{}, err
+		}
+		rec.submit.Priority = int(int32(pri))
+		if rec.submit.SubmittedAt, err = d.time(); err != nil {
+			return record{}, err
+		}
+		if rec.submit.Payload, err = d.bytes32(); err != nil {
+			return record{}, err
+		}
+	case kindCancel:
+		if rec.id, err = d.string16(); err != nil {
+			return record{}, err
+		}
+	case kindFinish:
+		if rec.finish.ID, err = d.string16(); err != nil {
+			return record{}, err
+		}
+		st, err := d.byte()
+		if err != nil {
+			return record{}, err
+		}
+		rec.finish.State = State(st)
+		if !rec.finish.State.Terminal() || rec.finish.State > StateCanceled {
+			return record{}, errBadRecord
+		}
+		if rec.finish.FinishedAt, err = d.time(); err != nil {
+			return record{}, err
+		}
+		if rec.finish.ExpireAt, err = d.time(); err != nil {
+			return record{}, err
+		}
+		errText, err := d.bytes32()
+		if err != nil {
+			return record{}, err
+		}
+		rec.finish.Err = string(errText)
+		if rec.finish.Result, err = d.bytes32(); err != nil {
+			return record{}, err
+		}
+	default:
+		return record{}, errBadRecord
+	}
+	if len(d.buf) != d.off {
+		return record{}, errBadRecord // trailing garbage inside a valid CRC
+	}
+	// A record without a job ID could never have been written; refuse
+	// to fabricate one from a frame that happens to checksum.
+	if rec.kind == kindSubmit && rec.submit.ID == "" ||
+		rec.kind == kindCancel && rec.id == "" ||
+		rec.kind == kindFinish && rec.finish.ID == "" {
+		return record{}, errBadRecord
+	}
+	return rec, nil
+}
+
+// decoder is a bounds-checked cursor over one record payload.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) take(n int) ([]byte, error) {
+	if n < 0 || len(d.buf)-d.off < n {
+		return nil, errBadRecord
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+func (d *decoder) byte() (byte, error) {
+	b, err := d.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (d *decoder) uint32() (uint32, error) {
+	b, err := d.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (d *decoder) uint64() (uint64, error) {
+	b, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (d *decoder) time() (time.Time, error) {
+	v, err := d.uint64()
+	if err != nil {
+		return time.Time{}, err
+	}
+	if v == 0 {
+		return time.Time{}, nil
+	}
+	return time.Unix(0, int64(v)), nil
+}
+
+func (d *decoder) string16() (string, error) {
+	b, err := d.take(2)
+	if err != nil {
+		return "", err
+	}
+	s, err := d.take(int(binary.LittleEndian.Uint16(b)))
+	if err != nil {
+		return "", err
+	}
+	return string(s), nil
+}
+
+func (d *decoder) bytes32() ([]byte, error) {
+	b, err := d.take(4)
+	if err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n > maxRecordBytes {
+		return nil, errBadRecord
+	}
+	out, err := d.take(int(n))
+	if err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	// Copy out of the segment read buffer so records outlive it.
+	return append([]byte(nil), out...), nil
+}

@@ -1,0 +1,356 @@
+// Boot replay: Open scans the segment files in sequence order and
+// reduces their records to per-job final states.
+//
+// Damage tolerance is prefix semantics, the strongest guarantee a
+// truncating recovery can give: the replayed log is the longest clean
+// prefix of what was written. The first bad frame — torn tail, CRC
+// mismatch, oversized length, undecodable payload — truncates its
+// segment at the last good frame and drops every later segment; no
+// valid-looking frame after damage is trusted, because its ordering
+// context is gone. Replay never panics on any input and never
+// fabricates a job: a job exists only if a CRC-valid submit record
+// with a non-empty ID says so.
+
+package wal
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// JobState is one job's replayed final state, in submit order.
+type JobState struct {
+	ID          string
+	TraceID     string
+	Priority    int
+	SubmittedAt time.Time
+	// Payload is the caller-encoded submit payload.
+	Payload []byte
+	// State is StateQueued for jobs with no terminal record — the
+	// manager re-enqueues those — or the recorded terminal state.
+	State State
+	// Err, Result, FinishedAt and ExpireAt come from the finish
+	// record; all zero for replayed-as-queued jobs. A job canceled
+	// without a finish record (the process died in between) has
+	// StateCanceled with a zero FinishedAt/ExpireAt — the recovering
+	// manager stamps its own.
+	Err        string
+	Result     []byte
+	FinishedAt time.Time
+	ExpireAt   time.Time
+}
+
+// ReplayStats summarizes one recovery pass.
+type ReplayStats struct {
+	// Segments is how many segment files were scanned (including any
+	// truncated or dropped).
+	Segments int `json:"segments"`
+	// Records is how many valid records were applied.
+	Records int `json:"records"`
+	// Strays counts valid records that referenced no live job (a
+	// finish for an unknown or already-terminal ID) — expected after
+	// compaction drops an expired job's submit but not its finish.
+	Strays int `json:"strays"`
+	// TornBytes is how much of the first damaged segment was cut off.
+	TornBytes int64 `json:"tornBytes"`
+	// SegmentsDropped counts whole segments discarded after the first
+	// bad frame (prefix semantics).
+	SegmentsDropped int `json:"segmentsDropped"`
+	// JobsRequeued and JobsTerminal partition the replayed jobs.
+	JobsRequeued int `json:"jobsRequeued"`
+	JobsTerminal int `json:"jobsTerminal"`
+	// ElapsedMicros is the wall time of the replay scan.
+	ElapsedMicros int64 `json:"elapsedMicros"`
+}
+
+// Replay is the result of Open's recovery pass.
+type Replay struct {
+	// Jobs holds every replayed job in submit order; the caller
+	// re-enqueues the StateQueued ones and restores the rest into its
+	// result store (skipping those past ExpireAt).
+	Jobs []JobState
+	ReplayStats
+}
+
+// replayJob accumulates one job's records during the scan.
+type replayJob struct {
+	state JobState
+}
+
+// Open opens (creating if needed) the log in dir, replays its
+// segments and starts a fresh active segment. The returned Replay
+// carries the recovered job states; the error is nil for any content
+// of dir — damage is handled by truncation, not failure — and non-nil
+// only for real I/O problems (permissions, a vanished directory).
+func Open(dir string, opts Options) (*Log, *Replay, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{
+		dir:   dir,
+		opts:  opts,
+		segOf: make(map[uint64]*segment),
+		index: make(map[string]*jobEntry),
+	}
+	start := time.Now()
+	rep, maxSeq, err := l.replaySegments()
+	if err != nil {
+		return nil, nil, err
+	}
+	l.indexReplayed(rep, time.Now())
+	rep.ElapsedMicros = time.Since(start).Microseconds()
+	opts.ReplayHist.Observe(time.Since(start))
+	l.replayReport = rep.ReplayStats
+
+	l.mu.Lock()
+	err = l.openSegmentLocked(maxSeq + 1)
+	l.mu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	// The flusher runs for both buffering policies: under interval it
+	// also fsyncs; under off it only drains the coalesced finish
+	// buffer. FsyncAlways never buffers and needs no goroutine.
+	if opts.Fsync != FsyncAlways {
+		l.flushStop = make(chan struct{})
+		l.flushWG.Add(1)
+		go l.flushLoop()
+	}
+	return l, rep, nil
+}
+
+// replaySegments scans every segment file in sequence order, applies
+// records until the first bad frame, truncates there and rebuilds the
+// compaction index. It returns the highest segment sequence seen (0
+// when the directory is empty).
+func (l *Log) replaySegments() (*Replay, uint64, error) {
+	names, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	type segFile struct {
+		seq  uint64
+		path string
+	}
+	var files []segFile
+	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
+		seq, ok := parseSegmentName(de.Name())
+		if !ok {
+			continue
+		}
+		files = append(files, segFile{seq: seq, path: filepath.Join(l.dir, de.Name())})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].seq < files[j].seq })
+
+	rep := &Replay{}
+	jobs := make(map[string]*replayJob)
+	var order []string
+	damaged := false
+	var maxSeq uint64
+	for _, sf := range files {
+		maxSeq = sf.seq
+		if damaged {
+			// Prefix semantics: everything after the first bad frame is
+			// untrusted. Remove the file.
+			os.Remove(sf.path)
+			rep.SegmentsDropped++
+			continue
+		}
+		rep.Segments++
+		data, err := os.ReadFile(sf.path)
+		if err != nil {
+			return nil, 0, fmt.Errorf("wal: read segment: %w", err)
+		}
+		goodEnd := len(segMagic)
+		clean := len(data) >= len(segMagic) && string(data[:len(segMagic)]) == string(segMagic)
+		if !clean {
+			goodEnd = 0
+		} else {
+			goodEnd, clean = scanFrames(data, func(rec record) {
+				rep.Records++
+				applyRecord(jobs, &order, rec, rep)
+			})
+		}
+		if clean {
+			l.adoptSegment(sf.seq, sf.path, int64(len(data)))
+			continue
+		}
+		damaged = true
+		rep.TornBytes += int64(len(data) - goodEnd)
+		if goodEnd <= len(segMagic) {
+			// Nothing good in the file at all; drop it.
+			os.Remove(sf.path)
+			rep.SegmentsDropped++
+			continue
+		}
+		if err := os.Truncate(sf.path, int64(goodEnd)); err != nil {
+			// Cannot cut the damage off; drop the whole segment and the
+			// records we applied from it stay applied — they were valid.
+			os.Remove(sf.path)
+			rep.SegmentsDropped++
+			continue
+		}
+		l.adoptSegment(sf.seq, sf.path, int64(goodEnd))
+	}
+	if (damaged || rep.SegmentsDropped > 0) && l.opts.Fsync != FsyncOff {
+		syncDir(l.dir)
+	}
+
+	// Reduce to job states; order already holds first-submit order.
+	rep.Jobs = make([]JobState, 0, len(order))
+	for _, id := range order {
+		j := jobs[id]
+		rep.Jobs = append(rep.Jobs, j.state)
+		if j.state.State.Terminal() {
+			rep.JobsTerminal++
+		} else {
+			rep.JobsRequeued++
+		}
+	}
+	return rep, maxSeq, nil
+}
+
+// adoptSegment registers a replayed segment as sealed and indexes the
+// jobs submitted in it.
+func (l *Log) adoptSegment(seq uint64, path string, size int64) {
+	seg := &segment{seq: seq, path: path, size: size}
+	l.segOf[seq] = seg
+	l.sealed = append(l.sealed, seg)
+	l.size.Add(size)
+	l.segCount.Add(1)
+}
+
+// applyRecord folds one valid record into the per-job reduction.
+func applyRecord(jobs map[string]*replayJob, order *[]string, rec record, rep *Replay) {
+	switch rec.kind {
+	case kindSubmit:
+		if _, dup := jobs[rec.submit.ID]; dup {
+			rep.Strays++ // duplicate submit; first one wins
+			return
+		}
+		jobs[rec.submit.ID] = &replayJob{
+			state: JobState{
+				ID:          rec.submit.ID,
+				TraceID:     rec.submit.TraceID,
+				Priority:    rec.submit.Priority,
+				SubmittedAt: rec.submit.SubmittedAt,
+				Payload:     rec.submit.Payload,
+				State:       StateQueued,
+			},
+		}
+		*order = append(*order, rec.submit.ID)
+	case kindCancel:
+		j := jobs[rec.id]
+		if j == nil || j.state.State.Terminal() {
+			rep.Strays++
+			return
+		}
+		j.state.State = StateCanceled
+	case kindFinish:
+		j := jobs[rec.finish.ID]
+		if j == nil || (j.state.State.Terminal() && j.state.State != StateCanceled) {
+			rep.Strays++
+			return
+		}
+		if j.state.State == StateCanceled && !j.state.FinishedAt.IsZero() {
+			rep.Strays++ // already finished by an earlier finish record
+			return
+		}
+		j.state.State = rec.finish.State
+		j.state.Err = rec.finish.Err
+		j.state.Result = rec.finish.Result
+		j.state.FinishedAt = rec.finish.FinishedAt
+		j.state.ExpireAt = rec.finish.ExpireAt
+	}
+}
+
+// indexReplayed rebuilds the compaction index from the replayed jobs
+// (called once from Open, before the log accepts appends).
+func (l *Log) indexReplayed(rep *Replay, now time.Time) {
+	for i := range rep.Jobs {
+		js := &rep.Jobs[i]
+		e := &jobEntry{}
+		if js.State.Terminal() {
+			e.terminal = true
+			exp := js.ExpireAt
+			if exp.IsZero() {
+				exp = now.Add(l.opts.Retention)
+			}
+			e.expire = exp.UnixNano()
+		}
+		l.index[js.ID] = e
+	}
+	// Submit-segment attribution: replay does not track which segment
+	// each submit came from (a compacted log interleaves them), so
+	// live jobs conservatively pin the oldest sealed segment — open
+	// counts exist to keep live submits from being compacted away, and
+	// pinning the oldest achieves that for every older-or-equal write.
+	if len(l.sealed) > 0 {
+		oldest := l.sealed[0]
+		for i := range rep.Jobs {
+			if !rep.Jobs[i].State.Terminal() {
+				l.index[rep.Jobs[i].ID].seg = oldest.seq
+				oldest.open++
+			}
+		}
+	}
+}
+
+// scanFrames iterates the frames after the segment magic, calling fn
+// for each valid record. It returns the offset of the first bad frame
+// and false, or len(data) and true for a clean segment.
+func scanFrames(data []byte, fn func(record)) (int, bool) {
+	off := len(segMagic)
+	for off < len(data) {
+		if len(data)-off < frameHeaderBytes {
+			return off, false // torn frame header
+		}
+		n := int(le32(data[off : off+4]))
+		if n == 0 || n > maxRecordBytes || len(data)-off-frameHeaderBytes < n {
+			return off, false // corrupt or torn length
+		}
+		payload := data[off+frameHeaderBytes : off+frameHeaderBytes+n]
+		if crc32.Checksum(payload, castagnoli) != le32(data[off+4:off+8]) {
+			return off, false
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return off, false
+		}
+		if fn != nil {
+			fn(rec)
+		}
+		off += frameHeaderBytes + n
+	}
+	return off, true
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// parseSegmentName recovers the sequence from "wal-%016x.log".
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	hexpart := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+	if len(hexpart) != 16 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(hexpart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
