@@ -80,6 +80,11 @@ type benchEntry struct {
 	BytesPerOp     int64   `json:"bytesPerOp"`
 	P99NsPerOp     float64 `json:"p99NsPerOp,omitempty"`
 	P99OverheadPct float64 `json:"p99OverheadPct,omitempty"`
+	// P99HopDeltaNs appears on the gated gateway/forward scenario
+	// alone: the median paired-round p99 delta (forwarded minus
+	// direct, nanoseconds) the cluster-hop gate enforces
+	// (bench_gateway.go).
+	P99HopDeltaNs float64 `json:"p99HopDeltaNs,omitempty"`
 }
 
 // benchBaseline is the BENCH_*.json document.
@@ -271,6 +276,15 @@ func measureBaseline() (benchBaseline, error) {
 		return base, err
 	}
 
+	// The cluster gateway hop against a direct node hit — the fleet
+	// tax on the request path, gated at an absolute p99 delta
+	// (bench_gateway.go).
+	if err := measureGatewayScenarios(func(name string, e benchEntry) {
+		base.Benchmarks[name] = e
+	}); err != nil {
+		return base, err
+	}
+
 	return base, nil
 }
 
@@ -291,6 +305,9 @@ func renderBaseline(out io.Writer, base benchBaseline) {
 		}
 		if e.P99OverheadPct != 0 {
 			fmt.Fprintf(out, " %+6.1f%% p99 paired", e.P99OverheadPct)
+		}
+		if e.P99HopDeltaNs != 0 {
+			fmt.Fprintf(out, " %+9.0f ns p99 hop", e.P99HopDeltaNs)
 		}
 		fmt.Fprintln(out)
 	}
@@ -377,6 +394,19 @@ func compareBaselines(out io.Writer, fresh, committed benchBaseline) error {
 		if durable.P99OverheadPct > 100*walOverheadTolerance {
 			return fmt.Errorf("baseline gate: wal submit p99 overhead %+.1f%% exceeds %.0f%% — fsync=interval durability must stay within %.0f%% of the in-memory submit path",
 				durable.P99OverheadPct, 100*walOverheadTolerance, 100*walOverheadTolerance)
+		}
+	}
+
+	// Fleet tax: the gateway hop against the same fresh run's direct
+	// node hit, gated as an ABSOLUTE median paired-round p99 delta —
+	// the hop's price does not scale with solve time, so a fixed
+	// ceiling is the honest bound (bench_gateway.go).
+	if fwd, ok := fresh.Benchmarks[fwdGatewayBenchKey]; ok && fwd.P99NsPerOp > 0 {
+		fmt.Fprintf(out, "  gateway hop p99 delta: %+.0f ns (median paired-round, %s vs %s, ceiling %.0f ns)\n",
+			fwd.P99HopDeltaNs, fwdGatewayBenchKey, fwdDirectBenchKey, gatewayHopCeilingNs)
+		if fwd.P99HopDeltaNs > gatewayHopCeilingNs {
+			return fmt.Errorf("baseline gate: gateway hop p99 delta %.0f ns exceeds %.0f ns — the forwarded hop must stay within 1ms of a direct node hit",
+				fwd.P99HopDeltaNs, gatewayHopCeilingNs)
 		}
 	}
 	return nil

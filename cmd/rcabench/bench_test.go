@@ -113,6 +113,24 @@ func TestCompareBaselinesGate(t *testing.T) {
 	if err := compareBaselines(&out, walFresh(100*walOverheadTolerance+0.1), committed); err == nil {
 		t.Fatal("excess wal submit p99 overhead passed the gate")
 	}
+
+	// The gateway-hop gate reads the within-run statistic on the fresh
+	// gateway/forward entry — the median paired-round p99 delta — and
+	// fails past the absolute 1ms ceiling.
+	hopFresh := func(deltaNs float64) benchBaseline {
+		b := testBaseline(1000)
+		b.Benchmarks[fwdDirectBenchKey] = benchEntry{NsPerOp: 300, P99NsPerOp: 900}
+		b.Benchmarks[fwdGatewayBenchKey] = benchEntry{
+			NsPerOp: 600, P99NsPerOp: 900 + deltaNs, P99HopDeltaNs: deltaNs,
+		}
+		return b
+	}
+	if err := compareBaselines(&out, hopFresh(gatewayHopCeilingNs), committed); err != nil {
+		t.Fatalf("hop delta at the ceiling failed the gate: %v", err)
+	}
+	if err := compareBaselines(&out, hopFresh(gatewayHopCeilingNs+1), committed); err == nil {
+		t.Fatal("excess gateway hop p99 delta passed the gate")
+	}
 }
 
 func TestLoadBaseline(t *testing.T) {
@@ -136,10 +154,10 @@ func TestLoadBaseline(t *testing.T) {
 
 // TestCommittedBaselineParses guards the repo's committed baselines
 // against drift: each must parse and contain every benchmark the gate
-// and the README table rely on. BENCH_8.json — the one CI gates
-// against — additionally carries the durable-submit scenarios, and
-// its recorded WAL overhead must itself be inside the gate it
-// documents.
+// and the README table rely on. BENCH_9.json — the one CI gates
+// against — additionally carries the durable-submit and gateway-hop
+// scenarios, and the within-run statistics it records must themselves
+// be inside the gates they document.
 func TestCommittedBaselineParses(t *testing.T) {
 	core := []string{"cover/dag/N=50", "cover/bb/N=20", "merge/greedy/R=48",
 		"engine/hit/N20", batchBenchKey, parallelBenchKey}
@@ -150,6 +168,9 @@ func TestCommittedBaselineParses(t *testing.T) {
 		{"BENCH_5.json", core},
 		{"BENCH_8.json", append(append([]string{}, core...),
 			submitNoWALBenchKey, submitWALBenchKey, submitWALAlwaysBenchKey)},
+		{"BENCH_9.json", append(append([]string{}, core...),
+			submitNoWALBenchKey, submitWALBenchKey, submitWALAlwaysBenchKey,
+			fwdDirectBenchKey, fwdGatewayBenchKey)},
 	} {
 		base, err := loadBaseline(filepath.Join("..", "..", tc.file))
 		if err != nil {
@@ -163,10 +184,16 @@ func TestCommittedBaselineParses(t *testing.T) {
 				t.Errorf("%s %q has ns/op %v", tc.file, name, e.NsPerOp)
 			}
 		}
-		if tc.file == "BENCH_8.json" {
+		if tc.file == "BENCH_8.json" || tc.file == "BENCH_9.json" {
 			wal := base.Benchmarks[submitWALBenchKey]
 			if wal.P99NsPerOp <= 0 || wal.P99OverheadPct > 100*walOverheadTolerance {
-				t.Errorf("committed wal scenario outside its own gate: %+v", wal)
+				t.Errorf("%s wal scenario outside its own gate: %+v", tc.file, wal)
+			}
+		}
+		if tc.file == "BENCH_9.json" {
+			fwd := base.Benchmarks[fwdGatewayBenchKey]
+			if fwd.P99NsPerOp <= 0 || fwd.P99HopDeltaNs > gatewayHopCeilingNs {
+				t.Errorf("%s gateway scenario outside its own gate: %+v", tc.file, fwd)
 			}
 		}
 	}

@@ -143,6 +143,12 @@ func (s *submitServer) close() {
 // submitRound fires submitPerRound requests from submitClients
 // concurrent loops and returns every request's latency.
 func submitRound(url string) ([]time.Duration, error) {
+	return benchRound(url, submitBenchBody, http.StatusAccepted)
+}
+
+// benchRound is the shared measured round: submitPerRound POSTs from
+// submitClients concurrent loops, every request's latency returned.
+func benchRound(url string, body []byte, wantStatus int) ([]time.Duration, error) {
 	var mu sync.Mutex
 	var durs []time.Duration
 	var firstErr error
@@ -155,12 +161,12 @@ func submitRound(url string) ([]time.Duration, error) {
 			local := make([]time.Duration, 0, submitPerRound)
 			for i := 0; i < submitPerRound; i++ {
 				start := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(submitBenchBody))
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 				if err == nil {
 					_, err = io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
-					if err == nil && resp.StatusCode != http.StatusAccepted {
-						err = fmt.Errorf("submit status %d", resp.StatusCode)
+					if err == nil && resp.StatusCode != wantStatus {
+						err = fmt.Errorf("status %d, want %d", resp.StatusCode, wantStatus)
 					}
 				}
 				if err != nil {

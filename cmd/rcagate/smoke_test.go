@@ -1,0 +1,296 @@
+//go:build cluster_smoke
+
+// The out-of-process cluster smoke: build the real rcaserve and
+// rcagate binaries, stand up a two-node fleet behind the gateway and
+// script the full client surface through it — sync allocate, batch,
+// async submit/poll/cancel, merged listing, aggregated stats — plus
+// the routing property the subsystem exists for: identical campaigns
+// land on ONE node's cache. Gated behind the cluster_smoke build tag
+// because it compiles two binaries and runs real processes:
+//
+//	go test -tags cluster_smoke -run TestClusterSmoke ./cmd/rcagate
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const smokeAllocBody = `{"pattern":{"offsets":[1,0,2,-1,1,0,-2]},"agu":{"registers":1,"modifyRange":1}}`
+
+func TestClusterSmoke(t *testing.T) {
+	dir := t.TempDir()
+	serveBin := filepath.Join(dir, "rcaserve")
+	gateBin := filepath.Join(dir, "rcagate")
+	for bin, pkg := range map[string]string{serveBin: "dspaddr/cmd/rcaserve", gateBin: "dspaddr/cmd/rcagate"} {
+		out, err := exec.Command("go", "build", "-race", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	ports := freePorts(t, 3)
+	nodeA := fmt.Sprintf("127.0.0.1:%d", ports[0])
+	nodeB := fmt.Sprintf("127.0.0.1:%d", ports[1])
+	gateAddr := fmt.Sprintf("127.0.0.1:%d", ports[2])
+
+	start := func(bin string, args ...string) *exec.Cmd {
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", bin, err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Signal(syscall.SIGTERM)
+			cmd.Wait()
+		})
+		return cmd
+	}
+	start(serveBin, "-addr", nodeA, "-node-id", "a")
+	start(serveBin, "-addr", nodeB, "-node-id", "b")
+	waitHealthy(t, "http://"+nodeA)
+	waitHealthy(t, "http://"+nodeB)
+	start(gateBin, "-addr", gateAddr,
+		"-nodes", fmt.Sprintf("a=http://%s,b=http://%s", nodeA, nodeB),
+		"-probe-interval", "250ms")
+	gate := "http://" + gateAddr
+	waitHealthy(t, gate)
+
+	// --- stickiness: 10 identical allocates land on one node --------
+	beforeA, beforeB := nodeLookups(t, "http://"+nodeA), nodeLookups(t, "http://"+nodeB)
+	for i := 0; i < 10; i++ {
+		status, _ := post(t, gate+"/v1/allocate", smokeAllocBody)
+		if status != http.StatusOK {
+			t.Fatalf("allocate %d: status %d", i, status)
+		}
+	}
+	deltaA := nodeLookups(t, "http://"+nodeA) - beforeA
+	deltaB := nodeLookups(t, "http://"+nodeB) - beforeB
+	if deltaA+deltaB != 10 || (deltaA != 0 && deltaB != 0) {
+		t.Fatalf("identical campaign split across nodes: a=%d b=%d", deltaA, deltaB)
+	}
+
+	// --- batch through the gateway ---------------------------------
+	jobs := make([]string, 8)
+	for i := range jobs {
+		jobs[i] = fmt.Sprintf(`{"pattern":{"offsets":[%d,0,1]},"agu":{"registers":1,"modifyRange":1}}`, i)
+	}
+	status, body := post(t, gate+"/v1/batch", `{"jobs":[`+strings.Join(jobs, ",")+`]}`)
+	if status != http.StatusOK {
+		t.Fatalf("batch: status %d body %s", status, body)
+	}
+	var batchOut struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(body), &batchOut); err != nil || len(batchOut.Results) != len(jobs) {
+		t.Fatalf("batch results: err=%v n=%d body=%s", err, len(batchOut.Results), body)
+	}
+
+	// --- async submit, tag-routed poll, cancel, list ----------------
+	status, body = post(t, gate+"/v1/jobs", smokeAllocBody)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d body %s", status, body)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(body), &sub); err != nil || sub.ID == "" {
+		t.Fatalf("submit body: %v %s", err, body)
+	}
+	if !strings.HasPrefix(sub.ID, "j-a-") && !strings.HasPrefix(sub.ID, "j-b-") {
+		t.Fatalf("job ID %q carries no node tag", sub.ID)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		status, body = get(t, gate+"/v1/jobs/"+sub.ID)
+		if status != http.StatusOK {
+			t.Fatalf("poll %s: status %d body %s", sub.ID, status, body)
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "canceled" {
+			t.Fatalf("job ended %s: %s", st.State, body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s not done before deadline (last: %s)", sub.ID, body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Cancel a fresh job through the gateway; by the time the DELETE
+	// lands it may already be done, so 200 and 409 are both in
+	// contract — anything else is a routing failure.
+	status, body = post(t, gate+"/v1/jobs", smokeAllocBody)
+	if status != http.StatusAccepted {
+		t.Fatalf("second submit: status %d body %s", status, body)
+	}
+	if err := json.Unmarshal([]byte(body), &sub); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, gate+"/v1/jobs/"+sub.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel: status %d body %s", resp.StatusCode, raw)
+	}
+
+	status, body = get(t, gate+"/v1/jobs?limit=10")
+	if status != http.StatusOK {
+		t.Fatalf("list: status %d body %s", status, body)
+	}
+	var list struct {
+		Jobs  []json.RawMessage `json:"jobs"`
+		Total int               `json:"total"`
+	}
+	if err := json.Unmarshal([]byte(body), &list); err != nil || list.Total < 2 {
+		t.Fatalf("list merge: err=%v body=%s", err, body)
+	}
+
+	// --- aggregated stats sanity ------------------------------------
+	status, body = get(t, gate+"/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats: status %d", status)
+	}
+	var stats struct {
+		Fleet struct {
+			Nodes          int    `json:"nodes"`
+			UpNodes        int    `json:"upNodes"`
+			Jobs           uint64 `json:"jobs"`
+			AsyncSubmitted uint64 `json:"asyncSubmitted"`
+		} `json:"fleet"`
+		Nodes map[string]json.RawMessage `json:"nodes"`
+	}
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatalf("stats body: %v\n%s", err, body)
+	}
+	if stats.Fleet.Nodes != 2 || stats.Fleet.UpNodes != 2 || len(stats.Nodes) != 2 {
+		t.Fatalf("fleet shape: %s", body)
+	}
+	// 10 allocates + 8 batch jobs + 2 async = at least 20 engine jobs
+	// and 2 async submissions fleet-wide.
+	if stats.Fleet.Jobs < 20 || stats.Fleet.AsyncSubmitted < 2 {
+		t.Fatalf("fleet sums too small: %s", body)
+	}
+	// The summed view must equal the per-node parts it nests.
+	var perNodeSubmitted uint64
+	for name, raw := range stats.Nodes {
+		var n struct {
+			AsyncJobs struct {
+				Submitted uint64 `json:"submitted"`
+			} `json:"asyncJobs"`
+		}
+		if err := json.Unmarshal(raw, &n); err != nil {
+			t.Fatalf("node %s stats: %v", name, err)
+		}
+		perNodeSubmitted += n.AsyncJobs.Submitted
+	}
+	if perNodeSubmitted != stats.Fleet.AsyncSubmitted {
+		t.Fatalf("stats aggregation mismatch: fleet=%d sum(nodes)=%d",
+			stats.Fleet.AsyncSubmitted, perNodeSubmitted)
+	}
+
+	// --- aggregated metrics carry both layers ------------------------
+	status, body = get(t, gate+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	for _, fam := range []string{"rcagate_nodes_up 2", "rcaserve_http_requests_total"} {
+		if !strings.Contains(body, fam) {
+			t.Fatalf("metrics missing %q", fam)
+		}
+	}
+}
+
+// freePorts reserves n distinct loopback ports.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	out := make([]int, n)
+	for i := range out {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = l.Addr().(*net.TCPAddr).Port
+		l.Close()
+	}
+	return out
+}
+
+// waitHealthy polls /healthz until 200 or a 10s deadline.
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never became healthy: %v", base, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// nodeLookups reads a node's cache lookup count (hits + misses) — one
+// per synchronous allocate, whichever way it resolves.
+func nodeLookups(t *testing.T, base string) uint64 {
+	t.Helper()
+	_, body := get(t, base+"/v1/stats")
+	var s struct {
+		CacheHits   uint64 `json:"cacheHits"`
+		CacheMisses uint64 `json:"cacheMisses"`
+	}
+	if err := json.Unmarshal([]byte(body), &s); err != nil {
+		t.Fatalf("node stats: %v", err)
+	}
+	return s.CacheHits + s.CacheMisses
+}
+
+func post(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, string(raw)
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, string(raw)
+}

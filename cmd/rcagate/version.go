@@ -1,0 +1,45 @@
+package main
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// buildVersion derives a human-usable version string from the
+// binary's embedded build info. A module-aware build already carries
+// a (pseudo-)version with the revision baked in; only a plain
+// "(devel)" build needs the VCS revision (and dirty marker) appended
+// by hand.
+func buildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	if v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	var b strings.Builder
+	b.WriteString("devel+")
+	b.WriteString(rev)
+	if dirty {
+		b.WriteString("+dirty")
+	}
+	return b.String()
+}

@@ -40,6 +40,9 @@
 //	-queue int          async job queue capacity (default 1024)
 //	-store int          async results retained before eviction (default 16384)
 //	-ttl duration       async result retention after completion (default 15m)
+//	-node-id string     cluster node identity: tags async job IDs so the
+//	                    rcagate gateway can route GET/DELETE /v1/jobs/{id}
+//	                    back to this node (alphanumeric, empty = single-node)
 //	-wal-dir string     write-ahead log directory for durable async jobs
 //	                    (empty disables durability; on boot the log is
 //	                    replayed: finished jobs restore their results,
@@ -115,6 +118,7 @@ func run(args []string) error {
 	walFsync := fs.String("wal-fsync", "interval", "WAL fsync policy: always, interval or off")
 	walFsyncInterval := fs.Duration("wal-fsync-interval", 0, "background fsync cadence under -wal-fsync interval (0 = 100ms default)")
 	walSegmentBytes := fs.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = 4MiB default)")
+	nodeID := fs.String("node-id", "", "cluster node identity: tags async job IDs so a gateway can route them back (alphanumeric, max 32 chars; empty = single-node)")
 	logFormat := fs.String("log-format", "text", "structured log encoding: text or json")
 	traceMin := fs.Duration("trace-min", 0, "slow-trace capture threshold for /debug/requests (0 = 10ms default, negative captures everything)")
 	debugAddr := fs.String("debug-addr", "", "optional second listener exposing net/http/pprof and /debug/runtime (bind loopback only)")
@@ -126,6 +130,10 @@ func run(args []string) error {
 	if *version {
 		fmt.Println("rcaserve", buildVersion())
 		return nil
+	}
+
+	if err := validateNodeID(*nodeID); err != nil {
+		return err
 	}
 
 	logger, err := newLogger(*logFormat)
@@ -197,6 +205,7 @@ func run(args []string) error {
 		storeCapacity: *storeCap,
 		ttl:           *ttl,
 		version:       buildVersion(),
+		nodeID:        *nodeID,
 		faults:        injector,
 		obs:           ob,
 		wal:           walLog,
@@ -246,6 +255,26 @@ func run(args []string) error {
 	s.drain(shutdownCtx)
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	return nil
+}
+
+// validateNodeID enforces the -node-id grammar: job IDs embed the tag
+// between '-' separators, so it must be non-empty alphanumeric and
+// short enough to keep IDs readable.
+func validateNodeID(id string) error {
+	if id == "" {
+		return nil
+	}
+	if len(id) > 32 {
+		return fmt.Errorf("-node-id %q too long (max 32 chars)", id)
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		default:
+			return fmt.Errorf("-node-id %q must be alphanumeric", id)
+		}
 	}
 	return nil
 }

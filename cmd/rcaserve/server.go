@@ -47,6 +47,11 @@ type serverOptions struct {
 	// version is the build identity reported by /healthz, /v1/stats
 	// and /metrics.
 	version string
+	// nodeID, when non-empty, names this node in a cluster: async job
+	// IDs carry it as their routing tag (jobs.NodeOf) and /v1/stats
+	// and /healthz report it. Alphanumeric only — '-' is the ID
+	// separator (validated at the flag).
+	nodeID string
 	// faults, when non-nil, is the armed chaos injector shared with
 	// the engine; it turns on the /debug/soak endpoint (process
 	// introspection + live re-arming) and accelerates the job store
@@ -69,6 +74,7 @@ type server struct {
 	engine   *engine.Engine
 	jobs     *jobs.Manager
 	version  string
+	nodeID   string // "" outside cluster mode
 	started  time.Time
 	requests atomic.Uint64
 	faults   *faults.Injector // nil outside soak builds
@@ -79,7 +85,7 @@ type server struct {
 // newServer builds a server around a running engine and starts its
 // async job manager; the caller must close() it when done.
 func newServer(e *engine.Engine, opts serverOptions) *server {
-	s := &server{engine: e, version: opts.version, started: time.Now(), faults: opts.faults, obs: opts.obs, wal: opts.wal}
+	s := &server{engine: e, version: opts.version, nodeID: opts.nodeID, started: time.Now(), faults: opts.faults, obs: opts.obs, wal: opts.wal}
 	if s.obs == nil {
 		s.obs = newObservability(nil, 0, 0)
 	}
@@ -104,6 +110,7 @@ func newServer(e *engine.Engine, opts serverOptions) *server {
 		Faults:        opts.faults,
 		QueueWaitHist: s.obs.queueWaitHist,
 		RunHist:       s.obs.runHist,
+		NodeTag:       opts.nodeID,
 	}
 	if opts.wal != nil {
 		jo.WAL = opts.wal
@@ -456,10 +463,12 @@ type statsJSON struct {
 	AsyncJobs jobs.Metrics `json:"asyncJobs"`
 	// WAL reports write-ahead log health (segments, appends, fsyncs,
 	// compaction, boot replay); absent when durability is off.
-	WAL           *wal.Stats `json:"wal,omitempty"`
-	Version       string     `json:"version"`
-	UptimeSeconds float64    `json:"uptimeSeconds"`
-	HTTPRequests  uint64     `json:"httpRequests"`
+	WAL *wal.Stats `json:"wal,omitempty"`
+	// NodeID is the cluster identity from -node-id; absent single-node.
+	NodeID        string  `json:"nodeId,omitempty"`
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	HTTPRequests  uint64  `json:"httpRequests"`
 }
 
 // handleStats serves GET /v1/stats.
@@ -471,6 +480,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out := statsJSON{
 		Stats:         s.engine.Stats(),
 		AsyncJobs:     s.jobs.Metrics(),
+		NodeID:        s.nodeID,
 		Version:       s.version,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		HTTPRequests:  s.requests.Load(),
@@ -493,6 +503,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintf(w, "ok\nrcaserve %s\n", s.version)
+	if s.nodeID != "" {
+		fmt.Fprintf(w, "node %s\n", s.nodeID)
+	}
 }
 
 // statusForJobError distinguishes timeout failures (504) from

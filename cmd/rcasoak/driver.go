@@ -469,6 +469,10 @@ func (d *driver) doSync(s workload.JobSpec) {
 		d.classifyFailure("sync", s, resp.Error)
 	case http.StatusGatewayTimeout:
 		d.outcome("sync", "timeout")
+	case http.StatusServiceUnavailable:
+		// Draining server, or a cluster gateway with every replica for
+		// the key momentarily down: capacity loss, not wrongness.
+		d.outcome("sync", "unavail")
 	default:
 		if status >= 500 {
 			d.violate("sync: /v1/allocate answered %d", status)
@@ -493,6 +497,10 @@ func (d *driver) doBatch(specs []workload.JobSpec) {
 	}
 	d.latency("batch", elapsed)
 	if status != http.StatusOK {
+		if status == http.StatusServiceUnavailable {
+			d.outcome("batch", "unavail")
+			return
+		}
 		if status >= 500 {
 			d.violate("batch: /v1/batch answered %d", status)
 		}
@@ -583,6 +591,10 @@ func (d *driver) doAsync(op workload.Op, cancel bool, pollDeadline time.Time) {
 			d.outcome(class, "cancel-late")
 		case st == http.StatusNotFound || st == http.StatusGone:
 			d.outcome(class, "cancel-gone")
+		case st == http.StatusServiceUnavailable:
+			// Owning node unreachable right now (cluster mark-down or
+			// drain); the job simply runs to completion uncanceled.
+			d.outcome(class, "cancel-unavail")
 		default:
 			if st >= 500 {
 				d.violate("%s: DELETE answered %d", class, st)
@@ -646,6 +658,12 @@ func (d *driver) pollJob(id, class string, s workload.JobSpec, submitAt, deadlin
 			rec.State, rec.ResolveMs = "lost", now.UnixMilli()
 			rec.Err = "404 for an accepted ID"
 			return rec
+		case status == http.StatusServiceUnavailable:
+			// The owning node is momentarily unreachable (draining, or a
+			// cluster gateway has it marked down). Keep polling: the
+			// state may come back; if it never does, the deadline
+			// records the job as lost and the oracle rules on it.
+			d.outcome(class, "poll-unavail")
 		default:
 			if status >= 500 {
 				d.violate("%s: poll answered %d for %s", class, status, id)

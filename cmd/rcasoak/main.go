@@ -159,6 +159,8 @@ func loadScenario(name string, total time.Duration) (*scenario, error) {
 		return builtinMixed(total), nil
 	case "crash":
 		return builtinCrash(total), nil
+	case "cluster":
+		return builtinCluster(total), nil
 	}
 	text, err := os.ReadFile(name)
 	if err != nil {
@@ -186,15 +188,26 @@ type harness struct {
 	workDir string
 	bin     string
 	port    int
-	base    string // http://127.0.0.1:port
+	base    string // http://127.0.0.1:port (the gateway in cluster mode)
 	client  *http.Client
 
-	mu       sync.Mutex
-	srv      *serverProc
-	exits    []int
-	restarts []restartWindow
-	kills    []restartWindow
-	maxRSS   atomic.Int64
+	// Cluster topology (scenario.Cluster > 0): N rcaserve nodes behind
+	// one rcagate gateway; drivers target the gateway. nodeProcs slots
+	// go nil when killnode removes a node permanently.
+	cluster   int
+	gateBin   string
+	nodeBases []string
+	nodePorts []int
+
+	mu        sync.Mutex
+	srv       *serverProc
+	nodeProcs []*serverProc
+	gateway   *serverProc
+	exits     []int
+	restarts  []restartWindow
+	kills     []restartWindow
+	nodeKills []nodeKill
+	maxRSS    atomic.Int64
 
 	collected  []ledger // driver ledgers across all phases
 	serverLogs int      // serial for log file names
@@ -240,18 +253,27 @@ func (h *harness) run(sc *scenario, p99Ceiling time.Duration, rssCeiling int64) 
 		}
 	}()
 
+	h.cluster = sc.Cluster
 	if err := h.buildServer(); err != nil {
 		return nil, err
 	}
-	if h.port, err = pickPort(); err != nil {
-		return nil, err
+	if h.cluster > 0 {
+		if err := h.buildGateway(); err != nil {
+			return nil, err
+		}
+		if err := h.startCluster(); err != nil {
+			return nil, err
+		}
+	} else {
+		if h.port, err = pickPort(); err != nil {
+			return nil, err
+		}
+		h.base = fmt.Sprintf("http://127.0.0.1:%d", h.port)
+		if err := h.startServer(); err != nil {
+			return nil, err
+		}
 	}
-	h.base = fmt.Sprintf("http://127.0.0.1:%d", h.port)
-
-	if err := h.startServer(); err != nil {
-		return nil, err
-	}
-	defer h.killServer() // belt and braces; normally already exited
+	defer h.killAll() // belt and braces; normally already exited
 
 	// RSS sampler follows the current server process across restarts.
 	samplerStop := make(chan struct{})
@@ -307,11 +329,9 @@ func (h *harness) run(sc *scenario, p99Ceiling time.Duration, rssCeiling int64) 
 	metricsFinal, metricsOK := h.scrapeMetrics()
 	slowTraces, slowOK := h.scrapeSlowTraces()
 
-	code, err := h.stopServer()
-	if err != nil {
+	if err := h.stopAll(); err != nil {
 		return nil, err
 	}
-	h.exits = append(h.exits, code)
 
 	in := oracleInput{
 		scenario:           sc,
@@ -321,6 +341,8 @@ func (h *harness) run(sc *scenario, p99Ceiling time.Duration, rssCeiling int64) 
 		ledgers:            h.collected,
 		restarts:           h.restarts,
 		kills:              h.kills,
+		clusterNodes:       h.cluster,
+		nodeKills:          h.nodeKills,
 		walEnabled:         h.walDir != "",
 		serverExits:        h.exits,
 		maxRSS:             h.maxRSS.Load(),
@@ -371,6 +393,26 @@ func (h *harness) buildServer() error {
 	return nil
 }
 
+// buildGateway compiles cmd/rcagate for cluster scenarios.
+func (h *harness) buildGateway() error {
+	if prebuilt := os.Getenv("RCASOAK_GATEWAY_BIN"); prebuilt != "" {
+		h.gateBin = prebuilt
+		return nil
+	}
+	h.gateBin = filepath.Join(h.workDir, "rcagate")
+	buildArgs := []string{"build"}
+	if h.race {
+		buildArgs = append(buildArgs, "-race")
+	}
+	buildArgs = append(buildArgs, "-o", h.gateBin, "dspaddr/cmd/rcagate")
+	cmd := exec.Command("go", buildArgs...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("building rcagate: %v\n%s", err, out)
+	}
+	return nil
+}
+
 // pickPort grabs a free localhost port.
 func pickPort() (int, error) {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -381,30 +423,21 @@ func pickPort() (int, error) {
 	return l.Addr().(*net.TCPAddr).Port, nil
 }
 
-// startServer execs rcaserve and waits for /healthz.
-func (h *harness) startServer() error {
+// spawn execs one binary with its output in a fresh work-dir log and
+// a goroutine collecting the exit code.
+func (h *harness) spawn(logName, bin string, args []string) (*serverProc, string, error) {
 	h.serverLogs++
-	logPath := filepath.Join(h.workDir, fmt.Sprintf("server-%d.log", h.serverLogs))
+	logPath := filepath.Join(h.workDir, fmt.Sprintf("%s-%d.log", logName, h.serverLogs))
 	logFile, err := os.Create(logPath)
 	if err != nil {
-		return err
+		return nil, "", err
 	}
-	args := []string{
-		"-addr", fmt.Sprintf("127.0.0.1:%d", h.port),
-		"-faults", h.baseFaults,
-		"-queue", strconv.Itoa(h.queueCap),
-		"-timeout", h.timeout.String(),
-		"-ttl", "2m",
-	}
-	if h.walDir != "" {
-		args = append(args, "-wal-dir", h.walDir, "-wal-fsync", "interval")
-	}
-	cmd := exec.Command(h.bin, args...)
+	cmd := exec.Command(bin, args...)
 	cmd.Stdout = logFile
 	cmd.Stderr = logFile
 	if err := cmd.Start(); err != nil {
 		logFile.Close()
-		return fmt.Errorf("starting rcaserve: %w", err)
+		return nil, "", fmt.Errorf("starting %s: %w", logName, err)
 	}
 	p := &serverProc{cmd: cmd, done: make(chan struct{})}
 	go func() {
@@ -414,31 +447,205 @@ func (h *harness) startServer() error {
 		p.code = cmd.ProcessState.ExitCode()
 		_ = err
 	}()
+	return p, logPath, nil
+}
 
+// awaitHealthy polls a process's /healthz until 200, early process
+// death, or a 10s deadline.
+func (h *harness) awaitHealthy(p *serverProc, base, logPath string) error {
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		resp, err := h.client.Get(h.base + "/healthz")
+		resp, err := h.client.Get(base + "/healthz")
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
-				break
+				return nil
 			}
 		}
 		select {
 		case <-p.done:
-			return fmt.Errorf("rcaserve exited during startup (code %d); log: %s", p.code, logPath)
+			return fmt.Errorf("process exited during startup (code %d); log: %s", p.code, logPath)
 		default:
 		}
 		if time.Now().After(deadline) {
-			cmd.Process.Kill() //nolint:errcheck
-			return fmt.Errorf("rcaserve never became healthy; log: %s", logPath)
+			p.cmd.Process.Kill() //nolint:errcheck
+			return fmt.Errorf("process never became healthy; log: %s", logPath)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
+}
 
+// serverArgs builds one rcaserve invocation. nodeID and walSub are
+// empty in the single-server topology; cluster nodes each get their
+// own identity and WAL subdirectory.
+func (h *harness) serverArgs(port int, nodeID string) []string {
+	args := []string{
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-faults", h.baseFaults,
+		"-queue", strconv.Itoa(h.queueCap),
+		"-timeout", h.timeout.String(),
+		"-ttl", "2m",
+	}
+	if nodeID != "" {
+		args = append(args, "-node-id", nodeID)
+	}
+	if h.walDir != "" {
+		dir := h.walDir
+		if nodeID != "" {
+			dir = filepath.Join(h.walDir, nodeID)
+		}
+		args = append(args, "-wal-dir", dir, "-wal-fsync", "interval")
+	}
+	return args
+}
+
+// startServer execs rcaserve and waits for /healthz (single-server
+// topology).
+func (h *harness) startServer() error {
+	p, logPath, err := h.spawn("server", h.bin, h.serverArgs(h.port, ""))
+	if err != nil {
+		return err
+	}
+	if err := h.awaitHealthy(p, h.base, logPath); err != nil {
+		return err
+	}
 	h.mu.Lock()
 	h.srv = p
 	h.mu.Unlock()
+	return nil
+}
+
+// nodeHealthWindow bounds how long the gateway may take to notice a
+// SIGKILLed node and rehash its keys: the harness arms 250ms probes
+// with the default fail threshold of 2, so mark-down lands well
+// inside this window; the oracle rejects any job the fleet routed to
+// the dead node after it closes.
+const nodeHealthWindow = 3 * time.Second
+
+// startCluster stands up the fleet: h.cluster rcaserve nodes (named
+// n1..nN, each with its own WAL subdirectory when durability is on)
+// and one rcagate gateway in front; drivers then target the gateway.
+func (h *harness) startCluster() error {
+	ports := make([]int, h.cluster+1)
+	for i := range ports {
+		p, err := pickPort()
+		if err != nil {
+			return err
+		}
+		ports[i] = p
+	}
+	h.nodePorts = ports[:h.cluster]
+	h.nodeBases = make([]string, h.cluster)
+	h.nodeProcs = make([]*serverProc, h.cluster)
+	var nodesSpec []string
+	for i := 0; i < h.cluster; i++ {
+		name := fmt.Sprintf("n%d", i+1)
+		h.nodeBases[i] = fmt.Sprintf("http://127.0.0.1:%d", h.nodePorts[i])
+		p, logPath, err := h.spawn("node-"+name, h.bin, h.serverArgs(h.nodePorts[i], name))
+		if err != nil {
+			return err
+		}
+		h.nodeProcs[i] = p
+		if err := h.awaitHealthy(p, h.nodeBases[i], logPath); err != nil {
+			return err
+		}
+		nodesSpec = append(nodesSpec, fmt.Sprintf("%s=%s", name, h.nodeBases[i]))
+	}
+	gatePort := ports[h.cluster]
+	h.base = fmt.Sprintf("http://127.0.0.1:%d", gatePort)
+	gw, logPath, err := h.spawn("gateway", h.gateBin, []string{
+		"-addr", fmt.Sprintf("127.0.0.1:%d", gatePort),
+		"-nodes", strings.Join(nodesSpec, ","),
+		"-probe-interval", "250ms",
+	})
+	if err != nil {
+		return err
+	}
+	if err := h.awaitHealthy(gw, h.base, logPath); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	h.gateway = gw
+	h.mu.Unlock()
+	return nil
+}
+
+// killNodeMid SIGKILLs the highest-indexed live node and leaves it
+// dead: no drain, no replacement, no replay — the fleet must absorb
+// the loss. The recorded window ends after the gateway's health-check
+// machinery is guaranteed to have rehashed the node's key range.
+func (h *harness) killNodeMid() error {
+	h.mu.Lock()
+	idx := -1
+	for i := len(h.nodeProcs) - 1; i >= 0; i-- {
+		if h.nodeProcs[i] != nil {
+			idx = i
+			break
+		}
+	}
+	var p *serverProc
+	if idx >= 0 {
+		p = h.nodeProcs[idx]
+		h.nodeProcs[idx] = nil
+	}
+	h.mu.Unlock()
+	if p == nil {
+		return fmt.Errorf("no live node to kill")
+	}
+	name := fmt.Sprintf("n%d", idx+1)
+	now := time.Now()
+	if err := p.cmd.Process.Kill(); err != nil {
+		return fmt.Errorf("SIGKILL node %s: %w", name, err)
+	}
+	<-p.done
+	h.mu.Lock()
+	h.nodeKills = append(h.nodeKills, nodeKill{
+		Node:   name,
+		Window: restartWindow{Start: now, End: now.Add(nodeHealthWindow)},
+	})
+	h.mu.Unlock()
+	return nil
+}
+
+// stopAll SIGTERMs every process the scenario left alive — the single
+// server, or the gateway plus surviving nodes — and records the exit
+// codes the clean-shutdown invariant checks.
+func (h *harness) stopAll() error {
+	if h.cluster == 0 {
+		code, err := h.stopServer()
+		if err != nil {
+			return err
+		}
+		h.mu.Lock()
+		h.exits = append(h.exits, code)
+		h.mu.Unlock()
+		return nil
+	}
+	h.mu.Lock()
+	gw := h.gateway
+	h.gateway = nil
+	nodes := append([]*serverProc(nil), h.nodeProcs...)
+	for i := range h.nodeProcs {
+		h.nodeProcs[i] = nil
+	}
+	h.mu.Unlock()
+	if gw != nil {
+		code, err := stopProc(gw)
+		if err != nil {
+			return fmt.Errorf("gateway: %w", err)
+		}
+		h.exits = append(h.exits, code)
+	}
+	for i, p := range nodes {
+		if p == nil {
+			continue // killed by the scenario
+		}
+		code, err := stopProc(p)
+		if err != nil {
+			return fmt.Errorf("node n%d: %w", i+1, err)
+		}
+		h.exits = append(h.exits, code)
+	}
 	return nil
 }
 
@@ -451,6 +658,12 @@ func (h *harness) stopServer() (int, error) {
 	if p == nil {
 		return -1, fmt.Errorf("no server to stop")
 	}
+	return stopProc(p)
+}
+
+// stopProc SIGTERMs one process and waits for a clean exit, escalating
+// to SIGKILL after 20s.
+func stopProc(p *serverProc) (int, error) {
 	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return -1, fmt.Errorf("SIGTERM: %w", err)
 	}
@@ -460,19 +673,25 @@ func (h *harness) stopServer() (int, error) {
 	case <-time.After(20 * time.Second):
 		p.cmd.Process.Kill() //nolint:errcheck
 		<-p.done
-		return p.code, fmt.Errorf("server ignored SIGTERM for 20s (exit %d after SIGKILL)", p.code)
+		return p.code, fmt.Errorf("process ignored SIGTERM for 20s (exit %d after SIGKILL)", p.code)
 	}
 }
 
-// killServer force-stops any leftover server (cleanup path only).
-func (h *harness) killServer() {
+// killAll force-stops every leftover process (cleanup path only).
+func (h *harness) killAll() {
 	h.mu.Lock()
-	p := h.srv
-	h.srv = nil
+	procs := []*serverProc{h.srv, h.gateway}
+	procs = append(procs, h.nodeProcs...)
+	h.srv, h.gateway = nil, nil
+	for i := range h.nodeProcs {
+		h.nodeProcs[i] = nil
+	}
 	h.mu.Unlock()
-	if p != nil {
-		p.cmd.Process.Kill() //nolint:errcheck
-		<-p.done
+	for _, p := range procs {
+		if p != nil {
+			p.cmd.Process.Kill() //nolint:errcheck
+			<-p.done
+		}
 	}
 }
 
@@ -526,33 +745,49 @@ func (h *harness) crashServer() error {
 	return nil
 }
 
-// sampleRSS reads the current server's /proc/<pid>/statm.
+// sampleRSS reads /proc/<pid>/statm for every live process and tracks
+// the largest single-process peak (the per-process ceiling is what the
+// oracle gates; cluster nodes are independent servers).
 func (h *harness) sampleRSS() {
 	h.mu.Lock()
-	p := h.srv
+	procs := []*serverProc{h.srv, h.gateway}
+	procs = append(procs, h.nodeProcs...)
 	h.mu.Unlock()
-	if p == nil || p.cmd.Process == nil {
-		return
-	}
-	raw, err := os.ReadFile(fmt.Sprintf("/proc/%d/statm", p.cmd.Process.Pid))
-	if err != nil {
-		return
-	}
-	fields := strings.Fields(string(raw))
-	if len(fields) < 2 {
-		return
-	}
-	pages, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return
-	}
-	rss := pages * int64(os.Getpagesize())
-	for {
-		cur := h.maxRSS.Load()
-		if rss <= cur || h.maxRSS.CompareAndSwap(cur, rss) {
-			return
+	for _, p := range procs {
+		if p == nil || p.cmd.Process == nil {
+			continue
+		}
+		raw, err := os.ReadFile(fmt.Sprintf("/proc/%d/statm", p.cmd.Process.Pid))
+		if err != nil {
+			continue
+		}
+		fields := strings.Fields(string(raw))
+		if len(fields) < 2 {
+			continue
+		}
+		pages, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		rss := pages * int64(os.Getpagesize())
+		for {
+			cur := h.maxRSS.Load()
+			if rss <= cur || h.maxRSS.CompareAndSwap(cur, rss) {
+				break
+			}
 		}
 	}
+}
+
+// diagBase is where the node-level debug endpoints live: the server
+// itself, or node n1 in cluster mode (the gateway exposes neither
+// /debug/soak nor /debug/requests, and killnode takes the
+// highest-indexed node, so n1 always survives).
+func (h *harness) diagBase() string {
+	if h.cluster > 0 {
+		return h.nodeBases[0]
+	}
+	return h.base
 }
 
 // debugSnapshot reads /debug/soak (zero snapshot on failure — the
@@ -564,7 +799,7 @@ type debugSnapshot struct {
 
 func (h *harness) debugSnapshot() (debugSnapshot, bool) {
 	var snap debugSnapshot
-	resp, err := h.client.Get(h.base + "/debug/soak")
+	resp, err := h.client.Get(h.diagBase() + "/debug/soak")
 	if err != nil {
 		return snap, false
 	}
@@ -621,7 +856,7 @@ func (h *harness) scrapeMetrics() (map[string]float64, bool) {
 // scrapeSlowTraces pulls the slow/error traces the server retained,
 // phase breakdowns included, capped so the report stays readable.
 func (h *harness) scrapeSlowTraces() ([]obs.TraceSnapshot, bool) {
-	resp, err := h.client.Get(h.base + "/debug/requests?min_ms=1&limit=8")
+	resp, err := h.client.Get(h.diagBase() + "/debug/requests?min_ms=1&limit=8")
 	if err != nil {
 		return nil, false
 	}
@@ -652,18 +887,37 @@ func scenarioArmsDelay(baseFaults string, sc *scenario) bool {
 	return false
 }
 
-// rearm POSTs a new fault spec to /debug/soak.
+// rearm POSTs a new fault spec to /debug/soak — on every surviving
+// node in cluster mode, since faults are per-process state.
 func (h *harness) rearm(spec string) error {
 	body, _ := json.Marshal(map[string]string{"faults": spec})
-	resp, err := h.client.Post(h.base+"/debug/soak", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("re-arming faults: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("re-arming faults: status %d", resp.StatusCode)
+	for _, base := range h.rearmTargets() {
+		resp, err := h.client.Post(base+"/debug/soak", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("re-arming faults at %s: %w", base, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("re-arming faults at %s: status %d", base, resp.StatusCode)
+		}
 	}
 	return nil
+}
+
+// rearmTargets lists the node base URLs that hold fault state.
+func (h *harness) rearmTargets() []string {
+	if h.cluster == 0 {
+		return []string{h.base}
+	}
+	var out []string
+	h.mu.Lock()
+	for i, p := range h.nodeProcs {
+		if p != nil {
+			out = append(out, h.nodeBases[i])
+		}
+	}
+	h.mu.Unlock()
+	return out
 }
 
 // finalStats fetches /v1/stats for the accounting identity.
@@ -681,8 +935,33 @@ type finalStatsJSON struct {
 }
 
 func (h *harness) finalStats() (finalStatsJSON, bool) {
+	if h.cluster == 0 {
+		return fetchStats(h.client, h.base)
+	}
+	// Cluster: sum the per-node stats across survivors. Each node's
+	// accounting identity holds independently, so the sums do too; a
+	// node that won't answer voids the check rather than skewing it.
+	var sum finalStatsJSON
+	for _, base := range h.rearmTargets() {
+		st, ok := fetchStats(h.client, base)
+		if !ok {
+			return sum, false
+		}
+		sum.AsyncJobs.QueueDepth += st.AsyncJobs.QueueDepth
+		sum.AsyncJobs.Running += st.AsyncJobs.Running
+		sum.AsyncJobs.Submitted += st.AsyncJobs.Submitted
+		sum.AsyncJobs.Done += st.AsyncJobs.Done
+		sum.AsyncJobs.Failed += st.AsyncJobs.Failed
+		sum.AsyncJobs.TimedOut += st.AsyncJobs.TimedOut
+		sum.AsyncJobs.Canceled += st.AsyncJobs.Canceled
+		sum.AsyncJobs.Recovered += st.AsyncJobs.Recovered
+	}
+	return sum, true
+}
+
+func fetchStats(client *http.Client, base string) (finalStatsJSON, bool) {
 	var st finalStatsJSON
-	resp, err := h.client.Get(h.base + "/v1/stats")
+	resp, err := client.Get(base + "/v1/stats")
 	if err != nil {
 		return st, false
 	}
@@ -763,6 +1042,12 @@ func (h *harness) runPhase(p *phaseSpec, phaseIdx int) error {
 			time.Sleep(p.Duration / 2)
 			fmt.Fprintf(os.Stderr, "rcasoak: SIGKILL (mid-phase, under load)\n")
 			restartErr <- h.crashServer()
+		}()
+	case p.KillNodeMid:
+		go func() {
+			time.Sleep(p.Duration / 2)
+			fmt.Fprintf(os.Stderr, "rcasoak: SIGKILL fleet node (mid-phase, under load)\n")
+			restartErr <- h.killNodeMid()
 		}()
 	default:
 		restartErr <- nil

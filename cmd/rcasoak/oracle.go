@@ -33,12 +33,20 @@
 //     (WAL recovery seeds both sides, so the identity survives
 //     crash-replay cycles too).
 //  9. Coverage — every op class the scenario weights actually ran,
-//     429s appeared if an overload wave was scheduled, restarts and
-//     kills happened if scheduled.
+//     429s appeared if an overload wave was scheduled, restarts,
+//     kills and node-kills happened if scheduled.
 // 10. Observability — the final /metrics scrape parses and shows the
 //     serving-path counters moving, and when solve-delay faults were
 //     armed, /debug/requests retained at least one slow trace with a
 //     phase breakdown.
+//
+// Cluster scenarios add two fleet invariants on top. A job whose ID
+// carries a SIGKILLed node's tag is the one loss the WAL cannot
+// answer for — the process that owns that log is never restarted — so
+// such losses are excused even in durable mode; any other lost job
+// still violates. And the ring must rehash: once a killed node's
+// health-check window closes, no newly accepted job may carry its
+// tag, and the fleet must demonstrably keep accepting work.
 
 package main
 
@@ -49,6 +57,7 @@ import (
 	"sort"
 	"time"
 
+	"dspaddr/internal/jobs"
 	"dspaddr/internal/obs"
 	"dspaddr/internal/workload"
 )
@@ -64,6 +73,15 @@ type restartWindow struct {
 // (unix millis) could have lost state to this window.
 func (w restartWindow) overlaps(submitMs, resolveMs int64) bool {
 	return submitMs <= w.End.UnixMilli() && resolveMs >= w.Start.UnixMilli()
+}
+
+// nodeKill records one permanent fleet-node SIGKILL: the node name
+// (which is also its job-ID ownership tag) and the window within
+// which the gateway's health checks must have rehashed its key range
+// to the ring successor.
+type nodeKill struct {
+	Node   string        `json:"node"`
+	Window restartWindow `json:"window"`
 }
 
 // soakReport is the machine-readable run outcome (-report file).
@@ -86,6 +104,11 @@ type soakReport struct {
 	Restarts    int   `json:"restarts"`
 	Kills       int   `json:"kills"`
 	ServerExits []int `json:"serverExits"`
+
+	// ClusterNodes is the fleet size (0 = single-server topology);
+	// NodeKills are the permanent node SIGKILLs the scenario performed.
+	ClusterNodes int        `json:"clusterNodes,omitempty"`
+	NodeKills    []nodeKill `json:"nodeKills,omitempty"`
 
 	// WALEnabled records that the servers ran with -wal-dir — the mode
 	// in which JobsExcused must be 0 by rule; JobsRecovered is the
@@ -126,6 +149,11 @@ type oracleInput struct {
 	// kills brackets the scenario's deliberate SIGKILL cycles; their
 	// windows excuse losses only when the run had no WAL.
 	kills []restartWindow
+	// clusterNodes / nodeKills describe the fleet topology: node kills
+	// are permanent (no replacement process ever replays that WAL), so
+	// losses tagged with a killed node are excused even in durable mode.
+	clusterNodes int
+	nodeKills    []nodeKill
 	// walEnabled: the servers ran with -wal-dir, so no loss — restart,
 	// kill or otherwise — is excusable.
 	walEnabled bool
@@ -180,6 +208,8 @@ func runOracle(in oracleInput) *soakReport {
 		MaxRSSBytes:        in.maxRSS,
 		Restarts:           len(in.restarts),
 		Kills:              len(in.kills),
+		ClusterNodes:       in.clusterNodes,
+		NodeKills:          in.nodeKills,
 		ServerExits:        in.serverExits,
 		WALEnabled:         in.walEnabled,
 		JobsRecovered:      in.statsRecovered,
@@ -232,6 +262,11 @@ func runOracle(in oracleInput) *soakReport {
 				switch {
 				case excusedByRestart(excusals, j):
 					rep.JobsExcused++
+				case killedNodeTag(in.nodeKills, j.ID) != "":
+					// The job died with its node; no process survives to
+					// replay that node's WAL. Only jobs owned by
+					// surviving nodes are held to the no-loss contract.
+					rep.JobsExcused++
 				case in.walEnabled:
 					rep.JobsLost++
 					violate("job %s (%s) lost despite the WAL (no window excuses a durable job): %s",
@@ -243,6 +278,39 @@ func runOracle(in oracleInput) *soakReport {
 			default:
 				violate("job %s (%s): unknown ledger state %q", j.ID, j.Class, j.State)
 			}
+		}
+	}
+
+	// Fleet invariants (cluster scenarios with node kills).
+	if len(in.nodeKills) > 0 {
+		// Rehash: after a killed node's health-check window closes, the
+		// gateway must route its key range elsewhere — an accepted job
+		// carrying the dead node's tag past the window means it didn't.
+		lastWindowEnd := int64(0)
+		for _, nk := range in.nodeKills {
+			if end := nk.Window.End.UnixMilli(); end > lastWindowEnd {
+				lastWindowEnd = end
+			}
+		}
+		acceptedAfter := 0
+		for _, led := range in.ledgers {
+			for _, j := range led.Jobs {
+				if j.SubmitMs > lastWindowEnd {
+					acceptedAfter++
+				}
+				tag := jobs.NodeOf(j.ID)
+				for _, nk := range in.nodeKills {
+					if tag == nk.Node && j.SubmitMs > nk.Window.End.UnixMilli() {
+						violate("rehash: job %s accepted by killed node %s %.1fs after its health window closed",
+							j.ID, nk.Node, float64(j.SubmitMs-nk.Window.End.UnixMilli())/1000)
+					}
+				}
+			}
+		}
+		// Fleet keeps serving: the survivors must still be accepting
+		// async work after the last kill settles.
+		if acceptedAfter == 0 {
+			violate("fleet stopped accepting jobs after the node kill (no submissions past the health window)")
 		}
 	}
 
@@ -310,6 +378,9 @@ func runOracle(in oracleInput) *soakReport {
 	if exp.Kills != len(in.kills) {
 		violate("coverage: %d kills scheduled, %d performed", exp.Kills, len(in.kills))
 	}
+	if exp.NodeKills != len(in.nodeKills) {
+		violate("coverage: %d node kills scheduled, %d performed", exp.NodeKills, len(in.nodeKills))
+	}
 
 	// 10. Observability.
 	rep.MetricsBaseline = in.metricsBaseline
@@ -345,6 +416,21 @@ func runOracle(in oracleInput) *soakReport {
 
 	rep.Passed = len(rep.Violations) == 0
 	return rep
+}
+
+// killedNodeTag returns the killed node's name when the job ID's
+// ownership tag names one, else "".
+func killedNodeTag(kills []nodeKill, id string) string {
+	tag := jobs.NodeOf(id)
+	if tag == "" {
+		return ""
+	}
+	for _, nk := range kills {
+		if nk.Node == tag {
+			return nk.Node
+		}
+	}
+	return ""
 }
 
 // excusedByRestart reports whether any of the given replacement
@@ -409,6 +495,13 @@ func writeReport(rep *soakReport, path string) error {
 		rep.JobsAccepted, rep.JobsResolved, rep.JobsExcused, rep.JobsLost)
 	fmt.Printf("  429s: %d   restarts: %d   kills: %d   peak RSS: %d MiB\n",
 		count429(rep.Outcomes), rep.Restarts, rep.Kills, rep.MaxRSSBytes>>20)
+	if rep.ClusterNodes > 0 {
+		fmt.Printf("  cluster: %d node(s) behind the gateway", rep.ClusterNodes)
+		for _, nk := range rep.NodeKills {
+			fmt.Printf("; %s SIGKILLed and left dead", nk.Node)
+		}
+		fmt.Println()
+	}
 	if rep.WALEnabled {
 		fmt.Printf("  wal: durable mode — no loss excusals; final process replayed %d job(s) at boot\n",
 			rep.JobsRecovered)

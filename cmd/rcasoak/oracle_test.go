@@ -190,6 +190,94 @@ func TestOracleWALForbidsExcusal(t *testing.T) {
 	}
 }
 
+// TestOracleClusterNodeKill covers the fleet invariants: a lost job
+// tagged with the SIGKILLed node is excused even in durable mode (its
+// WAL has no process left to replay it), a survivor-owned loss still
+// violates, a job accepted for the dead node after its health window
+// is a rehash failure, and a fleet that falls silent after the kill
+// trips the keeps-serving check.
+func TestOracleClusterNodeKill(t *testing.T) {
+	base := func(t *testing.T) oracleInput {
+		t.Helper()
+		in := testInput(t)
+		sc, err := parseScenario("c",
+			"cluster 3\nphase p 1s rate=10 mix=sync:1,async:1 killnode\nphase q 1s rate=10 mix=sync:1,async:1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.scenario = sc
+		in.clusterNodes = 3
+		in.walEnabled = true
+		in.nodeKills = []nodeKill{{Node: "n3",
+			Window: restartWindow{Start: time.UnixMilli(2000), End: time.UnixMilli(5000)}}}
+		// Survivors keep accepting after the health window closes.
+		in.ledgers[0].Jobs = append(in.ledgers[0].Jobs,
+			jobRecord{ID: "j-n1-abcd0123-00000009", Class: "async", State: "done",
+				SubmitMs: 6000, ResolveMs: 6100, RefChecked: true, RefOK: true, EchoOK: true})
+		return in
+	}
+
+	t.Run("killed-node loss excused despite WAL", func(t *testing.T) {
+		in := base(t)
+		in.ledgers[0].Jobs = append(in.ledgers[0].Jobs,
+			jobRecord{ID: "j-n3-abcd0123-00000001", Class: "async", State: "lost",
+				SubmitMs: 1500, ResolveMs: 2500, Err: "pending at poll deadline"})
+		rep := runOracle(in)
+		if !rep.Passed || rep.JobsExcused != 1 {
+			t.Fatalf("killed-node loss not excused: %+v %v", rep, rep.Violations)
+		}
+		if rep.ClusterNodes != 3 || len(rep.NodeKills) != 1 {
+			t.Fatalf("cluster accounting: %+v", rep)
+		}
+	})
+
+	t.Run("survivor loss still violates", func(t *testing.T) {
+		in := base(t)
+		in.ledgers[0].Jobs = append(in.ledgers[0].Jobs,
+			jobRecord{ID: "j-n1-abcd0123-00000002", Class: "async", State: "lost",
+				SubmitMs: 1500, ResolveMs: 2500})
+		rep := runOracle(in)
+		if rep.Passed || !violationMatching(rep, "despite the WAL") {
+			t.Fatalf("survivor loss slipped through: %v", rep.Violations)
+		}
+	})
+
+	t.Run("post-window acceptance by the dead node", func(t *testing.T) {
+		in := base(t)
+		in.ledgers[0].Jobs = append(in.ledgers[0].Jobs,
+			jobRecord{ID: "j-n3-abcd0123-00000003", Class: "async", State: "done",
+				SubmitMs: 6000, ResolveMs: 6100, RefChecked: true, RefOK: true, EchoOK: true})
+		rep := runOracle(in)
+		if rep.Passed || !violationMatching(rep, "rehash") {
+			t.Fatalf("rehash failure not flagged: %v", rep.Violations)
+		}
+	})
+
+	t.Run("fleet must keep accepting after the kill", func(t *testing.T) {
+		in := base(t)
+		var kept []jobRecord
+		for _, j := range in.ledgers[0].Jobs {
+			if j.SubmitMs <= 5000 {
+				kept = append(kept, j)
+			}
+		}
+		in.ledgers[0].Jobs = kept
+		rep := runOracle(in)
+		if rep.Passed || !violationMatching(rep, "stopped accepting") {
+			t.Fatalf("silent fleet not flagged: %v", rep.Violations)
+		}
+	})
+
+	t.Run("node-kill coverage", func(t *testing.T) {
+		in := base(t)
+		in.nodeKills = nil
+		rep := runOracle(in)
+		if rep.Passed || !violationMatching(rep, "node kills scheduled") {
+			t.Fatalf("missing node kill not flagged: %v", rep.Violations)
+		}
+	})
+}
+
 // TestOracleKillCoverage: a scheduled kill that never happened (or an
 // unscheduled one that did) is a coverage violation.
 func TestOracleKillCoverage(t *testing.T) {

@@ -5,8 +5,9 @@
 //
 // Grammar (line-oriented; '#' starts a comment):
 //
+//	cluster <nodes>
 //	phase <name> <duration> rate=<ops/s> mix=<class:w,...> \
-//	      [fresh=<permil>] [faults=<spec>] [restart|kill]
+//	      [fresh=<permil>] [faults=<spec>] [restart|kill|killnode]
 //	restart
 //	kill
 //
@@ -19,6 +20,12 @@
 // /debug/soak) and restores the base spec afterwards; `fresh=` sets
 // the permil of unique (cache-cold) patterns, which is how an
 // overload phase defeats the result cache to provoke 429s.
+//
+// A `cluster N` directive switches the topology: N rcaserve nodes
+// behind one rcagate gateway, drivers aimed at the gateway. Cluster
+// scenarios replace restart/kill with `killnode`, which SIGKILLs one
+// fleet node at the phase midpoint and leaves it dead — the gateway
+// must mark it down, rehash its key range and keep serving.
 
 package main
 
@@ -31,6 +38,10 @@ import (
 	"dspaddr/internal/faults"
 	"dspaddr/internal/workload"
 )
+
+// maxClusterNodes bounds the `cluster` directive: the harness starts
+// one OS process per node plus a gateway.
+const maxClusterNodes = 16
 
 // phaseSpec is one timed load phase.
 type phaseSpec struct {
@@ -49,6 +60,11 @@ type phaseSpec struct {
 	// KillMid SIGKILLs the server at the phase midpoint, under load —
 	// no drain, no WAL flush; recovery is the replay path's problem.
 	KillMid bool
+	// KillNodeMid (cluster scenarios only) SIGKILLs one fleet node at
+	// the phase midpoint and leaves it dead: the gateway must mark it
+	// down, rehash its keys to the ring successor and keep serving on
+	// the survivors.
+	KillNodeMid bool
 }
 
 // step is one scenario element: a phase, a between-phase restart, or
@@ -63,6 +79,11 @@ type step struct {
 type scenario struct {
 	Name  string
 	Steps []step
+	// Cluster > 0 runs the scenario against that many rcaserve nodes
+	// behind an rcagate gateway instead of one directly-driven server;
+	// drivers then target the gateway. Restart/kill directives are for
+	// the single-server topology; cluster scenarios use killnode.
+	Cluster int
 }
 
 // phases lists the scenario's phases in order.
@@ -100,6 +121,9 @@ type expectations struct {
 	// Kills is the number of kill directives; the harness must have
 	// SIGKILLed and replaced the server that many times.
 	Kills int
+	// NodeKills is the number of killnode directives (cluster mode);
+	// each permanently removes one fleet node under load.
+	NodeKills int
 }
 
 // expect derives the oracle's coverage obligations.
@@ -121,6 +145,9 @@ func (s *scenario) expect() expectations {
 		}
 		if st.Phase.KillMid {
 			e.Kills++
+		}
+		if st.Phase.KillNodeMid {
+			e.NodeKills++
 		}
 		m := st.Phase.Mix
 		mix.Sync += m.Sync
@@ -158,6 +185,16 @@ func parseScenario(name, text string) (*scenario, error) {
 			continue
 		}
 		switch fields[0] {
+		case "cluster":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("scenario line %d: cluster takes a node count", lineno+1)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 2 || n > maxClusterNodes {
+				return nil, fmt.Errorf("scenario line %d: bad cluster size %q (want 2..%d)",
+					lineno+1, fields[1], maxClusterNodes)
+			}
+			sc.Cluster = n
 		case "restart":
 			if len(fields) != 1 {
 				return nil, fmt.Errorf("scenario line %d: restart takes no arguments", lineno+1)
@@ -181,7 +218,38 @@ func parseScenario(name, text string) (*scenario, error) {
 	if len(sc.phases()) == 0 {
 		return nil, fmt.Errorf("scenario %q has no phases", name)
 	}
+	if err := validateTopology(sc); err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", name, err)
+	}
 	return sc, nil
+}
+
+// validateTopology keeps directives on the topology they exercise:
+// restart/kill replace THE server (single-node), killnode removes ONE
+// node of a fleet — and a fleet must keep at least one node alive.
+func validateTopology(sc *scenario) error {
+	nodeKills := 0
+	for _, st := range sc.Steps {
+		if sc.Cluster > 0 && (st.Restart || st.Kill) {
+			return fmt.Errorf("restart/kill directives are single-server; use killnode in cluster scenarios")
+		}
+		if st.Phase == nil {
+			continue
+		}
+		if sc.Cluster > 0 && (st.Phase.RestartMid || st.Phase.KillMid) {
+			return fmt.Errorf("phase %q: restart/kill are single-server; use killnode in cluster scenarios", st.Phase.Name)
+		}
+		if st.Phase.KillNodeMid {
+			if sc.Cluster == 0 {
+				return fmt.Errorf("phase %q: killnode needs a cluster directive", st.Phase.Name)
+			}
+			nodeKills++
+		}
+	}
+	if sc.Cluster > 0 && nodeKills >= sc.Cluster {
+		return fmt.Errorf("%d killnode directives would empty a %d-node fleet", nodeKills, sc.Cluster)
+	}
+	return nil
 }
 
 // parsePhase reads the fields after the "phase" keyword.
@@ -205,9 +273,13 @@ func parsePhase(fields []string) (*phaseSpec, error) {
 			p.KillMid = true
 			continue
 		}
+		if f == "killnode" {
+			p.KillNodeMid = true
+			continue
+		}
 		key, val, ok := strings.Cut(f, "=")
 		if !ok {
-			return nil, fmt.Errorf("bad phase option %q (want key=value, restart or kill)", f)
+			return nil, fmt.Errorf("bad phase option %q (want key=value, restart, kill or killnode)", f)
 		}
 		switch key {
 		case "rate":
@@ -240,8 +312,14 @@ func parsePhase(fields []string) (*phaseSpec, error) {
 	if !sawRate || !sawMix {
 		return nil, fmt.Errorf("phase %q needs rate= and mix=", p.Name)
 	}
-	if p.RestartMid && p.KillMid {
-		return nil, fmt.Errorf("phase %q: restart and kill share the midpoint; pick one", p.Name)
+	disruptions := 0
+	for _, on := range []bool{p.RestartMid, p.KillMid, p.KillNodeMid} {
+		if on {
+			disruptions++
+		}
+	}
+	if disruptions > 1 {
+		return nil, fmt.Errorf("phase %q: restart, kill and killnode share the midpoint; pick one", p.Name)
 	}
 	return p, nil
 }
@@ -297,6 +375,33 @@ func builtinCrash(total time.Duration) *scenario {
 			{Phase: &phaseSpec{Name: "steady", Duration: slice(180), Rate: 40,
 				Mix: mustMix("sync:2,batch:1,async:4,cancel:1")}},
 			{Phase: &phaseSpec{Name: "cooldown", Duration: slice(100), Rate: 20,
+				Mix: mustMix("sync:1")}},
+		},
+	}
+}
+
+// builtinCluster is the fleet-robustness scenario scaled to a total
+// duration: a 3-node fleet behind the rcagate gateway, warmed up,
+// then one node SIGKILLed at a phase midpoint and never replaced.
+// Run with -wal-dir (the acceptance configuration) the oracle then
+// asserts the fleet keeps serving, no job owned by a surviving node
+// is lost (the killed node's in-flight jobs are the only excusable
+// casualties — their WAL has no process left to replay it), and the
+// downed node's key range rehashes to its ring successor within the
+// gateway's health-check window.
+func builtinCluster(total time.Duration) *scenario {
+	slice, mustMix := scenarioHelpers(total)
+	return &scenario{
+		Name:    "cluster",
+		Cluster: 3,
+		Steps: []step{
+			{Phase: &phaseSpec{Name: "warmup", Duration: slice(200), Rate: 40,
+				Mix: mustMix("sync:3,async:5")}},
+			{Phase: &phaseSpec{Name: "nodekill", Duration: slice(300), Rate: 60,
+				Mix: mustMix("sync:2,async:5,cancel:1"), KillNodeMid: true}},
+			{Phase: &phaseSpec{Name: "degraded", Duration: slice(350), Rate: 60,
+				Mix: mustMix("sync:3,batch:1,async:4,cancel:1")}},
+			{Phase: &phaseSpec{Name: "cooldown", Duration: slice(150), Rate: 20,
 				Mix: mustMix("sync:1")}},
 		},
 	}

@@ -66,6 +66,29 @@ phase crash 5s rate=30 mix=async:5 kill
 	}
 }
 
+func TestParseScenarioCluster(t *testing.T) {
+	text := `
+cluster 3
+phase warmup 5s rate=40 mix=sync:3,async:5
+phase chaos 10s rate=60 mix=sync:2,async:5,cancel:1 killnode
+phase degraded 10s rate=60 mix=sync:3,async:4
+`
+	sc, err := parseScenario("c", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Cluster != 3 {
+		t.Fatalf("cluster size %d, want 3", sc.Cluster)
+	}
+	phases := sc.phases()
+	if !phases[1].KillNodeMid || phases[0].KillNodeMid {
+		t.Fatalf("killnode flags wrong: %+v", phases)
+	}
+	if exp := sc.expect(); exp.NodeKills != 1 {
+		t.Fatalf("expectations %+v, want 1 node kill", exp)
+	}
+}
+
 func TestParseScenarioRejects(t *testing.T) {
 	for _, bad := range []string{
 		"",                                           // no phases
@@ -82,6 +105,14 @@ func TestParseScenarioRejects(t *testing.T) {
 		"kill -9",                                    // kill with args
 		"phase p 5s rate=10 mix=sync:1 fresh=2000",   // permil out of range
 		"phase p 5s rate=10 mix=sync:1 restart kill", // midpoint conflict
+		"cluster 1\nphase p 5s rate=10 mix=sync:1",   // fleet of one
+		"cluster 99\nphase p 5s rate=10 mix=sync:1",  // fleet too large
+		"cluster",                                    // missing node count
+		"phase p 5s rate=10 mix=sync:1 killnode",     // killnode without a cluster
+		"cluster 2\nrestart\nphase p 5s rate=10 mix=sync:1",        // restart is single-server
+		"cluster 2\nphase p 5s rate=10 mix=sync:1 kill",            // kill is single-server
+		"phase p 5s rate=10 mix=sync:1 kill killnode",              // midpoint conflict
+		"cluster 2\nphase a 5s rate=10 mix=async:1 killnode\nphase b 5s rate=10 mix=async:1 killnode", // would empty the fleet
 	} {
 		if _, err := parseScenario("bad", bad); err == nil {
 			t.Errorf("accepted %q", bad)
@@ -145,6 +176,43 @@ func TestBuiltinCrash(t *testing.T) {
 		}
 	}
 	for _, p := range builtinCrash(3 * time.Second).phases() {
+		if p.Duration < time.Second {
+			t.Fatalf("phase %s shrank to %v", p.Name, p.Duration)
+		}
+	}
+}
+
+// TestBuiltinCluster pins the fleet scenario's shape: three nodes, one
+// killnode landing in an async-carrying phase (so the dead node owns
+// in-flight jobs), and load continuing after the kill so the oracle's
+// keeps-serving check has material.
+func TestBuiltinCluster(t *testing.T) {
+	sc := builtinCluster(60 * time.Second)
+	if sc.Cluster != 3 {
+		t.Fatalf("cluster size %d, want 3", sc.Cluster)
+	}
+	total := sc.totalDuration()
+	if total < 55*time.Second || total > 65*time.Second {
+		t.Fatalf("cluster at 60s scales to %v", total)
+	}
+	exp := sc.expect()
+	if exp.NodeKills != 1 || exp.Kills != 0 || exp.Restarts != 0 {
+		t.Fatalf("cluster expectations %+v, want exactly one node kill", exp)
+	}
+	phases := sc.phases()
+	killIdx := -1
+	for i, p := range phases {
+		if p.KillNodeMid {
+			killIdx = i
+			if p.Mix.Async == 0 {
+				t.Errorf("phase %s kills a node without async load in flight", p.Name)
+			}
+		}
+	}
+	if killIdx < 0 || killIdx == len(phases)-1 {
+		t.Fatalf("node kill at phase %d of %d: need post-kill load", killIdx, len(phases))
+	}
+	for _, p := range builtinCluster(3 * time.Second).phases() {
 		if p.Duration < time.Second {
 			t.Fatalf("phase %s shrank to %v", p.Name, p.Duration)
 		}

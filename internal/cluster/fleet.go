@@ -1,0 +1,301 @@
+// Static-config membership with active health checking.
+//
+// The member list is fixed at construction (operator config); only
+// liveness changes at runtime. A background checker probes every
+// member's /healthz each interval; FailThreshold consecutive failures
+// mark a member down, one success marks it back up. The forwarding
+// layer also reports its transport outcomes into the same counters
+// (passive checking), so a crashed node is usually down after the
+// first failed forward plus one failed probe rather than only after
+// the probe loop notices on its own.
+
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Health-check defaults (FleetOptions zero values).
+const (
+	DefaultProbeInterval = 500 * time.Millisecond
+	DefaultProbeTimeout  = time.Second
+	DefaultFailThreshold = 2
+)
+
+// Member is one node of the fleet. Name and URL are immutable; the
+// liveness state is owned by the fleet's health machinery.
+type Member struct {
+	// Name is the node identity — it must equal the node's -node-id so
+	// job-ID tags (jobs.NodeOf) resolve back to this member.
+	Name string
+	// URL is the node's base URL, e.g. "http://127.0.0.1:8081".
+	URL string
+
+	up    atomic.Bool
+	fails atomic.Int32 // consecutive failures since the last success
+	// downSince records when the member was last marked down (unix
+	// nanos), 0 while up. Informational (the /v1/cluster surface).
+	downSince atomic.Int64
+}
+
+// Up reports current liveness.
+func (m *Member) Up() bool { return m.up.Load() }
+
+// Fails returns the consecutive-failure count.
+func (m *Member) Fails() int { return int(m.fails.Load()) }
+
+// DownSince returns when the member was marked down (zero time while
+// up).
+func (m *Member) DownSince() time.Time {
+	ns := m.downSince.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// FleetOptions configures membership and health checking.
+type FleetOptions struct {
+	// VirtualNodes per member on the ring (0 = DefaultVirtualNodes).
+	VirtualNodes int
+	// ProbeInterval is the health-check cadence (0 = 500ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /healthz probe (0 = 1s).
+	ProbeTimeout time.Duration
+	// FailThreshold is how many consecutive failures (probe or
+	// forward) mark a member down (0 = 2).
+	FailThreshold int
+	// ProbeClient issues the probes; nil builds a minimal dedicated
+	// client so probes never queue behind forwarded traffic.
+	ProbeClient *http.Client
+	// OnTransition, when non-nil, is called after every mark-down and
+	// mark-up (concurrently; must be cheap). The gateway points it at
+	// its metrics.
+	OnTransition func(m *Member, up bool)
+}
+
+// Fleet is the member set plus ring plus health checker.
+type Fleet struct {
+	members []*Member
+	byName  map[string]*Member
+	ring    *Ring
+	opts    FleetOptions
+	probe   *http.Client
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// ParseMembers parses the -nodes flag grammar:
+// "name1=http://host:port,name2=http://host:port". Names must be the
+// nodes' -node-id values.
+func ParseMembers(spec string) ([]Member, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("cluster: empty node list")
+	}
+	var out []Member
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rawURL, ok := strings.Cut(part, "=")
+		if !ok || name == "" || rawURL == "" {
+			return nil, fmt.Errorf("cluster: bad node entry %q (want name=url)", part)
+		}
+		u, err := url.Parse(rawURL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: bad node URL %q", rawURL)
+		}
+		out = append(out, Member{Name: name, URL: strings.TrimRight(rawURL, "/")})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: empty node list")
+	}
+	return out, nil
+}
+
+// NewFleet builds the fleet and its ring. Members start up — the
+// static config is trusted until a probe or forward says otherwise —
+// and the first probe round runs immediately on Start. The caller
+// must Stop the fleet to release the checker.
+func NewFleet(members []Member, opts FleetOptions) (*Fleet, error) {
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = DefaultProbeInterval
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = DefaultProbeTimeout
+	}
+	if opts.FailThreshold <= 0 {
+		opts.FailThreshold = DefaultFailThreshold
+	}
+	names := make([]string, len(members))
+	for i := range members {
+		names[i] = members[i].Name
+	}
+	ring, err := NewRing(names, opts.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		members: make([]*Member, len(members)),
+		byName:  make(map[string]*Member, len(members)),
+		ring:    ring,
+		opts:    opts,
+		probe:   opts.ProbeClient,
+		stop:    make(chan struct{}),
+	}
+	if f.probe == nil {
+		f.probe = &http.Client{
+			Timeout: opts.ProbeTimeout,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 1,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	for i := range members {
+		m := &Member{Name: members[i].Name, URL: members[i].URL}
+		m.up.Store(true)
+		f.members[i] = m
+		f.byName[m.Name] = m
+	}
+	return f, nil
+}
+
+// Ring exposes the underlying hash ring (read-only).
+func (f *Fleet) Ring() *Ring { return f.ring }
+
+// Members returns the member set in config order.
+func (f *Fleet) Members() []*Member { return f.members }
+
+// Member resolves a name (a job-ID tag) to its member, nil if
+// unknown.
+func (f *Fleet) Member(name string) *Member { return f.byName[name] }
+
+// UpCount returns how many members are currently up.
+func (f *Fleet) UpCount() int {
+	n := 0
+	for _, m := range f.members {
+		if m.Up() {
+			n++
+		}
+	}
+	return n
+}
+
+// Replicas returns the members in ring preference order for the key:
+// the owner first, then its successors. Liveness is not filtered here
+// — callers walk the sequence skipping down members, which IS the
+// deterministic rehash (a downed owner's keys land on its successor).
+func (f *Fleet) Replicas(key uint64) []*Member {
+	seq := f.ring.Sequence(key)
+	out := make([]*Member, len(seq))
+	for i, idx := range seq {
+		out[i] = f.members[idx]
+	}
+	return out
+}
+
+// FirstUp returns the first up member of the key's replica sequence,
+// nil when every replica is down (the fleet-level 503 case).
+func (f *Fleet) FirstUp(key uint64) *Member {
+	for _, m := range f.Replicas(key) {
+		if m.Up() {
+			return m
+		}
+	}
+	return nil
+}
+
+// ReportSuccess resets the member's failure run and marks it up.
+// Called by probes and by the forwarder on every completed exchange.
+func (f *Fleet) ReportSuccess(m *Member) {
+	m.fails.Store(0)
+	if m.up.CompareAndSwap(false, true) {
+		m.downSince.Store(0)
+		if f.opts.OnTransition != nil {
+			f.opts.OnTransition(m, true)
+		}
+	}
+}
+
+// ReportFailure counts one failed exchange and marks the member down
+// once the run reaches the threshold.
+func (f *Fleet) ReportFailure(m *Member) {
+	if int(m.fails.Add(1)) < f.opts.FailThreshold {
+		return
+	}
+	if m.up.CompareAndSwap(true, false) {
+		m.downSince.Store(time.Now().UnixNano())
+		if f.opts.OnTransition != nil {
+			f.opts.OnTransition(m, false)
+		}
+	}
+}
+
+// Start launches the health checker: one probe round immediately,
+// then one per interval until Stop.
+func (f *Fleet) Start() {
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		f.probeAll()
+		t := time.NewTicker(f.opts.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-f.stop:
+				return
+			case <-t.C:
+				f.probeAll()
+			}
+		}
+	}()
+}
+
+// Stop halts the checker and waits for in-flight probes.
+func (f *Fleet) Stop() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.wg.Wait()
+}
+
+// probeAll probes every member concurrently and applies the results.
+func (f *Fleet) probeAll() {
+	var wg sync.WaitGroup
+	for _, m := range f.members {
+		wg.Add(1)
+		go func(m *Member) {
+			defer wg.Done()
+			if f.probeOne(m) {
+				f.ReportSuccess(m)
+			} else {
+				f.ReportFailure(m)
+			}
+		}(m)
+	}
+	wg.Wait()
+}
+
+// probeOne is one GET /healthz; any 200 is healthy.
+func (f *Fleet) probeOne(m *Member) bool {
+	req, err := http.NewRequest(http.MethodGet, m.URL+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := f.probe.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,172 @@
+// The HTTP forwarding client: one shared transport with bounded
+// per-node connection pools, a per-attempt timeout, and a single
+// retry on the next up replica for idempotent requests.
+//
+// Failure policy: only transport-level failures (dial, reset, body
+// read, timeout) count against a member's health and are retried —
+// any complete HTTP response, whatever its status, is the node
+// SPEAKING, and is passed through to the client verbatim (so a
+// draining node's 503 + Retry-After reaches the client unchanged).
+// Non-idempotent requests (job submission) are never retried: the
+// first attempt may have been admitted before the connection died,
+// and a blind retry would double-submit.
+
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Forwarding defaults.
+const (
+	// DefaultForwardTimeout bounds one forwarded exchange; generous
+	// because a node-side solve may legitimately run to the node's own
+	// per-job deadline (5s default) and batches run many.
+	DefaultForwardTimeout = 30 * time.Second
+	// maxIdlePerNode and maxConnsPerNode bound each node's connection
+	// pool: enough parallelism for a busy gateway, a hard cap so one
+	// slow node cannot accumulate unbounded sockets.
+	maxIdlePerNode  = 32
+	maxConnsPerNode = 128
+	// maxNodeResponseBytes caps a buffered node response; /metrics and
+	// job results are the largest bodies and stay far below this.
+	maxNodeResponseBytes = 64 << 20
+)
+
+// ErrAllReplicasDown reports that every replica in the key's sequence
+// was down (or unreachable on this attempt) — the only condition the
+// gateway answers with its own synthesized 503.
+var ErrAllReplicasDown = errors.New("cluster: all replicas down")
+
+// nodeResponse is one buffered node answer.
+type nodeResponse struct {
+	status int
+	header http.Header
+	body   []byte
+	member *Member // who answered
+}
+
+// forwarder issues node requests over the shared pooled transport.
+type forwarder struct {
+	fleet   *Fleet
+	client  *http.Client
+	timeout time.Duration
+
+	// onForward reports every attempt for metrics: the member, the
+	// status (0 on transport error), elapsed time and whether this
+	// attempt was a retry. nil-safe.
+	onForward func(m *Member, status int, dur time.Duration, retry bool)
+}
+
+// newForwarder builds the client around the fleet.
+func newForwarder(fleet *Fleet, timeout time.Duration, onForward func(*Member, int, time.Duration, bool)) *forwarder {
+	if timeout <= 0 {
+		timeout = DefaultForwardTimeout
+	}
+	return &forwarder{
+		fleet: fleet,
+		client: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: maxIdlePerNode,
+				MaxConnsPerHost:     maxConnsPerNode,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+		timeout:   timeout,
+		onForward: onForward,
+	}
+}
+
+// close releases idle pooled connections.
+func (fw *forwarder) close() {
+	if t, ok := fw.client.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+}
+
+// do issues one request to one member and buffers the response. The
+// X-Request-Id and Content-Type headers of hdr are forwarded, so the
+// gateway's trace ID rides the hop. Transport failures are reported
+// to the fleet (passive health) and returned; complete responses are
+// reported as successes whatever their status.
+func (fw *forwarder) do(ctx context.Context, m *Member, method, pathAndQuery string, body []byte, hdr http.Header, retry bool) (*nodeResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, fw.timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, m.URL+pathAndQuery, rd)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: build request: %w", err)
+	}
+	if hdr != nil {
+		if id := hdr.Get("X-Request-Id"); id != "" {
+			req.Header.Set("X-Request-Id", id)
+		}
+		if ct := hdr.Get("Content-Type"); ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+	}
+	start := time.Now()
+	resp, err := fw.client.Do(req)
+	if err != nil {
+		fw.fleet.ReportFailure(m)
+		if fw.onForward != nil {
+			fw.onForward(m, 0, time.Since(start), retry)
+		}
+		return nil, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, maxNodeResponseBytes))
+	dur := time.Since(start)
+	if err != nil {
+		fw.fleet.ReportFailure(m)
+		if fw.onForward != nil {
+			fw.onForward(m, 0, dur, retry)
+		}
+		return nil, err
+	}
+	fw.fleet.ReportSuccess(m)
+	if fw.onForward != nil {
+		fw.onForward(m, resp.StatusCode, dur, retry)
+	}
+	return &nodeResponse{status: resp.StatusCode, header: resp.Header, body: buf, member: m}, nil
+}
+
+// routed forwards to the key's replica sequence: the first up member
+// gets the request; on a transport error and when idempotent is set,
+// exactly one more attempt goes to the next up replica. Returns
+// ErrAllReplicasDown when no up replica exists (or the attempts
+// exhausted them).
+func (fw *forwarder) routed(ctx context.Context, key uint64, method, pathAndQuery string, body []byte, hdr http.Header, idempotent bool) (*nodeResponse, error) {
+	attempts := 1
+	if idempotent {
+		attempts = 2
+	}
+	tried := 0
+	var lastErr error
+	for _, m := range fw.fleet.Replicas(key) {
+		if !m.Up() {
+			continue
+		}
+		resp, err := fw.do(ctx, m, method, pathAndQuery, body, hdr, tried > 0)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if tried++; tried >= attempts {
+			return nil, fmt.Errorf("%w (last attempt %s: %v)", ErrAllReplicasDown, m.Name, err)
+		}
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w (last: %v)", ErrAllReplicasDown, lastErr)
+	}
+	return nil, ErrAllReplicasDown
+}

@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keyStream yields a deterministic pseudo-random key sequence so the
+// distribution numbers below are identical on every run and platform.
+func keyStream(seed uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	x := seed
+	for i := range out {
+		x += 0x9e3779b97f4a7c15
+		out[i] = mix64(x)
+	}
+	return out
+}
+
+// TestRingDistribution asserts the load skew bound the package doc
+// promises: at the default 128 vnodes, the most and least loaded of 3
+// nodes stay within 15% of each other over a large seeded key set.
+func TestRingDistribution(t *testing.T) {
+	names := []string{"n1", "n2", "n3"}
+	r, err := NewRing(names, DefaultVirtualNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(names))
+	keys := keyStream(42, 200_000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	minC, maxC := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	t.Logf("counts=%v skew=%.1f%%", counts, 100*float64(maxC-minC)/float64(minC))
+	if minC == 0 {
+		t.Fatalf("a node owns no keys: %v", counts)
+	}
+	if float64(maxC) > float64(minC)*1.15 {
+		t.Fatalf("load skew exceeds 15%%: min=%d max=%d (%v)", minC, maxC, counts)
+	}
+}
+
+// TestRingDeterminism asserts the restart property: two rings built
+// from the same names agree on every owner (construction has no
+// hidden per-process state), and the replica sequence starts at the
+// owner.
+func TestRingDeterminism(t *testing.T) {
+	names := []string{"alpha", "beta", "gamma", "delta"}
+	r1, err := NewRing(names, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(names, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keyStream(7, 20_000) {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("owner diverged for key %#x: %d vs %d", k, r1.Owner(k), r2.Owner(k))
+		}
+		seq := r1.Sequence(k)
+		if len(seq) != len(names) {
+			t.Fatalf("sequence for %#x has %d entries, want %d", k, len(seq), len(names))
+		}
+		if seq[0] != r1.Owner(k) {
+			t.Fatalf("sequence for %#x starts at %d, owner is %d", k, seq[0], r1.Owner(k))
+		}
+		distinct := map[int]bool{}
+		for _, n := range seq {
+			distinct[n] = true
+		}
+		if len(distinct) != len(names) {
+			t.Fatalf("sequence for %#x repeats nodes: %v", k, seq)
+		}
+	}
+}
+
+// TestRingMinimalMovement asserts the consistent-hashing contract:
+// removing one member moves ONLY the keys that member owned — every
+// key owned by a surviving member keeps its owner. This is why a
+// mark-down (which skips the downed member over Sequence) disturbs no
+// warm cache on the survivors.
+func TestRingMinimalMovement(t *testing.T) {
+	names := []string{"n1", "n2", "n3", "n4"}
+	full, err := NewRing(names, DefaultVirtualNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := 2 // drop "n3"
+	survivors := []string{"n1", "n2", "n4"}
+	small, err := NewRing(surviv(survivors), DefaultVirtualNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, kept := 0, 0
+	for _, k := range keyStream(99, 100_000) {
+		before := full.Owner(k)
+		after := small.Owner(k)
+		if before == removed {
+			moved++
+			continue // this key HAD to move
+		}
+		kept++
+		// Survivor indices shift down past the removed slot.
+		want := before
+		if before > removed {
+			want--
+		}
+		if after != want {
+			t.Fatalf("key %#x moved from surviving node %s to %s",
+				k, names[before], survivors[after])
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate split: moved=%d kept=%d", moved, kept)
+	}
+	t.Logf("moved=%d (%.1f%%) kept=%d", moved, 100*float64(moved)/float64(moved+kept), kept)
+}
+
+// surviv copies a name slice (guards against NewRing aliasing).
+func surviv(names []string) []string { return append([]string(nil), names...) }
+
+// TestRingSkipDownMatchesRemoval asserts that the runtime rehash
+// (skipping a down member over Sequence) sends each of its keys to
+// exactly the node a ring WITHOUT that member would choose.
+func TestRingSkipDownMatchesRemoval(t *testing.T) {
+	names := []string{"n1", "n2", "n3"}
+	full, err := NewRing(names, DefaultVirtualNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := 1 // "n2" is down
+	small, err := NewRing([]string{"n1", "n3"}, DefaultVirtualNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keyStream(5, 50_000) {
+		var eff int = -1
+		for _, n := range full.Sequence(k) {
+			if n != down {
+				eff = n
+				break
+			}
+		}
+		want := small.Owner(k) // 0 -> n1, 1 -> n3
+		wantFull := 0
+		if want == 1 {
+			wantFull = 2
+		}
+		if eff != wantFull {
+			t.Fatalf("key %#x: skip-down routed to %s, removal ring says %s",
+				k, names[eff], names[wantFull])
+		}
+	}
+}
+
+// TestNewRingValidation covers the constructor's error paths.
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 8); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 8); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	r, err := NewRing([]string{"solo"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != DefaultVirtualNodes {
+		t.Fatalf("vnodes=0 gave %d points, want %d", r.Size(), DefaultVirtualNodes)
+	}
+	if got := fmt.Sprint(r.Nodes()); got != "[solo]" {
+		t.Fatalf("Nodes() = %s", got)
+	}
+}

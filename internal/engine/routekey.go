@@ -1,0 +1,23 @@
+// Cluster routing digest: a single 64-bit fold of the binary
+// canonical cache key, exported so the gateway (internal/cluster) can
+// place a request on the consistent-hash ring by the same equivalence
+// classes the result cache uses. Two requests with equal RouteKeys
+// land on the same node and — because the canonical key also equals —
+// share that node's warm cache entry; translated twins (A[i],A[i+1]
+// vs B[i+7],B[i+8]) therefore co-locate exactly as they co-cache.
+
+package engine
+
+// RouteKey returns a 64-bit routing digest of the request's canonical
+// cache key: the translation-normalized offset sequence, stride,
+// objective, merge strategy and AGU parameters. It performs no
+// allocation and does not validate the request — an invalid request
+// still routes deterministically (the owning node rejects it).
+func RouteKey(req Request) uint64 {
+	k := canonicalKey(req)
+	d := digest{h1: k.h1, h2: k.h2}
+	d.mixInt(int(k.registers))
+	d.mixInt(int(k.modifyRange))
+	d.mixInt(int(k.flags)<<8 | int(k.strategy))
+	return d.h1 ^ d.h2
+}

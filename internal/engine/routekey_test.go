@@ -1,0 +1,44 @@
+package engine
+
+import (
+	"testing"
+
+	"dspaddr/internal/model"
+)
+
+func TestRouteKeyTranslationInvariant(t *testing.T) {
+	base := Request{
+		Pattern: model.Pattern{Array: "A", Stride: 4, Offsets: []int{0, 1, 3, 6}},
+		AGU:     model.AGUSpec{Registers: 2, ModifyRange: 1},
+	}
+	shifted := base
+	shifted.Pattern.Array = "B"
+	shifted.Pattern.Offsets = []int{7, 8, 10, 13}
+	if RouteKey(base) != RouteKey(shifted) {
+		t.Fatal("translated twin routed to a different key")
+	}
+
+	// Every parameter that changes the result must change the route.
+	for name, mut := range map[string]func(*Request){
+		"offsets":  func(r *Request) { r.Pattern.Offsets = []int{0, 1, 3, 7} },
+		"stride":   func(r *Request) { r.Pattern.Stride = 8 },
+		"regs":     func(r *Request) { r.AGU.Registers = 3 },
+		"modrange": func(r *Request) { r.AGU.ModifyRange = 2 },
+		"wrap":     func(r *Request) { r.InterIteration = true },
+		"strategy": func(r *Request) { r.Strategy = "optimal" },
+	} {
+		req := base
+		req.Pattern.Offsets = append([]int(nil), base.Pattern.Offsets...)
+		mut(&req)
+		if RouteKey(req) == RouteKey(base) {
+			t.Errorf("%s change did not change the route key", name)
+		}
+	}
+
+	// "" and "greedy" select the same solve and must share a route.
+	greedy := base
+	greedy.Strategy = "greedy"
+	if RouteKey(greedy) != RouteKey(base) {
+		t.Fatal(`"greedy" and "" routed differently`)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -137,6 +138,12 @@ type Options struct {
 	// Runners is the number of concurrent dispatcher goroutines —
 	// the cap on jobs in StateRunning. 0 means DefaultRunners.
 	Runners int
+	// NodeTag, when non-empty, is embedded in every issued job ID
+	// (j-<tag>-<prefix>-<seq> instead of j-<prefix>-<seq>) so a cluster
+	// gateway can route an ID back to the node that owns it (NodeOf).
+	// Must be non-empty alphanumeric — '-' would break ID parsing, so
+	// New panics on one.
+	NodeTag string
 	// Run executes payloads; required.
 	Run Runner
 	// FailState optionally classifies a Runner error into a terminal
@@ -297,7 +304,10 @@ type Manager struct {
 	waitLat stats.LatencyRing
 	runLat  stats.LatencyRing
 
-	prefix  string // random per-manager ID prefix
+	prefix string // random per-manager ID prefix
+	// idFmt is the Sprintf format issuing IDs: "j-<prefix>-%08x", or
+	// "j-<tag>-<prefix>-%08x" when Options.NodeTag names this node.
+	idFmt   string
 	seq     atomic.Uint64
 	depth   atomic.Int64 // jobs in StateQueued
 	running atomic.Int64
@@ -354,6 +364,9 @@ func New(opts Options) *Manager {
 		opts.EncodeResult == nil || opts.DecodeResult == nil) {
 		panic("jobs: Options.WAL requires the payload and result codecs")
 	}
+	if strings.ContainsRune(opts.NodeTag, '-') {
+		panic("jobs: Options.NodeTag must not contain '-'")
+	}
 	opts = opts.withDefaults()
 	// Recovered queued jobs re-enter above the admission bound (they
 	// were admitted before the crash); the ready channel needs a slot
@@ -373,6 +386,11 @@ func New(opts Options) *Manager {
 		prefix:   hex.EncodeToString(pfx[:]),
 		closed:   make(chan struct{}),
 		draining: make(chan struct{}),
+	}
+	if opts.NodeTag != "" {
+		m.idFmt = "j-" + opts.NodeTag + "-" + m.prefix + "-%08x"
+	} else {
+		m.idFmt = "j-" + m.prefix + "-%08x"
 	}
 	m.baseCtx, m.baseCancel = context.WithCancel(context.Background())
 	// Recovery runs before the dispatchers exist, so replayed jobs are
@@ -562,6 +580,18 @@ func (m *Manager) Shutdown(ctx context.Context) {
 	m.Close()
 }
 
+// NodeOf extracts the node tag from a job ID issued by a Manager with
+// Options.NodeTag set ("j-<tag>-<prefix>-<seq>"). It returns "" for
+// untagged IDs ("j-<prefix>-<seq>") and for strings that are not job
+// IDs at all, so callers can treat "" uniformly as "no routing info".
+func NodeOf(id string) string {
+	parts := strings.Split(id, "-")
+	if len(parts) == 4 && parts[0] == "j" && parts[1] != "" {
+		return parts[1]
+	}
+	return ""
+}
+
 // Submit admits one job at the given priority (higher runs first) and
 // returns its ID, or ErrQueueFull / ErrShuttingDown / ErrClosed.
 func (m *Manager) Submit(payload any, priority int) (string, error) {
@@ -612,7 +642,7 @@ func (m *Manager) SubmitTraced(ctx context.Context, payloads []any, priority int
 	for i, p := range payloads {
 		seq := m.seq.Add(1)
 		recs[i] = &record{
-			id:        fmt.Sprintf("j-%s-%08x", m.prefix, seq),
+			id:        fmt.Sprintf(m.idFmt, seq),
 			seq:       seq,
 			priority:  priority,
 			payload:   p,

@@ -435,3 +435,54 @@ func TestConcurrentSubmitPoll(t *testing.T) {
 		t.Fatalf("done %d, want %d", mt.Done, per*workers)
 	}
 }
+
+func TestNodeTagIDs(t *testing.T) {
+	m := New(Options{Run: echoRunner, NodeTag: "n1"})
+	defer m.Close()
+	id, err := m.Submit("p", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := NodeOf(id); got != "n1" {
+		t.Fatalf("NodeOf(%q) = %q, want n1", id, got)
+	}
+	// Tagged IDs must stay fetchable like untagged ones.
+	if _, err := m.Get(id); err != nil {
+		t.Fatalf("Get(%s): %v", id, err)
+	}
+
+	plain := New(Options{Run: echoRunner})
+	defer plain.Close()
+	pid, err := plain.Submit("p", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := NodeOf(pid); got != "" {
+		t.Fatalf("NodeOf(%q) = %q, want empty for untagged ID", pid, got)
+	}
+}
+
+func TestNodeOfParsing(t *testing.T) {
+	cases := map[string]string{
+		"j-n1-abcd1234-00000001": "n1",
+		"j-abcd1234-00000001":    "",
+		"":                       "",
+		"x-n1-abcd1234-00000001": "",
+		"j--abcd1234-00000001":   "",
+		"not-a-job-id-at-all":    "",
+	}
+	for id, want := range cases {
+		if got := NodeOf(id); got != want {
+			t.Errorf("NodeOf(%q) = %q, want %q", id, got, want)
+		}
+	}
+}
+
+func TestNodeTagRejectsDash(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted a NodeTag containing '-'")
+		}
+	}()
+	New(Options{Run: echoRunner, NodeTag: "bad-tag"})
+}

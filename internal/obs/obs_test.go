@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"context"
 	"strings"
 	"sync"
@@ -271,5 +272,32 @@ bare 1.5
 	bare := fams["bare"]
 	if bare == nil || bare.Type != "" || bare.Samples[0].Value != 1.5 {
 		t.Fatalf("bare family: %+v", bare)
+	}
+}
+
+func TestGaugeVecSetAndExposition(t *testing.T) {
+	g := NewGaugeVec("test_node_up", "whether the node is up", []string{"node"})
+	g.Set(1, "n1")
+	g.Set(1, "n2")
+	g.Set(0, "n1") // gauges move both ways
+	var nilGauge *GaugeVec
+	nilGauge.Set(5, "x") // nil-safe no-op
+
+	var buf bytes.Buffer
+	g.Expose(&buf)
+	fams, err := ParseExposition(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, buf.String())
+	}
+	f := fams["test_node_up"]
+	if f == nil || f.Type != "gauge" {
+		t.Fatalf("family missing or mistyped: %+v", f)
+	}
+	got := map[string]float64{}
+	for _, s := range f.Samples {
+		got[s.Labels["node"]] = s.Value
+	}
+	if got["n1"] != 0 || got["n2"] != 1 {
+		t.Fatalf("gauge values wrong: %v", got)
 	}
 }
