@@ -26,6 +26,24 @@
 //	-probe-timeout duration   per-probe timeout (default 1s)
 //	-fail-threshold int       consecutive failures before mark-down (default 2)
 //	-forward-timeout duration per-hop forwarding timeout (default 30s)
+//	-breaker-disable          turn per-node circuit breakers off
+//	-breaker-window int       breaker rolling outcome window per node (default 32)
+//	-breaker-min-samples int  minimum outcomes before a breaker may trip (default 8)
+//	-breaker-error-rate float window failure fraction that trips a breaker (default 0.5)
+//	-breaker-latency-quantile float  window latency quantile the slow trip
+//	                          evaluates (default 0.9)
+//	-breaker-latency-threshold duration  latency at the quantile that trips a
+//	                          breaker (default 250ms; negative disables the slow trip)
+//	-breaker-open-for duration  open-state hold before half-opening (default 2s)
+//	-breaker-half-open-every duration  half-open trickle interval (default 250ms)
+//	-breaker-close-after int  consecutive fast successes that close a
+//	                          half-open breaker (default 3)
+//	-hedge-disable            turn hedged reads off
+//	-hedge-quantile float     forward-latency quantile arming the hedge timer (default 0.95)
+//	-hedge-min-delay duration lower clamp on the derived hedge delay (default 10ms)
+//	-hedge-max-delay duration upper clamp, and the delay while the latency
+//	                          window is empty (default 1s)
+//	-hedge-fixed-delay duration  fixed hedge delay bypassing the quantile
 //	-log-format string        structured log encoding: text or json (default "text")
 //	-version                  print the build version and exit
 //
@@ -81,6 +99,20 @@ func run(args []string) error {
 	probeTimeout := fs.Duration("probe-timeout", 0, "per-probe timeout (0 = 1s default)")
 	failThreshold := fs.Int("fail-threshold", 0, "consecutive failures before a node is marked down (0 = 2 default)")
 	forwardTimeout := fs.Duration("forward-timeout", 0, "per-hop forwarding timeout (0 = 30s default)")
+	breakerDisable := fs.Bool("breaker-disable", false, "turn per-node circuit breakers off")
+	breakerWindow := fs.Int("breaker-window", 0, "breaker rolling outcome window per node (0 = 32 default)")
+	breakerMinSamples := fs.Int("breaker-min-samples", 0, "minimum outcomes in the window before a breaker may trip (0 = 8 default)")
+	breakerErrRate := fs.Float64("breaker-error-rate", 0, "window failure fraction that trips a breaker (0 = 0.5 default)")
+	breakerLatencyQuantile := fs.Float64("breaker-latency-quantile", 0, "window latency quantile the slow trip evaluates (0 = 0.9 default)")
+	breakerLatencyThreshold := fs.Duration("breaker-latency-threshold", 0, "latency at the quantile that trips a breaker (0 = 250ms default, negative disables the slow trip)")
+	breakerOpenFor := fs.Duration("breaker-open-for", 0, "how long an open breaker refuses before half-opening (0 = 2s default)")
+	breakerHalfOpenEvery := fs.Duration("breaker-half-open-every", 0, "half-open trickle: at most one admission per interval (0 = 250ms default)")
+	breakerCloseAfter := fs.Int("breaker-close-after", 0, "consecutive fast successes that close a half-open breaker (0 = 3 default)")
+	hedgeDisable := fs.Bool("hedge-disable", false, "turn hedged reads off (idempotent GETs degrade to single requests)")
+	hedgeQuantile := fs.Float64("hedge-quantile", 0, "forward-latency quantile that arms the hedge timer (0 = 0.95 default)")
+	hedgeMinDelay := fs.Duration("hedge-min-delay", 0, "lower clamp on the derived hedge delay (0 = 10ms default)")
+	hedgeMaxDelay := fs.Duration("hedge-max-delay", 0, "upper clamp on the derived hedge delay; also the delay with an empty latency window (0 = 1s default)")
+	hedgeFixedDelay := fs.Duration("hedge-fixed-delay", 0, "fixed hedge delay bypassing the quantile (0 = derive from latency)")
 	logFormat := fs.String("log-format", "text", "structured log encoding: text or json")
 	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
@@ -105,6 +137,17 @@ func run(args []string) error {
 		ProbeInterval: *probeInterval,
 		ProbeTimeout:  *probeTimeout,
 		FailThreshold: *failThreshold,
+		Breaker: cluster.BreakerOptions{
+			Disabled:         *breakerDisable,
+			Window:           *breakerWindow,
+			MinSamples:       *breakerMinSamples,
+			ErrRate:          *breakerErrRate,
+			LatencyQuantile:  *breakerLatencyQuantile,
+			LatencyThreshold: *breakerLatencyThreshold,
+			OpenFor:          *breakerOpenFor,
+			HalfOpenEvery:    *breakerHalfOpenEvery,
+			CloseAfter:       *breakerCloseAfter,
+		},
 	})
 	if err != nil {
 		return err
@@ -114,6 +157,13 @@ func run(args []string) error {
 		Version:        buildVersion(),
 		ForwardTimeout: *forwardTimeout,
 		Logger:         logger,
+		Hedge: cluster.HedgeOptions{
+			Disabled:   *hedgeDisable,
+			Quantile:   *hedgeQuantile,
+			MinDelay:   *hedgeMinDelay,
+			MaxDelay:   *hedgeMaxDelay,
+			FixedDelay: *hedgeFixedDelay,
+		},
 	})
 	if err != nil {
 		return err

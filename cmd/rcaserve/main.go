@@ -50,6 +50,11 @@
 //	-wal-fsync string   WAL fsync policy: always, interval or off (default "interval")
 //	-wal-fsync-interval duration  background fsync cadence under interval (default 100ms)
 //	-wal-segment-bytes int        WAL segment rotation threshold (default 4MiB)
+//	-shed-target duration  adaptive load-shedding queue-wait target: while
+//	                    the minimum queue wait over a full window stays
+//	                    above it, sync paths reject with 503 + Retry-After
+//	                    (default 50ms; negative disables)
+//	-shed-window duration  load-shedding evaluation window (default 100ms)
 //	-log-format string  structured log encoding: text or json (default "text")
 //	-trace-min duration slow-trace capture threshold for /debug/requests
 //	                    (default 10ms; negative captures every request)
@@ -122,6 +127,8 @@ func run(args []string) error {
 	logFormat := fs.String("log-format", "text", "structured log encoding: text or json")
 	traceMin := fs.Duration("trace-min", 0, "slow-trace capture threshold for /debug/requests (0 = 10ms default, negative captures everything)")
 	debugAddr := fs.String("debug-addr", "", "optional second listener exposing net/http/pprof and /debug/runtime (bind loopback only)")
+	shedTarget := fs.Duration("shed-target", 0, "adaptive load-shedding queue-wait target (0 = 50ms default, negative disables shedding)")
+	shedWindow := fs.Duration("shed-window", 0, "adaptive load-shedding evaluation window (0 = 100ms default)")
 	faultSpec := fs.String("faults", "", "arm chaos fault injection and /debug/soak (e.g. \"delay=20ms:4,error=128\"; \"none\" = endpoint only); soak builds only")
 	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
@@ -159,6 +166,8 @@ func run(args []string) error {
 		Workers:    *workers,
 		JobTimeout: *timeout,
 		CacheSize:  *cacheSize,
+		ShedTarget: *shedTarget,
+		ShedWindow: *shedWindow,
 		Faults:     injector,
 		SolveHist:  ob.solveHist,
 	})

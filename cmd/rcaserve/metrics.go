@@ -105,6 +105,15 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		es.SolveP50Micros, es.SolveP90Micros, es.SolveP99Micros)
 	s.obs.solveHist.Expose(w)
 
+	shedding := 0.0
+	if es.Shedding {
+		shedding = 1
+	}
+	gauge("rcaserve_shedding", "Adaptive load-shedding verdict: 1 while the sync paths reject with 503.", shedding)
+	counter("rcaserve_shed_flips_total", "Load-shedding verdict transitions, both directions.", float64(es.ShedFlips))
+	counter("rcaserve_shed_total", "Synchronous requests rejected by adaptive load shedding.", float64(s.sheds.Load()))
+	counter("rcaserve_deadline_expired_total", "Requests whose propagated deadline budget was spent on arrival.", float64(s.deadlineExpired.Load()))
+
 	counter("rcaserve_http_requests_total", "HTTP requests served.", float64(s.requests.Load()))
 	s.obs.httpReqs.Expose(w)
 	s.obs.httpHist.Expose(w)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -18,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"dspaddr/internal/deadline"
 	"dspaddr/internal/obs"
 )
 
@@ -104,6 +106,9 @@ func (w *statusWriter) WriteHeader(code int) {
 
 // instrument is the single request wrapper: it assigns (or accepts)
 // the trace ID, threads a span recorder through the request context,
+// honors the propagated deadline budget (X-Deadline-Ms becomes a
+// context deadline; a budget already spent on arrival is a counted
+// 504 without touching the handler), applies armed response faults,
 // counts the request by route+status after the handler ran, observes
 // the latency histogram, retains slow and failed traces in the debug
 // ring and logs failures with their trace ID.
@@ -114,7 +119,27 @@ func (s *server) instrument(next http.Handler) http.Handler {
 		w.Header().Set("X-Request-Id", id)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
-		next.ServeHTTP(sw, r.WithContext(obs.NewContext(r.Context(), tr)))
+		ctx := obs.NewContext(r.Context(), tr)
+		budget, hasBudget := deadline.FromHeader(r.Header)
+		if hasBudget && budget <= 0 {
+			s.deadlineExpired.Add(1)
+			writeError(sw, http.StatusGatewayTimeout, "deadline budget spent before arrival")
+		} else {
+			if hasBudget {
+				var cancel context.CancelFunc
+				ctx, cancel = deadline.With(ctx, budget)
+				defer cancel()
+			}
+			if s.faults != nil {
+				if err := s.faults.BeforeResponse(ctx); err != nil {
+					// Blackhole: drop the connection without writing a
+					// response — the peer sees a transport error, never
+					// a synthesized status.
+					panic(http.ErrAbortHandler)
+				}
+			}
+			next.ServeHTTP(sw, r.WithContext(ctx))
+		}
 		dur := time.Since(start)
 
 		status := sw.status
@@ -127,17 +152,30 @@ func (s *server) instrument(next http.Handler) http.Handler {
 		s.obs.httpReqs.Add(1, route, statusText)
 		s.obs.httpHist.Observe(dur, route, statusText)
 
+		// A canceled request (client gone OR deadline budget expired)
+		// may have abandoned a solve that is still unwinding on a
+		// worker recording spans into this trace — so neither snapshot
+		// its span storage nor recycle it; retain a span-free record
+		// from what the middleware itself knows and leak the trace to
+		// the GC.
+		abandoned := ctx.Err() != nil
 		if captureTrace(status, dur, s.obs.threshold()) {
-			s.obs.ring.Add(tr.Snapshot(route, status, "", dur))
+			if abandoned {
+				s.obs.ring.Add(&obs.TraceSnapshot{
+					ID: id, Route: route, Status: status,
+					Error:          ctx.Err().Error(),
+					StartedAt:      start,
+					DurationMicros: dur.Microseconds(),
+				})
+			} else {
+				s.obs.ring.Add(tr.Snapshot(route, status, "", dur))
+			}
 		}
 		if status >= http.StatusInternalServerError {
 			s.obs.logger.Warn("request failed",
 				"traceId", id, "route", route, "status", status, "durMs", dur.Milliseconds())
 		}
-		// A canceled request may have abandoned a solve that is still
-		// unwinding on a worker holding this trace; leak it to the GC
-		// instead of recycling storage another goroutine can write to.
-		if r.Context().Err() == nil {
+		if !abandoned {
 			tr.Release()
 		}
 	})

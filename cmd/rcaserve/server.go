@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,9 +78,14 @@ type server struct {
 	nodeID   string // "" outside cluster mode
 	started  time.Time
 	requests atomic.Uint64
-	faults   *faults.Injector // nil outside soak builds
-	obs      *observability
-	wal      *wal.Log // nil when durability is off
+	// sheds counts synchronous requests rejected by adaptive load
+	// shedding; deadlineExpired counts requests whose propagated
+	// X-Deadline-Ms budget was already spent on arrival.
+	sheds           atomic.Uint64
+	deadlineExpired atomic.Uint64
+	faults          *faults.Injector // nil outside soak builds
+	obs             *observability
+	wal             *wal.Log // nil when durability is off
 }
 
 // newServer builds a server around a running engine and starts its
@@ -403,11 +409,30 @@ func (s *server) runJob(ctx context.Context, job jobJSON) (jobResponseJSON, erro
 	}
 }
 
+// shedIfOverloaded applies the adaptive load-shedding policy to a
+// synchronous solve path: while the engine's windowed-minimum queue
+// wait stands above the shed target, reject with 503 + Retry-After
+// instead of joining a queue that guarantees a slow answer. Async
+// submissions are never shed — they are queue-depth-bounded already
+// and their callers asked to wait.
+func (s *server) shedIfOverloaded(w http.ResponseWriter) bool {
+	if !s.engine.Overloaded() {
+		return false
+	}
+	s.sheds.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(engine.ShedRetryAfterSeconds()))
+	writeError(w, http.StatusServiceUnavailable, "overloaded: queue wait above shed target; retry shortly")
+	return true
+}
+
 // handleAllocate serves POST /v1/allocate: one job, one response.
 // Allocator-level failures map to 422, per-job timeouts to 504.
 func (s *server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.shedIfOverloaded(w) {
 		return
 	}
 	var job jobJSON
@@ -430,6 +455,9 @@ func (s *server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.shedIfOverloaded(w) {
 		return
 	}
 	var batch batchRequestJSON
@@ -469,6 +497,11 @@ type statsJSON struct {
 	Version       string  `json:"version"`
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 	HTTPRequests  uint64  `json:"httpRequests"`
+	// Sheds counts synchronous requests rejected by adaptive load
+	// shedding; DeadlineExpired counts requests whose propagated
+	// deadline budget was spent before arrival.
+	Sheds           uint64 `json:"sheds"`
+	DeadlineExpired uint64 `json:"deadlineExpired"`
 }
 
 // handleStats serves GET /v1/stats.
@@ -478,12 +511,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := statsJSON{
-		Stats:         s.engine.Stats(),
-		AsyncJobs:     s.jobs.Metrics(),
-		NodeID:        s.nodeID,
-		Version:       s.version,
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		HTTPRequests:  s.requests.Load(),
+		Stats:           s.engine.Stats(),
+		AsyncJobs:       s.jobs.Metrics(),
+		NodeID:          s.nodeID,
+		Version:         s.version,
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		HTTPRequests:    s.requests.Load(),
+		Sheds:           s.sheds.Load(),
+		DeadlineExpired: s.deadlineExpired.Load(),
 	}
 	if s.wal != nil {
 		ws := s.wal.Stats()
@@ -508,10 +543,12 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// statusForJobError distinguishes timeout failures (504) from
-// validation and allocation failures (422) on the single-job endpoint.
+// statusForJobError distinguishes timeout failures (504) — per-job
+// solve deadlines and exhausted propagated deadline budgets alike —
+// from validation and allocation failures (422) on the single-job
+// endpoint.
 func statusForJobError(err error) int {
-	if errors.Is(err, engine.ErrTimeout) {
+	if errors.Is(err, engine.ErrTimeout) || errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusGatewayTimeout
 	}
 	return http.StatusUnprocessableEntity

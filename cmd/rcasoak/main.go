@@ -23,7 +23,8 @@
 //	-duration duration   total load duration for the builtin scenario (default 60s)
 //	-clients int         driver processes per phase (default 8)
 //	-seed int            base seed for the deterministic traffic streams (default 1)
-//	-scenario string     "mixed" or "crash" (builtin, scaled to -duration) or a scenario file path
+//	-scenario string     "mixed", "crash", "cluster" or "grayfail" (builtin,
+//	                     scaled to -duration) or a scenario file path
 //	-report string       JSON report path (default "soak-report.json")
 //	-server-bin string   prebuilt rcaserve binary (default: go build it)
 //	-wal-dir string      server WAL directory: durability on, loss never excused (default off)
@@ -68,7 +69,7 @@ func realMain(args []string) int {
 	duration := fs.Duration("duration", 60*time.Second, "total load duration (builtin scenario)")
 	clients := fs.Int("clients", 8, "driver processes per phase")
 	seed := fs.Int64("seed", 1, "base traffic seed")
-	scenarioFlag := fs.String("scenario", "mixed", `"mixed", "crash" or a scenario file path`)
+	scenarioFlag := fs.String("scenario", "mixed", `"mixed", "crash", "cluster", "grayfail" or a scenario file path`)
 	reportPath := fs.String("report", "soak-report.json", "JSON report path")
 	serverBin := fs.String("server-bin", "", "prebuilt rcaserve binary (default: go build)")
 	walDir := fs.String("wal-dir", "",
@@ -161,6 +162,8 @@ func loadScenario(name string, total time.Duration) (*scenario, error) {
 		return builtinCrash(total), nil
 	case "cluster":
 		return builtinCluster(total), nil
+	case "grayfail":
+		return builtinGrayfail(total), nil
 	}
 	text, err := os.ReadFile(name)
 	if err != nil {
@@ -199,15 +202,16 @@ type harness struct {
 	nodeBases []string
 	nodePorts []int
 
-	mu        sync.Mutex
-	srv       *serverProc
-	nodeProcs []*serverProc
-	gateway   *serverProc
-	exits     []int
-	restarts  []restartWindow
-	kills     []restartWindow
-	nodeKills []nodeKill
-	maxRSS    atomic.Int64
+	mu         sync.Mutex
+	srv        *serverProc
+	nodeProcs  []*serverProc
+	gateway    *serverProc
+	exits      []int
+	restarts   []restartWindow
+	kills      []restartWindow
+	nodeKills  []nodeKill
+	grayEvents []grayEvent
+	maxRSS     atomic.Int64
 
 	collected  []ledger // driver ledgers across all phases
 	serverLogs int      // serial for log file names
@@ -328,6 +332,7 @@ func (h *harness) run(sc *scenario, p99Ceiling time.Duration, rssCeiling int64) 
 	stats, statsOK := h.finalStats()
 	metricsFinal, metricsOK := h.scrapeMetrics()
 	slowTraces, slowOK := h.scrapeSlowTraces()
+	breakerTransitions, breakerStates, breakersOK := h.scrapeGatewayBreakers()
 
 	if err := h.stopAll(); err != nil {
 		return nil, err
@@ -343,6 +348,10 @@ func (h *harness) run(sc *scenario, p99Ceiling time.Duration, rssCeiling int64) 
 		kills:              h.kills,
 		clusterNodes:       h.cluster,
 		nodeKills:          h.nodeKills,
+		grayEvents:         h.grayEvents,
+		breakerTransitions: breakerTransitions,
+		breakerStates:      breakerStates,
+		breakersFetched:    breakersOK,
 		walEnabled:         h.walDir != "",
 		serverExits:        h.exits,
 		maxRSS:             h.maxRSS.Load(),
@@ -568,6 +577,57 @@ func (h *harness) startCluster() error {
 	h.gateway = gw
 	h.mu.Unlock()
 	return nil
+}
+
+// graySlowSpec is the response-delay fault the grayslow directive
+// arms: 300ms per response is an order of magnitude over a healthy
+// hop yet comfortably inside the gateway's 1s probe timeout, so the
+// health checker keeps the node "up" the whole time — only the
+// breakers' latency-quantile trip can eject it.
+const graySlowSpec = "resp-delay=300ms"
+
+// graySlowNode arms the gray-failure fault on the highest-indexed
+// live node, holds it for d, then restores the base spec, recording
+// the window for the oracle's breaker assertions. The node is never
+// stopped: the failure mode under test is slow-but-alive.
+func (h *harness) graySlowNode(d time.Duration) error {
+	h.mu.Lock()
+	idx := -1
+	for i := len(h.nodeProcs) - 1; i >= 0; i-- {
+		if h.nodeProcs[i] != nil {
+			idx = i
+			break
+		}
+	}
+	h.mu.Unlock()
+	if idx < 0 {
+		return fmt.Errorf("no live node to slow")
+	}
+	name := fmt.Sprintf("n%d", idx+1)
+	start := time.Now()
+	if err := h.rearmAt(h.nodeBases[idx], composeFaults(h.baseFaults, graySlowSpec)); err != nil {
+		return fmt.Errorf("arming gray-slow fault on %s: %w", name, err)
+	}
+	time.Sleep(d)
+	if err := h.rearmAt(h.nodeBases[idx], h.baseFaults); err != nil {
+		return fmt.Errorf("clearing gray-slow fault on %s: %w", name, err)
+	}
+	h.mu.Lock()
+	h.grayEvents = append(h.grayEvents, grayEvent{
+		Node:   name,
+		Window: restartWindow{Start: start, End: time.Now()},
+	})
+	h.mu.Unlock()
+	return nil
+}
+
+// composeFaults appends an extra clause to a base spec, treating
+// ""/"none" as empty.
+func composeFaults(base, extra string) string {
+	if base == "" || base == "none" {
+		return extra
+	}
+	return base + "," + extra
 }
 
 // killNodeMid SIGKILLs the highest-indexed live node and leaves it
@@ -873,6 +933,40 @@ func (h *harness) scrapeSlowTraces() ([]obs.TraceSnapshot, bool) {
 	return body.Traces, true
 }
 
+// scrapeGatewayBreakers reads the gateway's breaker families: the
+// transition counter folded by destination state (summed across
+// nodes) and the final per-node state gauge. Cluster mode only.
+func (h *harness) scrapeGatewayBreakers() (transitions, states map[string]float64, ok bool) {
+	if h.cluster == 0 {
+		return nil, nil, false
+	}
+	resp, err := h.client.Get(h.base + "/metrics")
+	if err != nil {
+		return nil, nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, false
+	}
+	fams, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		return nil, nil, false
+	}
+	transitions = map[string]float64{}
+	if f := fams["rcagate_breaker_transitions_total"]; f != nil {
+		for _, s := range f.Samples {
+			transitions[s.Labels["to"]] += s.Value
+		}
+	}
+	states = map[string]float64{}
+	if f := fams["rcagate_breaker_state"]; f != nil {
+		for _, s := range f.Samples {
+			states[s.Labels["node"]] = s.Value
+		}
+	}
+	return transitions, states, true
+}
+
 // scenarioArmsDelay reports whether any fault spec in play injects
 // solve delays — the precondition for expecting slow traces.
 func scenarioArmsDelay(baseFaults string, sc *scenario) bool {
@@ -890,16 +984,24 @@ func scenarioArmsDelay(baseFaults string, sc *scenario) bool {
 // rearm POSTs a new fault spec to /debug/soak — on every surviving
 // node in cluster mode, since faults are per-process state.
 func (h *harness) rearm(spec string) error {
-	body, _ := json.Marshal(map[string]string{"faults": spec})
 	for _, base := range h.rearmTargets() {
-		resp, err := h.client.Post(base+"/debug/soak", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return fmt.Errorf("re-arming faults at %s: %w", base, err)
+		if err := h.rearmAt(base, spec); err != nil {
+			return err
 		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("re-arming faults at %s: status %d", base, resp.StatusCode)
-		}
+	}
+	return nil
+}
+
+// rearmAt re-arms one process's fault injector.
+func (h *harness) rearmAt(base, spec string) error {
+	body, _ := json.Marshal(map[string]string{"faults": spec})
+	resp, err := h.client.Post(base+"/debug/soak", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("re-arming faults at %s: %w", base, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("re-arming faults at %s: status %d", base, resp.StatusCode)
 	}
 	return nil
 }
@@ -1048,6 +1150,12 @@ func (h *harness) runPhase(p *phaseSpec, phaseIdx int) error {
 			time.Sleep(p.Duration / 2)
 			fmt.Fprintf(os.Stderr, "rcasoak: SIGKILL fleet node (mid-phase, under load)\n")
 			restartErr <- h.killNodeMid()
+		}()
+	case p.GraySlowMid:
+		go func() {
+			time.Sleep(p.Duration / 2)
+			fmt.Fprintf(os.Stderr, "rcasoak: gray-slowing fleet node (resp-delay, mid-phase, under load)\n")
+			restartErr <- h.graySlowNode(p.Duration / 4)
 		}()
 	default:
 		restartErr <- nil

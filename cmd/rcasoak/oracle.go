@@ -84,6 +84,15 @@ type nodeKill struct {
 	Window restartWindow `json:"window"`
 }
 
+// grayEvent records one gray-failure injection: a node slowed by a
+// response-delay fault over Window while staying alive and
+// health-probe-green. The gateway's circuit breaker must have opened
+// during the window and re-closed after it.
+type grayEvent struct {
+	Node   string        `json:"node"`
+	Window restartWindow `json:"window"`
+}
+
 // soakReport is the machine-readable run outcome (-report file).
 type soakReport struct {
 	Scenario        string         `json:"scenario"`
@@ -109,6 +118,13 @@ type soakReport struct {
 	// NodeKills are the permanent node SIGKILLs the scenario performed.
 	ClusterNodes int        `json:"clusterNodes,omitempty"`
 	NodeKills    []nodeKill `json:"nodeKills,omitempty"`
+	// GrayEvents are the gray-failure injections (node slowed, then
+	// restored); BreakerTransitions folds the gateway's transition
+	// counter by destination state and BreakerFinalStates is the
+	// per-node state gauge at shutdown (0 = closed).
+	GrayEvents         []grayEvent        `json:"grayEvents,omitempty"`
+	BreakerTransitions map[string]float64 `json:"breakerTransitions,omitempty"`
+	BreakerFinalStates map[string]float64 `json:"breakerFinalStates,omitempty"`
 
 	// WALEnabled records that the servers ran with -wal-dir — the mode
 	// in which JobsExcused must be 0 by rule; JobsRecovered is the
@@ -154,6 +170,14 @@ type oracleInput struct {
 	// losses tagged with a killed node are excused even in durable mode.
 	clusterNodes int
 	nodeKills    []nodeKill
+	// grayEvents are the gray-failure injections; breakerTransitions /
+	// breakerStates are the gateway's breaker families at shutdown
+	// (transition counts folded by destination state; per-node final
+	// state gauge, 0 = closed).
+	grayEvents         []grayEvent
+	breakerTransitions map[string]float64
+	breakerStates      map[string]float64
+	breakersFetched    bool
 	// walEnabled: the servers ran with -wal-dir, so no loss — restart,
 	// kill or otherwise — is excusable.
 	walEnabled bool
@@ -210,6 +234,9 @@ func runOracle(in oracleInput) *soakReport {
 		Kills:              len(in.kills),
 		ClusterNodes:       in.clusterNodes,
 		NodeKills:          in.nodeKills,
+		GrayEvents:         in.grayEvents,
+		BreakerTransitions: in.breakerTransitions,
+		BreakerFinalStates: in.breakerStates,
 		ServerExits:        in.serverExits,
 		WALEnabled:         in.walEnabled,
 		JobsRecovered:      in.statsRecovered,
@@ -314,6 +341,29 @@ func runOracle(in oracleInput) *soakReport {
 		}
 	}
 
+	// Gray-failure invariants: the breaker must have caught the slow
+	// node (opened during the window) and the fleet must have healed
+	// (re-closed after the fault cleared, every breaker closed at
+	// shutdown). The slowed node never dies, so the usual no-loss /
+	// no-duplication checks hold for it with no excusals.
+	if len(in.grayEvents) > 0 {
+		if !in.breakersFetched {
+			violate("gray failure injected but the gateway breaker metrics could not be scraped")
+		} else {
+			if in.breakerTransitions["open"] < 1 {
+				violate("gray failure: breaker never opened while node %s was slowed", in.grayEvents[0].Node)
+			}
+			if in.breakerTransitions["closed"] < 1 {
+				violate("gray failure: breaker never re-closed after the slow fault cleared")
+			}
+			for node, state := range in.breakerStates {
+				if state != 0 {
+					violate("gray failure: breaker for node %s ended the run in state %v (want 0 = closed)", node, state)
+				}
+			}
+		}
+	}
+
 	// 2. Duplicated IDs.
 	for id, n := range seenIDs {
 		if n > 1 {
@@ -380,6 +430,9 @@ func runOracle(in oracleInput) *soakReport {
 	}
 	if exp.NodeKills != len(in.nodeKills) {
 		violate("coverage: %d node kills scheduled, %d performed", exp.NodeKills, len(in.nodeKills))
+	}
+	if exp.GraySlows != len(in.grayEvents) {
+		violate("coverage: %d gray-slow windows scheduled, %d performed", exp.GraySlows, len(in.grayEvents))
 	}
 
 	// 10. Observability.
@@ -501,6 +554,11 @@ func writeReport(rep *soakReport, path string) error {
 			fmt.Printf("; %s SIGKILLed and left dead", nk.Node)
 		}
 		fmt.Println()
+	}
+	for _, ge := range rep.GrayEvents {
+		fmt.Printf("  gray failure: %s slowed %.1fs; breaker opens %.0f, closes %.0f\n",
+			ge.Node, ge.Window.End.Sub(ge.Window.Start).Seconds(),
+			rep.BreakerTransitions["open"], rep.BreakerTransitions["closed"])
 	}
 	if rep.WALEnabled {
 		fmt.Printf("  wal: durable mode — no loss excusals; final process replayed %d job(s) at boot\n",

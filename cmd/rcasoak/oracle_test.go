@@ -278,6 +278,80 @@ func TestOracleClusterNodeKill(t *testing.T) {
 	})
 }
 
+// TestOracleGrayFailure covers the gray-failure invariants: the run
+// passes only when the gateway's breaker demonstrably opened during
+// the slow window, re-closed afterward, and every breaker ended the
+// run closed; a missing scrape or a coverage mismatch fails it.
+func TestOracleGrayFailure(t *testing.T) {
+	base := func(t *testing.T) oracleInput {
+		t.Helper()
+		in := testInput(t)
+		sc, err := parseScenario("g",
+			"cluster 3\nphase p 1s rate=10 mix=sync:1,async:1 grayslow\nphase q 1s rate=10 mix=sync:1,async:1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.scenario = sc
+		in.clusterNodes = 3
+		in.grayEvents = []grayEvent{{Node: "n3",
+			Window: restartWindow{Start: time.UnixMilli(2000), End: time.UnixMilli(4000)}}}
+		in.breakersFetched = true
+		in.breakerTransitions = map[string]float64{"open": 1, "half-open": 2, "closed": 1}
+		in.breakerStates = map[string]float64{"n1": 0, "n2": 0, "n3": 0}
+		return in
+	}
+
+	t.Run("clean gray run passes", func(t *testing.T) {
+		rep := runOracle(base(t))
+		if !rep.Passed {
+			t.Fatalf("clean gray run failed: %v", rep.Violations)
+		}
+		if len(rep.GrayEvents) != 1 || rep.BreakerTransitions["open"] != 1 {
+			t.Fatalf("gray accounting not carried into the report: %+v", rep)
+		}
+	})
+
+	t.Run("missing breaker scrape violates", func(t *testing.T) {
+		in := base(t)
+		in.breakersFetched = false
+		rep := runOracle(in)
+		if rep.Passed || !violationMatching(rep, "could not be scraped") {
+			t.Fatalf("missing scrape not flagged: %v", rep.Violations)
+		}
+	})
+
+	t.Run("breaker that never opened violates", func(t *testing.T) {
+		in := base(t)
+		in.breakerTransitions = map[string]float64{}
+		rep := runOracle(in)
+		if rep.Passed || !violationMatching(rep, "never opened") {
+			t.Fatalf("missed ejection not flagged: %v", rep.Violations)
+		}
+	})
+
+	t.Run("breaker that never re-closed violates", func(t *testing.T) {
+		in := base(t)
+		in.breakerTransitions = map[string]float64{"open": 1}
+		in.breakerStates["n3"] = 1
+		rep := runOracle(in)
+		if rep.Passed || !violationMatching(rep, "never re-closed") {
+			t.Fatalf("stuck-open breaker not flagged: %v", rep.Violations)
+		}
+		if !violationMatching(rep, "ended the run in state") {
+			t.Fatalf("non-closed final state not flagged: %v", rep.Violations)
+		}
+	})
+
+	t.Run("gray-slow coverage", func(t *testing.T) {
+		in := base(t)
+		in.grayEvents = nil
+		rep := runOracle(in)
+		if rep.Passed || !violationMatching(rep, "gray-slow windows scheduled") {
+			t.Fatalf("missing gray slow not flagged: %v", rep.Violations)
+		}
+	})
+}
+
 // TestOracleKillCoverage: a scheduled kill that never happened (or an
 // unscheduled one that did) is a coverage violation.
 func TestOracleKillCoverage(t *testing.T) {

@@ -7,7 +7,7 @@
 //
 //	cluster <nodes>
 //	phase <name> <duration> rate=<ops/s> mix=<class:w,...> \
-//	      [fresh=<permil>] [faults=<spec>] [restart|kill|killnode]
+//	      [fresh=<permil>] [faults=<spec>] [restart|kill|killnode|grayslow]
 //	restart
 //	kill
 //
@@ -25,7 +25,11 @@
 // behind one rcagate gateway, drivers aimed at the gateway. Cluster
 // scenarios replace restart/kill with `killnode`, which SIGKILLs one
 // fleet node at the phase midpoint and leaves it dead — the gateway
-// must mark it down, rehash its key range and keep serving.
+// must mark it down, rehash its key range and keep serving — or
+// `grayslow`, which arms a response-delay fault on one node at the
+// midpoint and clears it at the three-quarter mark: the node stays
+// health-probe-green while slow, so ejecting and readmitting it is
+// the circuit breakers' job, not the prober's.
 
 package main
 
@@ -65,6 +69,13 @@ type phaseSpec struct {
 	// down, rehash its keys to the ring successor and keep serving on
 	// the survivors.
 	KillNodeMid bool
+	// GraySlowMid (cluster scenarios only) arms a response-delay fault
+	// on one fleet node at the phase midpoint and clears it at the
+	// three-quarter mark: the node stays alive and keeps passing
+	// health probes, but every response is an order of magnitude
+	// slower — the gray failure the gateway's circuit breakers (not
+	// its prober) must eject and, once the fault clears, readmit.
+	GraySlowMid bool
 }
 
 // step is one scenario element: a phase, a between-phase restart, or
@@ -124,6 +135,10 @@ type expectations struct {
 	// NodeKills is the number of killnode directives (cluster mode);
 	// each permanently removes one fleet node under load.
 	NodeKills int
+	// GraySlows is the number of grayslow directives (cluster mode);
+	// each slows one node mid-phase and clears the fault before the
+	// phase ends — the breaker must open and then re-close.
+	GraySlows int
 }
 
 // expect derives the oracle's coverage obligations.
@@ -148,6 +163,9 @@ func (s *scenario) expect() expectations {
 		}
 		if st.Phase.KillNodeMid {
 			e.NodeKills++
+		}
+		if st.Phase.GraySlowMid {
+			e.GraySlows++
 		}
 		m := st.Phase.Mix
 		mix.Sync += m.Sync
@@ -245,6 +263,9 @@ func validateTopology(sc *scenario) error {
 			}
 			nodeKills++
 		}
+		if st.Phase.GraySlowMid && sc.Cluster == 0 {
+			return fmt.Errorf("phase %q: grayslow needs a cluster directive", st.Phase.Name)
+		}
 	}
 	if sc.Cluster > 0 && nodeKills >= sc.Cluster {
 		return fmt.Errorf("%d killnode directives would empty a %d-node fleet", nodeKills, sc.Cluster)
@@ -277,9 +298,13 @@ func parsePhase(fields []string) (*phaseSpec, error) {
 			p.KillNodeMid = true
 			continue
 		}
+		if f == "grayslow" {
+			p.GraySlowMid = true
+			continue
+		}
 		key, val, ok := strings.Cut(f, "=")
 		if !ok {
-			return nil, fmt.Errorf("bad phase option %q (want key=value, restart, kill or killnode)", f)
+			return nil, fmt.Errorf("bad phase option %q (want key=value, restart, kill, killnode or grayslow)", f)
 		}
 		switch key {
 		case "rate":
@@ -313,13 +338,13 @@ func parsePhase(fields []string) (*phaseSpec, error) {
 		return nil, fmt.Errorf("phase %q needs rate= and mix=", p.Name)
 	}
 	disruptions := 0
-	for _, on := range []bool{p.RestartMid, p.KillMid, p.KillNodeMid} {
+	for _, on := range []bool{p.RestartMid, p.KillMid, p.KillNodeMid, p.GraySlowMid} {
 		if on {
 			disruptions++
 		}
 	}
 	if disruptions > 1 {
-		return nil, fmt.Errorf("phase %q: restart, kill and killnode share the midpoint; pick one", p.Name)
+		return nil, fmt.Errorf("phase %q: restart, kill, killnode and grayslow share the midpoint; pick one", p.Name)
 	}
 	return p, nil
 }
@@ -402,6 +427,35 @@ func builtinCluster(total time.Duration) *scenario {
 			{Phase: &phaseSpec{Name: "degraded", Duration: slice(350), Rate: 60,
 				Mix: mustMix("sync:3,batch:1,async:4,cancel:1")}},
 			{Phase: &phaseSpec{Name: "cooldown", Duration: slice(150), Rate: 20,
+				Mix: mustMix("sync:1")}},
+		},
+	}
+}
+
+// builtinGrayfail is the gray-failure scenario scaled to a total
+// duration: a 3-node fleet behind the gateway, then one node slowed
+// 10x mid-phase by a response-delay fault that stays comfortably
+// inside the health-probe timeout — the prober keeps the node "up"
+// while every response through it drags. The gateway's per-node
+// circuit breaker must open on the latency quantile, route the slow
+// node's key range around it, trickle half-open probes, and close
+// again after the fault clears at the phase's three-quarter mark; the
+// oracle asserts the open and re-close transitions from the gateway's
+// breaker metrics, fleet p99 under the ceiling throughout, and the
+// usual zero lost/duplicated jobs — hedged reads included.
+func builtinGrayfail(total time.Duration) *scenario {
+	slice, mustMix := scenarioHelpers(total)
+	return &scenario{
+		Name:    "grayfail",
+		Cluster: 3,
+		Steps: []step{
+			{Phase: &phaseSpec{Name: "warmup", Duration: slice(250), Rate: 40,
+				Mix: mustMix("sync:3,async:5")}},
+			{Phase: &phaseSpec{Name: "grayslow", Duration: slice(450), Rate: 60,
+				Mix: mustMix("sync:3,async:4,cancel:1"), GraySlowMid: true}},
+			{Phase: &phaseSpec{Name: "recovered", Duration: slice(200), Rate: 40,
+				Mix: mustMix("sync:3,async:4")}},
+			{Phase: &phaseSpec{Name: "cooldown", Duration: slice(100), Rate: 20,
 				Mix: mustMix("sync:1")}},
 		},
 	}

@@ -91,27 +91,29 @@ phase degraded 10s rate=60 mix=sync:3,async:4
 
 func TestParseScenarioRejects(t *testing.T) {
 	for _, bad := range []string{
-		"",                                           // no phases
-		"restart",                                    // restarts only
-		"phase p 5s mix=sync:1",                      // missing rate
-		"phase p 5s rate=10",                         // missing mix
-		"phase p 0s rate=10 mix=sync:1",              // zero duration
-		"phase p 5s rate=10 mix=warp:1",              // bad mix class
-		"phase p 5s rate=10 mix=sync:1 x=1",          // unknown option
-		"phase p 5s rate=10 mix=sync:1 junk",         // non-option token
-		"phase p 5s rate=10 mix=sync:1 faults=zzz=1", // bad faults spec
-		"teleport now",                               // unknown directive
-		"restart please",                             // restart with args
-		"kill -9",                                    // kill with args
-		"phase p 5s rate=10 mix=sync:1 fresh=2000",   // permil out of range
-		"phase p 5s rate=10 mix=sync:1 restart kill", // midpoint conflict
-		"cluster 1\nphase p 5s rate=10 mix=sync:1",   // fleet of one
-		"cluster 99\nphase p 5s rate=10 mix=sync:1",  // fleet too large
-		"cluster",                                    // missing node count
-		"phase p 5s rate=10 mix=sync:1 killnode",     // killnode without a cluster
-		"cluster 2\nrestart\nphase p 5s rate=10 mix=sync:1",        // restart is single-server
-		"cluster 2\nphase p 5s rate=10 mix=sync:1 kill",            // kill is single-server
-		"phase p 5s rate=10 mix=sync:1 kill killnode",              // midpoint conflict
+		"",                                                           // no phases
+		"restart",                                                    // restarts only
+		"phase p 5s mix=sync:1",                                      // missing rate
+		"phase p 5s rate=10",                                         // missing mix
+		"phase p 0s rate=10 mix=sync:1",                              // zero duration
+		"phase p 5s rate=10 mix=warp:1",                              // bad mix class
+		"phase p 5s rate=10 mix=sync:1 x=1",                          // unknown option
+		"phase p 5s rate=10 mix=sync:1 junk",                         // non-option token
+		"phase p 5s rate=10 mix=sync:1 faults=zzz=1",                 // bad faults spec
+		"teleport now",                                               // unknown directive
+		"restart please",                                             // restart with args
+		"kill -9",                                                    // kill with args
+		"phase p 5s rate=10 mix=sync:1 fresh=2000",                   // permil out of range
+		"phase p 5s rate=10 mix=sync:1 restart kill",                 // midpoint conflict
+		"cluster 1\nphase p 5s rate=10 mix=sync:1",                   // fleet of one
+		"cluster 99\nphase p 5s rate=10 mix=sync:1",                  // fleet too large
+		"cluster",                                                    // missing node count
+		"phase p 5s rate=10 mix=sync:1 killnode",                     // killnode without a cluster
+		"cluster 2\nrestart\nphase p 5s rate=10 mix=sync:1",          // restart is single-server
+		"cluster 2\nphase p 5s rate=10 mix=sync:1 kill",              // kill is single-server
+		"phase p 5s rate=10 mix=sync:1 kill killnode",                // midpoint conflict
+		"phase p 5s rate=10 mix=sync:1 grayslow",                     // grayslow without a cluster
+		"cluster 2\nphase p 5s rate=10 mix=sync:1 killnode grayslow", // midpoint conflict
 		"cluster 2\nphase a 5s rate=10 mix=async:1 killnode\nphase b 5s rate=10 mix=async:1 killnode", // would empty the fleet
 	} {
 		if _, err := parseScenario("bad", bad); err == nil {
@@ -213,6 +215,66 @@ func TestBuiltinCluster(t *testing.T) {
 		t.Fatalf("node kill at phase %d of %d: need post-kill load", killIdx, len(phases))
 	}
 	for _, p := range builtinCluster(3 * time.Second).phases() {
+		if p.Duration < time.Second {
+			t.Fatalf("phase %s shrank to %v", p.Name, p.Duration)
+		}
+	}
+}
+
+// TestParseScenarioGraySlow: the grayslow midpoint token parses into
+// the phase flag, requires a cluster, and counts toward expectations.
+func TestParseScenarioGraySlow(t *testing.T) {
+	sc, err := parseScenario("g", `
+cluster 3
+phase warmup 5s rate=40 mix=sync:3,async:5
+phase gray 10s rate=60 mix=sync:2,async:5 grayslow
+phase after 5s rate=40 mix=sync:3,async:4
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := sc.phases()
+	if !phases[1].GraySlowMid || phases[0].GraySlowMid || phases[2].GraySlowMid {
+		t.Fatalf("grayslow flags wrong: %+v", phases)
+	}
+	exp := sc.expect()
+	if exp.GraySlows != 1 || exp.NodeKills != 0 || exp.Kills != 0 {
+		t.Fatalf("expectations %+v, want exactly one gray slow", exp)
+	}
+}
+
+// TestBuiltinGrayfail pins the gray-failure scenario's shape: a fleet
+// of three, exactly one grayslow window, no process deaths of any
+// kind (the whole point is a node that stays alive), and load
+// continuing after the fault clears so the breaker can demonstrably
+// re-close under traffic.
+func TestBuiltinGrayfail(t *testing.T) {
+	sc := builtinGrayfail(60 * time.Second)
+	if sc.Cluster != 3 {
+		t.Fatalf("cluster size %d, want 3", sc.Cluster)
+	}
+	total := sc.totalDuration()
+	if total < 55*time.Second || total > 65*time.Second {
+		t.Fatalf("grayfail at 60s scales to %v", total)
+	}
+	exp := sc.expect()
+	if exp.GraySlows != 1 || exp.Kills != 0 || exp.Restarts != 0 || exp.NodeKills != 0 {
+		t.Fatalf("grayfail expectations %+v, want one gray slow and no deaths", exp)
+	}
+	phases := sc.phases()
+	grayIdx := -1
+	for i, p := range phases {
+		if p.GraySlowMid {
+			grayIdx = i
+			if p.Mix.Async == 0 {
+				t.Errorf("phase %s gray-slows without async load in flight", p.Name)
+			}
+		}
+	}
+	if grayIdx < 0 || grayIdx == len(phases)-1 {
+		t.Fatalf("gray slow at phase %d of %d: need post-recovery load", grayIdx, len(phases))
+	}
+	for _, p := range builtinGrayfail(3 * time.Second).phases() {
 		if p.Duration < time.Second {
 			t.Fatalf("phase %s shrank to %v", p.Name, p.Duration)
 		}

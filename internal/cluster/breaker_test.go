@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// Breaker tests drive the state machine with a synthetic clock: allow
+// and record take explicit times, so no test here sleeps.
+
+func TestBreakerTripsOnErrorRate(t *testing.T) {
+	var transitions []BreakerState
+	b := newBreaker(BreakerOptions{
+		Window: 8, MinSamples: 4, ErrRate: 0.5,
+		LatencyThreshold: -1, // latency trip off: isolate the error path
+	}, func(to BreakerState) { transitions = append(transitions, to) })
+	now := time.Now()
+	if !b.allow(now) {
+		t.Fatal("closed breaker refused a request")
+	}
+	b.record(true, time.Millisecond, now)
+	b.record(true, time.Millisecond, now)
+	b.record(false, time.Millisecond, now)
+	if st, _, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatalf("tripped below MinSamples: %v", st)
+	}
+	b.record(false, time.Millisecond, now)
+	if st, samples, failed := b.snapshot(); st != BreakerOpen || samples != 4 || failed != 2 {
+		t.Fatalf("state %v window %d/%d, want open at 2/4 failures", st, failed, samples)
+	}
+	if b.allow(now) {
+		t.Fatal("open breaker admitted a request")
+	}
+	if len(transitions) != 1 || transitions[0] != BreakerOpen {
+		t.Fatalf("transitions %v, want [open]", transitions)
+	}
+}
+
+// TestBreakerTripsOnLatencyQuantile is the gray-failure case proper:
+// every response is a 200, every response is slow, and the breaker
+// must trip anyway — this is exactly the signal the health prober
+// cannot see.
+func TestBreakerTripsOnLatencyQuantile(t *testing.T) {
+	b := newBreaker(BreakerOptions{
+		Window: 8, MinSamples: 8, ErrRate: 0.99,
+		LatencyQuantile: 0.5, LatencyThreshold: 100 * time.Millisecond,
+	}, nil)
+	now := time.Now()
+	for i := 0; i < 8; i++ {
+		b.record(true, 300*time.Millisecond, now)
+	}
+	if st, _, _ := b.snapshot(); st != BreakerOpen {
+		t.Fatalf("state %v, want open on all-success slow window", st)
+	}
+}
+
+func TestBreakerFastWindowStaysClosed(t *testing.T) {
+	b := newBreaker(BreakerOptions{Window: 8, MinSamples: 4}, nil)
+	now := time.Now()
+	for i := 0; i < 64; i++ {
+		b.record(true, 5*time.Millisecond, now)
+	}
+	if st, _, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatalf("healthy traffic tripped the breaker: %v", st)
+	}
+}
+
+// TestBreakerHalfOpenTrickleAndClose pins the half-open contract: no
+// admission before OpenFor, then EXACTLY one admission per
+// HalfOpenEvery, and CloseAfter consecutive fast successes close the
+// circuit with the sick window forgotten.
+func TestBreakerHalfOpenTrickleAndClose(t *testing.T) {
+	opts := BreakerOptions{
+		Window: 8, MinSamples: 2, ErrRate: 0.5,
+		LatencyThreshold: 100 * time.Millisecond,
+		OpenFor:          time.Second, HalfOpenEvery: 100 * time.Millisecond,
+		CloseAfter: 2,
+	}
+	b := newBreaker(opts, nil)
+	now := time.Now()
+	b.record(false, time.Millisecond, now)
+	b.record(false, time.Millisecond, now)
+	if st, _, _ := b.snapshot(); st != BreakerOpen {
+		t.Fatalf("state %v, want open", st)
+	}
+	if b.allow(now.Add(999 * time.Millisecond)) {
+		t.Fatal("admitted before OpenFor elapsed")
+	}
+	probeAt := now.Add(1100 * time.Millisecond)
+	if !b.allow(probeAt) {
+		t.Fatal("no probe admitted after OpenFor elapsed")
+	}
+	if st, _, _ := b.snapshot(); st != BreakerHalfOpen {
+		t.Fatal("first post-OpenFor allow should flip to half-open")
+	}
+	// Exactly the trickle: every allow inside HalfOpenEvery refuses.
+	admitted := 1
+	for i := 1; i <= 30; i++ {
+		if b.allow(probeAt.Add(time.Duration(i) * 10 * time.Millisecond)) {
+			admitted++
+		}
+	}
+	// 300ms of asking at 10ms intervals with a 100ms trickle: the
+	// initial admission plus the 100/200/300ms replenishments.
+	if admitted != 4 {
+		t.Fatalf("half-open admitted %d over 300ms, want exactly 4 (1 + 3 trickle slots)", admitted)
+	}
+	// CloseAfter fast successes close the circuit.
+	b.record(true, time.Millisecond, probeAt)
+	if st, _, _ := b.snapshot(); st != BreakerHalfOpen {
+		t.Fatal("closed before CloseAfter successes")
+	}
+	b.record(true, time.Millisecond, probeAt)
+	st, samples, _ := b.snapshot()
+	if st != BreakerClosed {
+		t.Fatalf("state %v, want closed after %d fast successes", st, opts.CloseAfter)
+	}
+	if samples != 0 {
+		t.Fatalf("sick window survived the close: %d samples", samples)
+	}
+}
+
+// TestBreakerSlowSuccessReopens pins the no-flap rule: a half-open
+// probe that succeeds SLOWLY reopens the circuit — recovery means
+// fast answers, or a still-gray node would oscillate closed/open.
+func TestBreakerSlowSuccessReopens(t *testing.T) {
+	opts := BreakerOptions{
+		Window: 8, MinSamples: 2, ErrRate: 0.5,
+		LatencyThreshold: 100 * time.Millisecond, OpenFor: time.Second,
+	}
+	b := newBreaker(opts, nil)
+	now := time.Now()
+	b.record(false, time.Millisecond, now)
+	b.record(false, time.Millisecond, now)
+	probeAt := now.Add(1100 * time.Millisecond)
+	if !b.allow(probeAt) {
+		t.Fatal("no half-open probe admitted")
+	}
+	b.record(true, 300*time.Millisecond, probeAt) // a 200, but slow
+	if st, _, _ := b.snapshot(); st != BreakerOpen {
+		t.Fatalf("state %v, want reopened on slow success", st)
+	}
+	// And the OpenFor timer restarted from the reopen.
+	if b.allow(probeAt.Add(999 * time.Millisecond)) {
+		t.Fatal("reopened breaker admitted before a fresh OpenFor")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(BreakerOptions{Disabled: true, MinSamples: 1, Window: 2}, nil)
+	now := time.Now()
+	for i := 0; i < 10; i++ {
+		b.record(false, time.Second, now)
+		if !b.allow(now) {
+			t.Fatal("disabled breaker refused")
+		}
+	}
+	var nilB *breaker
+	if !nilB.allow(now) {
+		t.Fatal("nil breaker refused")
+	}
+	nilB.record(false, 0, now) // must not panic
+}
+
+// TestFleetRoutingStableUnderFlappingProbes is the oscillation guard:
+// passive health reports that flap below FailThreshold must neither
+// bounce liveness nor bounce routing while the owner's breaker is
+// open — every request routes steadily to the next replica.
+func TestFleetRoutingStableUnderFlappingProbes(t *testing.T) {
+	fleet, err := NewFleet([]Member{
+		{Name: "n1", URL: "http://127.0.0.1:1"},
+		{Name: "n2", URL: "http://127.0.0.1:2"},
+	}, FleetOptions{
+		ProbeInterval: time.Hour, FailThreshold: 3,
+		Breaker: BreakerOptions{Window: 4, MinSamples: 2, ErrRate: 0.5, OpenFor: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := uint64(42)
+	owner := fleet.Replicas(key)[0]
+	var other *Member
+	for _, m := range fleet.Members() {
+		if m != owner {
+			other = m
+		}
+	}
+	// Trip the owner's breaker (OpenFor: an hour — it stays open).
+	now := time.Now()
+	owner.brk.record(false, time.Millisecond, now)
+	owner.brk.record(false, time.Millisecond, now)
+	if owner.BreakerState() != BreakerOpen {
+		t.Fatal("owner breaker did not open")
+	}
+	// Flap the passive health below the mark-down threshold.
+	for i := 0; i < 50; i++ {
+		fleet.ReportFailure(owner)
+		if m := fleet.FirstRoutable(key); m != other {
+			t.Fatalf("iteration %d: routed to %s, want steady %s", i, m.Name, other.Name)
+		}
+		fleet.ReportSuccess(owner)
+		if m := fleet.FirstRoutable(key); m != other {
+			t.Fatalf("iteration %d (post-success): routed to %s, want steady %s", i, m.Name, other.Name)
+		}
+	}
+	if !owner.Up() {
+		t.Fatal("sub-threshold flapping marked the owner down")
+	}
+	// ReportSuccess resets the failure run but must NOT close the
+	// breaker — only half-open probes do that.
+	if owner.BreakerState() != BreakerOpen {
+		t.Fatal("probe success closed the breaker out of band")
+	}
+}
+
+// TestFirstRoutableFailsOpen: when every up member's breaker refuses,
+// routing degrades to plain liveness — the gateway must never
+// synthesize an outage the nodes themselves aren't having.
+func TestFirstRoutableFailsOpen(t *testing.T) {
+	fleet, err := NewFleet([]Member{
+		{Name: "n1", URL: "http://127.0.0.1:1"},
+		{Name: "n2", URL: "http://127.0.0.1:2"},
+	}, FleetOptions{
+		ProbeInterval: time.Hour,
+		Breaker:       BreakerOptions{Window: 4, MinSamples: 2, ErrRate: 0.5, OpenFor: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	for _, m := range fleet.Members() {
+		m.brk.record(false, time.Millisecond, now)
+		m.brk.record(false, time.Millisecond, now)
+		if m.BreakerState() != BreakerOpen {
+			t.Fatalf("%s breaker did not open", m.Name)
+		}
+	}
+	key := uint64(42)
+	m := fleet.FirstRoutable(key)
+	if m == nil {
+		t.Fatal("all-open breakers synthesized an outage")
+	}
+	if want := fleet.Replicas(key)[0]; m != want {
+		t.Fatalf("fail-open routed to %s, want the ring owner %s", m.Name, want.Name)
+	}
+	// With the owner actually down, fail-open lands on the successor.
+	fleet.Replicas(key)[0].up.Store(false)
+	if m := fleet.FirstRoutable(key); m != fleet.Replicas(key)[1] {
+		t.Fatal("fail-open ignored liveness")
+	}
+}
+
+func TestRetryBackoffJitterBounds(t *testing.T) {
+	for attempt := 1; attempt <= 6; attempt++ {
+		base := retryBackoffBase << (attempt - 1)
+		if base > retryBackoffCap {
+			base = retryBackoffCap
+		}
+		for i := 0; i < 200; i++ {
+			d := retryBackoff(attempt)
+			if d < base/2 || d >= base {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v)", attempt, d, base/2, base)
+			}
+		}
+	}
+}
+
+func TestRetryAfterOf(t *testing.T) {
+	mk := func(ra string) *nodeResponse {
+		h := make(map[string][]string)
+		if ra != "" {
+			h["Retry-After"] = []string{ra}
+		}
+		return &nodeResponse{header: h}
+	}
+	cases := []struct {
+		ra   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"0", 0},
+		{"garbage", 0},
+		{"-3", 0},
+		{"1", retryAfterCap}, // 1s capped to keep the hop bounded
+		{"30", retryAfterCap},
+	}
+	for _, c := range cases {
+		if got := retryAfterOf(mk(c.ra)); got != c.want {
+			t.Errorf("retryAfterOf(%q) = %v, want %v", c.ra, got, c.want)
+		}
+	}
+}

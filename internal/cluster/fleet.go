@@ -43,6 +43,11 @@ type Member struct {
 	// downSince records when the member was last marked down (unix
 	// nanos), 0 while up. Informational (the /v1/cluster surface).
 	downSince atomic.Int64
+
+	// brk is this member's circuit breaker, built by NewFleet. It is
+	// orthogonal to up/down liveness: the prober owns liveness, the
+	// breaker owns routability of live-but-slow members.
+	brk *breaker
 }
 
 // Up reports current liveness.
@@ -59,6 +64,27 @@ func (m *Member) DownSince() time.Time {
 		return time.Time{}
 	}
 	return time.Unix(0, ns)
+}
+
+// BreakerState reports the member's circuit position (closed for a
+// member without a breaker, e.g. one built by a bare Member literal
+// in tests).
+func (m *Member) BreakerState() BreakerState {
+	if m.brk == nil {
+		return BreakerClosed
+	}
+	st, _, _ := m.brk.snapshot()
+	return st
+}
+
+// BreakerWindow reports the rolling outcome window: how many samples
+// it holds and how many of them were failures.
+func (m *Member) BreakerWindow() (samples, failed int) {
+	if m.brk == nil {
+		return 0, 0
+	}
+	_, samples, failed = m.brk.snapshot()
+	return samples, failed
 }
 
 // FleetOptions configures membership and health checking.
@@ -79,6 +105,13 @@ type FleetOptions struct {
 	// mark-up (concurrently; must be cheap). The gateway points it at
 	// its metrics.
 	OnTransition func(m *Member, up bool)
+	// Breaker tunes the per-member circuit breakers (zero values =
+	// defaults; set Breaker.Disabled to turn them off).
+	Breaker BreakerOptions
+	// OnBreakerTransition, when non-nil, is called on every breaker
+	// state change (concurrently, possibly under the breaker's lock;
+	// must be cheap and non-reentrant).
+	OnBreakerTransition func(m *Member, to BreakerState)
 }
 
 // Fleet is the member set plus ring plus health checker.
@@ -165,6 +198,14 @@ func NewFleet(members []Member, opts FleetOptions) (*Fleet, error) {
 	for i := range members {
 		m := &Member{Name: members[i].Name, URL: members[i].URL}
 		m.up.Store(true)
+		// The hook is read through f.opts at fire time, so a gateway
+		// that installs OnBreakerTransition after NewFleet still hears
+		// every transition.
+		m.brk = newBreaker(opts.Breaker, func(to BreakerState) {
+			if f.opts.OnBreakerTransition != nil {
+				f.opts.OnBreakerTransition(m, to)
+			}
+		})
 		f.members[i] = m
 		f.byName[m.Name] = m
 	}
@@ -214,6 +255,30 @@ func (f *Fleet) FirstUp(key uint64) *Member {
 		}
 	}
 	return nil
+}
+
+// FirstRoutable is FirstUp with the circuit breakers consulted: the
+// first up member whose breaker admits a request now. When every up
+// member's breaker refuses, routing fails OPEN — the first up member
+// is returned regardless, because an all-open breaker set must
+// degrade to plain liveness routing, never synthesize a fleet outage
+// the nodes themselves aren't having. Returns nil only when every
+// replica is down.
+func (f *Fleet) FirstRoutable(key uint64) *Member {
+	now := time.Now()
+	var fallback *Member
+	for _, m := range f.Replicas(key) {
+		if !m.Up() {
+			continue
+		}
+		if fallback == nil {
+			fallback = m
+		}
+		if m.brk.allow(now) {
+			return m
+		}
+	}
+	return fallback
 }
 
 // ReportSuccess resets the member's failure run and marks it up.

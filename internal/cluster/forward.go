@@ -1,15 +1,24 @@
 // The HTTP forwarding client: one shared transport with bounded
-// per-node connection pools, a per-attempt timeout, and a single
-// retry on the next up replica for idempotent requests.
+// per-node connection pools, a per-attempt timeout, breaker-aware
+// replica selection, jittered-backoff retries for idempotent
+// requests, and quantile-delayed hedges for idempotent reads.
 //
 // Failure policy: only transport-level failures (dial, reset, body
 // read, timeout) count against a member's health and are retried —
 // any complete HTTP response, whatever its status, is the node
 // SPEAKING, and is passed through to the client verbatim (so a
 // draining node's 503 + Retry-After reaches the client unchanged).
-// Non-idempotent requests (job submission) are never retried: the
-// first attempt may have been admitted before the connection died,
-// and a blind retry would double-submit.
+// The one exception: an idempotent request answered 503 retries once
+// on the next replica after honoring the node's Retry-After — and
+// when no better answer arrives, the original 503 is still what the
+// client sees. Non-idempotent requests (job submission) are never
+// retried: the first attempt may have been admitted before the
+// connection died, and a blind retry would double-submit.
+//
+// An attempt that dies because the ORIGIN went away — client
+// disconnect, hedge-loser cancellation, spent deadline budget — is
+// not the node's failure: it stays out of health and breaker
+// accounting and is never retried.
 
 package cluster
 
@@ -19,8 +28,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
+
+	"dspaddr/internal/deadline"
+	"dspaddr/internal/stats"
 )
 
 // Forwarding defaults.
@@ -37,6 +52,71 @@ const (
 	// maxNodeResponseBytes caps a buffered node response; /metrics and
 	// job results are the largest bodies and stay far below this.
 	maxNodeResponseBytes = 64 << 20
+)
+
+// Retry pacing: a retry waits a jittered exponential backoff, or the
+// upstream's own Retry-After when the previous answer named one
+// (capped so a node's "come back in a second" cannot stall the
+// gateway hop that long).
+const (
+	retryBackoffBase = 15 * time.Millisecond
+	retryBackoffCap  = 250 * time.Millisecond
+	retryAfterCap    = 500 * time.Millisecond
+)
+
+// Hedge defaults (HedgeOptions zero values).
+const (
+	DefaultHedgeQuantile = 0.95
+	DefaultHedgeMinDelay = 10 * time.Millisecond
+	DefaultHedgeMaxDelay = time.Second
+	// hedgeDelayRecompute bounds how often the quantile is re-derived
+	// from the latency ring (sorting the window per request would not
+	// survive the bench gate).
+	hedgeDelayRecompute = 100 * time.Millisecond
+)
+
+// HedgeOptions tunes hedged reads: after the configured quantile of
+// recent forward latency elapses with no answer, a second identical
+// request goes out and the first complete response wins. Hedges go to
+// the SAME member on a fresh exchange — job state is single-homed, so
+// a ring successor would answer an honest-but-wrong 404; what a hedge
+// defuses is a slow connection or a stuck accept queue, not a lost
+// node (breakers and health checks own those).
+type HedgeOptions struct {
+	// Disabled turns hedging off; reads degrade to single requests.
+	Disabled bool
+	// Quantile of the recent forward-latency window that arms the
+	// hedge timer (0 = 0.95).
+	Quantile float64
+	// MinDelay/MaxDelay clamp the derived delay (0 = 10ms / 1s). With
+	// an empty latency window the delay is MaxDelay.
+	MinDelay time.Duration
+	MaxDelay time.Duration
+	// FixedDelay, when positive, bypasses the quantile entirely.
+	FixedDelay time.Duration
+}
+
+func (o HedgeOptions) withDefaults() HedgeOptions {
+	if o.Quantile <= 0 || o.Quantile >= 1 {
+		o.Quantile = DefaultHedgeQuantile
+	}
+	if o.MinDelay <= 0 {
+		o.MinDelay = DefaultHedgeMinDelay
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = DefaultHedgeMaxDelay
+	}
+	return o
+}
+
+// Hedge lifecycle events reported through onHedge.
+type hedgeEvent int
+
+const (
+	hedgeLaunched   hedgeEvent = iota // second request fired
+	hedgeSettled                      // the hedge request finished (won, lost or canceled)
+	hedgeWinPrimary                   // primary answered first
+	hedgeWinHedge                     // hedge answered first
 )
 
 // ErrAllReplicasDown reports that every replica in the key's sequence
@@ -57,15 +137,26 @@ type forwarder struct {
 	fleet   *Fleet
 	client  *http.Client
 	timeout time.Duration
+	hedge   HedgeOptions
+
+	// hedgeLat is the recent forward-latency window the hedge delay is
+	// derived from; the derived value is cached in hedgeDelayNs and
+	// refreshed at most every hedgeDelayRecompute.
+	hedgeLat     stats.LatencyRing
+	hedgeDelayNs atomic.Int64
+	hedgeDelayAt atomic.Int64 // unix nanos of the last recompute
 
 	// onForward reports every attempt for metrics: the member, the
 	// status (0 on transport error), elapsed time and whether this
-	// attempt was a retry. nil-safe.
+	// attempt was a retry. nil-safe. Attempts aborted by origin
+	// cancellation are not reported.
 	onForward func(m *Member, status int, dur time.Duration, retry bool)
+	// onHedge reports hedge lifecycle events for metrics. nil-safe.
+	onHedge func(ev hedgeEvent, m *Member)
 }
 
 // newForwarder builds the client around the fleet.
-func newForwarder(fleet *Fleet, timeout time.Duration, onForward func(*Member, int, time.Duration, bool)) *forwarder {
+func newForwarder(fleet *Fleet, timeout time.Duration, hedge HedgeOptions, onForward func(*Member, int, time.Duration, bool), onHedge func(hedgeEvent, *Member)) *forwarder {
 	if timeout <= 0 {
 		timeout = DefaultForwardTimeout
 	}
@@ -79,7 +170,9 @@ func newForwarder(fleet *Fleet, timeout time.Duration, onForward func(*Member, i
 			},
 		},
 		timeout:   timeout,
+		hedge:     hedge.withDefaults(),
 		onForward: onForward,
+		onHedge:   onHedge,
 	}
 }
 
@@ -92,10 +185,17 @@ func (fw *forwarder) close() {
 
 // do issues one request to one member and buffers the response. The
 // X-Request-Id and Content-Type headers of hdr are forwarded, so the
-// gateway's trace ID rides the hop. Transport failures are reported
-// to the fleet (passive health) and returned; complete responses are
-// reported as successes whatever their status.
+// gateway's trace ID rides the hop, and the remaining deadline budget
+// of ctx (when the origin supplied one) rides as X-Deadline-Ms —
+// computed at send time, so the decrement per hop is exactly the time
+// this hop consumed. Transport failures are reported to the fleet and
+// the member's breaker (passive health) and returned — unless the
+// ORIGIN context died first, in which case the node is innocent and
+// nothing is recorded. Complete responses are reported as successes
+// to the fleet whatever their status; the breaker counts 5xx answers
+// as failures and everything else, with its latency, as signal.
 func (fw *forwarder) do(ctx context.Context, m *Member, method, pathAndQuery string, body []byte, hdr http.Header, retry bool) (*nodeResponse, error) {
+	origin := ctx
 	ctx, cancel := context.WithTimeout(ctx, fw.timeout)
 	defer cancel()
 	var rd io.Reader
@@ -114,12 +214,18 @@ func (fw *forwarder) do(ctx context.Context, m *Member, method, pathAndQuery str
 			req.Header.Set("Content-Type", ct)
 		}
 	}
+	deadline.SetHeader(origin, req.Header)
 	start := time.Now()
 	resp, err := fw.client.Do(req)
 	if err != nil {
+		if origin.Err() != nil {
+			return nil, err
+		}
+		dur := time.Since(start)
 		fw.fleet.ReportFailure(m)
+		m.brk.record(false, dur, time.Now())
 		if fw.onForward != nil {
-			fw.onForward(m, 0, time.Since(start), retry)
+			fw.onForward(m, 0, dur, retry)
 		}
 		return nil, err
 	}
@@ -127,46 +233,254 @@ func (fw *forwarder) do(ctx context.Context, m *Member, method, pathAndQuery str
 	buf, err := io.ReadAll(io.LimitReader(resp.Body, maxNodeResponseBytes))
 	dur := time.Since(start)
 	if err != nil {
+		if origin.Err() != nil {
+			return nil, err
+		}
 		fw.fleet.ReportFailure(m)
+		m.brk.record(false, dur, time.Now())
 		if fw.onForward != nil {
 			fw.onForward(m, 0, dur, retry)
 		}
 		return nil, err
 	}
 	fw.fleet.ReportSuccess(m)
+	m.brk.record(resp.StatusCode < http.StatusInternalServerError, dur, time.Now())
+	fw.hedgeLat.Observe(dur)
 	if fw.onForward != nil {
 		fw.onForward(m, resp.StatusCode, dur, retry)
 	}
 	return &nodeResponse{status: resp.StatusCode, header: resp.Header, body: buf, member: m}, nil
 }
 
-// routed forwards to the key's replica sequence: the first up member
-// gets the request; on a transport error and when idempotent is set,
-// exactly one more attempt goes to the next up replica. Returns
-// ErrAllReplicasDown when no up replica exists (or the attempts
-// exhausted them).
+// routed forwards to the key's replica sequence. Selection walks the
+// up members with an admitting breaker first, then — failing open —
+// the up members whose breakers refused, so an all-open breaker set
+// degrades to plain liveness routing instead of synthesizing an
+// outage. On a transport error, an idempotent request gets exactly
+// one more attempt on the next candidate after a jittered backoff; an
+// idempotent 503 likewise retries after honoring the node's
+// Retry-After, falling back to the original 503 when nothing better
+// answers. Returns ErrAllReplicasDown when no up replica exists (or
+// the attempts exhausted them).
 func (fw *forwarder) routed(ctx context.Context, key uint64, method, pathAndQuery string, body []byte, hdr http.Header, idempotent bool) (*nodeResponse, error) {
 	attempts := 1
 	if idempotent {
 		attempts = 2
 	}
-	tried := 0
-	var lastErr error
+	now := time.Now()
+	var candidates, refused []*Member
 	for _, m := range fw.fleet.Replicas(key) {
 		if !m.Up() {
 			continue
 		}
+		if m.brk.allow(now) {
+			candidates = append(candidates, m)
+		} else {
+			refused = append(refused, m)
+		}
+	}
+	candidates = append(candidates, refused...)
+
+	tried := 0
+	var lastErr error
+	var last503 *nodeResponse
+	for _, m := range candidates {
+		if tried > 0 {
+			wait := retryBackoff(tried)
+			if last503 != nil {
+				if ra := retryAfterOf(last503); ra > 0 {
+					wait = ra
+				}
+			}
+			if err := sleepCtx(ctx, wait); err != nil {
+				break
+			}
+		}
 		resp, err := fw.do(ctx, m, method, pathAndQuery, body, hdr, tried > 0)
 		if err == nil {
+			if resp.status == http.StatusServiceUnavailable && idempotent && tried+1 < attempts {
+				last503 = resp
+				tried++
+				continue
+			}
 			return resp, nil
+		}
+		if ctx.Err() != nil {
+			// The origin went away (disconnect or spent budget): stop.
+			return nil, err
 		}
 		lastErr = err
 		if tried++; tried >= attempts {
-			return nil, fmt.Errorf("%w (last attempt %s: %v)", ErrAllReplicasDown, m.Name, err)
+			lastErr = fmt.Errorf("last attempt %s: %v", m.Name, err)
+			break
 		}
 	}
+	if last503 != nil {
+		// Every retry slot burned and the best answer remains the
+		// node's own 503 — pass it through with the NODE's timing.
+		return last503, nil
+	}
 	if lastErr != nil {
-		return nil, fmt.Errorf("%w (last: %v)", ErrAllReplicasDown, lastErr)
+		return nil, fmt.Errorf("%w (%v)", ErrAllReplicasDown, lastErr)
 	}
 	return nil, ErrAllReplicasDown
+}
+
+// hedged issues an idempotent read to m with a hedge: if the delay
+// derived from recent forward latency elapses without an answer, a
+// second identical request races the first and the first COMPLETE
+// response wins; the loser's context is canceled and its outcome is
+// kept out of health accounting. Bodies are nil by construction —
+// hedging is for GETs only.
+func (fw *forwarder) hedged(ctx context.Context, m *Member, method, pathAndQuery string, hdr http.Header) (*nodeResponse, error) {
+	delay := fw.hedgeDelay()
+	if delay <= 0 {
+		return fw.do(ctx, m, method, pathAndQuery, nil, hdr, false)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		resp  *nodeResponse
+		err   error
+		hedge bool
+	}
+	ch := make(chan outcome, 2)
+	launch := func(isHedge bool) {
+		go func() {
+			resp, err := fw.do(hctx, m, method, pathAndQuery, nil, hdr, isHedge)
+			if isHedge && fw.onHedge != nil {
+				fw.onHedge(hedgeSettled, m)
+			}
+			ch <- outcome{resp, err, isHedge}
+		}()
+	}
+	launch(false)
+	outstanding := 1
+	hedgeFired := false
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if !hedgeFired {
+				hedgeFired = true
+				outstanding++
+				if fw.onHedge != nil {
+					fw.onHedge(hedgeLaunched, m)
+				}
+				launch(true)
+			}
+		case out := <-ch:
+			outstanding--
+			if out.err == nil {
+				if hedgeFired && fw.onHedge != nil {
+					if out.hedge {
+						fw.onHedge(hedgeWinHedge, m)
+					} else {
+						fw.onHedge(hedgeWinPrimary, m)
+					}
+				}
+				// The deferred cancel unwinds the loser; its aborted
+				// attempt sees the origin cancellation and stays out of
+				// health accounting.
+				return out.resp, nil
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			if !hedgeFired && ctx.Err() == nil {
+				// The primary failed before the timer armed the hedge:
+				// fire it now as the (idempotent) retry instead of
+				// giving up with a request still owed.
+				hedgeFired = true
+				outstanding++
+				if fw.onHedge != nil {
+					fw.onHedge(hedgeLaunched, m)
+				}
+				launch(true)
+			}
+			if outstanding == 0 {
+				return nil, firstErr
+			}
+		}
+	}
+}
+
+// hedgeDelay derives the current hedge-arm delay: the configured
+// quantile of the recent forward-latency window, clamped, cached
+// between recomputes. Zero means "don't hedge".
+func (fw *forwarder) hedgeDelay() time.Duration {
+	if fw.hedge.Disabled {
+		return 0
+	}
+	if fw.hedge.FixedDelay > 0 {
+		return fw.hedge.FixedDelay
+	}
+	now := time.Now().UnixNano()
+	if last := fw.hedgeDelayAt.Load(); now-last < int64(hedgeDelayRecompute) {
+		if cached := fw.hedgeDelayNs.Load(); cached > 0 {
+			return time.Duration(cached)
+		}
+	}
+	fw.hedgeDelayAt.Store(now)
+	q := fw.hedgeLat.QuantilesMicros(fw.hedge.Quantile)
+	d := time.Duration(q[0]) * time.Microsecond
+	if d <= 0 {
+		d = fw.hedge.MaxDelay // empty window: hedge late, not eagerly
+	}
+	if d < fw.hedge.MinDelay {
+		d = fw.hedge.MinDelay
+	}
+	if d > fw.hedge.MaxDelay {
+		d = fw.hedge.MaxDelay
+	}
+	fw.hedgeDelayNs.Store(int64(d))
+	return d
+}
+
+// retryBackoff is the jittered exponential wait before retry number
+// `attempt` (1-based): uniformly in [base·2ⁿ⁻¹/2, base·2ⁿ⁻¹), capped.
+func retryBackoff(attempt int) time.Duration {
+	d := retryBackoffBase << (attempt - 1)
+	if d > retryBackoffCap {
+		d = retryBackoffCap
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int64N(int64(half)))
+}
+
+// retryAfterOf parses a node 503's Retry-After (whole seconds per the
+// node contract), capped to keep the gateway hop bounded. Zero when
+// absent or malformed.
+func retryAfterOf(resp *nodeResponse) time.Duration {
+	ra := resp.header.Get("Retry-After")
+	if ra == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	if d > retryAfterCap {
+		d = retryAfterCap
+	}
+	return d
+}
+
+// sleepCtx waits d or until ctx dies.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

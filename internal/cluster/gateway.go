@@ -33,6 +33,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -47,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dspaddr/internal/deadline"
 	"dspaddr/internal/engine"
 	"dspaddr/internal/jobs"
 	"dspaddr/internal/model"
@@ -71,6 +73,10 @@ type Options struct {
 	Version string
 	// ForwardTimeout bounds one forwarded exchange (0 = 30s).
 	ForwardTimeout time.Duration
+	// Hedge tunes hedged reads on idempotent GETs (zero values =
+	// defaults; set Hedge.Disabled to turn hedging off). Breaker
+	// tuning lives on the Fleet's FleetOptions.
+	Hedge HedgeOptions
 	// Logger receives forward failures and node transitions; nil
 	// discards.
 	Logger *slog.Logger
@@ -93,6 +99,13 @@ type Gateway struct {
 	retries     *obs.CounterVec
 	nodeUp      *obs.GaugeVec
 	transitions *obs.CounterVec
+
+	breakerState       *obs.GaugeVec
+	breakerTransitions *obs.CounterVec
+	hedges             *obs.CounterVec
+	hedgeWins          *obs.CounterVec
+	hedgesInFlight     atomic.Int64
+	deadlineExpired    atomic.Uint64
 }
 
 // New wires the gateway and starts the fleet's health checker.
@@ -126,6 +139,14 @@ func New(opts Options) (*Gateway, error) {
 			"Whether the node is currently marked up (1) or down (0).", []string{"node"}),
 		transitions: obs.NewCounterVec("rcagate_node_transitions_total",
 			"Node health transitions, by node and direction.", []string{"node", "to"}),
+		breakerState: obs.NewGaugeVec("rcagate_breaker_state",
+			"Per-node circuit breaker position: 0 closed, 1 open, 2 half-open.", []string{"node"}),
+		breakerTransitions: obs.NewCounterVec("rcagate_breaker_transitions_total",
+			"Circuit breaker state changes, by node and destination state.", []string{"node", "to"}),
+		hedges: obs.NewCounterVec("rcagate_hedges_total",
+			"Hedge requests launched for idempotent reads, by node.", []string{"node"}),
+		hedgeWins: obs.NewCounterVec("rcagate_hedge_wins_total",
+			"Hedged reads decided, by which request answered first.", []string{"winner"}),
 	}
 	// The fleet calls back on every transition; seed the gauge so
 	// every member exports a sample from the first scrape.
@@ -139,19 +160,45 @@ func New(opts Options) (*Gateway, error) {
 		g.transitions.Add(1, m.Name, dir)
 		g.logger.Warn("node transition", "node", m.Name, "up", up)
 	}
+	g.fleet.opts.OnBreakerTransition = func(m *Member, to BreakerState) {
+		g.breakerState.Set(int64(to), m.Name)
+		g.breakerTransitions.Add(1, m.Name, to.String())
+		g.logger.Warn("breaker transition", "node", m.Name, "to", to.String())
+	}
 	for _, m := range g.fleet.Members() {
 		g.nodeUp.Set(1, m.Name)
+		g.breakerState.Set(int64(BreakerClosed), m.Name)
 	}
-	g.fwd = newForwarder(g.fleet, opts.ForwardTimeout, func(m *Member, status int, dur time.Duration, retry bool) {
-		g.fwdReqs.Add(1, m.Name, strconv.Itoa(status))
-		g.fwdHist.Observe(dur, m.Name)
-		if retry {
-			g.retries.Add(1, m.Name)
-		}
-	})
+	g.fwd = newForwarder(g.fleet, opts.ForwardTimeout, opts.Hedge,
+		func(m *Member, status int, dur time.Duration, retry bool) {
+			g.fwdReqs.Add(1, m.Name, strconv.Itoa(status))
+			g.fwdHist.Observe(dur, m.Name)
+			if retry {
+				g.retries.Add(1, m.Name)
+			}
+		},
+		func(ev hedgeEvent, m *Member) {
+			switch ev {
+			case hedgeLaunched:
+				g.hedges.Add(1, m.Name)
+				g.hedgesInFlight.Add(1)
+			case hedgeSettled:
+				g.hedgesInFlight.Add(-1)
+			case hedgeWinPrimary:
+				g.hedgeWins.Add(1, "primary")
+			case hedgeWinHedge:
+				g.hedgeWins.Add(1, "hedge")
+			}
+		})
 	g.fleet.Start()
 	return g, nil
 }
+
+// HedgesInFlight reports hedge requests currently outstanding — the
+// leak oracle for hedged reads: it must return to zero once traffic
+// stops (a stuck loser would pin it, and its goroutine and socket,
+// forever).
+func (g *Gateway) HedgesInFlight() int64 { return g.hedgesInFlight.Load() }
 
 // Close stops the health checker and releases pooled connections.
 func (g *Gateway) Close() {
@@ -177,7 +224,10 @@ func (g *Gateway) Handler() http.Handler {
 // instrument adopts or generates the request's trace ID, normalizes
 // it onto the INCOMING headers (so every forwarded hop carries the
 // gateway's ID — the node honors a well-formed X-Request-Id instead
-// of regenerating), echoes it to the client and counts the request.
+// of regenerating), echoes it to the client, attaches the client's
+// deadline budget (X-Deadline-Ms) as a context deadline — answering
+// 504 outright when the budget arrives already spent — and counts
+// the request.
 func (g *Gateway) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-Id")
@@ -186,9 +236,20 @@ func (g *Gateway) instrument(next http.Handler) http.Handler {
 		}
 		r.Header.Set("X-Request-Id", id)
 		w.Header().Set("X-Request-Id", id)
+		budget, hasBudget := deadline.FromHeader(r.Header)
+		if hasBudget && budget > 0 {
+			ctx, cancel := deadline.With(r.Context(), budget)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
-		next.ServeHTTP(sw, r)
+		if hasBudget && budget <= 0 {
+			g.deadlineExpired.Add(1)
+			writeError(sw, http.StatusGatewayTimeout, "deadline budget already spent")
+		} else {
+			next.ServeHTTP(sw, r)
+		}
 		dur := time.Since(start)
 		status := sw.status
 		if status == 0 {
@@ -409,6 +470,21 @@ func (g *Gateway) writeUnavailable(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusServiceUnavailable, "no node available: %v", err)
 }
 
+// writeForwardError classifies a failed forward for the client: a
+// spent deadline budget is the CLIENT's 504 (the fleet did nothing
+// wrong), a vanished client gets nothing (the write would land on a
+// closed connection), and anything else is the fleet-level 503.
+func (g *Gateway) writeForwardError(w http.ResponseWriter, r *http.Request, err error) {
+	if ctxErr := r.Context().Err(); ctxErr != nil {
+		if errors.Is(ctxErr, context.DeadlineExceeded) {
+			g.deadlineExpired.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "deadline budget spent: %v", err)
+		}
+		return
+	}
+	g.writeUnavailable(w, err)
+}
+
 // ---- /v1/allocate ----------------------------------------------------
 
 func (g *Gateway) handleAllocate(w http.ResponseWriter, r *http.Request) {
@@ -429,7 +505,7 @@ func (g *Gateway) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	// Pure compute is idempotent: retry once on the next replica.
 	resp, err := g.fwd.routed(r.Context(), routeKeyOf(&job), http.MethodPost, "/v1/allocate", body, r.Header, true)
 	if err != nil {
-		g.writeUnavailable(w, err)
+		g.writeForwardError(w, r, err)
 		return
 	}
 	copyResponse(w, resp)
@@ -469,7 +545,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bad request body: job %d: %v", i, err)
 			return
 		}
-		m := g.fleet.FirstUp(routeKeyOf(&job))
+		m := g.fleet.FirstRoutable(routeKeyOf(&job))
 		if m == nil {
 			g.writeUnavailable(w, ErrAllReplicasDown)
 			return
@@ -591,16 +667,21 @@ func (g *Gateway) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "submission has no jobs")
 		return
 	}
-	m := g.fleet.FirstUp(combinedKey(entries))
+	m := g.fleet.FirstRoutable(combinedKey(entries))
 	if m == nil {
 		g.writeUnavailable(w, ErrAllReplicasDown)
 		return
 	}
 	// Submission is NOT idempotent: once bytes left for the node the
 	// batch may be admitted, so a transport failure is surfaced as a
-	// 503 for the client to decide — never silently retried.
+	// 503 for the client to decide — never silently retried, and
+	// never hedged.
 	resp, err := g.fwd.do(r.Context(), m, http.MethodPost, "/v1/jobs", body, r.Header, false)
 	if err != nil {
+		if r.Context().Err() != nil {
+			g.writeForwardError(w, r, err)
+			return
+		}
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable,
 			"node %s unreachable mid-submit (admission unknown): %v", m.Name, err)
@@ -775,8 +856,22 @@ func (g *Gateway) handleJobByID(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "job %s: owning node %s is down", id, tag)
 		return
 	}
-	resp, err := g.fwd.do(r.Context(), m, r.Method, "/v1/jobs/"+id, nil, r.Header, false)
+	var resp *nodeResponse
+	var err error
+	if r.Method == http.MethodGet {
+		// Status polls are idempotent and latency-sensitive: hedge a
+		// second copy to the SAME owner after the hedge delay (the job
+		// is single-homed, so another member would answer an honest but
+		// wrong 404). DELETE mutates — never hedged.
+		resp, err = g.fwd.hedged(r.Context(), m, http.MethodGet, "/v1/jobs/"+id, r.Header)
+	} else {
+		resp, err = g.fwd.do(r.Context(), m, r.Method, "/v1/jobs/"+id, nil, r.Header, false)
+	}
 	if err != nil {
+		if r.Context().Err() != nil {
+			g.writeForwardError(w, r, err)
+			return
+		}
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "job %s: owning node %s unreachable: %v", id, tag, err)
 		return
@@ -834,6 +929,15 @@ type gatewayStatsJSON struct {
 	Version       string  `json:"version"`
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 	HTTPRequests  uint64  `json:"httpRequests"`
+	// Breakers maps node name to circuit position ("closed", "open",
+	// "half-open").
+	Breakers map[string]string `json:"breakers"`
+	// HedgesInFlight is the current count of outstanding hedge
+	// requests (leak oracle: zero at rest).
+	HedgesInFlight int64 `json:"hedgesInFlight"`
+	// DeadlineExpired counts requests answered 504 because their
+	// X-Deadline-Ms budget ran out at or inside the gateway.
+	DeadlineExpired uint64 `json:"deadlineExpired"`
 }
 
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -848,7 +952,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, m *Member) {
 			defer wg.Done()
-			resp, err := g.fwd.do(r.Context(), m, http.MethodGet, "/v1/stats", nil, r.Header, true)
+			resp, err := g.fwd.hedged(r.Context(), m, http.MethodGet, "/v1/stats", r.Header)
 			if err == nil && resp.status == http.StatusOK {
 				perNode[i] = resp.body
 			}
@@ -885,6 +989,10 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	if looked := fleet.CacheHits + fleet.CacheMisses; looked > 0 {
 		fleet.HitRate = float64(fleet.CacheHits) / float64(looked)
 	}
+	breakers := make(map[string]string, len(g.fleet.Members()))
+	for _, m := range g.fleet.Members() {
+		breakers[m.Name] = m.BreakerState().String()
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Fleet   fleetStatsJSON             `json:"fleet"`
 		Nodes   map[string]json.RawMessage `json:"nodes"`
@@ -893,9 +1001,12 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		Fleet: fleet,
 		Nodes: nodes,
 		Gateway: gatewayStatsJSON{
-			Version:       g.version,
-			UptimeSeconds: time.Since(g.started).Seconds(),
-			HTTPRequests:  g.requests.Load(),
+			Version:         g.version,
+			UptimeSeconds:   time.Since(g.started).Seconds(),
+			HTTPRequests:    g.requests.Load(),
+			Breakers:        breakers,
+			HedgesInFlight:  g.hedgesInFlight.Load(),
+			DeadlineExpired: g.deadlineExpired.Load(),
 		},
 	})
 }
@@ -919,9 +1030,15 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g.retries.Expose(w)
 	g.nodeUp.Expose(w)
 	g.transitions.Expose(w)
+	g.breakerState.Expose(w)
+	g.breakerTransitions.Expose(w)
+	g.hedges.Expose(w)
+	g.hedgeWins.Expose(w)
 	fmt.Fprintf(w, "# HELP rcagate_nodes Configured fleet size.\n# TYPE rcagate_nodes gauge\nrcagate_nodes %d\n", len(g.fleet.Members()))
 	fmt.Fprintf(w, "# HELP rcagate_nodes_up Nodes currently marked up.\n# TYPE rcagate_nodes_up gauge\nrcagate_nodes_up %d\n", g.fleet.UpCount())
 	fmt.Fprintf(w, "# HELP rcagate_uptime_seconds Gateway process uptime.\n# TYPE rcagate_uptime_seconds gauge\nrcagate_uptime_seconds %g\n", time.Since(g.started).Seconds())
+	fmt.Fprintf(w, "# HELP rcagate_hedges_in_flight Hedge requests currently outstanding.\n# TYPE rcagate_hedges_in_flight gauge\nrcagate_hedges_in_flight %d\n", g.hedgesInFlight.Load())
+	fmt.Fprintf(w, "# HELP rcagate_deadline_expired_total Requests answered 504 for a spent deadline budget.\n# TYPE rcagate_deadline_expired_total counter\nrcagate_deadline_expired_total %d\n", g.deadlineExpired.Load())
 
 	up := g.upMembers()
 	scrapes := make([]map[string]*obs.Family, len(up))
@@ -930,7 +1047,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, m *Member) {
 			defer wg.Done()
-			resp, err := g.fwd.do(r.Context(), m, http.MethodGet, "/metrics", nil, r.Header, true)
+			resp, err := g.fwd.hedged(r.Context(), m, http.MethodGet, "/metrics", r.Header)
 			if err != nil || resp.status != http.StatusOK {
 				return
 			}
@@ -1050,6 +1167,11 @@ type clusterNodeJSON struct {
 	Fails int    `json:"consecutiveFailures"`
 	// DownSince is when the node was marked down; absent while up.
 	DownSince *time.Time `json:"downSince,omitempty"`
+	// Breaker is the node's circuit position, with its rolling outcome
+	// window occupancy.
+	Breaker        string `json:"breaker"`
+	BreakerSamples int    `json:"breakerSamples"`
+	BreakerFailed  int    `json:"breakerFailed"`
 }
 
 func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
@@ -1063,6 +1185,8 @@ func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
 		if ds := m.DownSince(); !ds.IsZero() {
 			n.DownSince = &ds
 		}
+		n.Breaker = m.BreakerState().String()
+		n.BreakerSamples, n.BreakerFailed = m.BreakerWindow()
 		out.Nodes = append(out.Nodes, n)
 	}
 	writeJSON(w, http.StatusOK, out)

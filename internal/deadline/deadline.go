@@ -1,0 +1,84 @@
+// Package deadline carries a per-request latency budget across
+// process hops. The budget travels as a single header holding the
+// milliseconds remaining; every hop computes the residue from its own
+// context deadline at send time, so the decrement per hop is exactly
+// the time that hop consumed — no clock exchange between processes is
+// needed, only each process's monotonic view of its own elapsed time.
+//
+// The contract:
+//
+//   - An edge (rcagate, or rcaserve hit directly) parses Header from
+//     the request, attaches a context deadline, and from then on the
+//     budget is just ctx.Deadline().
+//   - A forwarding hop writes Header on the outgoing request from the
+//     remaining budget (floor 1ms — a non-positive budget should have
+//     been rejected before forwarding).
+//   - Work downstream of the context (engine solves, WAL appends) is
+//     cancelled by the ordinary ctx plumbing the moment the budget is
+//     spent; no component needs to know the header exists.
+package deadline
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Header is the wire carrier of the remaining budget in integral
+// milliseconds.
+const Header = "X-Deadline-Ms"
+
+// MaxBudget caps the accepted budget so a hostile or buggy client
+// cannot pin a context deadline absurdly far out (the engine's own
+// JobTimeout still applies underneath regardless).
+const MaxBudget = 10 * time.Minute
+
+// FromHeader extracts the budget from h. ok is false when the header
+// is absent or unparseable (malformed budgets are ignored, not
+// errors: the request simply runs without one). A present,
+// non-positive budget returns ok=true with d<=0 — the caller should
+// reject with 504 rather than start work it must immediately abandon.
+func FromHeader(h http.Header) (d time.Duration, ok bool) {
+	raw := h.Get(Header)
+	if raw == "" {
+		return 0, false
+	}
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	d = time.Duration(ms) * time.Millisecond
+	if d > MaxBudget {
+		d = MaxBudget
+	}
+	return d, true
+}
+
+// With attaches the budget to ctx as a context deadline. The returned
+// context is ctx unchanged when d is non-positive (callers reject
+// those before starting work).
+func With(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithDeadline(ctx, time.Now().Add(d))
+}
+
+// SetHeader writes the remaining budget of ctx onto h for the next
+// hop. When ctx carries no deadline the header is left untouched —
+// absence of a budget propagates as absence. An exhausted budget is
+// clamped to 1ms: by the time a forwarder consults it the decision to
+// forward was already made, and a zero header would be dropped as
+// malformed by the next hop.
+func SetHeader(ctx context.Context, h http.Header) {
+	at, ok := ctx.Deadline()
+	if !ok {
+		return
+	}
+	ms := time.Until(at).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	h.Set(Header, strconv.FormatInt(ms, 10))
+}

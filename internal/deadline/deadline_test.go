@@ -1,0 +1,101 @@
+package deadline
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestFromHeader(t *testing.T) {
+	cases := []struct {
+		raw    string
+		want   time.Duration
+		wantOK bool
+	}{
+		{"", 0, false},
+		{"abc", 0, false},
+		{"12.5", 0, false},
+		{"250", 250 * time.Millisecond, true},
+		{"0", 0, true},
+		{"-40", -40 * time.Millisecond, true},
+		{strconv.FormatInt((time.Hour).Milliseconds(), 10), MaxBudget, true},
+	}
+	for _, c := range cases {
+		h := http.Header{}
+		if c.raw != "" {
+			h.Set(Header, c.raw)
+		}
+		d, ok := FromHeader(h)
+		if ok != c.wantOK || d != c.want {
+			t.Errorf("FromHeader(%q) = (%v, %v), want (%v, %v)", c.raw, d, ok, c.want, c.wantOK)
+		}
+	}
+}
+
+func TestWithAttachesDeadline(t *testing.T) {
+	ctx, cancel := With(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	at, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("no deadline attached")
+	}
+	if until := time.Until(at); until <= 0 || until > 100*time.Millisecond {
+		t.Fatalf("deadline %v out of range", until)
+	}
+
+	// Non-positive budgets leave ctx untouched.
+	ctx2, cancel2 := With(context.Background(), 0)
+	defer cancel2()
+	if _, ok := ctx2.Deadline(); ok {
+		t.Fatal("zero budget must not attach a deadline")
+	}
+}
+
+func TestSetHeaderDecrementsPerHop(t *testing.T) {
+	ctx, cancel := With(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	time.Sleep(20 * time.Millisecond) // the "hop" consumes budget
+
+	h := http.Header{}
+	SetHeader(ctx, h)
+	d, ok := FromHeader(h)
+	if !ok {
+		t.Fatal("header not set from deadline ctx")
+	}
+	if d <= 0 || d > 180*time.Millisecond {
+		t.Fatalf("forwarded budget %v should reflect the consumed hop time", d)
+	}
+}
+
+func TestSetHeaderAbsentWithoutDeadline(t *testing.T) {
+	h := http.Header{}
+	SetHeader(context.Background(), h)
+	if h.Get(Header) != "" {
+		t.Fatal("header set despite no ctx deadline")
+	}
+}
+
+func TestSetHeaderClampsExhaustedBudget(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	h := http.Header{}
+	SetHeader(ctx, h)
+	if h.Get(Header) != "1" {
+		t.Fatalf("exhausted budget forwarded as %q, want clamp to 1", h.Get(Header))
+	}
+}
+
+func TestBudgetCancelsDerivedWork(t *testing.T) {
+	ctx, cancel := With(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("budget never fired the context")
+	}
+	if ctx.Err() != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", ctx.Err())
+	}
+}

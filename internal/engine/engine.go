@@ -135,6 +135,15 @@ type Options struct {
 	// successful leader solve (cache misses only, matching the
 	// percentile ring). nil costs one nil check per solve.
 	SolveHist *obs.Histogram
+	// ShedTarget is the CoDel-style queue-wait target for adaptive
+	// load shedding: when the MINIMUM queue wait over a ShedWindow
+	// stays above it, Overloaded() reports true and the server sheds
+	// its synchronous solve paths. 0 = DefaultShedTarget; negative
+	// disables shedding.
+	ShedTarget time.Duration
+	// ShedWindow is the controller's evaluation interval (0 =
+	// DefaultShedWindow).
+	ShedWindow time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -168,10 +177,10 @@ type task struct {
 	loopOut *LoopJobResult
 	wg      *sync.WaitGroup
 	done    chan struct{}
-	// enqueued is the submission time, set only when ctx carries an
-	// obs.Trace (the only consumer); the worker turns it into an
-	// "engine.queue" span. Zero on the untraced path, so tracing
-	// disabled never reads the clock here.
+	// enqueued is the submission time, set on every submission path:
+	// the worker turns (dequeue - enqueued) into the queue-wait signal
+	// the shed controller runs on, and — when ctx carries an obs.Trace
+	// — into an "engine.queue" span.
 	enqueued time.Time
 }
 
@@ -184,6 +193,9 @@ type Engine struct {
 	wg    sync.WaitGroup
 	cache *resultCache
 	stats collector
+	// shed is the adaptive load-shedding controller; nil when
+	// disabled (every method is nil-safe).
+	shed *shedController
 
 	// solve and solveLoop are the job executors, replaceable in tests
 	// to instrument concurrency without paying for real solves. They
@@ -214,6 +226,7 @@ func New(opts Options) *Engine {
 	}
 	e.stats.workers = opts.Workers
 	e.stats.solveHist = opts.SolveHist
+	e.shed = newShedController(opts.ShedTarget, opts.ShedWindow, time.Now())
 	for i := 0; i < opts.Workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -249,10 +262,7 @@ func (e *Engine) enqueue(t task) error {
 func (e *Engine) Run(ctx context.Context, req Request) JobResult {
 	res := new(JobResult)
 	done := make(chan struct{})
-	t := task{ctx: ctx, kind: taskPattern, req: req, out: res, done: done}
-	if obs.FromContext(ctx) != nil {
-		t.enqueued = time.Now()
-	}
+	t := task{ctx: ctx, kind: taskPattern, req: req, out: res, done: done, enqueued: time.Now()}
 	if err := e.enqueue(t); err != nil {
 		return JobResult{Err: err}
 	}
@@ -274,12 +284,12 @@ func (e *Engine) RunBatch(ctx context.Context, reqs []Request) []JobResult {
 	out := make([]JobResult, len(reqs))
 	var wg sync.WaitGroup
 	wg.Add(len(reqs))
-	traced := obs.FromContext(ctx) != nil
+	// One clock read stamps the whole batch: the submit loop below is
+	// microseconds end to end, and per-task reads were measurable on
+	// the parallel batch path.
+	enqueued := time.Now()
 	for i := range reqs {
-		t := task{ctx: ctx, kind: taskPattern, req: reqs[i], out: &out[i], wg: &wg}
-		if traced {
-			t.enqueued = time.Now()
-		}
+		t := task{ctx: ctx, kind: taskPattern, req: reqs[i], out: &out[i], wg: &wg, enqueued: enqueued}
 		if err := e.enqueue(t); err != nil {
 			out[i] = JobResult{Err: err}
 			wg.Done()
@@ -295,6 +305,10 @@ func (e *Engine) Stats() Stats {
 	s.CacheEntries = e.cache.len()
 	s.CacheCapacity = e.cache.cap()
 	s.CacheShards = e.cache.shardsN()
+	s.Shedding = e.Overloaded()
+	if e.shed != nil {
+		s.ShedFlips = e.shed.flips.Load()
+	}
 	return s
 }
 
@@ -308,20 +322,39 @@ func (e *Engine) Stats() Stats {
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	solver := core.NewSolver()
+	var tick uint
 	for {
 		select {
 		case <-e.closed:
 			return
 		case t := <-e.jobs:
-			e.runTask(solver, t)
+			tick++
+			e.runTask(solver, t, tick)
 		}
 	}
 }
 
+// shedSampleMask subsamples the untraced dequeue path 1-in-8: the
+// shed controller is an estimator over thousands of sojourns per
+// window, and skipping the clock read on the other seven keeps the
+// hot path as cheap as it was before shedding existed. A sampled
+// minimum can only overestimate the true one, which errs toward
+// shedding under overload — the safe direction.
+const shedSampleMask = 7
+
 // runTask executes one task on a worker and delivers its result.
-func (e *Engine) runTask(solver *core.Solver, t task) {
+// tick is the calling worker's local dequeue counter (contention-free
+// sampling).
+func (e *Engine) runTask(solver *core.Solver, t task, tick uint) {
 	if !t.enqueued.IsZero() {
-		obs.FromContext(t.ctx).AddSpan("engine.queue", t.enqueued, time.Now())
+		if tr := obs.FromContext(t.ctx); tr != nil {
+			now := time.Now()
+			e.shed.observe(now.Sub(t.enqueued), now)
+			tr.AddSpan("engine.queue", t.enqueued, now)
+		} else if e.shed != nil && tick&shedSampleMask == 0 {
+			now := time.Now()
+			e.shed.observe(now.Sub(t.enqueued), now)
+		}
 	}
 	switch t.kind {
 	case taskPattern:

@@ -58,10 +58,7 @@ type LoopJobResult struct {
 func (e *Engine) RunLoop(ctx context.Context, req LoopRequest) LoopJobResult {
 	res := new(LoopJobResult)
 	done := make(chan struct{})
-	t := task{ctx: ctx, kind: taskLoop, loop: req, loopOut: res, done: done}
-	if obs.FromContext(ctx) != nil {
-		t.enqueued = time.Now()
-	}
+	t := task{ctx: ctx, kind: taskLoop, loop: req, loopOut: res, done: done, enqueued: time.Now()}
 	if err := e.enqueue(t); err != nil {
 		return LoopJobResult{Err: err}
 	}

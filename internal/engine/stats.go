@@ -54,6 +54,10 @@ type Stats struct {
 	SolveP50Micros float64 `json:"solveP50Micros"`
 	SolveP90Micros float64 `json:"solveP90Micros"`
 	SolveP99Micros float64 `json:"solveP99Micros"`
+	// Shedding reports the current adaptive load-shedding verdict;
+	// ShedFlips counts verdict transitions in either direction.
+	Shedding  bool   `json:"shedding"`
+	ShedFlips uint64 `json:"shedFlips"`
 }
 
 // collector accumulates statistics; all methods are concurrency-safe.

@@ -65,6 +65,16 @@ type Injector struct {
 	walFsyncDelayNanos atomic.Int64
 	walFsyncEvery      atomic.Int64
 
+	// respDelayNanos/respDelayEvery stretch every Nth HTTP response
+	// (the gray-failure fault: the process is alive, /healthz answers,
+	// but serving latency is an order of magnitude up); blackholeEvery
+	// holds every Nth request open until its context dies, modeling a
+	// connection that never answers. Both hook BeforeResponse, counted
+	// separately from the solve hooks.
+	respDelayNanos atomic.Int64
+	respDelayEvery atomic.Int64
+	blackholeEvery atomic.Int64
+
 	calls  atomic.Uint64 // BeforeSolve invocations
 	delays atomic.Uint64 // injected latencies fired
 	errs   atomic.Uint64 // injected errors fired
@@ -73,6 +83,10 @@ type Injector struct {
 	walWriteErrs  atomic.Uint64 // injected WAL append failures
 	walFsyncCalls atomic.Uint64 // WALFsyncDelay invocations
 	walDelays     atomic.Uint64 // injected WAL fsync stalls
+
+	respCalls  atomic.Uint64 // BeforeResponse invocations
+	respDelays atomic.Uint64 // injected response stalls fired
+	blackholes atomic.Uint64 // requests held until ctx death
 }
 
 // Parse builds an injector from a comma-separated spec:
@@ -83,6 +97,9 @@ type Injector struct {
 //	ttl-div=100           divide the async result TTL by 100
 //	wal-write-error=64    fail every 64th WAL append
 //	wal-fsync-delay=5ms:8 stall every 8th WAL fsync by 5ms
+//	resp-delay=300ms      stall every HTTP response by 300ms (gray failure)
+//	resp-delay=50ms:4     stall every 4th HTTP response by 50ms
+//	blackhole=16          hold every 16th request open until its ctx dies
 //	none                  arm the injector with nothing scheduled
 //
 // An empty spec is an error — callers express "no injection" by not
@@ -150,6 +167,27 @@ func Parse(spec string) (*Injector, error) {
 			}
 			inj.walFsyncDelayNanos.Store(int64(d))
 			inj.walFsyncEvery.Store(int64(every))
+		case "resp-delay":
+			durStr, everyStr, hasEvery := strings.Cut(val, ":")
+			d, err := time.ParseDuration(durStr)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("faults: bad resp-delay %q", val)
+			}
+			every := 1
+			if hasEvery {
+				every, err = strconv.Atoi(everyStr)
+				if err != nil || every < 1 {
+					return nil, fmt.Errorf("faults: bad resp-delay period %q", everyStr)
+				}
+			}
+			inj.respDelayNanos.Store(int64(d))
+			inj.respDelayEvery.Store(int64(every))
+		case "blackhole":
+			every, err := strconv.Atoi(val)
+			if err != nil || every < 1 {
+				return nil, fmt.Errorf("faults: bad blackhole period %q", val)
+			}
+			inj.blackholeEvery.Store(int64(every))
 		default:
 			return nil, fmt.Errorf("faults: unknown clause key %q", key)
 		}
@@ -172,6 +210,9 @@ func (inj *Injector) Rearm(spec string) error {
 	inj.walWriteEvery.Store(next.walWriteEvery.Load())
 	inj.walFsyncDelayNanos.Store(next.walFsyncDelayNanos.Load())
 	inj.walFsyncEvery.Store(next.walFsyncEvery.Load())
+	inj.respDelayNanos.Store(next.respDelayNanos.Load())
+	inj.respDelayEvery.Store(next.respDelayEvery.Load())
+	inj.blackholeEvery.Store(next.blackholeEvery.Load())
 	return nil
 }
 
@@ -227,6 +268,35 @@ func (inj *Injector) WALFsyncDelay() {
 	}
 }
 
+// BeforeResponse is the HTTP-serving hook, called at the top of every
+// request before the handler runs. An armed blackhole clause parks the
+// request until its context dies (client disconnect, forwarder hop
+// timeout, server shutdown); an armed resp-delay clause stretches the
+// response by the scheduled latency, interruptible the same way. The
+// non-nil error is always the context's own, so callers can drop the
+// request without writing a response the peer stopped waiting for.
+func (inj *Injector) BeforeResponse(ctx context.Context) error {
+	n := inj.respCalls.Add(1)
+	if every := inj.blackholeEvery.Load(); every > 0 && n%uint64(every) == 0 {
+		inj.blackholes.Add(1)
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	if every := inj.respDelayEvery.Load(); every > 0 && n%uint64(every) == 0 {
+		if d := time.Duration(inj.respDelayNanos.Load()); d > 0 {
+			inj.respDelays.Add(1)
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
+		}
+	}
+	return nil
+}
+
 // TTL returns the store retention the manager should use: the
 // configured TTL divided by the armed ttl-div, floored at 1ms so an
 // aggressive divisor accelerates expiry without making results
@@ -255,6 +325,11 @@ type Stats struct {
 	WALWrites      uint64 `json:"walWrites"`
 	WALWriteErrors uint64 `json:"walWriteErrors"`
 	WALFsyncDelays uint64 `json:"walFsyncDelays"`
+	// HTTP response hook activity; zero unless resp-delay or blackhole
+	// clauses are armed.
+	RespCalls  uint64 `json:"respCalls"`
+	RespDelays uint64 `json:"respDelays"`
+	Blackholes uint64 `json:"blackholes"`
 }
 
 // Snapshot reports the current schedule and counters.
@@ -267,6 +342,9 @@ func (inj *Injector) Snapshot() Stats {
 		WALWrites:      inj.walWrites.Load(),
 		WALWriteErrors: inj.walWriteErrs.Load(),
 		WALFsyncDelays: inj.walDelays.Load(),
+		RespCalls:      inj.respCalls.Load(),
+		RespDelays:     inj.respDelays.Load(),
+		Blackholes:     inj.blackholes.Load(),
 	}
 }
 
@@ -287,6 +365,12 @@ func (inj *Injector) String() string {
 	}
 	if every := inj.walFsyncEvery.Load(); every > 0 && inj.walFsyncDelayNanos.Load() > 0 {
 		parts = append(parts, fmt.Sprintf("wal-fsync-delay=%v:%d", time.Duration(inj.walFsyncDelayNanos.Load()), every))
+	}
+	if every := inj.respDelayEvery.Load(); every > 0 && inj.respDelayNanos.Load() > 0 {
+		parts = append(parts, fmt.Sprintf("resp-delay=%v:%d", time.Duration(inj.respDelayNanos.Load()), every))
+	}
+	if every := inj.blackholeEvery.Load(); every > 0 {
+		parts = append(parts, fmt.Sprintf("blackhole=%d", every))
 	}
 	if len(parts) == 0 {
 		return "none"

@@ -22,6 +22,10 @@ func TestParseRoundTrip(t *testing.T) {
 		{"wal-fsync-delay=5ms:8", "wal-fsync-delay=5ms:8"},
 		{"wal-fsync-delay=5ms", "wal-fsync-delay=5ms:1"},
 		{"error=128,wal-write-error=64,wal-fsync-delay=2ms:4", "error=128,wal-fsync-delay=2ms:4,wal-write-error=64"},
+		{"resp-delay=300ms", "resp-delay=300ms:1"},
+		{"resp-delay=50ms:4", "resp-delay=50ms:4"},
+		{"blackhole=16", "blackhole=16"},
+		{"resp-delay=300ms:1,blackhole=8,delay=1ms", "blackhole=8,delay=1ms:1,resp-delay=300ms:1"},
 	}
 	for _, c := range cases {
 		inj, err := Parse(c.spec)
@@ -39,6 +43,7 @@ func TestParseRejects(t *testing.T) {
 		"", "delay", "delay=", "delay=-5ms", "delay=5ms:0", "delay=5ms:x",
 		"error=0", "error=-1", "error=x", "ttl-div=0", "bogus=1", "delay=5ms,,",
 		"wal-write-error=0", "wal-write-error=x", "wal-fsync-delay=", "wal-fsync-delay=5ms:0",
+		"resp-delay=", "resp-delay=-1ms", "resp-delay=5ms:0", "blackhole=0", "blackhole=x",
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) accepted, want error", spec)
@@ -145,6 +150,69 @@ func TestDelayHonorsContext(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("injected delay ignored cancellation (%v)", elapsed)
+	}
+}
+
+// TestRespDelaySchedule pins the HTTP response stall: its own counter,
+// deterministic every-Nth firing, interruptible by the request ctx.
+func TestRespDelaySchedule(t *testing.T) {
+	inj, err := Parse("resp-delay=1ms:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if err := inj.BeforeResponse(context.Background()); err != nil {
+			t.Fatalf("response %d: %v", i+1, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("4 responses with resp-delay=1ms:2 took %v, want >= 2ms", elapsed)
+	}
+	if st := inj.Snapshot(); st.RespDelays != 2 || st.RespCalls != 4 || st.Delays != 0 {
+		t.Errorf("snapshot %+v, want 2 resp delays over 4 resp calls and 0 solve delays", st)
+	}
+
+	// A long stall unwinds the moment the request context dies.
+	slow, err := Parse("resp-delay=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start = time.Now()
+	if err := slow.BeforeResponse(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BeforeResponse = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("resp-delay ignored cancellation (%v)", elapsed)
+	}
+}
+
+// TestBlackholeHoldsUntilCtxDeath verifies the blackhole parks the
+// request and releases only on context death.
+func TestBlackholeHoldsUntilCtxDeath(t *testing.T) {
+	inj, err := Parse("blackhole=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.BeforeResponse(context.Background()); err != nil {
+		t.Fatalf("first response should pass: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := inj.BeforeResponse(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blackholed response = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("blackhole released after %v, want to hold until ctx death", elapsed)
+	}
+	if st := inj.Snapshot(); st.Blackholes != 1 {
+		t.Errorf("snapshot %+v, want 1 blackhole", st)
 	}
 }
 
